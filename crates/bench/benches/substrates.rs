@@ -1,0 +1,124 @@
+//! Criterion benches for the substrate crates: HTML parsing, KB matching,
+//! Levenshtein/XPath distance, logistic-regression training, clustering.
+
+use ceres_ml::{agglomerative_cluster, Dataset, LogReg, SparseVec, TrainConfig};
+use ceres_synth::movie_pages::{render_film_page, MoviePathology, MovieRenderCtx};
+use ceres_synth::movie_world::{KbBias, MovieWorld, MovieWorldConfig};
+use ceres_synth::rng::derive_rng;
+use ceres_synth::SiteStyle;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn sample_pages(n: usize) -> (ceres_kb::Kb, Vec<String>) {
+    let world = MovieWorld::generate(MovieWorldConfig {
+        seed: 1,
+        n_people: 400,
+        n_films: n.max(60),
+        n_series: 4,
+        title_collision_share: 0.02,
+    });
+    let kb = world.build_kb(&KbBias::default()).kb;
+    let mut rng = derive_rng(1, "bench-pages");
+    let style = SiteStyle::random(&mut rng, "en", "bb");
+    let pathology = MoviePathology::default();
+    let ctx = MovieRenderCtx { world: &world, style: &style, site_name: "bench", pathology: &pathology };
+    let pages = (0..n).map(|i| render_film_page(&ctx, i, &mut rng).html).collect();
+    (kb, pages)
+}
+
+fn bench_parse(c: &mut Criterion) {
+    let (_, pages) = sample_pages(50);
+    let bytes: usize = pages.iter().map(|p| p.len()).sum();
+    let mut g = c.benchmark_group("dom");
+    g.throughput(Throughput::Bytes(bytes as u64));
+    g.bench_function("parse_50_film_pages", |b| {
+        b.iter(|| {
+            for html in &pages {
+                black_box(ceres_dom::parse_html(html));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let (kb, pages) = sample_pages(20);
+    let docs: Vec<ceres_dom::Document> =
+        pages.iter().map(|h| ceres_dom::parse_html(h)).collect();
+    let texts: Vec<String> = docs
+        .iter()
+        .flat_map(|d| d.text_fields().into_iter().map(|f| d.own_text(f)).collect::<Vec<_>>())
+        .collect();
+    let mut g = c.benchmark_group("kb");
+    g.throughput(Throughput::Elements(texts.len() as u64));
+    g.bench_function("match_text_fields", |b| {
+        b.iter(|| {
+            for t in &texts {
+                black_box(kb.match_text(t));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_distance(c: &mut Criterion) {
+    let p1 = "/html[1]/body[1]/div[3]/div[2]/div[2]/div[4]/div[2]/b[1]";
+    let p2 = "/html[1]/body[1]/div[3]/div[2]/div[2]/div[3]/div[1]/b[1]";
+    c.bench_function("text/levenshtein_xpath", |b| {
+        b.iter(|| black_box(ceres_text::levenshtein(black_box(p1), black_box(p2))))
+    });
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    // Cluster 120 synthetic XPaths — a typical per-predicate workload.
+    let paths: Vec<String> = (0..120)
+        .map(|i| format!("/html[1]/body[1]/div[{}]/ul[1]/li[{}]", 2 + i % 4, 1 + i / 4))
+        .collect();
+    let weights = vec![1u64; paths.len()];
+    c.bench_function("ml/agglomerative_120_xpaths", |b| {
+        b.iter(|| {
+            black_box(agglomerative_cluster(&paths, &weights, 3, |a, b| {
+                ceres_text::levenshtein(a, b) as f64
+            }))
+        })
+    });
+}
+
+fn bench_training(c: &mut Criterion) {
+    // Synthetic sparse 6-class training problem approximating a site model.
+    let mut data = Dataset::new(6, 4000);
+    let mut rng = derive_rng(2, "bench-train");
+    use rand::Rng;
+    for i in 0..1500 {
+        let class = (i % 6) as u32;
+        let idx: Vec<u32> = (0..30)
+            .map(|_| {
+                let base = class * 600;
+                base + rng.gen_range(0..660).min(3999 - base)
+            })
+            .collect();
+        data.push(SparseVec::from_indices(idx), class);
+    }
+    let mut g = c.benchmark_group("ml");
+    g.sample_size(10);
+    for optimizer in [ceres_ml::Optimizer::Lbfgs, ceres_ml::Optimizer::Sgd] {
+        g.bench_with_input(
+            BenchmarkId::new("train_1500x4000", format!("{optimizer:?}")),
+            &optimizer,
+            |b, &opt| {
+                let cfg = TrainConfig { optimizer: opt, max_iters: 40, ..TrainConfig::default() };
+                b.iter(|| black_box(LogReg::train(&data, &cfg)))
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_matching,
+    bench_distance,
+    bench_clustering,
+    bench_training
+);
+criterion_main!(benches);

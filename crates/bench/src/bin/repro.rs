@@ -1,0 +1,83 @@
+//! Regenerate every table and figure of the paper's evaluation section.
+//!
+//! ```text
+//! repro [--scale S] [--seed N] [targets…]
+//!
+//! targets: all | table1 … table9 | fig2 | fig4 | fig5 | fig6 | ablations
+//! default: all (at --scale 0.1)
+//! ```
+
+use ceres_eval::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "help" || a == "--help" || a == "-h") {
+        println!(
+            "repro [--scale S] [--seed N] [targets…]\n\
+             targets: all | table1 table2 table3 table4 table5 table6 table7 table8 table9\n\
+             \u{20}        | fig2 fig4 fig5 fig6 | ablations"
+        );
+        return;
+    }
+    let (cfg, targets) = ceres_bench::parse_args(&args);
+    let want = |t: &str| targets.iter().any(|x| x == t || x == "all");
+    eprintln!("# repro: seed={} scale={} targets={targets:?}", cfg.seed, cfg.scale);
+
+    let t0 = std::time::Instant::now();
+    let section = |title: &str, body: String| {
+        println!("==============================================================");
+        println!("{title}   [t+{:.1}s]", t0.elapsed().as_secs_f64());
+        println!("==============================================================");
+        println!("{body}");
+    };
+
+    if want("table1") {
+        section("TABLE 1", exp::table1(&cfg));
+    }
+    if want("table2") {
+        section("TABLE 2", exp::table2(&cfg));
+    }
+    if want("table3") {
+        section("TABLE 3", exp::table3(&cfg));
+    }
+    if want("table4") {
+        section("TABLE 4", exp::table4(&cfg));
+    }
+    if want("table5") || want("table6") || want("table7") {
+        let imdb = exp::build_imdb(&cfg);
+        if want("table5") {
+            section("TABLE 5", exp::table5(&cfg, &imdb));
+        }
+        if want("table6") {
+            section("TABLE 6", exp::table6(&cfg, &imdb));
+        }
+        if want("table7") {
+            section("TABLE 7", exp::table7(&cfg, &imdb));
+        }
+    }
+    if want("table8") || want("table9") || want("fig6") {
+        let cc = exp::build_commoncrawl(&cfg);
+        if want("table8") {
+            section("TABLE 8", exp::table8(&cfg, &cc));
+        }
+        if want("table9") {
+            section("TABLE 9", exp::table9(&cfg, &cc));
+        }
+        if want("fig6") {
+            section("FIGURE 6", exp::fig6(&cfg, &cc));
+        }
+    }
+    if want("fig2") {
+        section("FIGURE 2", exp::fig2(&cfg));
+    }
+    if want("fig4") {
+        section("FIGURE 4", exp::fig4(&cfg));
+    }
+    if want("fig5") {
+        section("FIGURE 5", exp::fig5(&cfg));
+    }
+    if want("ablations") {
+        section("ABLATIONS", exp::ablations(&cfg));
+    }
+    eprintln!("# repro finished in {:.1}s", t0.elapsed().as_secs_f64());
+}

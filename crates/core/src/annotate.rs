@@ -1,0 +1,418 @@
+//! Algorithm 2: relation annotation.
+//!
+//! For every KB triple `(topic, pred, obj)` whose object is mentioned on
+//! the page, pick **at most one** mention to annotate:
+//!
+//! * *Local evidence* (§3.2.1): prefer the mention whose exclusive ancestor
+//!   contains the most objects of the same predicate — multi-valued
+//!   predicates are laid out as lists, so the true mention sits among its
+//!   peers (Example 3.1: Spike Lee's `acted in` mention is the one in the
+//!   cast list).
+//! * *Global evidence* (§3.2.2): ties fall through to site-wide
+//!   agglomerative clustering of the predicate's mention XPaths — the true
+//!   slot clusters tightly across pages (Example 3.2: top-of-page genres
+//!   beat recommendation genres).
+//!
+//! The CERES-TOPIC baseline replaces all of this with "annotate every
+//! mention with every applicable predicate".
+
+use crate::config::{AnnotateConfig, XPathDistance};
+use crate::page::PageView;
+use crate::topic::TopicOutcome;
+use ceres_kb::{Kb, PredId, ValueId};
+use ceres_ml::agglomerative_cluster;
+use ceres_text::{FxHashMap, FxHashSet};
+
+/// How relations are annotated (the CERES-FULL vs CERES-TOPIC switch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnnotationMode {
+    /// Algorithm 2: local + global evidence, one mention per object.
+    Full,
+    /// Annotate every mention of every object with every applicable
+    /// predicate (the CERES-TOPIC baseline of §5.2).
+    TopicOnly,
+}
+
+/// Annotations for one page that survived all filters.
+#[derive(Debug, Clone)]
+pub struct PageAnnotation {
+    pub page_idx: usize,
+    pub topic: ValueId,
+    /// Field index of the topic-name mention (the NAME class example).
+    pub name_field: usize,
+    /// `(field index, predicate)` relation labels.
+    pub labels: Vec<(usize, PredId)>,
+}
+
+/// Run relation annotation over a cluster of pages with assigned topics.
+pub fn annotate_relations(
+    pages: &[&PageView],
+    kb: &Kb,
+    topics: &TopicOutcome,
+    cfg: &AnnotateConfig,
+    mode: AnnotationMode,
+) -> Vec<PageAnnotation> {
+    // Collect per-page candidate mentions: page -> pred -> obj -> fields.
+    struct PageCands {
+        page_idx: usize,
+        topic: ValueId,
+        name_field: usize,
+        /// (pred, obj, mention field indexes)
+        cands: Vec<(PredId, ValueId, Vec<usize>)>,
+    }
+
+    let mut all: Vec<PageCands> = Vec::new();
+    for (i, page) in pages.iter().enumerate() {
+        let Some((topic, name_field)) = topics.assignments[i] else { continue };
+        let mut cands: Vec<(PredId, ValueId, Vec<usize>)> = Vec::new();
+        for &(pred, obj) in kb.triples_about(topic) {
+            let mentions: Vec<usize> = page
+                .mentions_of(obj)
+                .into_iter()
+                .filter(|&fi| fi != name_field)
+                .collect();
+            if !mentions.is_empty() {
+                cands.push((pred, obj, mentions));
+            }
+        }
+        all.push(PageCands { page_idx: i, topic, name_field, cands });
+    }
+
+    // --- Global statistics per predicate ---
+    #[derive(Default)]
+    struct PredStats {
+        occurrences: usize,        // (page, obj) pairs
+        multi_mention: usize,      // ... with >1 mention
+        max_mentions: usize,       // k for clustering
+        obj_pages: FxHashMap<ValueId, usize>,
+        xpath_counts: FxHashMap<String, usize>,
+    }
+    let mut stats: FxHashMap<PredId, PredStats> = FxHashMap::default();
+    let n_annotated_pages = all.len().max(1);
+    for pc in &all {
+        for (pred, obj, mentions) in &pc.cands {
+            let s = stats.entry(*pred).or_default();
+            s.occurrences += 1;
+            if mentions.len() > 1 {
+                s.multi_mention += 1;
+            }
+            s.max_mentions = s.max_mentions.max(mentions.len());
+            *s.obj_pages.entry(*obj).or_default() += 1;
+            for &fi in mentions {
+                *s.xpath_counts
+                    .entry(pages[pc.page_idx].fields[fi].xpath.to_string())
+                    .or_default() += 1;
+            }
+        }
+    }
+
+    // --- Clustering per predicate (computed lazily, only when needed) ---
+    // cluster_of[pred]: xpath string -> (cluster id, cluster weight)
+    let mut cluster_of: FxHashMap<PredId, FxHashMap<String, u64>> = FxHashMap::default();
+    let needs_clustering = |s: &PredStats| {
+        let freq_dup = s.multi_mention as f64 >= cfg.freq_dup_threshold * s.occurrences as f64;
+        let common_obj = s
+            .obj_pages
+            .values()
+            .any(|&n| n as f64 > cfg.common_object_page_frac * n_annotated_pages as f64);
+        freq_dup || common_obj
+    };
+    for (pred, s) in &stats {
+        if !needs_clustering(s) || s.xpath_counts.is_empty() {
+            continue;
+        }
+        let mut paths: Vec<(&String, &usize)> = s.xpath_counts.iter().collect();
+        paths.sort_unstable_by(|a, b| a.0.cmp(b.0)); // determinism
+        let items: Vec<&String> = paths.iter().map(|(p, _)| *p).collect();
+        let weights: Vec<u64> = paths.iter().map(|(_, &c)| c as u64).collect();
+        let k = s.max_mentions.max(2);
+        let clustering = agglomerative_cluster(&items, &weights, k, |a, b| match cfg.distance {
+            XPathDistance::Char => ceres_text::levenshtein(a, b) as f64,
+            XPathDistance::Step => {
+                let pa: ceres_dom::XPath = a.parse().unwrap_or_default();
+                let pb: ceres_dom::XPath = b.parse().unwrap_or_default();
+                pa.step_distance(&pb) as f64
+            }
+        });
+        let map: FxHashMap<String, u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                ((*p).clone(), clustering.cluster_weights[clustering.assignment[i]])
+            })
+            .collect();
+        cluster_of.insert(*pred, map);
+    }
+
+    // --- Per-page annotation ---
+    let mut out = Vec::with_capacity(all.len());
+    for pc in &all {
+        let page = &pages[pc.page_idx];
+        let mut labels: Vec<(usize, PredId)> = Vec::new();
+
+        for (pred, obj, mentions) in &pc.cands {
+            match mode {
+                AnnotationMode::TopicOnly => {
+                    for &fi in mentions {
+                        labels.push((fi, *pred));
+                    }
+                }
+                AnnotationMode::Full => {
+                    let chosen = choose_mention(
+                        page,
+                        *pred,
+                        *obj,
+                        mentions,
+                        &pc.cands,
+                        cluster_of.get(pred),
+                    );
+                    if let Some(fi) = chosen {
+                        labels.push((fi, *pred));
+                    }
+                }
+            }
+        }
+
+        // Informativeness filter (§3.1.2 step 3): too few annotations →
+        // the page is dropped from training entirely.
+        if labels.len() < cfg.min_annotations_per_page {
+            continue;
+        }
+        labels.sort_unstable();
+        labels.dedup();
+        out.push(PageAnnotation {
+            page_idx: pc.page_idx,
+            topic: pc.topic,
+            name_field: pc.name_field,
+            labels,
+        });
+    }
+    out
+}
+
+/// Algorithm 2's per-object decision: best local mention, then clusters.
+fn choose_mention(
+    page: &PageView,
+    pred: PredId,
+    obj: ValueId,
+    mentions: &[usize],
+    cands: &[(PredId, ValueId, Vec<usize>)],
+    clusters: Option<&FxHashMap<String, u64>>,
+) -> Option<usize> {
+    if mentions.len() == 1 && clusters.is_none() {
+        return Some(mentions[0]);
+    }
+
+    // All mention nodes of all objects of this predicate on this page.
+    let pred_mention_fields: Vec<(ValueId, usize)> = cands
+        .iter()
+        .filter(|(p, _, _)| *p == pred)
+        .flat_map(|(_, o, ms)| ms.iter().map(move |&fi| (*o, fi)))
+        .collect();
+
+    // BestLocalMention: maximize the number of distinct objects of `pred`
+    // under the mention's exclusive ancestor.
+    let mention_nodes: Vec<ceres_dom::NodeId> =
+        mentions.iter().map(|&fi| page.fields[fi].node).collect();
+    let mut best_count = 0usize;
+    let mut best: Vec<usize> = Vec::new();
+    for &fi in mentions {
+        let node = page.fields[fi].node;
+        let ancestor = page.doc.highest_exclusive_ancestor(node, &mention_nodes);
+        let mut objs_under: FxHashSet<ValueId> = FxHashSet::default();
+        for &(o, ofi) in &pred_mention_fields {
+            let onode = page.fields[ofi].node;
+            if onode == ancestor || page.doc.is_ancestor(ancestor, onode) {
+                objs_under.insert(o);
+            }
+        }
+        let count = objs_under.len();
+        match count.cmp(&best_count) {
+            std::cmp::Ordering::Greater => {
+                best_count = count;
+                best = vec![fi];
+            }
+            std::cmp::Ordering::Equal => best.push(fi),
+            std::cmp::Ordering::Less => {}
+        }
+    }
+    let _ = obj;
+
+    if best.len() == 1 {
+        return Some(best[0]);
+    }
+    // Tie: use global clusters when the predicate qualifies, else skip
+    // (annotating nothing beats annotating wrong — §3.2). A tie that even
+    // the clusters cannot break (several tied mentions in equally-heavy
+    // clusters, e.g. the director and writer rows when one person holds
+    // both roles) is also skipped: "we may miss labeling these true
+    // instances; however, this is acceptable".
+    let clusters = clusters?;
+    let weights: Vec<u64> = best
+        .iter()
+        .map(|&fi| clusters.get(&page.fields[fi].xpath.to_string()).copied().unwrap_or(0))
+        .collect();
+    let max_w = *weights.iter().max()?;
+    let winners: Vec<usize> = best
+        .iter()
+        .zip(&weights)
+        .filter(|(_, &w)| w == max_w)
+        .map(|(&fi, _)| fi)
+        .collect();
+    if winners.len() == 1 {
+        Some(winners[0])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TopicConfig;
+    use crate::topic::identify_topics;
+    use ceres_kb::{KbBuilder, Ontology};
+
+    /// World: films with director/writer overlap (Spike Lee case) plus a
+    /// cast list, rendered consistently.
+    fn setup() -> (Kb, Vec<PageView>, PredId, PredId, PredId) {
+        let mut o = Ontology::new();
+        let film = o.register_type("Film");
+        let person = o.register_type("Person");
+        let directed = o.register_pred("directedBy", film, true);
+        let wrote = o.register_pred("writtenBy", film, true);
+        let acted = o.register_pred("cast", film, true);
+        let mut b = KbBuilder::new(o);
+
+        // Four films; film i directed+written by person Di who also acts,
+        // plus two more actors.
+        let data: Vec<(String, String, [String; 2])> = (0..4)
+            .map(|i| {
+                (
+                    format!("Film Number {i}"),
+                    format!("Dual Role {i}"),
+                    [format!("Actor A{i}"), format!("Actor B{i}")],
+                )
+            })
+            .collect();
+        for (t, d, actors) in &data {
+            let f = b.entity(film, t);
+            let p = b.entity(person, d);
+            b.triple(f, directed, p);
+            b.triple(f, wrote, p);
+            b.triple(f, acted, p);
+            for a in actors {
+                let pa = b.entity(person, a);
+                b.triple(f, acted, pa);
+            }
+        }
+        let kb = b.build();
+
+        let html = |t: &str, d: &str, actors: &[String; 2]| {
+            format!(
+                "<html><body><h1>{t}</h1>\
+                 <div class=info>\
+                 <div class=row><span class=l>Director:</span><span class=v>{d}</span></div>\
+                 <div class=row><span class=l>Writer:</span><span class=v>{d}</span></div>\
+                 </div>\
+                 <div class=cast><h2>Cast</h2><ul>\
+                 <li>{d}</li><li>{}</li><li>{}</li>\
+                 </ul></div></body></html>",
+                actors[0], actors[1]
+            )
+        };
+        let pages: Vec<PageView> = data
+            .iter()
+            .enumerate()
+            .map(|(i, (t, d, a))| PageView::build(&format!("p{i}"), &html(t, d, a), &kb))
+            .collect();
+        (kb, pages, directed, wrote, acted)
+    }
+
+    #[test]
+    fn full_mode_places_cast_annotation_in_cast_list() {
+        let (kb, pages, _directed, _wrote, acted) = setup();
+        let refs: Vec<&PageView> = pages.iter().collect();
+        let topics = identify_topics(&refs, &kb, &TopicConfig::default());
+        let cfg = AnnotateConfig::default();
+        let anns = annotate_relations(&refs, &kb, &topics, &cfg, AnnotationMode::Full);
+        assert_eq!(anns.len(), 4, "all pages informative");
+        for ann in &anns {
+            let page = &pages[ann.page_idx];
+            // The dual-role person's `cast` annotation must be the <li>
+            // mention (inside the list with other cast members), not the
+            // director/writer rows.
+            let cast_labels: Vec<usize> = ann
+                .labels
+                .iter()
+                .filter(|(_, p)| *p == acted)
+                .map(|(fi, _)| *fi)
+                .collect();
+            assert_eq!(cast_labels.len(), 3, "three cast members annotated");
+            for fi in cast_labels {
+                let node = page.fields[fi].node;
+                let tag = page.doc.node(node).tag().unwrap();
+                assert_eq!(tag, "li", "cast annotation must sit in the list");
+            }
+        }
+    }
+
+    #[test]
+    fn full_mode_annotates_each_object_once() {
+        let (kb, pages, directed, ..) = setup();
+        let refs: Vec<&PageView> = pages.iter().collect();
+        let topics = identify_topics(&refs, &kb, &TopicConfig::default());
+        let anns = annotate_relations(
+            &refs,
+            &kb,
+            &topics,
+            &AnnotateConfig::default(),
+            AnnotationMode::Full,
+        );
+        for ann in &anns {
+            let n_directed = ann.labels.iter().filter(|(_, p)| *p == directed).count();
+            assert!(n_directed <= 1, "at most one mention per (pred, obj)");
+        }
+    }
+
+    #[test]
+    fn topic_only_mode_annotates_every_mention() {
+        let (kb, pages, ..) = setup();
+        let refs: Vec<&PageView> = pages.iter().collect();
+        let topics = identify_topics(&refs, &kb, &TopicConfig::default());
+        let full =
+            annotate_relations(&refs, &kb, &topics, &AnnotateConfig::default(), AnnotationMode::Full);
+        let naive = annotate_relations(
+            &refs,
+            &kb,
+            &topics,
+            &AnnotateConfig::default(),
+            AnnotationMode::TopicOnly,
+        );
+        let count = |v: &[PageAnnotation]| v.iter().map(|a| a.labels.len()).sum::<usize>();
+        assert!(
+            count(&naive) > count(&full),
+            "naive {} should out-annotate full {}",
+            count(&naive),
+            count(&full)
+        );
+    }
+
+    #[test]
+    fn informativeness_filter_drops_sparse_pages() {
+        let (kb, mut pages, ..) = setup();
+        // A page whose topic exists but shows only one fact.
+        let html = "<html><body><h1>Film Number 0</h1><span>Actor A0</span></body></html>";
+        pages.push(PageView::build("sparse", html, &kb));
+        let refs: Vec<&PageView> = pages.iter().collect();
+        let topics = identify_topics(&refs, &kb, &TopicConfig::default());
+        let anns = annotate_relations(
+            &refs,
+            &kb,
+            &topics,
+            &AnnotateConfig::default(),
+            AnnotationMode::Full,
+        );
+        assert!(anns.iter().all(|a| a.page_idx != 4), "sparse page must be filtered");
+    }
+}

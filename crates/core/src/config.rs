@@ -1,0 +1,185 @@
+//! All pipeline knobs, with defaults set "according to our empirical
+//! observations … tend[ing] to a small value" (paper §3.1.2), matching the
+//! concrete examples given in the text wherever one is given.
+
+pub use ceres_ml::TrainConfig;
+
+/// Which Levenshtein distance drives the global XPath clustering
+/// (§3.2.2 uses the character-level distance; step-level is an ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum XPathDistance {
+    /// Character-level Levenshtein over the rendered XPath (the paper's).
+    Char,
+    /// Step-level Levenshtein (each `tag[i]` is one symbol).
+    Step,
+}
+
+/// Topic-identification knobs (Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct TopicConfig {
+    /// Uniqueness filter: discard a candidate identified as topic of at
+    /// least this many pages (paper example: ≥ 5).
+    pub max_pages_per_topic: usize,
+    /// Only the most frequent N candidate paths are tried per page when
+    /// locating the dominant topic field (performance guard).
+    pub max_paths_considered: usize,
+}
+
+impl Default for TopicConfig {
+    fn default() -> Self {
+        TopicConfig { max_pages_per_topic: 5, max_paths_considered: 50 }
+    }
+}
+
+/// Relation-annotation knobs (Algorithm 2).
+#[derive(Debug, Clone)]
+pub struct AnnotateConfig {
+    /// Informativeness filter: drop pages with fewer relation annotations
+    /// (paper example: ≥ 3).
+    pub min_annotations_per_page: usize,
+    /// A predicate is "frequently duplicated" when at least this fraction
+    /// of its (page, object) occurrences have multiple mentions.
+    pub freq_dup_threshold: f64,
+    /// §3.2.2 case 2: clustering also applies when one object appears as a
+    /// value on more than this fraction of annotated pages.
+    pub common_object_page_frac: f64,
+    pub distance: XPathDistance,
+}
+
+impl Default for AnnotateConfig {
+    fn default() -> Self {
+        AnnotateConfig {
+            min_annotations_per_page: 3,
+            freq_dup_threshold: 0.3,
+            common_object_page_frac: 0.5,
+            distance: XPathDistance::Char,
+        }
+    }
+}
+
+/// Feature-extraction knobs (§4.2).
+#[derive(Debug, Clone)]
+pub struct FeatureConfig {
+    /// Sibling window width around ancestors ("up to a width of 5 on either
+    /// side").
+    pub sibling_width: usize,
+    /// How far up the ancestor chain structural features reach.
+    pub max_ancestor_levels: usize,
+    /// A string is "frequent" if it appears on at least this fraction of
+    /// annotated pages.
+    pub frequent_string_page_frac: f64,
+    /// Cap on the frequent-string lexicon size.
+    pub max_frequent_strings: usize,
+    /// How many ancestor levels up the nearby-text scan reaches.
+    pub text_feature_levels: usize,
+    /// Cap on nearby fields examined per node (performance guard).
+    pub max_nearby_fields: usize,
+    /// Ablation switches.
+    pub enable_structural: bool,
+    pub enable_text: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            sibling_width: 5,
+            max_ancestor_levels: 8,
+            frequent_string_page_frac: 0.25,
+            max_frequent_strings: 60,
+            text_feature_levels: 3,
+            max_nearby_fields: 40,
+            enable_structural: true,
+            enable_text: true,
+        }
+    }
+}
+
+/// Extraction-time knobs (§4.3).
+#[derive(Debug, Clone)]
+pub struct ExtractConfig {
+    /// Confidence threshold for emitting a triple (paper default 0.5).
+    pub threshold: f64,
+    /// Minimum probability for accepting a name node on a page.
+    pub name_threshold: f64,
+}
+
+impl Default for ExtractConfig {
+    fn default() -> Self {
+        ExtractConfig { threshold: 0.5, name_threshold: 0.5 }
+    }
+}
+
+/// Template-clustering knobs (§2.1; the Vertex clustering of [17]).
+#[derive(Debug, Clone)]
+pub struct TemplateConfig {
+    pub enabled: bool,
+    /// Jaccard threshold on structural shingles for joining a cluster.
+    pub sim_threshold: f64,
+    /// Clusters smaller than this are skipped by the pipeline.
+    pub min_cluster_size: usize,
+}
+
+impl Default for TemplateConfig {
+    fn default() -> Self {
+        TemplateConfig { enabled: true, sim_threshold: 0.35, min_cluster_size: 6 }
+    }
+}
+
+/// Everything the site pipeline needs.
+#[derive(Debug, Clone)]
+pub struct CeresConfig {
+    pub seed: u64,
+    pub topic: TopicConfig,
+    pub annotate: AnnotateConfig,
+    pub features: FeatureConfig,
+    pub train: TrainConfig,
+    /// Negatives per positive (§4.1: "Following convention … r = 3").
+    pub negative_ratio: usize,
+    /// List-index exclusion during negative sampling (§4.1); off = the
+    /// ablation where list siblings may become negatives.
+    pub list_exclusion: bool,
+    pub extract: ExtractConfig,
+    pub template: TemplateConfig,
+    /// Cap on annotated pages used for learning (Figure 5's sweep);
+    /// `None` = use all.
+    pub max_annotated_pages: Option<usize>,
+}
+
+impl Default for CeresConfig {
+    fn default() -> Self {
+        CeresConfig {
+            seed: 42,
+            topic: TopicConfig::default(),
+            annotate: AnnotateConfig::default(),
+            features: FeatureConfig::default(),
+            train: TrainConfig::default(),
+            negative_ratio: 3,
+            list_exclusion: true,
+            extract: ExtractConfig::default(),
+            template: TemplateConfig::default(),
+            max_annotated_pages: None,
+        }
+    }
+}
+
+impl CeresConfig {
+    pub fn new(seed: u64) -> Self {
+        CeresConfig { seed, ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_examples() {
+        let c = CeresConfig::new(1);
+        assert_eq!(c.topic.max_pages_per_topic, 5);
+        assert_eq!(c.annotate.min_annotations_per_page, 3);
+        assert_eq!(c.negative_ratio, 3);
+        assert_eq!(c.extract.threshold, 0.5);
+        assert_eq!(c.features.sibling_width, 5);
+        assert!((c.train.c - 1.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,282 @@
+//! Training-set construction (§4.1).
+//!
+//! Classes: `OTHER` (0), `NAME` (1), then one class per predicate that
+//! received at least one annotation on this site. Positives come straight
+//! from the annotations; negatives are `r = 3` random unlabeled nodes per
+//! positive, excluding nodes that sit in the same template list as a
+//! positive (nodes "that differ from these positives only at these
+//! indices"), because such nodes are probably unannotated true values.
+
+use crate::annotate::PageAnnotation;
+use crate::features::FeatureSpace;
+use crate::page::PageView;
+use ceres_kb::PredId;
+use ceres_ml::Dataset;
+use ceres_text::{FxHashMap, FxHashSet};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The OTHER (no relation) class id.
+pub const CLASS_OTHER: u32 = 0;
+/// The topic-name class id.
+pub const CLASS_NAME: u32 = 1;
+
+/// Maps predicates to contiguous class ids ≥ 2.
+#[derive(Debug, Clone)]
+pub struct ClassMap {
+    preds: Vec<PredId>,
+}
+
+impl ClassMap {
+    /// Build from the predicates that actually received annotations.
+    pub fn from_annotations(annotations: &[PageAnnotation]) -> ClassMap {
+        let mut preds: Vec<PredId> =
+            annotations.iter().flat_map(|a| a.labels.iter().map(|&(_, p)| p)).collect();
+        preds.sort_unstable();
+        preds.dedup();
+        ClassMap { preds }
+    }
+
+    pub fn n_classes(&self) -> usize {
+        self.preds.len() + 2
+    }
+
+    pub fn class_of(&self, pred: PredId) -> Option<u32> {
+        self.preds.binary_search(&pred).ok().map(|i| (i + 2) as u32)
+    }
+
+    pub fn pred_of(&self, class: u32) -> Option<PredId> {
+        if class < 2 {
+            None
+        } else {
+            self.preds.get((class - 2) as usize).copied()
+        }
+    }
+
+    pub fn preds(&self) -> &[PredId] {
+        &self.preds
+    }
+}
+
+/// Build the training dataset. Feature interning happens here (the space
+/// must not be frozen yet).
+pub fn build_training(
+    pages: &[&PageView],
+    annotations: &[PageAnnotation],
+    space: &mut FeatureSpace,
+    class_map: &ClassMap,
+    negative_ratio: usize,
+    seed: u64,
+) -> Dataset {
+    build_training_opts(pages, annotations, space, class_map, negative_ratio, seed, true)
+}
+
+/// [`build_training`] with the list-index exclusion switchable (ablation).
+#[allow(clippy::too_many_arguments)]
+pub fn build_training_opts(
+    pages: &[&PageView],
+    annotations: &[PageAnnotation],
+    space: &mut FeatureSpace,
+    class_map: &ClassMap,
+    negative_ratio: usize,
+    seed: u64,
+    list_exclusion: bool,
+) -> Dataset {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x7261_696e);
+    // Two passes: collect (page, field, class) first so that n_features is
+    // known only after interning everything.
+    let mut rows: Vec<(usize, usize, u32)> = Vec::new();
+
+    for ann in annotations {
+        let page = pages[ann.page_idx];
+        let mut labeled: FxHashSet<usize> = FxHashSet::default();
+        labeled.insert(ann.name_field);
+        rows.push((ann.page_idx, ann.name_field, CLASS_NAME));
+        let mut n_pos = 1usize;
+        for &(fi, pred) in &ann.labels {
+            if let Some(class) = class_map.class_of(pred) {
+                rows.push((ann.page_idx, fi, class));
+                labeled.insert(fi);
+                n_pos += 1;
+            }
+        }
+
+        // List-index exclusion: positives of the same predicate that share
+        // a shape define wildcard positions; unlabeled nodes matching a
+        // positive under those wildcards are skipped as negatives.
+        let mut excluded: FxHashSet<usize> = labeled.clone();
+        let mut by_pred: FxHashMap<PredId, Vec<usize>> = FxHashMap::default();
+        if !list_exclusion {
+            by_pred.clear();
+        }
+        if list_exclusion {
+            for &(fi, pred) in &ann.labels {
+                by_pred.entry(pred).or_default().push(fi);
+            }
+        }
+        for fields in by_pred.values() {
+            if fields.len() < 2 {
+                continue;
+            }
+            let mut wildcards: Vec<usize> = Vec::new();
+            for w in fields.windows(2) {
+                let (a, b) = (&page.fields[w[0]].xpath, &page.fields[w[1]].xpath);
+                for pos in a.differing_index_positions(b) {
+                    if !wildcards.contains(&pos) {
+                        wildcards.push(pos);
+                    }
+                }
+            }
+            if wildcards.is_empty() {
+                continue;
+            }
+            let rep = &page.fields[fields[0]].xpath;
+            for (fi, f) in page.fields.iter().enumerate() {
+                if !excluded.contains(&fi) && rep.matches_with_wildcards(&f.xpath, &wildcards) {
+                    excluded.insert(fi);
+                }
+            }
+        }
+
+        // Sample negatives from the remaining unlabeled fields.
+        let mut candidates: Vec<usize> =
+            (0..page.fields.len()).filter(|fi| !excluded.contains(fi)).collect();
+        candidates.shuffle(&mut rng);
+        for &fi in candidates.iter().take(negative_ratio * n_pos) {
+            rows.push((ann.page_idx, fi, CLASS_OTHER));
+        }
+    }
+
+    // Feature pass.
+    let mut examples = Vec::with_capacity(rows.len());
+    let mut labels = Vec::with_capacity(rows.len());
+    for (pi, fi, class) in rows {
+        let x = space.features(pages[pi], pages[pi].fields[fi].node);
+        examples.push(x);
+        labels.push(class);
+    }
+    let mut data = Dataset::new(class_map.n_classes(), space.dict.len());
+    for (x, y) in examples.into_iter().zip(labels) {
+        data.push(x, y);
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FeatureConfig;
+    use ceres_kb::{Kb, KbBuilder, Ontology, ValueId};
+
+    fn kb_and_page() -> (Kb, PageView, PredId, ValueId) {
+        let mut o = Ontology::new();
+        let film = o.register_type("Film");
+        let person = o.register_type("Person");
+        let cast = o.register_pred("cast", film, true);
+        let mut b = KbBuilder::new(o);
+        let f = b.entity(film, "The Film");
+        for i in 0..3 {
+            let p = b.entity(person, &format!("Actor Number {i}"));
+            b.triple(f, cast, p);
+        }
+        let kb = b.build();
+        let html = "<html><body><h1>The Film</h1><ul>\
+                    <li>Actor Number 0</li><li>Actor Number 1</li><li>Actor Number 2</li>\
+                    <li>Unknown Person</li><li>Another Unknown</li></ul>\
+                    <div><span>footer a</span><span>footer b</span><span>footer c</span>\
+                    <span>footer d</span><span>footer e</span></div></body></html>";
+        let page = PageView::build("p", html, &kb);
+        let f_id = kb.match_text("The Film")[0];
+        (kb, page, cast, f_id)
+    }
+
+    fn annotation(page: &PageView, pred: PredId, topic: ValueId) -> PageAnnotation {
+        let name_field = page.fields.iter().position(|f| f.text == "The Film").unwrap();
+        let labels: Vec<(usize, PredId)> = page
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.text.starts_with("Actor Number"))
+            .map(|(fi, _)| (fi, pred))
+            .collect();
+        PageAnnotation { page_idx: 0, topic, name_field, labels }
+    }
+
+    #[test]
+    fn class_map_is_dense_and_invertible() {
+        let (_, page, pred, topic) = kb_and_page();
+        let ann = annotation(&page, pred, topic);
+        let cm = ClassMap::from_annotations(std::slice::from_ref(&ann));
+        assert_eq!(cm.n_classes(), 3);
+        let c = cm.class_of(pred).unwrap();
+        assert_eq!(c, 2);
+        assert_eq!(cm.pred_of(c), Some(pred));
+        assert_eq!(cm.pred_of(CLASS_OTHER), None);
+        assert_eq!(cm.pred_of(CLASS_NAME), None);
+    }
+
+    #[test]
+    fn negatives_exclude_list_siblings() {
+        let (_, page, pred, topic) = kb_and_page();
+        let ann = annotation(&page, pred, topic);
+        let cm = ClassMap::from_annotations(std::slice::from_ref(&ann));
+        let pages = vec![&page];
+        let mut space = FeatureSpace::new(&pages, FeatureConfig::default());
+        let data = build_training(&pages, &[ann], &mut space, &cm, 3, 1);
+
+        // Positives: 1 name + 3 cast. Negatives ≤ 3 × 4 = 12 but the two
+        // "Unknown" <li>s are excluded (same list shape as positives), so
+        // negatives come from the footer spans and h1 only.
+        let n_pos = data.labels.iter().filter(|&&y| y != CLASS_OTHER).count();
+        assert_eq!(n_pos, 4);
+        let negatives: Vec<&ceres_ml::SparseVec> = data
+            .examples
+            .iter()
+            .zip(&data.labels)
+            .filter(|(_, &y)| y == CLASS_OTHER)
+            .map(|(x, _)| x)
+            .collect();
+        assert!(!negatives.is_empty());
+
+        // No negative may be one of the excluded list items: check by
+        // rebuilding feature vectors for the unknown <li>s.
+        let page = pages[0];
+        for (fi, f) in page.fields.iter().enumerate() {
+            if f.text.contains("Unknown") {
+                let x = space.features(page, page.fields[fi].node);
+                assert!(
+                    negatives.iter().all(|n| **n != x),
+                    "list sibling {fi} must not be a negative"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn negative_count_respects_ratio() {
+        let (_, page, pred, topic) = kb_and_page();
+        let ann = annotation(&page, pred, topic);
+        let cm = ClassMap::from_annotations(std::slice::from_ref(&ann));
+        let pages = vec![&page];
+        let mut space = FeatureSpace::new(&pages, FeatureConfig::default());
+        let data = build_training(&pages, std::slice::from_ref(&ann), &mut space, &cm, 2, 1);
+        let n_pos = data.labels.iter().filter(|&&y| y != CLASS_OTHER).count();
+        let n_neg = data.labels.iter().filter(|&&y| y == CLASS_OTHER).count();
+        assert!(n_neg <= 2 * n_pos);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (_, page, pred, topic) = kb_and_page();
+        let ann = annotation(&page, pred, topic);
+        let cm = ClassMap::from_annotations(std::slice::from_ref(&ann));
+        let pages = vec![&page];
+        let mut s1 = FeatureSpace::new(&pages, FeatureConfig::default());
+        let d1 = build_training(&pages, std::slice::from_ref(&ann), &mut s1, &cm, 3, 9);
+        let mut s2 = FeatureSpace::new(&pages, FeatureConfig::default());
+        let d2 = build_training(&pages, &[ann], &mut s2, &cm, 3, 9);
+        assert_eq!(d1.labels, d2.labels);
+        assert_eq!(d1.len(), d2.len());
+    }
+}

@@ -1,0 +1,124 @@
+//! Parsed page views with precomputed KB matches.
+//!
+//! The pipeline touches each text field many times (topic scoring, relation
+//! annotation, feature extraction, extraction); [`PageView`] computes the
+//! expensive per-field facts — normalized text, KB matches, XPath — exactly
+//! once.
+
+use ceres_dom::{parse_html, Document, NodeId, XPath};
+use ceres_kb::{Kb, ValueId};
+use ceres_text::normalize;
+
+/// One text field of a page.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    pub node: NodeId,
+    /// Whitespace-normalized visible text.
+    pub text: String,
+    /// [`ceres_text::normalize`]d form of `text`.
+    pub norm: String,
+    /// KB values this field's text matches (possibly several: ambiguity).
+    pub matches: Vec<ValueId>,
+    pub xpath: XPath,
+    /// The generator's ground-truth id (`data-gt`), carried for evaluation
+    /// only. The feature extractor never reads it (tested).
+    pub gt_id: Option<u32>,
+}
+
+/// A parsed page plus its per-field index.
+#[derive(Debug)]
+pub struct PageView {
+    pub page_id: String,
+    pub doc: Document,
+    pub fields: Vec<FieldInfo>,
+}
+
+impl PageView {
+    /// Parse `html` and match every text field against `kb`.
+    pub fn build(page_id: &str, html: &str, kb: &Kb) -> PageView {
+        let doc = parse_html(html);
+        let mut fields = Vec::new();
+        for node in doc.text_fields() {
+            let text = doc.own_text(node);
+            let norm = normalize(&text);
+            let matches = if norm.is_empty() { Vec::new() } else { kb.match_text(&text) };
+            let gt_id = doc.node(node).attr("data-gt").and_then(|v| v.parse().ok());
+            let xpath = doc.xpath(node);
+            fields.push(FieldInfo { node, text, norm, matches, xpath, gt_id });
+        }
+        PageView { page_id: page_id.to_string(), doc, fields }
+    }
+
+    /// Index of the field at `node`, if it is a text field.
+    pub fn field_of_node(&self, node: NodeId) -> Option<usize> {
+        self.fields.iter().position(|f| f.node == node)
+    }
+
+    /// All distinct KB values mentioned on the page (the `pageSet` of
+    /// Algorithm 1), sorted for Jaccard computation.
+    pub fn page_value_set(&self) -> Vec<ValueId> {
+        let mut v: Vec<ValueId> =
+            self.fields.iter().flat_map(|f| f.matches.iter().copied()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Fields whose matches contain `value` (all mentions of a KB value).
+    pub fn mentions_of(&self, value: ValueId) -> Vec<usize> {
+        self.fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.matches.contains(&value))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceres_kb::{KbBuilder, Ontology};
+
+    fn kb() -> Kb {
+        let mut o = Ontology::new();
+        let film = o.register_type("Film");
+        let person = o.register_type("Person");
+        let directed = o.register_pred("directedBy", film, true);
+        let mut b = KbBuilder::new(o);
+        let f = b.entity(film, "Do the Right Thing");
+        let p = b.entity(person, "Spike Lee");
+        b.triple(f, directed, p);
+        b.build()
+    }
+
+    #[test]
+    fn builds_fields_with_matches() {
+        let kb = kb();
+        let html = r#"<html><body><h1 data-gt="0">Do the Right Thing</h1><div><span data-gt="1">Spike Lee</span><span data-gt="2">Nobody Known</span></div></body></html>"#;
+        let pv = PageView::build("p1", html, &kb);
+        assert_eq!(pv.fields.len(), 3);
+        assert_eq!(pv.fields[0].matches.len(), 1);
+        assert_eq!(pv.fields[1].matches.len(), 1);
+        assert!(pv.fields[2].matches.is_empty());
+        assert_eq!(pv.fields[1].gt_id, Some(1));
+        assert_eq!(pv.page_value_set().len(), 2);
+    }
+
+    #[test]
+    fn mentions_of_finds_all_occurrences() {
+        let kb = kb();
+        let lee = kb.match_text("Spike Lee")[0];
+        let html = "<div><b>Spike Lee</b></div><ul><li>Spike Lee</li><li>Other</li></ul>";
+        let pv = PageView::build("p", html, &kb);
+        assert_eq!(pv.mentions_of(lee).len(), 2);
+    }
+
+    #[test]
+    fn empty_page_is_fine() {
+        let kb = kb();
+        let pv = PageView::build("empty", "", &kb);
+        assert!(pv.fields.is_empty());
+        assert!(pv.page_value_set().is_empty());
+    }
+}

@@ -1,0 +1,326 @@
+//! The end-to-end site extractor (Figure 3): template clustering →
+//! topic identification → relation annotation → training → extraction.
+//!
+//! CERES-FULL and CERES-TOPIC are this same pipeline run with
+//! [`AnnotationMode::Full`] vs [`AnnotationMode::TopicOnly`].
+
+pub use crate::annotate::AnnotationMode;
+use crate::annotate::annotate_relations;
+use crate::config::CeresConfig;
+use crate::examples::ClassMap;
+use crate::extract::{extract_pages, Extraction};
+use crate::features::FeatureSpace;
+use crate::page::PageView;
+use crate::template::cluster_pages;
+use crate::topic::identify_topics;
+use ceres_kb::Kb;
+use ceres_ml::LogReg;
+
+/// Topic decision for one annotation-half page (evaluation input for
+/// Table 7).
+#[derive(Debug, Clone)]
+pub struct TopicRecord {
+    pub page_id: String,
+    /// Canonical name of the identified topic entity, if any.
+    pub topic: Option<String>,
+    /// Ground-truth id of the name field chosen, if any.
+    pub name_gt_id: Option<u32>,
+    /// Whether the page survived the informativeness filter.
+    pub survived: bool,
+}
+
+/// One relation annotation (evaluation input for Table 6).
+#[derive(Debug, Clone)]
+pub struct AnnotationRecord {
+    pub page_id: String,
+    pub gt_id: Option<u32>,
+    /// Predicate name (ontology string).
+    pub pred: String,
+}
+
+/// Aggregate counters for one site run.
+#[derive(Debug, Clone, Default)]
+pub struct SiteRunStats {
+    pub n_annotation_pages: usize,
+    pub n_extraction_pages: usize,
+    pub n_clusters: usize,
+    pub n_pages_with_topic: usize,
+    /// Pages that survived the informativeness filter (≥ min annotations).
+    pub n_annotated_pages: usize,
+    /// Total relation annotations on surviving pages.
+    pub n_annotations: usize,
+    pub n_train_examples: usize,
+    pub n_features: usize,
+    pub n_classes: usize,
+    /// Whether at least one cluster trained a model.
+    pub trained: bool,
+    /// The pairwise baseline sets this when it exceeds its memory budget
+    /// (reproducing the paper's out-of-memory failure).
+    pub oom: bool,
+}
+
+/// Everything a site run produces.
+#[derive(Debug, Default)]
+pub struct SiteRun {
+    pub extractions: Vec<Extraction>,
+    pub topic_records: Vec<TopicRecord>,
+    pub annotation_records: Vec<AnnotationRecord>,
+    pub stats: SiteRunStats,
+}
+
+/// Run the CERES pipeline on one website.
+///
+/// * `annotation_pages`: `(page id, html)` pairs used for distant
+///   supervision (the training half).
+/// * `extraction_pages`: pages to extract from; `None` extracts from the
+///   annotation pages themselves (the CommonCrawl protocol, where the
+///   whole site is both annotated and harvested).
+pub fn run_site(
+    kb: &Kb,
+    annotation_pages: &[(String, String)],
+    extraction_pages: Option<&[(String, String)]>,
+    cfg: &CeresConfig,
+    mode: AnnotationMode,
+) -> SiteRun {
+    let ann_views: Vec<PageView> = annotation_pages
+        .iter()
+        .map(|(id, html)| PageView::build(id, html, kb))
+        .collect();
+    let ext_views: Option<Vec<PageView>> = extraction_pages
+        .map(|pages| pages.iter().map(|(id, html)| PageView::build(id, html, kb)).collect());
+    run_site_views(kb, &ann_views, ext_views.as_deref(), cfg, mode)
+}
+
+/// [`run_site`] over pre-built [`PageView`]s (benchmarks parse once).
+pub fn run_site_views(
+    kb: &Kb,
+    ann_views: &[PageView],
+    ext_views: Option<&[PageView]>,
+    cfg: &CeresConfig,
+    mode: AnnotationMode,
+) -> SiteRun {
+    let mut run = SiteRun::default();
+    run.stats.n_annotation_pages = ann_views.len();
+    run.stats.n_extraction_pages = ext_views.map_or(ann_views.len(), |v| v.len());
+
+    // --- Template clustering over annotation ∪ extraction pages, so every
+    // extraction page is handled by the model of its own template family ---
+    let n_ann = ann_views.len();
+    let combined: Vec<&PageView> = match ext_views {
+        Some(ext) => ann_views.iter().chain(ext.iter()).collect(),
+        None => ann_views.iter().collect(),
+    };
+    let clusters = cluster_pages(&combined, &cfg.template);
+    run.stats.n_clusters = clusters.len();
+
+    let mut annotated_budget = cfg.max_annotated_pages.unwrap_or(usize::MAX);
+
+    for cluster in clusters {
+        if cluster.len() < cfg.template.min_cluster_size {
+            continue;
+        }
+        let ann_idx: Vec<usize> = cluster.iter().copied().filter(|&i| i < n_ann).collect();
+        let ext_idx: Vec<usize> = match ext_views {
+            Some(_) => {
+                cluster.iter().copied().filter(|&i| i >= n_ann).map(|i| i - n_ann).collect()
+            }
+            None => ann_idx.clone(),
+        };
+        if ann_idx.is_empty() {
+            continue;
+        }
+        let cluster_ann: Vec<&PageView> = ann_idx.iter().map(|&i| &ann_views[i]).collect();
+
+        // --- Algorithm 1: topic identification ---
+        let topic_out = identify_topics(&cluster_ann, kb, &cfg.topic);
+        run.stats.n_pages_with_topic +=
+            topic_out.assignments.iter().filter(|a| a.is_some()).count();
+
+        // --- Algorithm 2: relation annotation ---
+        let mut annotations = annotate_relations(&cluster_ann, kb, &topic_out, &cfg.annotate, mode);
+        // Figure 5's annotated-pages cap.
+        if annotations.len() > annotated_budget {
+            annotations.truncate(annotated_budget);
+        }
+        annotated_budget -= annotations.len().min(annotated_budget);
+
+        // Records for the evaluation harness.
+        let survived: std::collections::BTreeSet<usize> =
+            annotations.iter().map(|a| a.page_idx).collect();
+        for (k, page) in cluster_ann.iter().enumerate() {
+            let assignment = topic_out.assignments[k];
+            run.topic_records.push(TopicRecord {
+                page_id: page.page_id.clone(),
+                topic: assignment.map(|(v, _)| kb.canonical(v).to_string()),
+                name_gt_id: assignment.and_then(|(_, fi)| page.fields[fi].gt_id),
+                survived: survived.contains(&k),
+            });
+        }
+        for ann in &annotations {
+            let page = cluster_ann[ann.page_idx];
+            for &(fi, pred) in &ann.labels {
+                run.annotation_records.push(AnnotationRecord {
+                    page_id: page.page_id.clone(),
+                    gt_id: page.fields[fi].gt_id,
+                    pred: kb.ontology().pred_name(pred).to_string(),
+                });
+            }
+        }
+        run.stats.n_annotated_pages += annotations.len();
+        run.stats.n_annotations += annotations.iter().map(|a| a.labels.len()).sum::<usize>();
+
+        if annotations.len() < 2 {
+            continue;
+        }
+        let class_map = ClassMap::from_annotations(&annotations);
+        if class_map.preds().is_empty() {
+            continue;
+        }
+
+        // --- Training ---
+        let mut space = FeatureSpace::new(&cluster_ann, cfg.features.clone());
+        let data = crate::examples::build_training_opts(
+            &cluster_ann,
+            &annotations,
+            &mut space,
+            &class_map,
+            cfg.negative_ratio,
+            cfg.seed,
+            cfg.list_exclusion,
+        );
+        if data.is_empty() {
+            continue;
+        }
+        let (model, _train_stats) = LogReg::train(&data, &cfg.train);
+        space.freeze();
+        run.stats.n_train_examples += data.len();
+        run.stats.n_features = run.stats.n_features.max(data.n_features);
+        run.stats.n_classes = run.stats.n_classes.max(data.n_classes);
+        run.stats.trained = true;
+
+        // --- Extraction ---
+        let targets: Vec<&PageView> = match ext_views {
+            Some(ext) => ext_idx.iter().map(|&i| &ext[i]).collect(),
+            None => ext_idx.iter().map(|&i| &ann_views[i]).collect(),
+        };
+        let extractions = extract_pages(&targets, &model, &mut space, &class_map, &cfg.extract);
+        run.extractions.extend(extractions);
+    }
+    run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceres_kb::{KbBuilder, Ontology};
+
+    /// Build a small consistent site + KB and run the whole pipeline.
+    fn small_site() -> (Kb, Vec<(String, String)>) {
+        let mut o = Ontology::new();
+        let film = o.register_type("Film");
+        let person = o.register_type("Person");
+        let directed = o.register_pred("directedBy", film, true);
+        let cast_p = o.register_pred("cast", film, true);
+        let genre_p = o.register_pred("genre", film, true);
+        let mut b = KbBuilder::new(o);
+        let genres = ["Drama", "Comedy", "Action"];
+        // 12 films in the KB, site has 18 pages (6 about unknown films).
+        for i in 0..12 {
+            let f = b.entity(film, &format!("Great Movie {i}"));
+            let d = b.entity(person, &format!("Director Person {i}"));
+            b.triple(f, directed, d);
+            let g = b.literal(genres[i % 3]);
+            b.triple(f, genre_p, g);
+            for j in 0..3 {
+                let a = b.entity(person, &format!("Star {i} {j}"));
+                b.triple(f, cast_p, a);
+            }
+        }
+        let kb = b.build();
+
+        let html = |i: usize| {
+            let genre = genres[i % 3];
+            format!(
+                "<html><body><div class=nav><a>Home</a><a>Help</a></div>\
+                 <h1 class=title>Great Movie {i}</h1>\
+                 <div class=info>\
+                 <div class=row><span class=label>Director:</span><span class=val>Director Person {i}</span></div>\
+                 <div class=row><span class=label>Genre:</span><span class=val>{genre}</span></div>\
+                 </div>\
+                 <div class=cast><h2>Cast</h2><ul>\
+                 <li>Star {i} 0</li><li>Star {i} 1</li><li>Star {i} 2</li></ul></div>\
+                 <div class=recs><h3>Also like</h3><span class=rec>{genre}</span></div>\
+                 </body></html>"
+            )
+        };
+        let pages: Vec<(String, String)> =
+            (0..18).map(|i| (format!("page-{i}"), html(i))).collect();
+        (kb, pages)
+    }
+
+    #[test]
+    fn full_pipeline_extracts_beyond_the_kb() {
+        let (kb, pages) = small_site();
+        let cfg = CeresConfig::new(11);
+        let run = run_site(&kb, &pages, None, &cfg, AnnotationMode::Full);
+        assert!(run.stats.trained, "model must train: {:?}", run.stats);
+        assert!(run.stats.n_annotated_pages >= 8, "stats: {:?}", run.stats);
+        // Extraction must cover films 12..17 (absent from the KB).
+        let unknown_extractions = run
+            .extractions
+            .iter()
+            .filter(|e| {
+                e.page_id
+                    .trim_start_matches("page-")
+                    .parse::<usize>()
+                    .map(|i| i >= 12)
+                    .unwrap_or(false)
+            })
+            .count();
+        assert!(unknown_extractions > 0, "no long-tail extractions");
+    }
+
+    #[test]
+    fn topic_records_and_annotation_records_are_emitted() {
+        let (kb, pages) = small_site();
+        let cfg = CeresConfig::new(11);
+        let run = run_site(&kb, &pages, None, &cfg, AnnotationMode::Full);
+        assert_eq!(run.topic_records.len(), 18);
+        assert!(run.annotation_records.len() >= 20);
+        assert!(
+            run.annotation_records.iter().all(|r| r.gt_id.is_none()),
+            "hand-written test pages carry no data-gt; records must reflect that"
+        );
+    }
+
+    #[test]
+    fn split_halves_protocol_extracts_only_eval_pages() {
+        let (kb, pages) = small_site();
+        let train: Vec<(String, String)> = pages.iter().step_by(2).cloned().collect();
+        let eval: Vec<(String, String)> = pages.iter().skip(1).step_by(2).cloned().collect();
+        let cfg = CeresConfig::new(11);
+        let run = run_site(&kb, &train, Some(&eval), &cfg, AnnotationMode::Full);
+        let eval_ids: std::collections::HashSet<&str> =
+            eval.iter().map(|(id, _)| id.as_str()).collect();
+        assert!(!run.extractions.is_empty());
+        assert!(run.extractions.iter().all(|e| eval_ids.contains(e.page_id.as_str())));
+    }
+
+    #[test]
+    fn annotated_page_cap_limits_training() {
+        let (kb, pages) = small_site();
+        let mut cfg = CeresConfig::new(11);
+        cfg.max_annotated_pages = Some(3);
+        let run = run_site(&kb, &pages, None, &cfg, AnnotationMode::Full);
+        assert!(run.stats.n_annotated_pages <= 3);
+    }
+
+    #[test]
+    fn topic_only_mode_produces_more_annotations() {
+        let (kb, pages) = small_site();
+        let cfg = CeresConfig::new(11);
+        let full = run_site(&kb, &pages, None, &cfg, AnnotationMode::Full);
+        let naive = run_site(&kb, &pages, None, &cfg, AnnotationMode::TopicOnly);
+        assert!(naive.stats.n_annotations >= full.stats.n_annotations);
+    }
+}

@@ -1,0 +1,137 @@
+//! Template clustering of a website's pages — our implementation of the
+//! Vertex clustering step CERES runs before extraction (§2.1: "we first
+//! apply the clustering algorithm in [17] to cluster the webpages such that
+//! each cluster roughly corresponds to a template").
+//!
+//! Pages are represented by their *structural shingles* — the index-free
+//! XPaths of their text fields — and greedily merged into clusters by
+//! Jaccard similarity against a cluster representative. Like the original,
+//! this is deliberately imperfect: §5.5.1 documents that the strict Vertex
+//! algorithm sometimes lumps detail and non-detail pages together, and the
+//! imperfection is part of what the CommonCrawl experiment measures.
+
+use crate::config::TemplateConfig;
+use crate::page::PageView;
+use ceres_text::jaccard;
+
+/// A page's structural signature: sorted, deduplicated index-free paths.
+fn shingles(page: &PageView) -> Vec<String> {
+    let mut v: Vec<String> = page
+        .fields
+        .iter()
+        .map(|f| {
+            let mut s = String::new();
+            for step in &f.xpath.0 {
+                s.push('/');
+                s.push_str(&step.tag);
+            }
+            s
+        })
+        .collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+/// Cluster pages into template groups; returns clusters of page indexes,
+/// largest first.
+pub fn cluster_pages(pages: &[&PageView], cfg: &TemplateConfig) -> Vec<Vec<usize>> {
+    if !cfg.enabled {
+        return vec![(0..pages.len()).collect()];
+    }
+    let sigs: Vec<Vec<String>> = pages.iter().map(|p| shingles(p)).collect();
+
+    // Greedy leader clustering: each cluster is represented by the
+    // signature of its first member.
+    let mut clusters: Vec<Vec<usize>> = Vec::new();
+    let mut reps: Vec<&Vec<String>> = Vec::new();
+    for (i, sig) in sigs.iter().enumerate() {
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, rep) in reps.iter().enumerate() {
+            let sim = jaccard(rep.as_slice(), sig.as_slice());
+            if sim >= cfg.sim_threshold && best.is_none_or(|(_, b)| sim > b) {
+                best = Some((ci, sim));
+            }
+        }
+        match best {
+            Some((ci, _)) => clusters[ci].push(i),
+            None => {
+                clusters.push(vec![i]);
+                reps.push(sig);
+            }
+        }
+    }
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceres_kb::{Kb, KbBuilder, Ontology};
+
+    fn empty_kb() -> Kb {
+        KbBuilder::new(Ontology::new()).build()
+    }
+
+    fn pv(id: &str, html: &str, kb: &Kb) -> PageView {
+        PageView::build(id, html, kb)
+    }
+
+    #[test]
+    fn separates_different_templates() {
+        let kb = empty_kb();
+        let detail = |t: &str| {
+            format!(
+                "<html><body><h1>{t}</h1><div class=i><span>a</span><span>b</span></div></body></html>"
+            )
+        };
+        let chart = |t: &str| {
+            format!(
+                "<html><body><table><tr><td>{t}</td><td>1</td></tr><tr><td>x</td><td>2</td></tr></table></body></html>"
+            )
+        };
+        let pages: Vec<PageView> = vec![
+            pv("d1", &detail("one"), &kb),
+            pv("c1", &chart("one"), &kb),
+            pv("d2", &detail("two"), &kb),
+            pv("c2", &chart("two"), &kb),
+            pv("d3", &detail("three"), &kb),
+        ];
+        let refs: Vec<&PageView> = pages.iter().collect();
+        let clusters = cluster_pages(&refs, &TemplateConfig::default());
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].len(), 3); // details (largest first)
+        assert_eq!(clusters[1].len(), 2);
+    }
+
+    #[test]
+    fn similar_pages_with_varying_lists_stay_together() {
+        let kb = empty_kb();
+        let page = |n: usize| {
+            let lis: String = (0..n).map(|i| format!("<li>p{i}</li>")).collect();
+            format!("<html><body><h1>t</h1><ul>{lis}</ul></body></html>")
+        };
+        let pages: Vec<PageView> =
+            (2..10).map(|n| pv(&format!("p{n}"), &page(n), &kb)).collect();
+        let refs: Vec<&PageView> = pages.iter().collect();
+        let clusters = cluster_pages(&refs, &TemplateConfig::default());
+        assert_eq!(clusters.len(), 1);
+    }
+
+    #[test]
+    fn disabled_clustering_returns_one_cluster() {
+        let kb = empty_kb();
+        let pages = [pv("a", "<div>x</div>", &kb), pv("b", "<table><tr><td>y</td></tr></table>", &kb)];
+        let cfg = TemplateConfig { enabled: false, ..Default::default() };
+        let refs: Vec<&PageView> = pages.iter().collect();
+        let clusters = cluster_pages(&refs, &cfg);
+        assert_eq!(clusters, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let clusters = cluster_pages(&[], &TemplateConfig::default());
+        assert!(clusters.is_empty());
+    }
+}

@@ -1,0 +1,141 @@
+//! Minimal HTML escaping/unescaping shared by the parser (entity decoding)
+//! and the synthetic-site renderer (entity encoding).
+
+/// Escape a string for use as HTML text content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Escape a string for use inside a double-quoted HTML attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Decode the common HTML entities plus numeric character references.
+/// Unknown entities are passed through verbatim (tolerant parsing).
+pub fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'&' {
+            if let Some((decoded, consumed)) = decode_entity(&s[i..]) {
+                out.push_str(&decoded);
+                i += consumed;
+                continue;
+            }
+        }
+        // Advance by one full UTF-8 character.
+        let ch_len = utf8_len(bytes[i]);
+        out.push_str(&s[i..i + ch_len]);
+        i += ch_len;
+    }
+    out
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        b if b < 0x80 => 1,
+        b if b < 0xE0 => 2,
+        b if b < 0xF0 => 3,
+        _ => 4,
+    }
+}
+
+/// Try to decode an entity at the start of `s` (which begins with `&`).
+/// Returns the decoded text and the number of bytes consumed.
+fn decode_entity(s: &str) -> Option<(String, usize)> {
+    let semi = s.find(';').filter(|&i| i <= 12)?;
+    let body = &s[1..semi];
+    let decoded = match body {
+        "amp" => "&".to_string(),
+        "lt" => "<".to_string(),
+        "gt" => ">".to_string(),
+        "quot" => "\"".to_string(),
+        "apos" => "'".to_string(),
+        "nbsp" => " ".to_string(),
+        _ => {
+            let rest = body.strip_prefix('#')?;
+            let code = if let Some(hex) = rest.strip_prefix(['x', 'X']) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else {
+                rest.parse::<u32>().ok()?
+            };
+            char::from_u32(code)?.to_string()
+        }
+    };
+    Some((decoded, semi + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn escape_and_unescape_text() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+        assert_eq!(unescape("a &lt; b &amp; c &gt; d"), "a < b & c > d");
+    }
+
+    #[test]
+    fn escape_attr_quotes() {
+        assert_eq!(escape_attr(r#"say "hi""#), "say &quot;hi&quot;");
+    }
+
+    #[test]
+    fn numeric_entities() {
+        assert_eq!(unescape("&#65;&#x42;"), "AB");
+        assert_eq!(unescape("&#xE9;"), "é");
+    }
+
+    #[test]
+    fn unknown_entities_pass_through() {
+        assert_eq!(unescape("&bogus; & &"), "&bogus; & &");
+        assert_eq!(unescape("&#xZZ;"), "&#xZZ;");
+    }
+
+    #[test]
+    fn nbsp_becomes_space() {
+        assert_eq!(unescape("Spike&nbsp;Lee"), "Spike Lee");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_text(s in ".*") {
+            prop_assert_eq!(unescape(&escape_text(&s)), s);
+        }
+
+        #[test]
+        fn roundtrip_attr(s in ".*") {
+            prop_assert_eq!(unescape(&escape_attr(&s)), s);
+        }
+
+        #[test]
+        fn unescape_never_panics(s in ".*") {
+            let _ = unescape(&s);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # ceres-dom
+//!
+//! The DOM substrate for the CERES reproduction: a tolerant HTML parser, an
+//! arena-backed DOM tree, absolute XPaths (paper §2.1: "a node in the tree
+//! can be uniquely defined by an absolute XPath"), and the tree queries the
+//! annotation and feature-extraction stages rely on:
+//!
+//! * *text fields* — element nodes carrying directly-owned text, the unit of
+//!   annotation and extraction in CERES;
+//! * ancestor chains and ancestor-sibling windows (structural features,
+//!   §4.2);
+//! * the "highest level node containing *mention* and no other element in
+//!   *mentions*" query from Algorithm 2 (local evidence);
+//! * relative tree paths between nodes (node-text features, §4.2).
+//!
+//! The parser is intentionally forgiving — real semi-structured websites are
+//! full of unclosed tags — and is guaranteed (and property-tested) never to
+//! panic on arbitrary input.
+
+pub mod arena;
+pub mod escape;
+pub mod parse;
+pub mod xpath;
+
+pub use arena::{Document, Node, NodeId, NodeKind};
+pub use escape::{escape_attr, escape_text};
+pub use parse::parse_html;
+pub use xpath::{Step, XPath};

@@ -1,0 +1,235 @@
+//! Absolute XPaths.
+//!
+//! CERES identifies DOM nodes by their absolute XPath (paper §2.1) and uses
+//! two XPath-derived signals:
+//!
+//! * the Levenshtein **string** distance between XPaths drives the global
+//!   clustering of relation-mention candidates (§3.2.2);
+//! * the set of step indices at which two positive examples differ defines a
+//!   "list" for negative-sampling exclusion (§4.1).
+
+use ceres_text::{levenshtein, levenshtein_slices};
+use std::fmt;
+use std::str::FromStr;
+
+/// One step of an absolute XPath: a tag name plus the 1-based index among
+/// same-tag siblings, e.g. `div[3]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Step {
+    pub tag: String,
+    pub index: u32,
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.tag, self.index)
+    }
+}
+
+/// An absolute XPath: `/html[1]/body[1]/div[3]/span[2]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct XPath(pub Vec<Step>);
+
+impl XPath {
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Character-level Levenshtein distance between the rendered paths —
+    /// exactly the distance function of paper §3.2.2.
+    pub fn char_distance(&self, other: &XPath) -> usize {
+        levenshtein(&self.to_string(), &other.to_string())
+    }
+
+    /// Step-level Levenshtein distance (each `tag[i]` step is one symbol).
+    /// Used by the distance-function ablation.
+    pub fn step_distance(&self, other: &XPath) -> usize {
+        levenshtein_slices(&self.0, &other.0)
+    }
+
+    /// True if the two paths have the same tags throughout and differ only
+    /// in step indices. Such pairs typically denote members of the same
+    /// template list (e.g. successive cast rows).
+    pub fn same_shape(&self, other: &XPath) -> bool {
+        self.0.len() == other.0.len()
+            && self.0.iter().zip(&other.0).all(|(a, b)| a.tag == b.tag)
+    }
+
+    /// Positions at which two same-shape paths have different indices.
+    /// Empty when the paths are identical or have different shapes.
+    pub fn differing_index_positions(&self, other: &XPath) -> Vec<usize> {
+        if !self.same_shape(other) {
+            return Vec::new();
+        }
+        self.0
+            .iter()
+            .zip(&other.0)
+            .enumerate()
+            .filter(|(_, (a, b))| a.index != b.index)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// True if `self` matches `other` when the step indices at `wildcard`
+    /// positions are ignored (the generalized-XPath test used by negative
+    /// sampling and by the VERTEX++ rules).
+    pub fn matches_with_wildcards(&self, other: &XPath, wildcard: &[usize]) -> bool {
+        if !self.same_shape(other) {
+            return false;
+        }
+        self.0.iter().zip(&other.0).enumerate().all(|(i, (a, b))| {
+            a.tag == b.tag && (a.index == b.index || wildcard.contains(&i))
+        })
+    }
+}
+
+impl fmt::Display for XPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "/");
+        }
+        for step in &self.0 {
+            write!(f, "/{step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error produced when parsing an XPath string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseXPathError(pub String);
+
+impl fmt::Display for ParseXPathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid xpath: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseXPathError {}
+
+impl FromStr for XPath {
+    type Err = ParseXPathError;
+
+    /// Parse `/tag[i]/tag[j]/...`. A bare `/` parses to the empty path.
+    /// Steps without an explicit index (`/div`) default to index 1.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let body = s
+            .strip_prefix('/')
+            .ok_or_else(|| ParseXPathError(format!("must start with '/': {s}")))?;
+        if body.is_empty() {
+            return Ok(XPath(Vec::new()));
+        }
+        let mut steps = Vec::new();
+        for part in body.split('/') {
+            if part.is_empty() {
+                return Err(ParseXPathError(format!("empty step in {s}")));
+            }
+            let (tag, index) = match part.find('[') {
+                Some(open) => {
+                    let close = part
+                        .rfind(']')
+                        .ok_or_else(|| ParseXPathError(format!("unclosed '[' in {part}")))?;
+                    if close < open {
+                        return Err(ParseXPathError(format!("misordered brackets in {part}")));
+                    }
+                    let idx: u32 = part[open + 1..close]
+                        .parse()
+                        .map_err(|_| ParseXPathError(format!("bad index in {part}")))?;
+                    (&part[..open], idx)
+                }
+                None => (part, 1),
+            };
+            if tag.is_empty() {
+                return Err(ParseXPathError(format!("empty tag in {part}")));
+            }
+            steps.push(Step { tag: tag.to_string(), index });
+        }
+        Ok(XPath(steps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn xp(s: &str) -> XPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let p = xp("/html[1]/body[1]/div[3]/span[2]");
+        assert_eq!(p.to_string(), "/html[1]/body[1]/div[3]/span[2]");
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn default_index_is_one() {
+        assert_eq!(xp("/html/body"), xp("/html[1]/body[1]"));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("html[1]".parse::<XPath>().is_err());
+        assert!("//div".parse::<XPath>().is_err());
+        assert!("/div[".parse::<XPath>().is_err());
+        assert!("/div[x]".parse::<XPath>().is_err());
+        assert!("/[3]".parse::<XPath>().is_err());
+    }
+
+    #[test]
+    fn figure2_distances() {
+        // Acted-in XPaths from Figure 2: differ at two node indices.
+        let winfrey = xp("/html[1]/body[1]/div[1]/div[2]/div[1]/div[1]/div[4]/div[3]/div[68]/b[1]/a[1]");
+        let mckellen = xp("/html[1]/body[1]/div[1]/div[2]/div[1]/div[1]/div[4]/div[2]/div[61]/b[1]/a[1]");
+        assert_eq!(winfrey.step_distance(&mckellen), 2);
+        // Char distance counts the two differing digit runs.
+        assert!(winfrey.char_distance(&mckellen) >= 2);
+        assert!(winfrey.same_shape(&mckellen));
+        assert_eq!(winfrey.differing_index_positions(&mckellen), vec![7, 8]);
+    }
+
+    #[test]
+    fn wildcard_matching() {
+        let a = xp("/html[1]/body[1]/ul[1]/li[1]");
+        let b = xp("/html[1]/body[1]/ul[1]/li[9]");
+        let c = xp("/html[1]/body[1]/ol[1]/li[9]");
+        assert!(a.matches_with_wildcards(&b, &[3]));
+        assert!(!a.matches_with_wildcards(&b, &[2]));
+        assert!(!a.matches_with_wildcards(&c, &[3]));
+    }
+
+    #[test]
+    fn empty_path() {
+        let p = xp("/");
+        assert!(p.is_empty());
+        assert_eq!(p.to_string(), "/");
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_random_paths(
+            steps in proptest::collection::vec(("[a-z]{1,8}", 1u32..40), 0..12)
+        ) {
+            let p = XPath(steps.into_iter().map(|(tag, index)| Step { tag, index }).collect());
+            let rendered = p.to_string();
+            let reparsed: XPath = rendered.parse().unwrap();
+            prop_assert_eq!(p, reparsed);
+        }
+
+        #[test]
+        fn step_distance_leq_char_distance_shape(
+            steps in proptest::collection::vec(("[a-z]{1,4}", 1u32..10), 1..8)
+        ) {
+            let p = XPath(steps.iter().cloned().map(|(tag, index)| Step { tag, index }).collect());
+            // Identity holds under both metrics.
+            prop_assert_eq!(p.step_distance(&p), 0);
+            prop_assert_eq!(p.char_distance(&p), 0);
+        }
+    }
+}

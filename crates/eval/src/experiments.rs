@@ -1,0 +1,841 @@
+//! One function per table/figure of the paper's evaluation section.
+//!
+//! Every function returns a printable report containing both our measured
+//! numbers and the paper's reference values. Expensive corpora (the
+//! CommonCrawl-like run, the IMDb-like run, SWDE) are computed once and
+//! shared between the tables that read them.
+
+use crate::harness::{
+    annotation_page_ids, eval_page_ids, protocol_pages, run_ceres_on_site, run_vertex_on_site,
+    EvalProtocol, SystemKind,
+};
+use crate::metrics::{score_annotations, score_topics, GoldIndex, PageHitScorer, Prf, TripleScorer};
+use crate::paper;
+use ceres_core::baseline::{run_baseline, BaselineConfig};
+use ceres_core::extract::ExtractLabel;
+use ceres_core::pipeline::SiteRun;
+use ceres_core::{CeresConfig, XPathDistance};
+use ceres_synth::commoncrawl::{self, CcDataset};
+use ceres_synth::imdb::{self, ImdbDataset};
+use ceres_synth::swde::{book_vertical, movie_vertical, nba_vertical, university_vertical,
+    SwdeConfig, SwdeVertical};
+use ceres_synth::Site;
+use ceres_text::FxHashMap;
+use std::fmt::Write as _;
+
+/// Global experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    pub seed: u64,
+    /// Corpus scale relative to the paper (1.0 = paper-sized page counts).
+    pub scale: f64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig { seed: 42, scale: 0.1 }
+    }
+}
+
+fn ceres_cfg(e: &ExpConfig) -> CeresConfig {
+    CeresConfig::new(e.seed)
+}
+
+/// Map-in-parallel over items with scoped threads (sites are independent).
+pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+    let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+    let n_threads = n_threads.min(items.len()).max(1);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots = std::sync::Mutex::new(&mut results);
+    std::thread::scope(|s| {
+        for _ in 0..n_threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(&items[i]);
+                slots.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.expect("worker filled slot")).collect()
+}
+
+fn fmt_f(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+fn fmt_opt(x: Option<f64>) -> String {
+    x.map(fmt_f).unwrap_or_else(|| "NA".to_string())
+}
+
+/// Render an aligned text table.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(out, "{:<w$}  ", c, w = widths[i.min(widths.len() - 1)]);
+        }
+        out.push('\n');
+    };
+    line(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+// ====================================================================
+// Shared expensive runs
+// ====================================================================
+
+/// All four SWDE verticals plus per-system runs (Tables 3, 4, Figures 4, 5).
+pub struct SwdeOutcome {
+    pub verticals: Vec<SwdeVertical>,
+}
+
+pub fn build_swde(e: &ExpConfig) -> SwdeOutcome {
+    let cfg = SwdeConfig { seed: e.seed, scale: e.scale };
+    let (movie, _) = movie_vertical(cfg);
+    let (nba, _) = nba_vertical(cfg);
+    let (university, _) = university_vertical(cfg);
+    let (book, _) = book_vertical(cfg);
+    SwdeOutcome { verticals: vec![movie, nba, university, book] }
+}
+
+/// Predicates a DS system can be scored on: present in the KB (footnote a
+/// of Table 3 — MPAA-Rating is excluded because it has no seed triples).
+fn ds_attributes(v: &SwdeVertical) -> Vec<&str> {
+    let per_pred: FxHashMap<&str, usize> = v
+        .kb
+        .triples_per_pred()
+        .into_iter()
+        .map(|(p, n)| (v.kb.ontology().pred_name(p), n))
+        .collect();
+    v.attributes
+        .iter()
+        .filter(|(_, pred)| *pred == "name" || per_pred.get(pred).copied().unwrap_or(0) > 0)
+        .map(|(_, pred)| *pred)
+        .collect()
+}
+
+/// The IMDb-like runs shared by Tables 5–7.
+pub struct ImdbOutcome {
+    pub data: ImdbDataset,
+    /// (domain, system, run)
+    pub runs: Vec<(&'static str, SystemKind, SiteRun)>,
+}
+
+pub fn build_imdb(e: &ExpConfig) -> ImdbOutcome {
+    let data = imdb::generate(e.seed, e.scale);
+    let cfg = ceres_cfg(e);
+    let jobs: Vec<(&'static str, &Site, SystemKind)> = vec![
+        ("Film/TV", &data.movie_site, SystemKind::CeresTopic),
+        ("Film/TV", &data.movie_site, SystemKind::CeresFull),
+        ("Person", &data.person_site, SystemKind::CeresTopic),
+        ("Person", &data.person_site, SystemKind::CeresFull),
+    ];
+    let runs: Vec<(&'static str, SystemKind, SiteRun)> = parallel_map(&jobs, |(domain, site, system)| {
+        (*domain, *system, run_ceres_on_site(&data.kb, site, EvalProtocol::SplitHalves, &cfg, *system))
+    });
+    ImdbOutcome { data, runs }
+}
+
+/// The CommonCrawl-like run shared by Tables 8, 9 and Figure 6.
+pub struct CcOutcome {
+    pub data: CcDataset,
+    pub runs: Vec<SiteRun>,
+    /// Per-extraction (site index, confidence, correct) — threshold sweeps.
+    pub scored: Vec<(usize, f64, bool)>,
+}
+
+pub fn build_commoncrawl(e: &ExpConfig) -> CcOutcome {
+    let data = commoncrawl::generate(e.seed, e.scale);
+    let cfg = ceres_cfg(e);
+    let runs: Vec<SiteRun> = parallel_map(&data.sites, |site| {
+        run_ceres_on_site(&data.kb, site, EvalProtocol::WholeSite, &cfg, SystemKind::CeresFull)
+    });
+    let mut scored = Vec::new();
+    for (si, (site, run)) in data.sites.iter().zip(&runs).enumerate() {
+        let gold = GoldIndex::new(site);
+        for ex in &run.extractions {
+            scored.push((si, ex.confidence, gold.extraction_correct(&data.kb, ex)));
+        }
+    }
+    CcOutcome { data, runs, scored }
+}
+
+// ====================================================================
+// Tables
+// ====================================================================
+
+/// Table 1: the SWDE subset overview.
+pub fn table1(e: &ExpConfig) -> String {
+    let swde = build_swde(e);
+    let rows: Vec<Vec<String>> = swde
+        .verticals
+        .iter()
+        .map(|v| {
+            let pages: usize = v.sites.iter().map(|s| s.pages.len()).sum();
+            let attrs: Vec<&str> = v.attributes.iter().map(|(d, _)| *d).collect();
+            vec![
+                v.name.to_string(),
+                v.sites.len().to_string(),
+                pages.to_string(),
+                attrs.join(", "),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 1 — SWDE-like verticals (scale {}; paper: 20000/20000/4405/16705 pages)\n\n{}",
+        e.scale,
+        render_table(&["Vertical", "#Sites", "#Pages", "Attributes"], &rows)
+    )
+}
+
+/// Table 2: seed-KB composition for the movie vertical.
+pub fn table2(e: &ExpConfig) -> String {
+    let (v, _) = movie_vertical(SwdeConfig { seed: e.seed, scale: e.scale });
+    let stats = v.kb.stats();
+    let rows: Vec<Vec<String>> = stats
+        .types
+        .iter()
+        .map(|t| {
+            vec![t.type_name.clone(), t.instances.to_string(), t.predicates.to_string()]
+        })
+        .collect();
+    format!(
+        "Table 2 — seed-KB entity types (scale {}; paper KB: Person 7.67M, Film 0.43M, \
+         TV Series 0.12M, TV Episode 1.09M; 85M triples)\n\nTotal triples: {}\n\n{}",
+        e.scale,
+        stats.n_triples,
+        render_table(&["Entity Type", "#Instances", "#Predicates"], &rows)
+    )
+}
+
+/// One vertical × one system → mean page-hit F1 (None = OOM/NA).
+fn system_vertical_f1(
+    v: &SwdeVertical,
+    system: SystemKind,
+    cfg: &CeresConfig,
+    baseline_budget: usize,
+) -> Option<f64> {
+    let attrs: Vec<&str> = match system {
+        SystemKind::VertexPlusPlus => v.attributes.iter().map(|(_, p)| *p).collect(),
+        _ => ds_attributes(v),
+    };
+    let site_f1: Vec<Option<f64>> = parallel_map(&v.sites, |site| {
+        let run = match system {
+            SystemKind::CeresBaseline => {
+                let (train, eval) = protocol_pages(site, EvalProtocol::SplitHalves);
+                let bcfg = BaselineConfig { max_pairs: baseline_budget, ..Default::default() };
+                run_baseline(&v.kb, &train, eval.as_deref(), cfg, &bcfg)
+            }
+            _ => run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, cfg, system),
+        };
+        if run.stats.oom {
+            return None;
+        }
+        let gold = GoldIndex::new(site);
+        let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
+        let scorer = PageHitScorer::score(&v.kb, &gold, &ids, &run.extractions, &attrs);
+        Some(scorer.mean_f1(&attrs))
+    });
+    if site_f1.iter().any(|f| f.is_none()) {
+        return None; // at least one site OOMed → NA, like the paper
+    }
+    let vals: Vec<f64> = site_f1.into_iter().flatten().collect();
+    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+}
+
+/// Table 3: SWDE F1 comparison across systems.
+pub fn table3(e: &ExpConfig) -> String {
+    let swde = build_swde(e);
+    let cfg = ceres_cfg(e);
+    // The pair budget models the paper's fixed 32 GB against the paper-
+    // sized KB; it scales with the corpus so the Movie vertical (largest
+    // KB/page overlap) exhausts it first, as in the paper.
+    let baseline_budget = ((2_000_000.0 * e.scale) as usize).max(50_000);
+
+    let systems = [
+        SystemKind::VertexPlusPlus,
+        SystemKind::CeresBaseline,
+        SystemKind::CeresTopic,
+        SystemKind::CeresFull,
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (name, manual, f1s) in paper::TABLE3_LITERATURE {
+        let mut row = vec![format!("{name} (paper)"), manual.to_string()];
+        row.extend(f1s.iter().map(|f| fmt_opt(*f)));
+        rows.push(row);
+    }
+    for (si, system) in systems.iter().enumerate() {
+        let paper_row = paper::TABLE3_REIMPLEMENTED[si];
+        let mut row = vec![
+            format!("{} (paper)", paper_row.0),
+            if *system == SystemKind::VertexPlusPlus { "yes" } else { "no" }.to_string(),
+        ];
+        row.extend(paper_row.1.iter().map(|f| fmt_opt(*f)));
+        rows.push(row);
+
+        let mut ours = vec![
+            format!("{} (ours)", system.label()),
+            if *system == SystemKind::VertexPlusPlus { "yes" } else { "no" }.to_string(),
+        ];
+        for v in &swde.verticals {
+            let f1 = system_vertical_f1(v, *system, &cfg, baseline_budget);
+            ours.push(fmt_opt(f1));
+        }
+        rows.push(ours);
+    }
+    format!(
+        "Table 3 — SWDE page-hit F1 (scale {}, threshold 0.5; 'NA' = out of memory)\n\n{}",
+        e.scale,
+        render_table(&["System", "Manual", "Movie", "NBAPlayer", "University", "Book"], &rows)
+    )
+}
+
+/// Table 4: per-predicate P/R/F1, VERTEX++ vs CERES-FULL, all triples.
+pub fn table4(e: &ExpConfig) -> String {
+    let swde = build_swde(e);
+    let cfg = ceres_cfg(e);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for v in &swde.verticals {
+        // Aggregate counts across sites per predicate.
+        let mut vertex_scores: FxHashMap<String, Prf> = FxHashMap::default();
+        let mut full_scores: FxHashMap<String, Prf> = FxHashMap::default();
+        let preds: Vec<&str> = v.attributes.iter().map(|(_, p)| *p).collect();
+        let per_site: Vec<(TripleScorer, TripleScorer)> = parallel_map(&v.sites, |site| {
+            let gold = GoldIndex::new(site);
+            let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
+            let vrun = run_vertex_on_site(&v.kb, site, EvalProtocol::SplitHalves, 2);
+            let frun = run_ceres_on_site(
+                &v.kb,
+                site,
+                EvalProtocol::SplitHalves,
+                &cfg,
+                SystemKind::CeresFull,
+            );
+            (
+                TripleScorer::score(&v.kb, &gold, &ids, &vrun.extractions, Some(&preds)),
+                TripleScorer::score(&v.kb, &gold, &ids, &frun.extractions, Some(&preds)),
+            )
+        });
+        for (vs, fs) in per_site {
+            for (p, c) in vs.per_pred {
+                vertex_scores.entry(p).or_default().add(c);
+            }
+            for (p, c) in fs.per_pred {
+                full_scores.entry(p).or_default().add(c);
+            }
+        }
+        for (display, pred) in &v.attributes {
+            let vp = vertex_scores.get(*pred).copied().unwrap_or_default();
+            let fp = full_scores.get(*pred).copied().unwrap_or_default();
+            let na = fp == Prf::default();
+            rows.push(vec![
+                v.name.to_string(),
+                display.to_string(),
+                fmt_f(vp.precision()),
+                fmt_f(vp.recall()),
+                fmt_f(vp.f1()),
+                if na { "NA".into() } else { fmt_f(fp.precision()) },
+                if na { "NA".into() } else { fmt_f(fp.recall()) },
+                if na { "NA".into() } else { fmt_f(fp.f1()) },
+            ]);
+        }
+    }
+    format!(
+        "Table 4 — per-predicate extraction quality (all triples), Vertex++ vs CERES-Full \
+         (scale {}; paper averages: Movie .97/.98, NBA 1.0/.98, University .99/.90, Book .93/.70)\n\n{}",
+        e.scale,
+        render_table(
+            &["Vertical", "Predicate", "V++ P", "V++ R", "V++ F1", "Full P", "Full R", "Full F1"],
+            &rows
+        )
+    )
+}
+
+/// Short predicate display name (strip the `type.` prefix).
+fn short_pred(p: &str) -> String {
+    p.to_string()
+}
+
+/// Table 5: IMDb-like extraction quality, CERES-TOPIC vs CERES-FULL.
+pub fn table5(e: &ExpConfig, imdb: &ImdbOutcome) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for domain in ["Person", "Film/TV"] {
+        let site = if domain == "Person" { &imdb.data.person_site } else { &imdb.data.movie_site };
+        let gold = GoldIndex::new(site);
+        let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
+        let get = |system: SystemKind| -> &SiteRun {
+            &imdb.runs.iter().find(|(d, s, _)| *d == domain && *s == system).unwrap().2
+        };
+        let topic = TripleScorer::score(
+            &imdb.data.kb, &gold, &ids, &get(SystemKind::CeresTopic).extractions, None);
+        let full = TripleScorer::score(
+            &imdb.data.kb, &gold, &ids, &get(SystemKind::CeresFull).extractions, None);
+
+        let mut preds: Vec<&String> = full.per_pred.keys().collect();
+        preds.sort();
+        for pred in preds {
+            let t = topic.prf(pred).unwrap_or_default();
+            let f = full.prf(pred).unwrap_or_default();
+            let paper_ref = paper::TABLE5_FULL
+                .iter()
+                .find(|(d, p, _, _)| *d == domain && *p == pred.as_str())
+                .map(|(_, _, p, r)| format!("{p:.2}/{r:.2}"))
+                .unwrap_or_else(|| "-".into());
+            rows.push(vec![
+                domain.to_string(),
+                short_pred(pred),
+                fmt_f(t.precision()),
+                fmt_f(t.recall()),
+                fmt_f(f.precision()),
+                fmt_f(f.recall()),
+                paper_ref,
+            ]);
+        }
+        let (to, fo) = (topic.overall(), full.overall());
+        let paper_overall: Vec<String> = paper::TABLE5_OVERALL
+            .iter()
+            .filter(|(d, ..)| *d == domain)
+            .map(|(_, s, p, r)| format!("{s}={p:.2}/{r:.2}"))
+            .collect();
+        rows.push(vec![
+            domain.to_string(),
+            "ALL".to_string(),
+            fmt_f(to.precision()),
+            fmt_f(to.recall()),
+            fmt_f(fo.precision()),
+            fmt_f(fo.recall()),
+            paper_overall.join(" "),
+        ]);
+    }
+    format!(
+        "Table 5 — IMDb-like extraction quality (scale {}, threshold 0.5)\n\n{}",
+        e.scale,
+        render_table(
+            &["Domain", "Predicate", "Topic P", "Topic R", "Full P", "Full R", "Paper Full P/R"],
+            &rows
+        )
+    )
+}
+
+/// Table 6: annotation accuracy on the IMDb-like sites.
+pub fn table6(_e: &ExpConfig, imdb: &ImdbOutcome) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for domain in ["Person", "Film/TV"] {
+        let site = if domain == "Person" { &imdb.data.person_site } else { &imdb.data.movie_site };
+        let gold = GoldIndex::new(site);
+        let ann_ids = annotation_page_ids(site, EvalProtocol::SplitHalves);
+        for system in [SystemKind::CeresTopic, SystemKind::CeresFull] {
+            let run = &imdb.runs.iter().find(|(d, s, _)| *d == domain && *s == system).unwrap().2;
+            let per_pred = score_annotations(&imdb.data.kb, &gold, &ann_ids, &run.annotation_records);
+            let mut total = Prf::default();
+            for p in per_pred.values() {
+                total.add(*p);
+            }
+            let paper_ref = paper::TABLE6_OVERALL
+                .iter()
+                .find(|(d, s, ..)| *d == domain && *s == system.label())
+                .map(|(_, _, p, r)| format!("{p:.2}/{r:.2}"))
+                .unwrap_or_else(|| "-".into());
+            rows.push(vec![
+                domain.to_string(),
+                system.label().to_string(),
+                fmt_f(total.precision()),
+                fmt_f(total.recall()),
+                fmt_f(total.f1()),
+                paper_ref,
+            ]);
+        }
+    }
+    format!(
+        "Table 6 — annotation accuracy (all annotations; paper values are the \
+         'All Annotations' rows)\n\n{}",
+        render_table(&["Domain", "System", "P", "R", "F1", "Paper P/R"], &rows)
+    )
+}
+
+/// Table 7: topic identification accuracy on the IMDb-like sites.
+pub fn table7(e: &ExpConfig, imdb: &ImdbOutcome) -> String {
+    let _ = e;
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (domain, paper_row) in [("Person", paper::TABLE7[0]), ("Film/TV", paper::TABLE7[1])] {
+        let site = if domain == "Person" { &imdb.data.person_site } else { &imdb.data.movie_site };
+        let gold = GoldIndex::new(site);
+        let run = &imdb
+            .runs
+            .iter()
+            .find(|(d, s, _)| *d == domain && *s == SystemKind::CeresFull)
+            .unwrap()
+            .2;
+        let prf = score_topics(&imdb.data.kb, &gold, &run.topic_records);
+        rows.push(vec![
+            domain.to_string(),
+            fmt_f(prf.precision()),
+            fmt_f(prf.recall()),
+            fmt_f(prf.f1()),
+            format!("{:.2}/{:.2}/{:.2}", paper_row.1, paper_row.2, paper_row.3),
+        ]);
+    }
+    format!(
+        "Table 7 — topic identification accuracy\n\n{}",
+        render_table(&["Domain", "P", "R", "F1", "Paper P/R/F1"], &rows)
+    )
+}
+
+/// Table 8: the 33 long-tail sites.
+pub fn table8(e: &ExpConfig, cc: &CcOutcome) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut tot_pages = 0usize;
+    let mut tot_ann_pages = 0usize;
+    let mut tot_ann = 0usize;
+    let (mut tot_ex, mut tot_correct) = (0usize, 0usize);
+    for (si, (site, run)) in cc.data.sites.iter().zip(&cc.runs).enumerate() {
+        let n_ex = run.extractions.len();
+        let correct = cc.scored.iter().filter(|&&(s, _, c)| s == si && c).count();
+        let precision = if n_ex == 0 { None } else { Some(correct as f64 / n_ex as f64) };
+        tot_pages += site.pages.len();
+        tot_ann_pages += run.stats.n_annotated_pages;
+        tot_ann += run.stats.n_annotations;
+        tot_ex += n_ex;
+        tot_correct += correct;
+        let ratio_pages = if run.stats.n_annotated_pages == 0 {
+            0.0
+        } else {
+            // extracted pages ≈ pages with ≥1 extraction
+            let pages_with_ex: std::collections::BTreeSet<&str> =
+                run.extractions.iter().map(|x| x.page_id.as_str()).collect();
+            pages_with_ex.len() as f64 / run.stats.n_annotated_pages as f64
+        };
+        let ratio_ex = if run.stats.n_annotations == 0 {
+            0.0
+        } else {
+            n_ex as f64 / run.stats.n_annotations as f64
+        };
+        rows.push(vec![
+            site.name.clone(),
+            site.focus.clone(),
+            site.pages.len().to_string(),
+            run.stats.n_annotated_pages.to_string(),
+            run.stats.n_annotations.to_string(),
+            n_ex.to_string(),
+            format!("{ratio_pages:.2}"),
+            format!("{ratio_ex:.2}"),
+            precision.map(|p| format!("{p:.2}")).unwrap_or_else(|| "NA".into()),
+        ]);
+    }
+    let overall_p = if tot_ex == 0 { 0.0 } else { tot_correct as f64 / tot_ex as f64 };
+    rows.push(vec![
+        "TOTAL".into(),
+        "-".into(),
+        tot_pages.to_string(),
+        tot_ann_pages.to_string(),
+        tot_ann.to_string(),
+        tot_ex.to_string(),
+        "-".into(),
+        format!("{:.2}", if tot_ann == 0 { 0.0 } else { tot_ex as f64 / tot_ann as f64 }),
+        format!("{overall_p:.2}"),
+    ]);
+    format!(
+        "Table 8 — long-tail movie sites at threshold 0.5 (scale {}; paper totals: \
+         {} pages, {} annotations, {} extractions, precision {:.2})\n\n{}",
+        e.scale,
+        paper::TABLE8_TOTALS.0,
+        paper::TABLE8_TOTALS.1,
+        paper::TABLE8_TOTALS.2,
+        paper::TABLE8_TOTALS.3,
+        render_table(
+            &["Website", "Focus", "#Pages", "#AnnPages", "#Ann", "#Extr", "ExtPg/AnnPg",
+              "Ext/Ann", "Prec"],
+            &rows
+        )
+    )
+}
+
+/// Table 9: the ten most-extracted predicates on the CommonCrawl-like run.
+pub fn table9(e: &ExpConfig, cc: &CcOutcome) -> String {
+    let kb = &cc.data.kb;
+    let mut ann_per_pred: FxHashMap<String, usize> = FxHashMap::default();
+    for run in &cc.runs {
+        for r in &run.annotation_records {
+            *ann_per_pred.entry(r.pred.clone()).or_default() += 1;
+        }
+    }
+    #[derive(Default)]
+    struct Agg {
+        n: usize,
+        correct: usize,
+    }
+    let mut per_pred: FxHashMap<String, Agg> = FxHashMap::default();
+    for (si, run) in cc.runs.iter().enumerate() {
+        let gold = GoldIndex::new(&cc.data.sites[si]);
+        for ex in &run.extractions {
+            let pred = match &ex.label {
+                ExtractLabel::Name => "name".to_string(),
+                ExtractLabel::Pred(p) => kb.ontology().pred_name(*p).to_string(),
+            };
+            let a = per_pred.entry(pred).or_default();
+            a.n += 1;
+            if gold.extraction_correct(kb, ex) {
+                a.correct += 1;
+            }
+        }
+    }
+    let mut entries: Vec<(String, Agg)> = per_pred.into_iter().collect();
+    entries.sort_by(|a, b| b.1.n.cmp(&a.1.n).then(a.0.cmp(&b.0)));
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .take(10)
+        .map(|(pred, a)| {
+            vec![
+                pred.clone(),
+                ann_per_pred.get(pred).copied().unwrap_or(0).to_string(),
+                a.n.to_string(),
+                format!("{:.2}", if a.n == 0 { 0.0 } else { a.correct as f64 / a.n as f64 }),
+            ]
+        })
+        .collect();
+    format!(
+        "Table 9 — top-10 predicates by extraction count at threshold 0.5 (scale {}; \
+         paper top-3: hasCastMember 441k@0.98, actedIn 380k@0.96, hasGenre 175k@0.90)\n\n{}",
+        e.scale,
+        render_table(&["Predicate", "#Annotations", "#Extractions", "Precision"], &rows)
+    )
+}
+
+// ====================================================================
+// Figures
+// ====================================================================
+
+/// Figure 2: XPath index drift for one predicate across two pages.
+pub fn fig2(e: &ExpConfig) -> String {
+    use ceres_core::page::PageView;
+    let data = imdb::generate(e.seed, (e.scale * 0.25).max(0.01));
+    let kb = &data.kb;
+    // Find two person pages with acted-in gold and compare the XPaths of
+    // their first acted-in mention.
+    let mut found: Vec<(String, String)> = Vec::new();
+    for page in &data.person_site.pages {
+        let Some(fact) = page
+            .gold
+            .facts
+            .iter()
+            .find(|f| f.pred == ceres_synth::schema::movie::ACTED_IN)
+        else {
+            continue;
+        };
+        let view = PageView::build(&page.id, &page.html, kb);
+        if let Some(field) = view.fields.iter().find(|f| f.gt_id == Some(fact.gt_id)) {
+            found.push((page.id.clone(), field.xpath.to_string()));
+        }
+        if found.len() == 2 {
+            break;
+        }
+    }
+    if found.len() < 2 {
+        return "Figure 2 — not enough person pages at this scale".to_string();
+    }
+    let d = ceres_text::levenshtein(&found[0].1, &found[1].1);
+    format!(
+        "Figure 2 — 'acted in' XPaths on two person pages (ad blocks and optional\n\
+         sections shift sibling indices, exactly the Winfrey/McKellen divergence):\n\n\
+         {}:\n  {}\n{}:\n  {}\n\ncharacter-level Levenshtein distance = {}\n",
+        found[0].0, found[0].1, found[1].0, found[1].1, d
+    )
+}
+
+/// Figure 4: Book vertical — F1 vs seed-KB overlap per site.
+pub fn fig4(e: &ExpConfig) -> String {
+    let (v, _world) = book_vertical(SwdeConfig { seed: e.seed, scale: e.scale });
+    let cfg = ceres_cfg(e);
+    let preds: Vec<&str> = v.attributes.iter().map(|(_, p)| *p).collect();
+    let results: Vec<(String, usize, f64)> = parallel_map(&v.sites[1..], |site| {
+        let overlap = site
+            .pages
+            .iter()
+            .filter(|p| {
+                p.gold
+                    .topic
+                    .as_deref()
+                    .map(|t| !v.kb.match_text(t).is_empty())
+                    .unwrap_or(false)
+            })
+            .count();
+        let run = run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
+        let gold = GoldIndex::new(site);
+        let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
+        let scorer = TripleScorer::score(&v.kb, &gold, &ids, &run.extractions, Some(&preds));
+        (site.name.clone(), overlap, scorer.overall().f1())
+    });
+    let mut sorted = results;
+    sorted.sort_by_key(|(_, o, _)| *o);
+    let rows: Vec<Vec<String>> = sorted
+        .iter()
+        .map(|(name, o, f1)| vec![name.clone(), o.to_string(), fmt_f(*f1)])
+        .collect();
+    format!(
+        "Figure 4 — Book vertical: extraction F1 vs #books overlapping the seed KB\n\
+         (paper: lower overlap ⇒ lower recall; sites with ≤5 overlapping pages score ~0)\n\n{}",
+        render_table(&["Site", "#KB-overlapping pages", "F1"], &rows)
+    )
+}
+
+/// Figure 5: Movie vertical — F1 vs annotated-page cap (log-scale x).
+pub fn fig5(e: &ExpConfig) -> String {
+    let (v, _) = movie_vertical(SwdeConfig { seed: e.seed, scale: e.scale });
+    let attrs = ds_attributes(&v);
+    let caps: Vec<usize> = [1usize, 2, 5, 10, 25, 50, 100, 250, 500]
+        .into_iter()
+        .filter(|&c| c <= v.sites[0].pages.len() / 2 + 50)
+        .collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for &cap in &caps {
+        let mut cfg = ceres_cfg(e);
+        cfg.max_annotated_pages = Some(cap);
+        let f1s: Vec<f64> = parallel_map(&v.sites, |site| {
+            let run = run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
+            let gold = GoldIndex::new(site);
+            let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
+            PageHitScorer::score(&v.kb, &gold, &ids, &run.extractions, &attrs).mean_f1(&attrs)
+        });
+        let mean = f1s.iter().sum::<f64>() / f1s.len() as f64;
+        rows.push(vec![cap.to_string(), fmt_f(mean)]);
+    }
+    format!(
+        "Figure 5 — Movie vertical: page-hit F1 vs #annotated pages used for learning\n\
+         (paper: F1 rises steeply in the 1–20 page range, then saturates)\n\n{}",
+        render_table(&["#Annotated pages (cap)", "Mean F1"], &rows)
+    )
+}
+
+/// Figure 6: precision vs number of extractions at varying thresholds.
+pub fn fig6(e: &ExpConfig, cc: &CcOutcome) -> String {
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for t in [0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95] {
+        let kept: Vec<&(usize, f64, bool)> =
+            cc.scored.iter().filter(|(_, c, _)| *c >= t).collect();
+        let n = kept.len();
+        let correct = kept.iter().filter(|(_, _, ok)| *ok).count();
+        let p = if n == 0 { 0.0 } else { correct as f64 / n as f64 };
+        rows.push(vec![format!("{t:.2}"), n.to_string(), format!("{p:.3}")]);
+    }
+    format!(
+        "Figure 6 — precision vs #extractions by confidence threshold (scale {};\n\
+         paper: threshold 0.75 ⇒ 1.25M extractions at 0.90 precision; precision rises\n\
+         monotonically with the threshold)\n\n{}",
+        e.scale,
+        render_table(&["Threshold", "#Extractions", "Precision"], &rows)
+    )
+}
+
+// ====================================================================
+// Ablations (DESIGN.md §5)
+// ====================================================================
+
+/// Run CERES-Full on the IMDb-like person site under configuration
+/// variants; report overall triple P/R/F1.
+pub fn ablations(e: &ExpConfig) -> String {
+    let data = imdb::generate(e.seed, e.scale);
+    let site = &data.person_site;
+    let gold = GoldIndex::new(site);
+    let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
+
+    let variants: Vec<(&str, CeresConfig)> = vec![
+        ("full (default)", ceres_cfg(e)),
+        ("no list-index exclusion", {
+            let mut c = ceres_cfg(e);
+            c.list_exclusion = false;
+            c
+        }),
+        ("no text features", {
+            let mut c = ceres_cfg(e);
+            c.features.enable_text = false;
+            c
+        }),
+        ("SGD optimizer", {
+            let mut c = ceres_cfg(e);
+            c.train.optimizer = ceres_ml::Optimizer::Sgd;
+            c
+        }),
+        ("step-level XPath distance", {
+            let mut c = ceres_cfg(e);
+            c.annotate.distance = XPathDistance::Step;
+            c
+        }),
+    ];
+    let results: Vec<(String, Prf, usize)> = parallel_map(&variants, |(name, cfg)| {
+        let run = run_ceres_on_site(&data.kb, site, EvalProtocol::SplitHalves, cfg, SystemKind::CeresFull);
+        let scorer = TripleScorer::score(&data.kb, &gold, &ids, &run.extractions, None);
+        (name.to_string(), scorer.overall(), run.extractions.len())
+    });
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, prf, n)| {
+            vec![
+                name.clone(),
+                fmt_f(prf.precision()),
+                fmt_f(prf.recall()),
+                fmt_f(prf.f1()),
+                n.to_string(),
+            ]
+        })
+        .collect();
+    format!(
+        "Ablations — CERES-Full on the IMDb-like Person site (scale {})\n\n{}",
+        e.scale,
+        render_table(&["Variant", "P", "R", "F1", "#Extractions"], &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig { seed: 3, scale: 0.01 }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(&["A", "BB"], &[vec!["xxx".into(), "y".into()]]);
+        assert!(t.contains("A"));
+        assert!(t.lines().count() >= 3);
+    }
+
+    #[test]
+    fn table1_and_table2_print() {
+        let t1 = table1(&tiny());
+        assert!(t1.contains("Movie") && t1.contains("Book"));
+        let t2 = table2(&tiny());
+        assert!(t2.contains("Film"));
+    }
+
+    #[test]
+    fn fig2_shows_xpath_drift() {
+        let f = fig2(&ExpConfig { seed: 3, scale: 0.04 });
+        assert!(f.contains("Levenshtein"), "{f}");
+    }
+}

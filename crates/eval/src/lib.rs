@@ -1,0 +1,23 @@
+//! # ceres-eval
+//!
+//! Evaluation harness: scores pipeline outputs against the generator's
+//! node-level ground truth and regenerates every table and figure of the
+//! paper's evaluation section (§5).
+//!
+//! * [`metrics`] — precision/recall/F1 counters, the node-level and
+//!   triple-level correctness checks, and the page-hit protocol of Hao et
+//!   al. used by Table 3;
+//! * [`harness`] — wiring between `ceres-synth` datasets and the
+//!   `ceres-core` pipelines (CERES-FULL / CERES-TOPIC / CERES-BASELINE /
+//!   VERTEX++), including the 50/50 annotation-evaluation split protocol;
+//! * [`experiments`] — one function per table/figure, each returning a
+//!   printable report with the paper's reference numbers alongside;
+//! * [`paper`] — the reference numbers transcribed from the paper.
+
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod paper;
+
+pub use harness::{run_ceres_on_site, run_vertex_on_site, EvalProtocol, SystemKind};
+pub use metrics::{GoldIndex, PageHitScorer, Prf, TripleScorer};

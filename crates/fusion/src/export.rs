@@ -1,0 +1,182 @@
+//! Plain-text (TSV) export/import of harvested facts.
+//!
+//! The end product of a CERES run is a fact stream destined for a KB
+//! ingestion pipeline; TSV keeps the workspace dependency-free while being
+//! trivially consumable by downstream tools.
+
+use crate::fuse::FusedFact;
+use std::fmt::Write as _;
+
+/// Escape a field for TSV (tabs/newlines/backslashes).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\\' => out.push_str("\\\\"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape`].
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(ch) = chars.next() {
+        if ch == '\\' {
+            match chars.next() {
+                Some('t') => out.push('\t'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('\\') => out.push('\\'),
+                Some(other) => {
+                    out.push('\\');
+                    out.push(other);
+                }
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+/// Header line of the fused-fact TSV schema.
+pub const HEADER: &str = "subject\tpredicate\tobject\tobject_surface\tbelief\tobservations\tsites";
+
+/// Serialize fused facts to TSV (with header).
+pub fn to_tsv(facts: &[FusedFact]) -> String {
+    let mut out = String::with_capacity(64 * (facts.len() + 1));
+    out.push_str(HEADER);
+    out.push('\n');
+    for f in facts {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{:.6}\t{}\t{}",
+            escape(&f.subject),
+            escape(&f.pred),
+            escape(&f.object),
+            escape(&f.object_surface),
+            f.belief,
+            f.observations,
+            f.sites,
+        );
+    }
+    out
+}
+
+/// Parse a TSV produced by [`to_tsv`]. Malformed lines are reported with
+/// their line number.
+pub fn from_tsv(tsv: &str) -> Result<Vec<FusedFact>, String> {
+    let mut lines = tsv.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h == HEADER => {}
+        Some((_, h)) => return Err(format!("unexpected header: {h}")),
+        None => return Err("empty input".to_string()),
+    }
+    let mut out = Vec::new();
+    for (i, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let cols: Vec<&str> = line.split('\t').collect();
+        if cols.len() != 7 {
+            return Err(format!("line {}: expected 7 columns, got {}", i + 1, cols.len()));
+        }
+        let belief: f64 =
+            cols[4].parse().map_err(|_| format!("line {}: bad belief {}", i + 1, cols[4]))?;
+        let observations: usize =
+            cols[5].parse().map_err(|_| format!("line {}: bad count {}", i + 1, cols[5]))?;
+        let sites: usize =
+            cols[6].parse().map_err(|_| format!("line {}: bad count {}", i + 1, cols[6]))?;
+        out.push(FusedFact {
+            subject: unescape(cols[0]),
+            pred: unescape(cols[1]),
+            object: unescape(cols[2]),
+            object_surface: unescape(cols[3]),
+            belief,
+            observations,
+            sites,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fact(subject: &str, object: &str) -> FusedFact {
+        FusedFact {
+            subject: subject.to_string(),
+            pred: "directedBy".to_string(),
+            object: object.to_string(),
+            object_surface: object.to_string(),
+            belief: 0.875,
+            observations: 3,
+            sites: 2,
+        }
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        let facts = vec![fact("do the right thing", "spike lee"), fact("crooklyn", "spike lee")];
+        let tsv = to_tsv(&facts);
+        let back = from_tsv(&tsv).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].subject, "do the right thing");
+        assert_eq!(back[0].sites, 2);
+        assert!((back[0].belief - 0.875).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tabs_and_newlines_survive() {
+        let f = fact("a\tb", "c\nd\\e");
+        let tsv = to_tsv(std::slice::from_ref(&f));
+        let back = from_tsv(&tsv).unwrap();
+        assert_eq!(back[0].subject, "a\tb");
+        assert_eq!(back[0].object, "c\nd\\e");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_tsv("").is_err());
+        assert!(from_tsv("wrong header\n").is_err());
+        let bad = format!("{HEADER}\nonly\tthree\tcols\n");
+        assert!(from_tsv(&bad).is_err());
+        let bad_belief = format!("{HEADER}\na\tb\tc\td\tnot-a-number\t1\t1\n");
+        assert!(from_tsv(&bad_belief).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_strings(
+            subject in ".{0,24}",
+            object in ".{0,24}",
+            belief in 0.0f64..1.0,
+            observations in 0usize..100,
+            sites in 0usize..10,
+        ) {
+            let f = FusedFact {
+                subject: subject.clone(),
+                pred: "p".to_string(),
+                object: object.clone(),
+                object_surface: object.clone(),
+                belief,
+                observations,
+                sites,
+            };
+            let back = from_tsv(&to_tsv(std::slice::from_ref(&f))).unwrap();
+            prop_assert_eq!(&back[0].subject, &subject);
+            prop_assert_eq!(&back[0].object, &object);
+            prop_assert!((back[0].belief - belief).abs() < 1e-5);
+            prop_assert_eq!(back[0].observations, observations);
+        }
+    }
+}

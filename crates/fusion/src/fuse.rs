@@ -1,0 +1,266 @@
+//! Knowledge fusion: combine redundant extractions across pages and sites
+//! into fused facts with calibrated belief.
+//!
+//! Model (after Knowledge Vault [10, 11]): each extraction is an
+//! independent, unreliable assertion of its triple. A source (site) has a
+//! reliability prior `r`; an extraction with classifier confidence `c`
+//! asserts its triple with probability `r·c`. The fused belief of a triple
+//! is the noisy-OR over its assertions:
+//!
+//! ```text
+//! belief(t) = 1 − Π_i (1 − r_i · c_i)
+//! ```
+//!
+//! Per-page duplicates are collapsed first (the same fact rendered twice on
+//! one page is one observation — within-page repetition is template
+//! redundancy, not independent evidence).
+
+use ceres_core::extract::{ExtractLabel, Extraction};
+use ceres_text::{normalize, FxHashMap};
+
+/// An extraction tagged with its source site.
+#[derive(Debug, Clone)]
+pub struct SourcedExtraction {
+    pub site: String,
+    pub extraction: Extraction,
+}
+
+/// Fusion knobs.
+#[derive(Debug, Clone)]
+pub struct FusionConfig {
+    /// Default per-site reliability prior.
+    pub default_reliability: f64,
+    /// Per-site overrides (e.g. measured from a validation sample).
+    pub site_reliability: Vec<(String, f64)>,
+    /// Fused facts below this belief are dropped.
+    pub min_belief: f64,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig { default_reliability: 0.8, site_reliability: Vec::new(), min_belief: 0.0 }
+    }
+}
+
+impl FusionConfig {
+    fn reliability(&self, site: &str) -> f64 {
+        self.site_reliability
+            .iter()
+            .find(|(s, _)| s == site)
+            .map(|(_, r)| *r)
+            .unwrap_or(self.default_reliability)
+            .clamp(0.0, 1.0)
+    }
+}
+
+/// A fused fact: the canonical triple plus aggregate evidence.
+#[derive(Debug, Clone)]
+pub struct FusedFact {
+    /// Normalized subject string (as extracted; see [`crate::link`] for KB
+    /// resolution).
+    pub subject: String,
+    /// Predicate name, or `"name"` for topic-name assertions.
+    pub pred: String,
+    pub object: String,
+    /// A representative surface form of the object (most common raw text).
+    pub object_surface: String,
+    /// Noisy-OR belief in [0, 1).
+    pub belief: f64,
+    /// Number of distinct (site, page) observations.
+    pub observations: usize,
+    /// Number of distinct sites asserting the fact.
+    pub sites: usize,
+}
+
+/// Fuse extractions into ranked facts (highest belief first). `pred_name`
+/// maps predicate ids to names (pass `kb.ontology().pred_name`).
+pub fn fuse(
+    extractions: &[SourcedExtraction],
+    pred_name: impl Fn(ceres_kb::PredId) -> String,
+    cfg: &FusionConfig,
+) -> Vec<FusedFact> {
+    // Key: (subject-normalized, pred, object-normalized).
+    type Key = (String, String, String);
+    struct Acc {
+        log_not: f64, // Σ ln(1 − r·c)
+        observations: usize,
+        sites: std::collections::BTreeSet<String>,
+        surface_counts: FxHashMap<String, usize>,
+        // One observation per (site, page): keep the best confidence.
+        per_page: FxHashMap<(String, String), f64>,
+    }
+
+    let mut acc: FxHashMap<Key, Acc> = FxHashMap::default();
+    for se in extractions {
+        let e = &se.extraction;
+        let pred = match &e.label {
+            ExtractLabel::Name => "name".to_string(),
+            ExtractLabel::Pred(p) => pred_name(*p),
+        };
+        let key = (normalize(&e.subject), pred, normalize(&e.object));
+        let a = acc.entry(key).or_insert_with(|| Acc {
+            log_not: 0.0,
+            observations: 0,
+            sites: std::collections::BTreeSet::new(),
+            surface_counts: FxHashMap::default(),
+            per_page: FxHashMap::default(),
+        });
+        let page_key = (se.site.clone(), e.page_id.clone());
+        let best = a.per_page.entry(page_key).or_insert(0.0);
+        *best = best.max(e.confidence);
+        *a.surface_counts.entry(e.object.clone()).or_default() += 1;
+        a.sites.insert(se.site.clone());
+    }
+
+    // Second pass: fold per-page observations into the noisy-OR.
+    let mut out: Vec<FusedFact> = Vec::with_capacity(acc.len());
+    for ((subject, pred, object), mut a) in acc {
+        let mut pages: Vec<((String, String), f64)> = a.per_page.drain().collect();
+        pages.sort_by(|x, y| x.0.cmp(&y.0));
+        for ((site, _page), conf) in &pages {
+            let r = cfg.reliability(site);
+            let p = (r * conf).clamp(0.0, 0.999_999);
+            a.log_not += (1.0 - p).ln();
+        }
+        a.observations = pages.len();
+        let belief = 1.0 - a.log_not.exp();
+        if belief < cfg.min_belief {
+            continue;
+        }
+        let object_surface = a
+            .surface_counts
+            .iter()
+            .max_by(|x, y| x.1.cmp(y.1).then(y.0.cmp(x.0)))
+            .map(|(s, _)| s.clone())
+            .unwrap_or_else(|| object.clone());
+        out.push(FusedFact {
+            subject,
+            pred,
+            object,
+            object_surface,
+            belief,
+            observations: a.observations,
+            sites: a.sites.len(),
+        });
+    }
+    out.sort_by(|a, b| {
+        b.belief
+            .partial_cmp(&a.belief)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.subject.cmp(&b.subject))
+            .then(a.pred.cmp(&b.pred))
+            .then(a.object.cmp(&b.object))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceres_kb::PredId;
+
+    fn ex(site: &str, page: &str, subj: &str, obj: &str, conf: f64) -> SourcedExtraction {
+        SourcedExtraction {
+            site: site.to_string(),
+            extraction: Extraction {
+                page_id: page.to_string(),
+                gt_id: None,
+                subject: subj.to_string(),
+                label: ExtractLabel::Pred(PredId(0)),
+                object: obj.to_string(),
+                confidence: conf,
+            },
+        }
+    }
+
+    fn name_of(_: PredId) -> String {
+        "directedBy".to_string()
+    }
+
+    #[test]
+    fn corroboration_raises_belief() {
+        let cfg = FusionConfig::default();
+        let single = fuse(&[ex("a.com", "p1", "Film X", "Lee", 0.8)], name_of, &cfg);
+        let multi = fuse(
+            &[
+                ex("a.com", "p1", "Film X", "Lee", 0.8),
+                ex("b.com", "p9", "Film X", "Lee", 0.8),
+                ex("c.com", "p3", "Film X", "Lee", 0.8),
+            ],
+            name_of,
+            &cfg,
+        );
+        assert_eq!(single.len(), 1);
+        assert_eq!(multi.len(), 1);
+        assert!(multi[0].belief > single[0].belief);
+        assert_eq!(multi[0].sites, 3);
+        assert_eq!(multi[0].observations, 3);
+    }
+
+    #[test]
+    fn within_page_duplicates_count_once() {
+        let cfg = FusionConfig::default();
+        let dup = fuse(
+            &[
+                ex("a.com", "p1", "Film X", "Lee", 0.8),
+                ex("a.com", "p1", "Film X", "Lee", 0.6), // same page, lower conf
+            ],
+            name_of,
+            &cfg,
+        );
+        let single = fuse(&[ex("a.com", "p1", "Film X", "Lee", 0.8)], name_of, &cfg);
+        assert!((dup[0].belief - single[0].belief).abs() < 1e-12);
+        assert_eq!(dup[0].observations, 1);
+    }
+
+    #[test]
+    fn normalization_merges_surface_forms() {
+        let cfg = FusionConfig::default();
+        let fused = fuse(
+            &[
+                ex("a.com", "p1", "Film X", "Spike Lee", 0.7),
+                ex("b.com", "p2", "FILM X", "SPIKE  LEE", 0.7),
+                ex("c.com", "p3", "Film X!", "Spike Lee", 0.7),
+            ],
+            name_of,
+            &cfg,
+        );
+        assert_eq!(fused.len(), 1);
+        assert_eq!(fused[0].object, "spike lee");
+        assert_eq!(fused[0].object_surface, "Spike Lee"); // majority surface
+        assert_eq!(fused[0].sites, 3);
+    }
+
+    #[test]
+    fn unreliable_sites_contribute_less() {
+        let mut cfg = FusionConfig::default();
+        cfg.site_reliability.push(("shaky.com".to_string(), 0.1));
+        let reliable = fuse(&[ex("solid.com", "p", "S", "O", 0.9)], name_of, &cfg);
+        let shaky = fuse(&[ex("shaky.com", "p", "S", "O", 0.9)], name_of, &cfg);
+        assert!(reliable[0].belief > shaky[0].belief * 3.0);
+    }
+
+    #[test]
+    fn min_belief_filters() {
+        let cfg = FusionConfig { min_belief: 0.5, ..Default::default() };
+        let fused = fuse(&[ex("a.com", "p", "S", "O", 0.2)], name_of, &cfg);
+        assert!(fused.is_empty());
+    }
+
+    #[test]
+    fn output_is_sorted_by_belief() {
+        let cfg = FusionConfig::default();
+        let fused = fuse(
+            &[
+                ex("a.com", "p1", "S1", "weak", 0.55),
+                ex("a.com", "p2", "S2", "strong", 0.95),
+                ex("b.com", "p3", "S2", "strong", 0.95),
+            ],
+            name_of,
+            &cfg,
+        );
+        assert_eq!(fused.len(), 2);
+        assert!(fused[0].belief >= fused[1].belief);
+        assert_eq!(fused[0].object, "strong");
+    }
+}

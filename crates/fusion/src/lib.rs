@@ -1,0 +1,28 @@
+//! # ceres-fusion
+//!
+//! Post-extraction knowledge fusion and entity linkage.
+//!
+//! The paper stops at per-page extractions and explicitly defers two steps
+//! to other systems (§2.1, §5.5.1): *knowledge fusion* — "we leave for
+//! future work to investigate how many of these aforementioned mistakes can
+//! be solved by applying knowledge fusion [10, 11] on the extraction
+//! results" — and *entity linkage* of extracted strings to KB entities
+//! ([13]). This crate implements practical versions of both, following the
+//! Knowledge Vault recipe:
+//!
+//! * [`fuse`] — group extracted triples by their normalized
+//!   `(subject, predicate, object)`, combine per-source confidences with a
+//!   noisy-OR model damped by per-source reliability, and emit fused facts
+//!   ranked by belief. Facts asserted independently by several sites gain
+//!   belief; one-off extractions from a single shaky site lose it.
+//! * [`link`] — resolve fused subjects/objects against a seed KB: exact
+//!   normalized match, token-sorted fuzzy match, and type-compatibility
+//!   with the predicate's ontology signature.
+
+pub mod export;
+pub mod fuse;
+pub mod link;
+
+pub use export::{from_tsv, to_tsv};
+pub use fuse::{fuse, FusedFact, FusionConfig, SourcedExtraction};
+pub use link::{link, LinkOutcome, Linkage};

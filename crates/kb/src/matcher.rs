@@ -1,0 +1,87 @@
+//! Matching configuration and the low-information-string filters of
+//! §3.1.1: "we discard strings with low information content, such as single
+//! digit numbers, years, and names of countries."
+
+/// Tunables for KB string matching and topic-candidate filtering.
+#[derive(Debug, Clone)]
+pub struct MatcherConfig {
+    /// A value is a *stop value* if it appears as the object of at least
+    /// this fraction of all triples (paper example: 0.01%).
+    pub stop_value_fraction: f64,
+    /// ...and at least this many triples in absolute terms (guards tiny KBs
+    /// where 0.01% rounds to 1).
+    pub stop_value_min_count: usize,
+    /// Normalized strings shorter than this are low-information.
+    pub min_chars: usize,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        MatcherConfig { stop_value_fraction: 1e-4, stop_value_min_count: 20, min_chars: 3 }
+    }
+}
+
+/// Country names excluded from topic candidacy (a representative list; the
+/// paper does not enumerate its own).
+pub const COUNTRIES: &[&str] = &[
+    "usa", "united states", "united kingdom", "uk", "france", "germany", "italy", "spain",
+    "canada", "australia", "india", "china", "japan", "korea", "south korea", "nigeria",
+    "indonesia", "brazil", "mexico", "russia", "denmark", "iceland", "czech republic",
+    "slovakia", "south africa", "hong kong", "ireland", "sweden", "norway", "netherlands",
+    "belgium", "austria", "switzerland", "poland", "portugal", "greece", "turkey", "egypt",
+    "argentina", "chile", "new zealand",
+];
+
+/// True if a *normalized* string is too uninformative to be a topic
+/// candidate: very short, a bare small number, a year, or a country name.
+pub fn is_low_information(norm: &str, config: &MatcherConfig) -> bool {
+    if norm.len() < config.min_chars {
+        return true;
+    }
+    if let Ok(n) = norm.parse::<i64>() {
+        // Single digits and other small numbers are noise; 4-digit numbers
+        // in the calendar range are years.
+        if (0..=9999).contains(&n) {
+            return true;
+        }
+    }
+    COUNTRIES.contains(&norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceres_text::normalize;
+
+    fn cfg() -> MatcherConfig {
+        MatcherConfig::default()
+    }
+
+    #[test]
+    fn short_strings_are_low_info() {
+        assert!(is_low_information("", &cfg()));
+        assert!(is_low_information("ab", &cfg()));
+        assert!(!is_low_information("abc", &cfg()));
+    }
+
+    #[test]
+    fn numbers_and_years_are_low_info() {
+        assert!(is_low_information("7", &cfg()));
+        assert!(is_low_information("1989", &cfg()));
+        assert!(is_low_information("2026", &cfg()));
+        // A long identifier (ISBN-like) is informative.
+        assert!(!is_low_information("9780143127741", &cfg()));
+    }
+
+    #[test]
+    fn countries_are_low_info() {
+        assert!(is_low_information(&normalize("France"), &cfg()));
+        assert!(is_low_information(&normalize("South Korea"), &cfg()));
+        assert!(!is_low_information(&normalize("Do the Right Thing"), &cfg()));
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert!(!is_low_information(&normalize("Spike Lee"), &cfg()));
+    }
+}

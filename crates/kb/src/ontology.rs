@@ -1,0 +1,159 @@
+//! The ontology: entity types and relation predicates (paper §2.1, "the
+//! ontology defines the semantics of the relation predicates").
+
+use std::fmt;
+
+/// Identifier of an entity type (e.g. `Person`, `Film`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EntityTypeId(pub u16);
+
+/// Identifier of a relation predicate (e.g. `film.wasDirectedBy.person`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PredId(pub u16);
+
+impl fmt::Display for PredId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Definition of one predicate.
+#[derive(Debug, Clone)]
+pub struct PredDef {
+    pub name: String,
+    /// Entity type of valid subjects.
+    pub subject_type: EntityTypeId,
+    /// Whether a subject may hold many values for this predicate
+    /// (`hasCastMember`) or at most one (`releaseYear`). The annotation and
+    /// evaluation layers treat multi-valued predicates differently.
+    pub multi_valued: bool,
+}
+
+/// A registry of entity types and predicates.
+#[derive(Debug, Clone, Default)]
+pub struct Ontology {
+    types: Vec<String>,
+    preds: Vec<PredDef>,
+}
+
+impl Ontology {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or look up) an entity type by name.
+    pub fn register_type(&mut self, name: &str) -> EntityTypeId {
+        if let Some(i) = self.types.iter().position(|t| t == name) {
+            return EntityTypeId(i as u16);
+        }
+        self.types.push(name.to_string());
+        EntityTypeId((self.types.len() - 1) as u16)
+    }
+
+    /// Register a predicate. Panics if a predicate with the same name was
+    /// already registered with a different definition (an ontology is
+    /// append-only and unambiguous by construction).
+    pub fn register_pred(
+        &mut self,
+        name: &str,
+        subject_type: EntityTypeId,
+        multi_valued: bool,
+    ) -> PredId {
+        if let Some(i) = self.preds.iter().position(|p| p.name == name) {
+            let existing = &self.preds[i];
+            assert_eq!(existing.subject_type, subject_type, "predicate {name} redefined");
+            assert_eq!(existing.multi_valued, multi_valued, "predicate {name} redefined");
+            return PredId(i as u16);
+        }
+        self.preds.push(PredDef { name: name.to_string(), subject_type, multi_valued });
+        PredId((self.preds.len() - 1) as u16)
+    }
+
+    pub fn type_name(&self, t: EntityTypeId) -> &str {
+        &self.types[t.0 as usize]
+    }
+
+    pub fn pred(&self, p: PredId) -> &PredDef {
+        &self.preds[p.0 as usize]
+    }
+
+    pub fn pred_name(&self, p: PredId) -> &str {
+        &self.preds[p.0 as usize].name
+    }
+
+    pub fn pred_by_name(&self, name: &str) -> Option<PredId> {
+        self.preds.iter().position(|p| p.name == name).map(|i| PredId(i as u16))
+    }
+
+    pub fn type_by_name(&self, name: &str) -> Option<EntityTypeId> {
+        self.types.iter().position(|t| t == name).map(|i| EntityTypeId(i as u16))
+    }
+
+    pub fn n_types(&self) -> usize {
+        self.types.len()
+    }
+
+    pub fn n_preds(&self) -> usize {
+        self.preds.len()
+    }
+
+    pub fn pred_ids(&self) -> impl Iterator<Item = PredId> {
+        (0..self.preds.len() as u16).map(PredId)
+    }
+
+    /// Predicates whose subjects are of type `t`.
+    pub fn preds_of_type(&self, t: EntityTypeId) -> Vec<PredId> {
+        self.preds
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.subject_type == t)
+            .map(|(i, _)| PredId(i as u16))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut o = Ontology::new();
+        let film = o.register_type("Film");
+        let person = o.register_type("Person");
+        let directed = o.register_pred("film.wasDirectedBy.person", film, true);
+        let year = o.register_pred("film.releaseYear", film, false);
+        let acted = o.register_pred("person.actedIn.film", person, true);
+
+        assert_eq!(o.n_types(), 2);
+        assert_eq!(o.n_preds(), 3);
+        assert_eq!(o.type_name(film), "Film");
+        assert_eq!(o.pred_name(directed), "film.wasDirectedBy.person");
+        assert!(o.pred(directed).multi_valued);
+        assert!(!o.pred(year).multi_valued);
+        assert_eq!(o.pred_by_name("person.actedIn.film"), Some(acted));
+        assert_eq!(o.pred_by_name("nope"), None);
+        assert_eq!(o.preds_of_type(film), vec![directed, year]);
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let mut o = Ontology::new();
+        let t1 = o.register_type("Film");
+        let t2 = o.register_type("Film");
+        assert_eq!(t1, t2);
+        let p1 = o.register_pred("x", t1, true);
+        let p2 = o.register_pred("x", t1, true);
+        assert_eq!(p1, p2);
+        assert_eq!(o.n_preds(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "redefined")]
+    fn conflicting_redefinition_panics() {
+        let mut o = Ontology::new();
+        let t = o.register_type("Film");
+        o.register_pred("x", t, true);
+        o.register_pred("x", t, false);
+    }
+}

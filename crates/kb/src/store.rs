@@ -1,0 +1,467 @@
+//! The triple store: interned values, triples, and the indexes used by
+//! annotation (by-subject) and topic identification (object sets).
+
+use crate::matcher::{is_low_information, MatcherConfig};
+use crate::ontology::{EntityTypeId, Ontology, PredId};
+use ceres_text::{normalize, token_sort_key, FxHashMap, FxHashSet};
+
+/// Identifier of an interned value (entity or literal).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+/// What a value is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueKind {
+    /// An entity of the given type; may have aliases.
+    Entity(EntityTypeId),
+    /// An untyped literal (dates, numbers, phone numbers, free strings).
+    Literal,
+}
+
+/// One knowledge-base fact `(s, r, o)` (paper §2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Triple {
+    pub subject: ValueId,
+    pub pred: PredId,
+    pub object: ValueId,
+}
+
+#[derive(Debug, Clone)]
+struct ValueInfo {
+    kind: ValueKind,
+    canonical: String,
+    aliases: Vec<String>,
+}
+
+/// Incremental builder for a [`Kb`].
+#[derive(Debug)]
+pub struct KbBuilder {
+    ontology: Ontology,
+    values: Vec<ValueInfo>,
+    /// (kind-tag, normalized canonical) → id, for entity dedup per type and
+    /// literal interning.
+    intern: FxHashMap<(u32, String), ValueId>,
+    triples: Vec<Triple>,
+    triple_set: FxHashSet<Triple>,
+    config: MatcherConfig,
+}
+
+impl KbBuilder {
+    pub fn new(ontology: Ontology) -> Self {
+        KbBuilder {
+            ontology,
+            values: Vec::new(),
+            intern: FxHashMap::default(),
+            triples: Vec::new(),
+            triple_set: FxHashSet::default(),
+            config: MatcherConfig::default(),
+        }
+    }
+
+    pub fn with_config(mut self, config: MatcherConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    fn intern_value(&mut self, kind: ValueKind, canonical: &str) -> ValueId {
+        let kind_tag = match kind {
+            ValueKind::Entity(t) => u32::from(t.0),
+            ValueKind::Literal => u32::MAX,
+        };
+        let key = (kind_tag, normalize(canonical));
+        if let Some(&id) = self.intern.get(&key) {
+            return id;
+        }
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(ValueInfo { kind, canonical: canonical.to_string(), aliases: Vec::new() });
+        self.intern.insert(key, id);
+        id
+    }
+
+    /// Intern an entity by `(type, canonical name)`; repeated calls with the
+    /// same pair return the same id.
+    pub fn entity(&mut self, ty: EntityTypeId, name: &str) -> ValueId {
+        self.intern_value(ValueKind::Entity(ty), name)
+    }
+
+    /// Intern a literal by its canonical string.
+    pub fn literal(&mut self, s: &str) -> ValueId {
+        self.intern_value(ValueKind::Literal, s)
+    }
+
+    /// Attach an alias to a value: alternate person names ("Lee, Spike"),
+    /// or alternate literal renderings (a date's "June 30, 1989" for
+    /// canonical "1989-06-30"). Aliases participate in string matching.
+    pub fn alias(&mut self, value: ValueId, alias: &str) {
+        let info = &mut self.values[value.0 as usize];
+        if !info.aliases.iter().any(|a| a == alias) {
+            info.aliases.push(alias.to_string());
+        }
+    }
+
+    /// Add a fact; duplicate triples are ignored.
+    pub fn triple(&mut self, subject: ValueId, pred: PredId, object: ValueId) {
+        let t = Triple { subject, pred, object };
+        if self.triple_set.insert(t) {
+            self.triples.push(t);
+        }
+    }
+
+    pub fn n_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Finalize: build all matcher and navigation indexes.
+    pub fn build(self) -> Kb {
+        let KbBuilder { ontology, values, triples, config, .. } = self;
+
+        let mut by_subject: FxHashMap<ValueId, Vec<(PredId, ValueId)>> = FxHashMap::default();
+        let mut object_counts: FxHashMap<ValueId, usize> = FxHashMap::default();
+        let mut pair_index: FxHashMap<(ValueId, ValueId), Vec<PredId>> = FxHashMap::default();
+        for t in &triples {
+            by_subject.entry(t.subject).or_default().push((t.pred, t.object));
+            *object_counts.entry(t.object).or_default() += 1;
+            pair_index.entry((t.subject, t.object)).or_default().push(t.pred);
+        }
+
+        // Sorted, deduplicated object sets per subject — the `entitySet` of
+        // Algorithm 1, precomputed once.
+        let mut object_sets: FxHashMap<ValueId, Vec<ValueId>> = FxHashMap::default();
+        for (&s, pairs) in &by_subject {
+            let mut objs: Vec<ValueId> = pairs.iter().map(|&(_, o)| o).collect();
+            objs.sort_unstable();
+            objs.dedup();
+            object_sets.insert(s, objs);
+        }
+
+        // String indexes: normalized form and token-sorted form, over
+        // canonical names and aliases.
+        let mut exact: FxHashMap<String, Vec<ValueId>> = FxHashMap::default();
+        let mut fuzzy: FxHashMap<String, Vec<ValueId>> = FxHashMap::default();
+        for (i, v) in values.iter().enumerate() {
+            let id = ValueId(i as u32);
+            for s in std::iter::once(v.canonical.as_str()).chain(v.aliases.iter().map(|a| a.as_str())) {
+                let norm = normalize(s);
+                if norm.is_empty() {
+                    continue;
+                }
+                push_unique(exact.entry(norm).or_default(), id);
+                let key = token_sort_key(s);
+                push_unique(fuzzy.entry(key).or_default(), id);
+            }
+        }
+
+        // Stop values (Uniqueness observation, §3.1.1): values whose string
+        // appears as the object of a large fraction of all triples.
+        let threshold = ((triples.len() as f64) * config.stop_value_fraction).ceil() as usize;
+        let threshold = threshold.max(config.stop_value_min_count);
+        let stop_values: FxHashSet<ValueId> = object_counts
+            .iter()
+            .filter(|&(_, &c)| c >= threshold)
+            .map(|(&v, _)| v)
+            .collect();
+
+        Kb {
+            ontology,
+            values,
+            triples,
+            by_subject,
+            object_sets,
+            pair_index,
+            exact,
+            fuzzy,
+            stop_values,
+            config,
+        }
+    }
+}
+
+fn push_unique(v: &mut Vec<ValueId>, id: ValueId) {
+    if !v.contains(&id) {
+        v.push(id);
+    }
+}
+
+/// An immutable, fully-indexed knowledge base.
+#[derive(Debug)]
+pub struct Kb {
+    ontology: Ontology,
+    values: Vec<ValueInfo>,
+    triples: Vec<Triple>,
+    by_subject: FxHashMap<ValueId, Vec<(PredId, ValueId)>>,
+    object_sets: FxHashMap<ValueId, Vec<ValueId>>,
+    pair_index: FxHashMap<(ValueId, ValueId), Vec<PredId>>,
+    exact: FxHashMap<String, Vec<ValueId>>,
+    fuzzy: FxHashMap<String, Vec<ValueId>>,
+    stop_values: FxHashSet<ValueId>,
+    config: MatcherConfig,
+}
+
+impl Kb {
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    pub fn n_values(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn n_triples(&self) -> usize {
+        self.triples.len()
+    }
+
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    pub fn kind(&self, v: ValueId) -> ValueKind {
+        self.values[v.0 as usize].kind
+    }
+
+    pub fn canonical(&self, v: ValueId) -> &str {
+        &self.values[v.0 as usize].canonical
+    }
+
+    pub fn aliases(&self, v: ValueId) -> &[String] {
+        &self.values[v.0 as usize].aliases
+    }
+
+    pub fn is_entity(&self, v: ValueId) -> bool {
+        matches!(self.kind(v), ValueKind::Entity(_))
+    }
+
+    /// All `(pred, object)` pairs with `s` as subject; empty for unknown
+    /// subjects.
+    pub fn triples_about(&self, s: ValueId) -> &[(PredId, ValueId)] {
+        self.by_subject.get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The sorted, deduplicated object set of `s` (the `entitySet` of
+    /// Algorithm 1).
+    pub fn object_set(&self, s: ValueId) -> &[ValueId] {
+        self.object_sets.get(&s).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Predicates asserted between an ordered `(subject, object)` pair —
+    /// the lookup at the heart of the classic pairwise distant-supervision
+    /// assumption (used by the CERES-BASELINE implementation).
+    pub fn preds_between(&self, s: ValueId, o: ValueId) -> &[PredId] {
+        self.pair_index.get(&(s, o)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Subjects that have at least one triple.
+    pub fn subjects(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.by_subject.keys().copied()
+    }
+
+    /// Match a raw page string against the KB: exact normalized match first,
+    /// then the token-sorted fuzzy fallback. Returns all matching values
+    /// (ambiguity — "Pilot" matching thousands of episodes — is preserved
+    /// for the caller to resolve).
+    pub fn match_text(&self, raw: &str) -> Vec<ValueId> {
+        let norm = normalize(raw);
+        if norm.is_empty() {
+            return Vec::new();
+        }
+        if let Some(hits) = self.exact.get(&norm) {
+            return hits.clone();
+        }
+        let key = token_sort_key(raw);
+        match self.fuzzy.get(&key) {
+            Some(hits) => hits.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// True if `v` is disqualified from being a page-topic candidate
+    /// (§3.1.1 step 1): a literal, a stop value, or low-information.
+    pub fn is_topic_disqualified(&self, v: ValueId) -> bool {
+        if !self.is_entity(v) {
+            return true;
+        }
+        if self.stop_values.contains(&v) {
+            return true;
+        }
+        is_low_information(&normalize(self.canonical(v)), &self.config)
+    }
+
+    pub fn is_stop_value(&self, v: ValueId) -> bool {
+        self.stop_values.contains(&v)
+    }
+
+    pub fn config(&self) -> &MatcherConfig {
+        &self.config
+    }
+
+    /// Count of triples grouped by predicate.
+    pub fn triples_per_pred(&self) -> Vec<(PredId, usize)> {
+        let mut counts = vec![0usize; self.ontology.n_preds()];
+        for t in &self.triples {
+            counts[t.pred.0 as usize] += 1;
+        }
+        counts.into_iter().enumerate().map(|(i, c)| (PredId(i as u16), c)).collect()
+    }
+
+    /// Summary statistics (Table 2 of the paper).
+    pub fn stats(&self) -> KbStats {
+        let mut per_type: FxHashMap<EntityTypeId, TypeStats> = FxHashMap::default();
+        for v in &self.values {
+            if let ValueKind::Entity(t) = v.kind {
+                per_type.entry(t).or_insert_with(|| TypeStats {
+                    type_name: self.ontology.type_name(t).to_string(),
+                    instances: 0,
+                    predicates: 0,
+                }).instances += 1;
+            }
+        }
+        // Distinct predicates observed per subject type.
+        let mut preds_per_type: FxHashMap<EntityTypeId, FxHashSet<PredId>> = FxHashMap::default();
+        for t in &self.triples {
+            if let ValueKind::Entity(ty) = self.kind(t.subject) {
+                preds_per_type.entry(ty).or_default().insert(t.pred);
+            }
+        }
+        for (ty, preds) in preds_per_type {
+            if let Some(s) = per_type.get_mut(&ty) {
+                s.predicates = preds.len();
+            }
+        }
+        let mut types: Vec<TypeStats> = per_type.into_values().collect();
+        types.sort_by_key(|t| std::cmp::Reverse(t.instances));
+        KbStats { n_triples: self.triples.len(), n_values: self.values.len(), types }
+    }
+}
+
+/// Per-entity-type statistics (one row of Table 2).
+#[derive(Debug, Clone)]
+pub struct TypeStats {
+    pub type_name: String,
+    pub instances: usize,
+    pub predicates: usize,
+}
+
+/// Whole-KB statistics.
+#[derive(Debug, Clone)]
+pub struct KbStats {
+    pub n_triples: usize,
+    pub n_values: usize,
+    pub types: Vec<TypeStats>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_kb() -> Kb {
+        let mut o = Ontology::new();
+        let film = o.register_type("Film");
+        let person = o.register_type("Person");
+        let directed = o.register_pred("film.directedBy", film, true);
+        let genre = o.register_pred("film.genre", film, true);
+        let mut b = KbBuilder::new(o);
+
+        let drt = b.entity(film, "Do the Right Thing");
+        let lee = b.entity(person, "Spike Lee");
+        b.alias(lee, "Lee, Spike");
+        let comedy = b.literal("Comedy");
+        b.triple(drt, directed, lee);
+        b.triple(drt, genre, comedy);
+        b.triple(drt, genre, comedy); // duplicate: ignored
+        b.build()
+    }
+
+    #[test]
+    fn dedup_and_indexes() {
+        let kb = small_kb();
+        assert_eq!(kb.n_triples(), 2);
+        let drt = kb.match_text("Do the Right Thing")[0];
+        assert_eq!(kb.triples_about(drt).len(), 2);
+        assert_eq!(kb.object_set(drt).len(), 2);
+    }
+
+    #[test]
+    fn entity_interning_is_type_scoped() {
+        let mut o = Ontology::new();
+        let film = o.register_type("Film");
+        let series = o.register_type("TVSeries");
+        let mut b = KbBuilder::new(o);
+        // "Biography" the TV series vs a film of the same name: distinct.
+        let s = b.entity(series, "Biography");
+        let f = b.entity(film, "Biography");
+        assert_ne!(s, f);
+        // Same type + same normalized name: interned.
+        let f2 = b.entity(film, "biography");
+        assert_eq!(f, f2);
+    }
+
+    #[test]
+    fn match_text_exact_and_fuzzy() {
+        let kb = small_kb();
+        assert_eq!(kb.match_text("spike lee").len(), 1);
+        assert_eq!(kb.match_text("SPIKE LEE!").len(), 1);
+        // Fuzzy: token order.
+        assert_eq!(kb.match_text("Lee Spike").len(), 1);
+        // Alias matches.
+        assert_eq!(kb.match_text("Lee, Spike").len(), 1);
+        assert!(kb.match_text("Spike Jonze").is_empty());
+        assert!(kb.match_text("").is_empty());
+    }
+
+    #[test]
+    fn ambiguous_strings_return_all_matches() {
+        let mut o = Ontology::new();
+        let ep = o.register_type("TVEpisode");
+        let mut b = KbBuilder::new(o);
+        for i in 0..5 {
+            // Five distinct "Pilot" episodes — model them as aliases of
+            // distinct entities (unique canonical, shared alias).
+            let e = b.entity(ep, &format!("Pilot #{i}"));
+            b.alias(e, "Pilot");
+        }
+        let kb = b.build();
+        assert_eq!(kb.match_text("Pilot").len(), 5);
+    }
+
+    #[test]
+    fn stop_values_detected() {
+        let mut o = Ontology::new();
+        let film = o.register_type("Film");
+        let genre = o.register_pred("film.genre", film, true);
+        let mut b = KbBuilder::new(o);
+        let drama = b.literal("Drama");
+        // Drama is the object of most triples → a stop value.
+        for i in 0..100 {
+            let f = b.entity(film, &format!("Film {i}"));
+            b.triple(f, genre, drama);
+        }
+        let kb = b.build();
+        assert!(kb.is_stop_value(drama));
+        assert!(kb.is_topic_disqualified(drama));
+        let f0 = kb.match_text("Film 0")[0];
+        assert!(!kb.is_topic_disqualified(f0));
+    }
+
+    #[test]
+    fn stats_cover_types_and_preds() {
+        let kb = small_kb();
+        let stats = kb.stats();
+        assert_eq!(stats.n_triples, 2);
+        let film_row = stats.types.iter().find(|t| t.type_name == "Film").unwrap();
+        assert_eq!(film_row.instances, 1);
+        assert_eq!(film_row.predicates, 2);
+        let person_row = stats.types.iter().find(|t| t.type_name == "Person").unwrap();
+        assert_eq!(person_row.instances, 1);
+        assert_eq!(person_row.predicates, 0);
+    }
+
+    #[test]
+    fn literals_are_topic_disqualified() {
+        let kb = small_kb();
+        let comedy = kb.match_text("Comedy")[0];
+        assert!(kb.is_topic_disqualified(comedy));
+    }
+}

@@ -1,0 +1,222 @@
+//! Bottom-up agglomerative clustering with single linkage.
+//!
+//! Paper §3.2.2: "We use an agglomerative clustering approach, where in each
+//! iteration we find two nodes with the closest distance, and merge the
+//! clusters they belong to, until we reach the desired number of clusters."
+//! That procedure — min-distance pair merging — is exactly single-linkage
+//! clustering, which we compute with Kruskal's algorithm over the pairwise
+//! distance edges and a union-find, stopping when `k` components remain.
+//!
+//! CERES clusters the XPaths of *all* mentions of a predicate across a
+//! website; identical XPaths recur on nearly every page, so callers
+//! deduplicate and pass per-item `weights` (occurrence counts). Cluster
+//! *size* — what "prefer the largest cluster" means in Algorithm 2 — is the
+//! weighted member count.
+
+/// Result of clustering `n` items into at most `k` clusters.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// `assignment[i]` is the cluster id (0-based, dense) of item `i`.
+    pub assignment: Vec<usize>,
+    /// Total weight per cluster id.
+    pub cluster_weights: Vec<u64>,
+    pub n_clusters: usize,
+}
+
+impl Clustering {
+    /// Id of the heaviest cluster.
+    pub fn largest_cluster(&self) -> Option<usize> {
+        (0..self.n_clusters).max_by_key(|&c| self.cluster_weights[c])
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n).collect(), rank: vec![0; n], components: n }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]]; // path halving
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        self.components -= 1;
+        true
+    }
+}
+
+/// Cluster `items` into at most `k` clusters under `dist`, single linkage.
+///
+/// `weights[i]` is the multiplicity of item `i` (pass all-ones when items
+/// are not deduplicated). Ties between equal-distance edges are broken by
+/// index order, making the result deterministic.
+pub fn agglomerative_cluster<T, D>(
+    items: &[T],
+    weights: &[u64],
+    k: usize,
+    mut dist: D,
+) -> Clustering
+where
+    D: FnMut(&T, &T) -> f64,
+{
+    assert_eq!(items.len(), weights.len());
+    let n = items.len();
+    if n == 0 {
+        return Clustering { assignment: Vec::new(), cluster_weights: Vec::new(), n_clusters: 0 };
+    }
+    let k = k.max(1);
+
+    // All pairwise edges, sorted ascending by distance (then by indices for
+    // determinism).
+    let mut edges: Vec<(f64, u32, u32)> = Vec::with_capacity(n * (n - 1) / 2);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            edges.push((dist(&items[i], &items[j]), i as u32, j as u32));
+        }
+    }
+    edges.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+            .then(a.2.cmp(&b.2))
+    });
+
+    let mut uf = UnionFind::new(n);
+    for &(_, i, j) in &edges {
+        if uf.components <= k {
+            break;
+        }
+        uf.union(i as usize, j as usize);
+    }
+
+    // Densify cluster ids in first-seen order.
+    let mut dense: Vec<isize> = vec![-1; n];
+    let mut next = 0usize;
+    let mut assignment = vec![0usize; n];
+    for (i, slot) in assignment.iter_mut().enumerate() {
+        let root = uf.find(i);
+        if dense[root] < 0 {
+            dense[root] = next as isize;
+            next += 1;
+        }
+        *slot = dense[root] as usize;
+    }
+    let mut cluster_weights = vec![0u64; next];
+    for (&c, &w) in assignment.iter().zip(weights) {
+        cluster_weights[c] += w;
+    }
+    Clustering { assignment, cluster_weights, n_clusters: next }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn d1(a: &f64, b: &f64) -> f64 {
+        (a - b).abs()
+    }
+
+    #[test]
+    fn two_obvious_groups() {
+        let items = [0.0, 0.1, 0.2, 10.0, 10.1];
+        let w = [1u64; 5];
+        let c = agglomerative_cluster(&items, &w, 2, d1);
+        assert_eq!(c.n_clusters, 2);
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.assignment[1], c.assignment[2]);
+        assert_eq!(c.assignment[3], c.assignment[4]);
+        assert_ne!(c.assignment[0], c.assignment[3]);
+        assert_eq!(c.largest_cluster(), Some(c.assignment[0]));
+    }
+
+    #[test]
+    fn weights_determine_largest_cluster() {
+        let items = [0.0, 10.0];
+        // The singleton on the right is 100× heavier.
+        let c = agglomerative_cluster(&items, &[1, 100], 2, d1);
+        assert_eq!(c.n_clusters, 2);
+        assert_eq!(c.largest_cluster(), Some(c.assignment[1]));
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let items = [0.0, 5.0, 50.0];
+        let c = agglomerative_cluster(&items, &[1, 1, 1], 1, d1);
+        assert_eq!(c.n_clusters, 1);
+        assert_eq!(c.cluster_weights, vec![3]);
+    }
+
+    #[test]
+    fn k_ge_n_keeps_singletons() {
+        let items = [0.0, 1.0, 2.0];
+        let c = agglomerative_cluster(&items, &[1, 1, 1], 10, d1);
+        assert_eq!(c.n_clusters, 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let items: [f64; 0] = [];
+        let c = agglomerative_cluster(&items, &[], 3, d1);
+        assert_eq!(c.n_clusters, 0);
+        assert!(c.largest_cluster().is_none());
+    }
+
+    #[test]
+    fn single_linkage_chains() {
+        // A chain 0-1-2-3 with small steps plus an outlier: single linkage
+        // keeps the chain together even though its ends are far apart.
+        let items = [0.0, 1.0, 2.0, 3.0, 100.0];
+        let c = agglomerative_cluster(&items, &[1; 5], 2, d1);
+        assert_eq!(c.assignment[0], c.assignment[3]);
+        assert_ne!(c.assignment[0], c.assignment[4]);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let items = [0.0, 1.0, 2.0, 3.0];
+        let a = agglomerative_cluster(&items, &[1; 4], 2, d1);
+        let b = agglomerative_cluster(&items, &[1; 4], 2, d1);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    proptest! {
+        #[test]
+        fn cluster_count_is_min_k_n(
+            items in proptest::collection::vec(-100.0f64..100.0, 0..24),
+            k in 1usize..8,
+        ) {
+            let w = vec![1u64; items.len()];
+            let c = agglomerative_cluster(&items, &w, k, d1);
+            prop_assert_eq!(c.n_clusters, k.min(items.len()));
+            // Every item assigned, ids dense.
+            for &a in &c.assignment {
+                prop_assert!(a < c.n_clusters);
+            }
+            let total: u64 = c.cluster_weights.iter().sum();
+            prop_assert_eq!(total, items.len() as u64);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # ceres-ml
+//!
+//! The machine-learning substrate of the CERES reproduction. The paper
+//! (§4.2, §5.2) trains a multinomial logistic regression with scikit-learn
+//! (LBFGS solver, L2 regularization, `C = 1`) and clusters XPaths with
+//! scikit-learn's agglomerative clustering; neither is available in Rust's
+//! approved offline crate set, so both are implemented here from scratch:
+//!
+//! * [`sparse`] — feature dictionary + sorted sparse vectors;
+//! * [`logreg`] — the softmax classifier and its regularized objective;
+//! * [`lbfgs`] — limited-memory BFGS with backtracking Armijo line search;
+//! * [`sgd`] — a mini-batch SGD/momentum fallback used by the optimizer
+//!   ablation;
+//! * [`cluster`] — single-linkage agglomerative clustering (via Kruskal
+//!   union-find, equivalent to repeated closest-pair merging) with
+//!   count-weighted items, used for the global-evidence step of relation
+//!   annotation (§3.2.2).
+
+pub mod cluster;
+pub mod lbfgs;
+pub mod logreg;
+pub mod sgd;
+pub mod sparse;
+
+pub use cluster::{agglomerative_cluster, Clustering};
+pub use lbfgs::{LbfgsConfig, LbfgsOutcome};
+pub use logreg::{Dataset, LogReg, Optimizer, TrainConfig, TrainStats};
+pub use sparse::{FeatureDict, SparseVec};

@@ -1,0 +1,354 @@
+//! Multinomial (softmax) logistic regression — the extractor model of paper
+//! §4.2:
+//!
+//! > Pr(Y = k | X) = exp(β_k0 + β_kᵀ X) / (1 + Σ_i exp(β_i0 + β_iᵀ X))
+//!
+//! trained by minimizing the scikit-learn objective the authors used
+//! (`LogisticRegression(solver="lbfgs", penalty="l2", C=1)`):
+//!
+//! ```text
+//! J(W) = Σ_i −log Pr(y_i | x_i)  +  (1 / 2C) · ‖W‖²      (intercepts unregularized)
+//! ```
+
+use crate::lbfgs::{lbfgs_minimize, LbfgsConfig, LbfgsOutcome};
+use crate::sgd::{sgd_minimize, SgdConfig};
+use crate::sparse::SparseVec;
+
+/// A labeled training set.
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    pub examples: Vec<SparseVec>,
+    pub labels: Vec<u32>,
+    pub n_classes: usize,
+    pub n_features: usize,
+}
+
+impl Dataset {
+    pub fn new(n_classes: usize, n_features: usize) -> Self {
+        Dataset { examples: Vec::new(), labels: Vec::new(), n_classes, n_features }
+    }
+
+    pub fn push(&mut self, x: SparseVec, y: u32) {
+        debug_assert!((y as usize) < self.n_classes);
+        if let Some(max) = x.max_index() {
+            debug_assert!((max as usize) < self.n_features, "feature index out of range");
+        }
+        self.examples.push(x);
+        self.labels.push(y);
+    }
+
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+}
+
+/// Which optimizer trains the model (the paper uses LBFGS; SGD is kept for
+/// the optimizer ablation bench).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Optimizer {
+    Lbfgs,
+    Sgd,
+}
+
+/// Training hyperparameters. Defaults mirror the paper's scikit-learn call.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Inverse regularization strength (scikit-learn's `C`). Paper: 1.0.
+    pub c: f64,
+    pub optimizer: Optimizer,
+    pub max_iters: usize,
+    /// Gradient-norm tolerance (relative to max(1, |f|)).
+    pub tol: f64,
+    /// SGD-only knobs.
+    pub sgd_epochs: usize,
+    pub sgd_lr: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            c: 1.0,
+            optimizer: Optimizer::Lbfgs,
+            max_iters: 100,
+            tol: 1e-5,
+            sgd_epochs: 30,
+            sgd_lr: 0.1,
+        }
+    }
+}
+
+/// Statistics reported by training.
+#[derive(Debug, Clone)]
+pub struct TrainStats {
+    pub iterations: usize,
+    pub final_loss: f64,
+    pub converged: bool,
+}
+
+/// A trained softmax classifier.
+///
+/// Weights are stored class-major: `w[k * (d + 1) .. (k + 1) * (d + 1)]` is
+/// class `k`'s weight row, whose *last* element is the intercept β_k0.
+#[derive(Debug, Clone)]
+pub struct LogReg {
+    w: Vec<f64>,
+    n_classes: usize,
+    n_features: usize,
+}
+
+impl LogReg {
+    /// Train on `data`. Panics on an empty dataset (a caller bug: CERES
+    /// always aborts a site earlier when annotation produced nothing).
+    pub fn train(data: &Dataset, config: &TrainConfig) -> (LogReg, TrainStats) {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert!(data.n_classes >= 2, "need at least two classes");
+        let dim = data.n_classes * (data.n_features + 1);
+        let x0 = vec![0.0; dim];
+        let objective = |w: &[f64], grad: &mut [f64]| loss_grad(data, config.c, w, grad);
+
+        let (w, stats) = match config.optimizer {
+            Optimizer::Lbfgs => {
+                let cfg = LbfgsConfig {
+                    max_iters: config.max_iters,
+                    tol: config.tol,
+                    ..LbfgsConfig::default()
+                };
+                let LbfgsOutcome { x, f, iterations, converged } =
+                    lbfgs_minimize(x0, objective, &cfg);
+                (x, TrainStats { iterations, final_loss: f, converged })
+            }
+            Optimizer::Sgd => {
+                let cfg = SgdConfig {
+                    epochs: config.sgd_epochs,
+                    lr: config.sgd_lr,
+                    ..SgdConfig::default()
+                };
+                let (x, f, iters) = sgd_minimize(x0, objective, &cfg);
+                (x, TrainStats { iterations: iters, final_loss: f, converged: true })
+            }
+        };
+        (LogReg { w, n_classes: data.n_classes, n_features: data.n_features }, stats)
+    }
+
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    #[inline]
+    fn row(&self, k: usize) -> &[f64] {
+        let stride = self.n_features + 1;
+        &self.w[k * stride..(k + 1) * stride]
+    }
+
+    /// Class log-odds (pre-softmax scores) for one example.
+    pub fn scores(&self, x: &SparseVec) -> Vec<f64> {
+        (0..self.n_classes)
+            .map(|k| {
+                let row = self.row(k);
+                // Intercept is the last slot; SparseVec::dot ignores it
+                // because feature indices are < n_features.
+                x.dot(row) + row[self.n_features]
+            })
+            .collect()
+    }
+
+    /// Posterior distribution over classes for one example.
+    pub fn predict_proba(&self, x: &SparseVec) -> Vec<f64> {
+        let mut scores = self.scores(x);
+        softmax_in_place(&mut scores);
+        scores
+    }
+
+    /// Most probable class and its probability.
+    pub fn predict(&self, x: &SparseVec) -> (u32, f64) {
+        let probs = self.predict_proba(x);
+        let (k, p) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .expect("at least two classes");
+        (k as u32, *p)
+    }
+
+    /// Mean accuracy on a labeled dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = data
+            .examples
+            .iter()
+            .zip(&data.labels)
+            .filter(|(x, &y)| self.predict(x).0 == y)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// Numerically stable in-place softmax.
+pub fn softmax_in_place(scores: &mut [f64]) {
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        sum += *s;
+    }
+    for s in scores.iter_mut() {
+        *s /= sum;
+    }
+}
+
+/// Regularized negative log-likelihood and its gradient.
+///
+/// Exposed (crate-public) for the gradient-check tests.
+pub(crate) fn loss_grad(data: &Dataset, c: f64, w: &[f64], grad: &mut [f64]) -> f64 {
+    let k = data.n_classes;
+    let d = data.n_features;
+    let stride = d + 1;
+    debug_assert_eq!(w.len(), k * stride);
+    grad.fill(0.0);
+
+    let mut loss = 0.0;
+    let mut scores = vec![0.0; k];
+    for (x, &y) in data.examples.iter().zip(&data.labels) {
+        for (ki, s) in scores.iter_mut().enumerate() {
+            let row = &w[ki * stride..(ki + 1) * stride];
+            *s = x.dot(row) + row[d];
+        }
+        // log-sum-exp for the normalizer.
+        let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let lse = max + scores.iter().map(|s| (s - max).exp()).sum::<f64>().ln();
+        loss += lse - scores[y as usize];
+
+        for ki in 0..k {
+            let p = (scores[ki] - lse).exp();
+            let indicator = f64::from(ki as u32 == y);
+            let coeff = p - indicator;
+            let grow = &mut grad[ki * stride..(ki + 1) * stride];
+            x.add_scaled_into(&mut grow[..d], coeff);
+            grow[d] += coeff; // intercept "feature" is the constant 1
+        }
+    }
+
+    // L2 penalty (1/2C)·‖W‖², skipping intercepts.
+    let lambda = 1.0 / c;
+    for ki in 0..k {
+        for j in 0..d {
+            let v = w[ki * stride + j];
+            loss += 0.5 * lambda * v * v;
+            grad[ki * stride + j] += lambda * v;
+        }
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_free_dataset() -> Dataset {
+        // Three linearly separable classes on two indicator features.
+        let mut data = Dataset::new(3, 2);
+        for _ in 0..20 {
+            data.push(SparseVec::from_pairs(vec![(0, 1.0)]), 0);
+            data.push(SparseVec::from_pairs(vec![(1, 1.0)]), 1);
+            data.push(SparseVec::from_pairs(vec![(0, 1.0), (1, 1.0)]), 2);
+        }
+        data
+    }
+
+    #[test]
+    fn learns_separable_classes() {
+        let data = xor_free_dataset();
+        let (model, stats) = LogReg::train(&data, &TrainConfig::default());
+        assert!(stats.final_loss.is_finite());
+        assert!(model.accuracy(&data) > 0.99, "accuracy {}", model.accuracy(&data));
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let data = xor_free_dataset();
+        let (model, _) = LogReg::train(&data, &TrainConfig::default());
+        for x in &data.examples {
+            let p = model.predict_proba(x);
+            let sum: f64 = p.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn sgd_also_learns() {
+        let data = xor_free_dataset();
+        let cfg = TrainConfig { optimizer: Optimizer::Sgd, ..TrainConfig::default() };
+        let (model, _) = LogReg::train(&data, &cfg);
+        assert!(model.accuracy(&data) > 0.95);
+    }
+
+    #[test]
+    fn stronger_regularization_shrinks_weights() {
+        let data = xor_free_dataset();
+        let strong =
+            LogReg::train(&data, &TrainConfig { c: 0.01, ..TrainConfig::default() }).0;
+        let weak =
+            LogReg::train(&data, &TrainConfig { c: 100.0, ..TrainConfig::default() }).0;
+        let norm = |m: &LogReg| m.w.iter().map(|v| v * v).sum::<f64>();
+        assert!(norm(&strong) < norm(&weak));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut data = Dataset::new(3, 4);
+        data.push(SparseVec::from_pairs(vec![(0, 1.0), (3, 0.5)]), 0);
+        data.push(SparseVec::from_pairs(vec![(1, 2.0)]), 1);
+        data.push(SparseVec::from_pairs(vec![(2, 1.0), (1, -1.0)]), 2);
+        data.push(SparseVec::from_pairs(vec![(0, -0.5), (2, 0.25)]), 1);
+
+        let dim = 3 * 5;
+        // A deterministic non-trivial weight point.
+        let w: Vec<f64> = (0..dim).map(|i| ((i * 7 % 11) as f64 - 5.0) * 0.1).collect();
+        let mut grad = vec![0.0; dim];
+        let f0 = loss_grad(&data, 1.0, &w, &mut grad);
+        assert!(f0.is_finite());
+
+        let eps = 1e-6;
+        let mut scratch = vec![0.0; dim];
+        for i in 0..dim {
+            let mut wp = w.clone();
+            wp[i] += eps;
+            let fp = loss_grad(&data, 1.0, &wp, &mut scratch);
+            let mut wm = w.clone();
+            wm[i] -= eps;
+            let fm = loss_grad(&data, 1.0, &wm, &mut scratch);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-4,
+                "grad mismatch at {i}: numeric {numeric} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_scores() {
+        let mut s = vec![1000.0, 1001.0, 999.0];
+        softmax_in_place(&mut s);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[1] > s[0] && s[0] > s[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_dataset_panics() {
+        let data = Dataset::new(2, 1);
+        let _ = LogReg::train(&data, &TrainConfig::default());
+    }
+}

@@ -1,0 +1,106 @@
+//! Full-batch gradient descent with momentum — the fallback optimizer for
+//! the L-BFGS-vs-SGD ablation (`repro ablate-optimizer`).
+//!
+//! Deliberately simple: the point of the ablation is to show that the
+//! *model* (not the solver) carries CERES's accuracy, while L-BFGS reaches
+//! the optimum in far fewer objective evaluations.
+
+/// Gradient-descent hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SgdConfig {
+    pub epochs: usize,
+    pub lr: f64,
+    pub momentum: f64,
+    /// Stop early when the objective improves by less than this fraction.
+    pub rel_tol: f64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        SgdConfig { epochs: 200, lr: 0.1, momentum: 0.9, rel_tol: 1e-7 }
+    }
+}
+
+/// Minimize `objective` from `x0`; returns (argmin, min, iterations).
+pub fn sgd_minimize<F>(x0: Vec<f64>, mut objective: F, cfg: &SgdConfig) -> (Vec<f64>, f64, usize)
+where
+    F: FnMut(&[f64], &mut [f64]) -> f64,
+{
+    let n = x0.len();
+    let mut x = x0;
+    let mut x_prev = x.clone();
+    let mut grad = vec![0.0; n];
+    let mut velocity = vec![0.0; n];
+    let mut f_prev = objective(&x, &mut grad);
+    let mut lr = cfg.lr;
+    let mut iters = 0;
+    let mut stalled = 0usize;
+    // A few flat epochs in a row are required before stopping: momentum can
+    // make single-epoch improvements vanish mid-trajectory.
+    const PATIENCE: usize = 5;
+
+    for epoch in 0..cfg.epochs {
+        iters = epoch + 1;
+        x_prev.copy_from_slice(&x);
+        for i in 0..n {
+            velocity[i] = cfg.momentum * velocity[i] - lr * grad[i];
+            x[i] += velocity[i];
+        }
+        let f = objective(&x, &mut grad);
+        if !f.is_finite() || f > f_prev + 0.5 * f_prev.abs() + 1.0 {
+            // Diverging: rewind the step, halve the rate, kill momentum.
+            x.copy_from_slice(&x_prev);
+            let _ = objective(&x, &mut grad);
+            lr *= 0.5;
+            velocity.fill(0.0);
+            continue;
+        }
+        if (f_prev - f).abs() <= cfg.rel_tol * f_prev.abs().max(1.0) {
+            stalled += 1;
+            if stalled >= PATIENCE {
+                return (x, f, iters);
+            }
+        } else {
+            stalled = 0;
+        }
+        f_prev = f;
+    }
+    (x, f_prev, iters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_quadratic() {
+        let obj = |x: &[f64], g: &mut [f64]| {
+            let mut f = 0.0;
+            for i in 0..3 {
+                let d = x[i] - (i as f64);
+                f += d * d;
+                g[i] = 2.0 * d;
+            }
+            f
+        };
+        let (x, f, _) = sgd_minimize(vec![5.0; 3], obj, &SgdConfig::default());
+        assert!(f < 1e-4, "f = {f}");
+        for (i, v) in x.iter().enumerate() {
+            assert!((v - i as f64).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn survives_divergent_learning_rate() {
+        // An lr far too large for this curvature must not produce NaNs.
+        let obj = |x: &[f64], g: &mut [f64]| {
+            g[0] = 200.0 * x[0];
+            100.0 * x[0] * x[0]
+        };
+        let cfg = SgdConfig { lr: 1.0, epochs: 300, ..SgdConfig::default() };
+        let (x, f, _) = sgd_minimize(vec![1.0], obj, &cfg);
+        assert!(x[0].is_finite());
+        assert!(f.is_finite());
+        assert!(f < 1.0, "recovered f = {f}");
+    }
+}

@@ -1,0 +1,213 @@
+//! Sparse feature representation: a string-interning feature dictionary and
+//! sorted sparse vectors.
+
+use ceres_text::FxHashMap;
+
+/// Interns feature names to dense `u32` ids.
+///
+/// During training the dictionary grows; before extraction it is *frozen* so
+/// that unseen features on evaluation pages are silently dropped (they carry
+/// zero weight anyway).
+#[derive(Debug, Default, Clone)]
+pub struct FeatureDict {
+    map: FxHashMap<String, u32>,
+    names: Vec<String>,
+    frozen: bool,
+}
+
+impl FeatureDict {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a feature name. Returns `None` when the dictionary is frozen
+    /// and the feature is unknown.
+    pub fn intern(&mut self, name: &str) -> Option<u32> {
+        if let Some(&id) = self.map.get(name) {
+            return Some(id);
+        }
+        if self.frozen {
+            return None;
+        }
+        let id = self.names.len() as u32;
+        self.map.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        Some(id)
+    }
+
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.map.get(name).copied()
+    }
+
+    pub fn name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    pub fn freeze(&mut self) {
+        self.frozen = true;
+    }
+
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+}
+
+/// A sparse feature vector: strictly increasing indices with `f32` values.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SparseVec(Vec<(u32, f32)>);
+
+impl SparseVec {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from arbitrary (index, value) pairs: sorts, and sums duplicate
+    /// indices (a feature firing twice counts twice).
+    pub fn from_pairs(mut pairs: Vec<(u32, f32)>) -> Self {
+        pairs.sort_unstable_by_key(|&(i, _)| i);
+        let mut out: Vec<(u32, f32)> = Vec::with_capacity(pairs.len());
+        for (i, v) in pairs {
+            match out.last_mut() {
+                Some((last_i, last_v)) if *last_i == i => *last_v += v,
+                _ => out.push((i, v)),
+            }
+        }
+        SparseVec(out)
+    }
+
+    /// Build from a set of binary indicator features.
+    pub fn from_indices(mut idx: Vec<u32>) -> Self {
+        idx.sort_unstable();
+        idx.dedup();
+        SparseVec(idx.into_iter().map(|i| (i, 1.0)).collect())
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
+        self.0.iter().copied()
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.0.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Dot product with a dense weight row.
+    #[inline]
+    pub fn dot(&self, dense: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for &(i, v) in &self.0 {
+            // Features interned after the weights were sized are ignored.
+            if let Some(w) = dense.get(i as usize) {
+                acc += f64::from(v) * *w;
+            }
+        }
+        acc
+    }
+
+    /// `dense[i] += scale * v` for every stored (i, v).
+    #[inline]
+    pub fn add_scaled_into(&self, dense: &mut [f64], scale: f64) {
+        for &(i, v) in &self.0 {
+            if let Some(w) = dense.get_mut(i as usize) {
+                *w += scale * f64::from(v);
+            }
+        }
+    }
+
+    pub fn max_index(&self) -> Option<u32> {
+        self.0.last().map(|&(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn dict_interns_and_freezes() {
+        let mut d = FeatureDict::new();
+        let a = d.intern("tag=div").unwrap();
+        let b = d.intern("tag=span").unwrap();
+        assert_ne!(a, b);
+        assert_eq!(d.intern("tag=div"), Some(a));
+        assert_eq!(d.len(), 2);
+        d.freeze();
+        assert_eq!(d.intern("tag=b"), None);
+        assert_eq!(d.intern("tag=div"), Some(a));
+        assert_eq!(d.name(b), "tag=span");
+    }
+
+    #[test]
+    fn from_pairs_sums_duplicates() {
+        let v = SparseVec::from_pairs(vec![(3, 1.0), (1, 2.0), (3, 0.5)]);
+        let collected: Vec<(u32, f32)> = v.iter().collect();
+        assert_eq!(collected, vec![(1, 2.0), (3, 1.5)]);
+    }
+
+    #[test]
+    fn from_indices_dedups() {
+        let v = SparseVec::from_indices(vec![5, 1, 5, 2]);
+        assert_eq!(v.nnz(), 3);
+        assert_eq!(v.max_index(), Some(5));
+    }
+
+    #[test]
+    fn dot_and_add_scaled() {
+        let v = SparseVec::from_pairs(vec![(0, 1.0), (2, 3.0)]);
+        let dense = vec![2.0, 10.0, 0.5];
+        assert_eq!(v.dot(&dense), 2.0 + 1.5);
+        let mut acc = vec![0.0; 3];
+        v.add_scaled_into(&mut acc, 2.0);
+        assert_eq!(acc, vec![2.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn out_of_range_indices_ignored() {
+        let v = SparseVec::from_pairs(vec![(10, 1.0)]);
+        let dense = vec![1.0; 3];
+        assert_eq!(v.dot(&dense), 0.0);
+        let mut acc = vec![0.0; 3];
+        v.add_scaled_into(&mut acc, 1.0);
+        assert_eq!(acc, vec![0.0; 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn from_pairs_is_sorted_unique(
+            pairs in proptest::collection::vec((0u32..64, -2.0f32..2.0), 0..64)
+        ) {
+            let v = SparseVec::from_pairs(pairs);
+            let idx: Vec<u32> = v.iter().map(|(i, _)| i).collect();
+            let mut sorted = idx.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(idx, sorted);
+        }
+
+        #[test]
+        fn dot_is_linear_in_scale(
+            pairs in proptest::collection::vec((0u32..16, -1.0f32..1.0), 0..16),
+            scale in -3.0f64..3.0,
+        ) {
+            let v = SparseVec::from_pairs(pairs);
+            let dense: Vec<f64> = (0..16).map(|i| i as f64 * 0.25).collect();
+            let mut acc = vec![0.0; 16];
+            v.add_scaled_into(&mut acc, scale);
+            // (scale · v) · dense == scale · (v · dense)
+            let direct: f64 = acc.iter().zip(&dense).map(|(a, d)| a * d).sum();
+            prop_assert!((direct - scale * v.dot(&dense)).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! The CommonCrawl-like long-tail movie corpus: 33 sites named and sized
+//! after Table 8 of the paper, with per-site language, KB affinity, page
+//! mix, and the §5.5.1 failure modes.
+
+use crate::dataset::Site;
+use crate::movie_pages::{
+    render_chart_page, render_episode_page, render_film_page, render_person_page,
+    MoviePathology, MovieRenderCtx,
+};
+use crate::movie_world::{KbBias, MovieWorld, MovieWorldConfig};
+use crate::rng::{derive_rng, prob, sample_distinct, zipf_distinct};
+use crate::style::SiteStyle;
+
+/// Static description of one long-tail site.
+#[derive(Debug, Clone)]
+pub struct CcSiteSpec {
+    pub name: &'static str,
+    pub focus: &'static str,
+    /// Page count in the paper's crawl (Table 8); scaled at generation.
+    pub paper_pages: usize,
+    pub language: &'static str,
+    /// 0..1 — how head-biased (KB-dense) the site's film selection is. Low
+    /// affinity reproduces the sites with a handful of annotatable pages.
+    pub kb_affinity: f64,
+    /// Fraction of pages that are person pages.
+    pub person_share: f64,
+    /// Fraction of pages that are TV-episode pages.
+    pub episode_share: f64,
+    /// Fraction of pages that are non-detail charts/indexes.
+    pub nondetail_share: f64,
+    pub role_ambiguity: bool,
+    pub genre_index: bool,
+    pub box_office_lists: bool,
+    pub shuffle_sections: bool,
+}
+
+const fn spec(
+    name: &'static str,
+    focus: &'static str,
+    paper_pages: usize,
+    language: &'static str,
+    kb_affinity: f64,
+) -> CcSiteSpec {
+    CcSiteSpec {
+        name,
+        focus,
+        paper_pages,
+        language,
+        kb_affinity,
+        person_share: 0.0,
+        episode_share: 0.0,
+        nondetail_share: 0.0,
+        role_ambiguity: false,
+        genre_index: false,
+        box_office_lists: false,
+        shuffle_sections: false,
+    }
+}
+
+/// The 33 sites of Table 8.
+pub fn cc_site_specs() -> Vec<CcSiteSpec> {
+    vec![
+        spec("themoviedb.org", "General film information", 32_143, "en", 0.9),
+        spec("blaxploitation.com", "Blaxploitation films", 670, "en", 0.75),
+        spec("danksefilm.com", "Danish films", 2_100, "da", 0.7),
+        spec("archiviodelcinemaitaliano.it", "Italian films", 1_573, "it", 0.7),
+        spec("filmitalia.org", "Italian films", 2_847, "it", 0.7),
+        spec("kmdb.or.kr", "Korean films", 1_351, "en", 0.25),
+        spec("britflicks.com", "British films", 1_464, "en", 0.8),
+        CcSiteSpec {
+            nondetail_share: 0.08,
+            person_share: 0.1,
+            ..spec("rottentomatoes.com", "Film reviews", 73_410, "en", 0.85)
+        },
+        spec("moviecrow.com", "Indian films", 569, "en", 0.3),
+        spec("nfb.ca", "Canadian films", 39_780, "en", 0.55),
+        spec("kinobox.cz", "Czech films", 37_988, "cs", 0.5),
+        CcSiteSpec {
+            episode_share: 0.25,
+            ..spec("samdb.co.za", "South African films", 1_424, "en", 0.2)
+        },
+        CcSiteSpec {
+            episode_share: 0.3,
+            ..spec("dianying.com", "Chinese films", 15_789, "en", 0.45)
+        },
+        spec("giantscreencinema.com", "IMAX films", 370, "en", 0.6),
+        CcSiteSpec {
+            episode_share: 0.35,
+            ..spec("myanimelist.net", "Animated films", 5_588, "en", 0.55)
+        },
+        spec("hkmdb.com", "Hong Kong films", 6_350, "en", 0.5),
+        CcSiteSpec {
+            shuffle_sections: true,
+            ..spec("bollywoodmdb.com", "Bollywood films", 1_483, "en", 0.5)
+        },
+        CcSiteSpec {
+            person_share: 0.55,
+            ..spec("soundtrackcollector.com", "Movie soundtracks", 4_192, "en", 0.6)
+        },
+        CcSiteSpec {
+            role_ambiguity: true,
+            person_share: 0.45,
+            ..spec("spicyonion.com", "Indian films", 5_898, "en", 0.5)
+        },
+        spec("shortfilmcentral.com", "Short films", 32_613, "en", 0.35),
+        CcSiteSpec {
+            role_ambiguity: true,
+            person_share: 0.35,
+            ..spec("filmindonesia.or.id", "Indonesian films", 2_901, "id", 0.45)
+        },
+        CcSiteSpec {
+            box_office_lists: true,
+            nondetail_share: 0.25,
+            ..spec("the-numbers.com", "Financial performance", 74_767, "en", 0.75)
+        },
+        CcSiteSpec {
+            nondetail_share: 0.35,
+            ..spec("sodasandpopcorn.com", "Nigerian films", 3_401, "en", 0.3)
+        },
+        CcSiteSpec {
+            genre_index: true,
+            ..spec("christianfilmdatabase.com", "Christian films", 2_040, "en", 0.55)
+        },
+        spec("jfdb.jp", "Japanese films", 1_055, "en", 0.25),
+        spec("kvikmyndavefurinn.is", "Icelandic films", 235, "is", 0.5),
+        CcSiteSpec {
+            genre_index: true,
+            ..spec("laborfilms.com", "Labor movement films", 566, "en", 0.35)
+        },
+        CcSiteSpec {
+            shuffle_sections: true,
+            ..spec("africa-archive.com", "African films", 1_300, "en", 0.3)
+        },
+        CcSiteSpec {
+            shuffle_sections: true,
+            episode_share: 0.2,
+            ..spec("colonialfilm.org.uk", "Colonial-era films", 1_911, "en", 0.15)
+        },
+        CcSiteSpec {
+            shuffle_sections: true,
+            ..spec("sfd.sfu.sk", "Slovak films", 1_711, "sk", 0.15)
+        },
+        // The three zero-extraction sites of Table 8:
+        CcSiteSpec {
+            nondetail_share: 0.5,
+            ..spec("bcdb.com", "Animated films", 912, "en", 0.02)
+        },
+        spec("bmxmdb.com", "BMX films", 924, "en", 0.005),
+        CcSiteSpec {
+            nondetail_share: 1.0,
+            ..spec("boxofficemojo.com", "Financial performance", 74_507, "en", 0.8)
+        },
+    ]
+}
+
+/// A generated CommonCrawl-like corpus.
+pub struct CcDataset {
+    pub world: MovieWorld,
+    pub sites: Vec<Site>,
+    pub kb: ceres_kb::Kb,
+}
+
+/// Generate the corpus at `scale` (1.0 ≈ the paper's 433,832 pages — large;
+/// the default repro uses 0.05–0.1).
+pub fn generate(seed: u64, scale: f64) -> CcDataset {
+    let specs = cc_site_specs();
+    let total_pages: usize =
+        specs.iter().map(|s| ((s.paper_pages as f64 * scale) as usize).max(20)).sum();
+
+    // World sized to give every site distinct films while keeping a shared
+    // famous head for cross-site overlap.
+    let n_films = (total_pages * 7 / 8).max(500);
+    let world = MovieWorld::generate(MovieWorldConfig {
+        seed: seed ^ 0xCC,
+        n_people: n_films * 2,
+        n_films,
+        n_series: (n_films / 200).max(8),
+        title_collision_share: 0.025,
+    });
+    let kb = world.build_kb(&KbBias::default()).kb;
+
+    let sites = specs
+        .iter()
+        .map(|s| generate_cc_site(&world, s, seed, scale))
+        .collect();
+
+    CcDataset { world, sites, kb }
+}
+
+/// Generate one long-tail site.
+pub fn generate_cc_site(world: &MovieWorld, spec: &CcSiteSpec, seed: u64, scale: f64) -> Site {
+    let mut rng = derive_rng(seed, &format!("cc-{}", spec.name));
+    let n_pages = ((spec.paper_pages as f64 * scale) as usize).max(20);
+    let prefix: String = spec.name.chars().take(4).filter(|c| c.is_ascii_alphanumeric()).collect();
+    let mut style = SiteStyle::random(&mut rng, spec.language, &prefix);
+    style.shuffle_sections = spec.shuffle_sections;
+
+    let pathology = MoviePathology {
+        role_ambiguity: spec.role_ambiguity,
+        genre_index: spec.genre_index,
+        box_office_lists: spec.box_office_lists,
+        shuffle_sections: spec.shuffle_sections,
+    };
+    let ctx = MovieRenderCtx { world, style: &style, site_name: spec.name, pathology: &pathology };
+
+    let n_nondetail = (n_pages as f64 * spec.nondetail_share) as usize;
+    let n_detail = n_pages - n_nondetail;
+    let n_person = (n_detail as f64 * spec.person_share) as usize;
+    let n_episode = (n_detail as f64 * spec.episode_share) as usize;
+    let n_film = n_detail - n_person - n_episode;
+
+    let mut pages = Vec::with_capacity(n_pages);
+
+    // Film selection: KB-affine sites draw Zipf from the famous head; low
+    // affinity sites draw uniformly from the long tail.
+    let head = (world.films.len() as f64 * 0.3) as usize;
+    let mut chosen = std::collections::BTreeSet::new();
+    let mut guard = 0usize;
+    while chosen.len() < n_film.min(world.films.len()) && guard < n_film * 60 + 1000 {
+        guard += 1;
+        let fi = if prob(&mut rng, spec.kb_affinity) {
+            crate::rng::zipf(&mut rng, head.max(1), 1.1)
+        } else {
+            head + rng_range(&mut rng, world.films.len() - head)
+        };
+        chosen.insert(fi);
+    }
+    for fi in chosen {
+        pages.push(render_film_page(&ctx, fi, &mut rng));
+    }
+
+    if n_person > 0 {
+        let people = zipf_distinct(&mut rng, world.people.len(), n_person, 1.1);
+        for pi in people {
+            let p = &world.people[pi];
+            if p.acted_in.is_empty() && p.directed.is_empty() && p.composed.is_empty() {
+                continue;
+            }
+            pages.push(render_person_page(&ctx, pi, &mut rng));
+        }
+    }
+    if n_episode > 0 && !world.episodes.is_empty() {
+        for ei in sample_distinct(&mut rng, world.episodes.len(), n_episode) {
+            pages.push(render_episode_page(&ctx, ei, &mut rng));
+        }
+    }
+    for day in 0..n_nondetail {
+        pages.push(render_chart_page(&ctx, day, &mut rng));
+    }
+
+    Site { name: spec.name.to_string(), focus: spec.focus.to_string(), pages }
+}
+
+fn rng_range(rng: &mut rand::rngs::SmallRng, n: usize) -> usize {
+    use rand::Rng;
+    if n == 0 {
+        0
+    } else {
+        rng.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::PageKind;
+
+    #[test]
+    fn specs_cover_all_33_sites() {
+        let specs = cc_site_specs();
+        assert_eq!(specs.len(), 33);
+        let total: usize = specs.iter().map(|s| s.paper_pages).sum();
+        // Table 8 total: 433,832 pages.
+        assert_eq!(total, 433_832);
+    }
+
+    #[test]
+    fn boxofficemojo_is_all_charts() {
+        let d = generate(4, 0.003);
+        let bom = d.sites.iter().find(|s| s.name == "boxofficemojo.com").unwrap();
+        assert!(bom.pages.iter().all(|p| p.gold.kind == PageKind::NonDetail));
+    }
+
+    #[test]
+    fn language_labels_differ() {
+        let d = generate(4, 0.003);
+        let cz = d.sites.iter().find(|s| s.name == "kinobox.cz").unwrap();
+        let filmpage = cz.pages.iter().find(|p| p.id.starts_with("film-")).unwrap();
+        assert!(filmpage.html.contains("Režie"), "Czech labels expected");
+    }
+
+    #[test]
+    fn kb_affinity_controls_overlap() {
+        let d = generate(4, 0.003);
+        let overlap = |name: &str| {
+            let site = d.sites.iter().find(|s| s.name == name).unwrap();
+            let detail: Vec<_> = site
+                .pages
+                .iter()
+                .filter(|p| p.gold.kind == PageKind::Detail && p.id.starts_with("film-"))
+                .collect();
+            if detail.is_empty() {
+                return 0.0;
+            }
+            detail
+                .iter()
+                .filter(|p| !d.kb.match_text(p.gold.topic.as_deref().unwrap()).is_empty())
+                .count() as f64
+                / detail.len() as f64
+        };
+        let high = overlap("themoviedb.org");
+        let low = overlap("bmxmdb.com");
+        assert!(high > low, "tmdb {high:.2} should exceed bmxmdb {low:.2}");
+    }
+
+    #[test]
+    fn scaled_page_counts_track_table8() {
+        let d = generate(4, 0.003);
+        let tn = d.sites.iter().find(|s| s.name == "the-numbers.com").unwrap();
+        let kv = d.sites.iter().find(|s| s.name == "kvikmyndavefurinn.is").unwrap();
+        assert!(tn.pages.len() > kv.pages.len() * 5);
+    }
+}

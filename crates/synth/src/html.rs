@@ -1,0 +1,170 @@
+//! HTML builder that stamps ground-truth ids.
+//!
+//! Every emitted text field gets a `data-gt="<id>"` attribute; when the
+//! field asserts a fact (or the page's topic name), the corresponding
+//! [`GoldFact`] is recorded. The extraction stack never reads `data-gt*`
+//! attributes (enforced by a `ceres-core` test), so gold cannot leak into
+//! features.
+
+use crate::dataset::GoldFact;
+use ceres_dom::{escape_attr, escape_text};
+use std::fmt::Write as _;
+
+/// A streaming HTML writer with gold bookkeeping.
+#[derive(Debug, Default)]
+pub struct GtHtml {
+    out: String,
+    open_tags: Vec<&'static str>,
+    next_gt: u32,
+    gold: Vec<GoldFact>,
+}
+
+impl GtHtml {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open an element: `attrs` are (name, value) pairs.
+    pub fn open(&mut self, tag: &'static str, attrs: &[(&str, &str)]) -> &mut Self {
+        self.out.push('<');
+        self.out.push_str(tag);
+        for (k, v) in attrs {
+            let _ = write!(self.out, " {}=\"{}\"", k, escape_attr(v));
+        }
+        self.out.push('>');
+        self.open_tags.push(tag);
+        self
+    }
+
+    /// Close the most recently opened element.
+    pub fn close(&mut self) -> &mut Self {
+        let tag = self.open_tags.pop().expect("close without open");
+        let _ = write!(self.out, "</{tag}>");
+        self
+    }
+
+    /// Close all remaining open elements.
+    pub fn close_all(&mut self) {
+        while !self.open_tags.is_empty() {
+            self.close();
+        }
+    }
+
+    /// Emit a plain (non-gold) text field: `<tag attrs data-gt="N">text</tag>`.
+    /// Even non-gold fields carry an id so evaluation can detect *incorrect*
+    /// extractions from them.
+    pub fn field(&mut self, tag: &'static str, attrs: &[(&str, &str)], text: &str) -> u32 {
+        self.field_impl(tag, attrs, text, None)
+    }
+
+    /// Emit a text field asserting `(pred, object)` about the page topic.
+    pub fn gold_field(
+        &mut self,
+        tag: &'static str,
+        attrs: &[(&str, &str)],
+        text: &str,
+        pred: &str,
+        object: &str,
+    ) -> u32 {
+        self.field_impl(tag, attrs, text, Some((pred.to_string(), object.to_string())))
+    }
+
+    /// Emit the topic-name field (`pred = "name"`).
+    pub fn name_field(&mut self, tag: &'static str, attrs: &[(&str, &str)], text: &str) -> u32 {
+        self.field_impl(tag, attrs, text, Some(("name".to_string(), text.to_string())))
+    }
+
+    fn field_impl(
+        &mut self,
+        tag: &'static str,
+        attrs: &[(&str, &str)],
+        text: &str,
+        gold: Option<(String, String)>,
+    ) -> u32 {
+        let id = self.next_gt;
+        self.next_gt += 1;
+        self.out.push('<');
+        self.out.push_str(tag);
+        for (k, v) in attrs {
+            let _ = write!(self.out, " {}=\"{}\"", k, escape_attr(v));
+        }
+        let _ = write!(self.out, " data-gt=\"{id}\">");
+        self.out.push_str(&escape_text(text));
+        let _ = write!(self.out, "</{tag}>");
+        if let Some((pred, object)) = gold {
+            self.gold.push(GoldFact { gt_id: id, pred, object });
+        }
+        id
+    }
+
+    /// Raw passthrough (comments, scripts…). The caller is responsible for
+    /// well-formedness.
+    pub fn raw(&mut self, s: &str) -> &mut Self {
+        self.out.push_str(s);
+        self
+    }
+
+    /// Finish; panics if elements remain open (a generator bug).
+    pub fn finish(mut self) -> (String, Vec<GoldFact>) {
+        assert!(self.open_tags.is_empty(), "unclosed tags: {:?}", self.open_tags);
+        self.gold.sort_by_key(|g| g.gt_id);
+        (std::mem::take(&mut self.out), std::mem::take(&mut self.gold))
+    }
+
+    pub fn gold_so_far(&self) -> &[GoldFact] {
+        &self.gold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceres_dom::parse_html;
+
+    #[test]
+    fn builds_parseable_html_with_gold_ids() {
+        let mut b = GtHtml::new();
+        b.open("html", &[]).open("body", &[]);
+        b.open("div", &[("class", "info")]);
+        let name_id = b.name_field("h1", &[], "Do the Right Thing");
+        let dir_id = b.gold_field("span", &[("class", "val")], "Spike Lee", "directedBy", "Spike Lee");
+        let _plain = b.field("span", &[("class", "label")], "Director:");
+        b.close();
+        b.close().close();
+        let (html, gold) = b.finish();
+
+        assert_eq!(gold.len(), 2);
+        assert_eq!(gold[0].gt_id, name_id);
+        assert_eq!(gold[0].pred, "name");
+        assert_eq!(gold[1].gt_id, dir_id);
+        assert_eq!(gold[1].pred, "directedBy");
+
+        let doc = parse_html(&html);
+        let fields = doc.text_fields();
+        assert_eq!(fields.len(), 3);
+        // Every field carries its data-gt id.
+        let gts: Vec<&str> =
+            fields.iter().map(|&f| doc.node(f).attr("data-gt").unwrap()).collect();
+        assert_eq!(gts, vec!["0", "1", "2"]);
+    }
+
+    #[test]
+    fn escapes_entities() {
+        let mut b = GtHtml::new();
+        b.open("div", &[("title", "a \"b\" & c")]);
+        b.field("span", &[], "Tom & Jerry <3");
+        b.close();
+        let (html, _) = b.finish();
+        let doc = parse_html(&html);
+        let f = doc.text_fields()[0];
+        assert_eq!(doc.own_text(f), "Tom & Jerry <3");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed tags")]
+    fn unbalanced_builder_panics() {
+        let mut b = GtHtml::new();
+        b.open("div", &[]);
+        let _ = b.finish();
+    }
+}

@@ -1,0 +1,143 @@
+//! The IMDb-like complex-site dataset of §5.1.2 / §5.4: one Film/TV site
+//! (movie + TV-episode detail pages) and one Person site, both backed by the
+//! same world and the same biased seed KB as the SWDE Movie vertical.
+//!
+//! Person pages are the hard part: long multi-valued filmographies, "Known
+//! For" boxes, alias-shaped TV appearance titles, and writer/director/actor
+//! overlaps — everything §5.4 credits for CERES-TOPIC's collapse.
+
+use crate::dataset::Site;
+use crate::movie_pages::{
+    render_episode_page, render_film_page, render_person_page, MoviePathology, MovieRenderCtx,
+};
+use crate::movie_world::{KbBias, MovieKb, MovieWorld, MovieWorldConfig};
+use crate::rng::{derive_rng, zipf_distinct};
+use crate::style::SiteStyle;
+
+/// Paper page counts (§5.1.2).
+const PAPER_MOVIE_PAGES: usize = 8245;
+const PAPER_PERSON_PAGES: usize = 1600;
+/// Share of the Film/TV page set that is TV-episode pages (IMDb title pages
+/// cover both; Table 5's Film/TV block includes episode predicates).
+const EPISODE_SHARE: f64 = 0.12;
+
+/// The generated IMDb-like dataset.
+pub struct ImdbDataset {
+    pub world: MovieWorld,
+    pub movie_site: Site,
+    pub person_site: Site,
+    pub kb: ceres_kb::Kb,
+}
+
+/// Generate at `scale` (1.0 reproduces the paper's page counts).
+pub fn generate(seed: u64, scale: f64) -> ImdbDataset {
+    let n_title_pages = ((PAPER_MOVIE_PAGES as f64 * scale).round() as usize).max(40);
+    let n_person_pages = ((PAPER_PERSON_PAGES as f64 * scale).round() as usize).max(16);
+    let n_episode_pages = ((n_title_pages as f64 * EPISODE_SHARE) as usize).max(4);
+    let n_film_pages = n_title_pages - n_episode_pages;
+
+    let world = MovieWorld::generate(MovieWorldConfig {
+        seed: seed ^ 0x1DB,
+        n_people: (n_person_pages * 8).max(n_film_pages * 2),
+        n_films: (n_film_pages * 5 / 4).max(60),
+        n_series: (n_episode_pages / 10).max(4),
+        title_collision_share: 0.03,
+    });
+    let MovieKb { kb, .. } = world.build_kb(&KbBias::default());
+
+    // --- Film/TV site ---
+    let mut rng = derive_rng(seed, "imdb-titles");
+    let style = SiteStyle {
+        // IMDb-like: semantic classes and itemprop microdata, moderate ads.
+        semantic_classes: true,
+        use_itemprop: true,
+        ..SiteStyle::random(&mut rng, "en", "imdb")
+    };
+    let pathology = MoviePathology::default();
+    let ctx =
+        MovieRenderCtx { world: &world, style: &style, site_name: "imdb-like", pathology: &pathology };
+
+    let mut pages = Vec::with_capacity(n_title_pages);
+    for fi in zipf_distinct(&mut rng, world.films.len(), n_film_pages, 1.05) {
+        pages.push(render_film_page(&ctx, fi, &mut rng));
+    }
+    let n_eps = world.episodes.len().min(n_episode_pages);
+    for ei in zipf_distinct(&mut rng, world.episodes.len(), n_eps, 1.05) {
+        pages.push(render_episode_page(&ctx, ei, &mut rng));
+    }
+    let movie_site =
+        Site { name: "imdb-like-titles".to_string(), focus: "Film/TV".to_string(), pages };
+
+    // --- Person site (most prolific people first: they have the complex
+    // pages) ---
+    let mut prng = derive_rng(seed, "imdb-people");
+    let pstyle = SiteStyle {
+        semantic_classes: true,
+        use_itemprop: true,
+        ..SiteStyle::random(&mut prng, "en", "imdbp")
+    };
+    let pctx = MovieRenderCtx {
+        world: &world,
+        style: &pstyle,
+        site_name: "imdb-like",
+        pathology: &pathology,
+    };
+    let mut ppages = Vec::with_capacity(n_person_pages);
+    for pi in zipf_distinct(&mut prng, world.people.len(), n_person_pages, 1.1) {
+        // Skip people with no credits at all (no detail page would exist).
+        let p = &world.people[pi];
+        if p.acted_in.is_empty() && p.directed.is_empty() && p.wrote.is_empty() {
+            continue;
+        }
+        ppages.push(render_person_page(&pctx, pi, &mut prng));
+    }
+    let person_site =
+        Site { name: "imdb-like-people".to_string(), focus: "People".to_string(), pages: ppages };
+
+    ImdbDataset { world, movie_site, person_site, kb }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::movie as m;
+
+    #[test]
+    fn dataset_builds_with_both_sites() {
+        let d = generate(9, 0.02);
+        assert!(d.movie_site.pages.len() >= 40);
+        assert!(d.person_site.pages.len() >= 10);
+        assert!(d.kb.n_triples() > 100);
+    }
+
+    #[test]
+    fn title_site_mixes_films_and_episodes() {
+        let d = generate(9, 0.02);
+        let films =
+            d.movie_site.pages.iter().filter(|p| p.id.starts_with("film-")).count();
+        let eps =
+            d.movie_site.pages.iter().filter(|p| p.id.starts_with("episode-")).count();
+        assert!(films > 0 && eps > 0, "films {films}, episodes {eps}");
+    }
+
+    #[test]
+    fn person_pages_have_multivalued_filmographies() {
+        let d = generate(9, 0.02);
+        let max_acted = d
+            .person_site
+            .pages
+            .iter()
+            .map(|p| p.gold.facts.iter().filter(|f| f.pred == m::ACTED_IN).count())
+            .max()
+            .unwrap();
+        assert!(max_acted >= 10, "expected a prolific actor, max {max_acted}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate(9, 0.02);
+        let b = generate(9, 0.02);
+        assert_eq!(a.movie_site.pages[3].html, b.movie_site.pages[3].html);
+        assert_eq!(a.kb.n_triples(), b.kb.n_triples());
+    }
+}

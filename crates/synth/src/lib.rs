@@ -1,0 +1,43 @@
+//! # ceres-synth
+//!
+//! The synthetic semi-structured web used in place of the paper's
+//! proprietary corpora (SWDE, an IMDb crawl, and 33 CommonCrawl movie
+//! sites — see DESIGN.md §1 for the substitution rationale).
+//!
+//! The generator produces three artifacts per experiment:
+//!
+//! 1. a **world** — a closed universe of entities and facts (films, people,
+//!    TV episodes, books, NBA players, universities);
+//! 2. a set of **websites** — each site renders a subset of the world
+//!    through its own templates, style lexicon, label language, and noise
+//!    model (optional sections, ad blocks that shift sibling indices,
+//!    recommendation rails, "Known For" boxes, search boxes, …);
+//! 3. a **seed KB** — a *biased subset* of the world (popularity-weighted
+//!    coverage, principal-cast-only links, per-predicate keep rates),
+//!    mirroring how the paper's IMDb-derived KB relates to the live site
+//!    (footnote 10).
+//!
+//! Every rendered text field carries a `data-gt` attribute keyed to a
+//! [`GoldFact`]; the extraction stack ignores `data-gt*` attributes (unit
+//! tested in `ceres-core`), while the evaluation harness uses them to score
+//! topics, annotations, and extractions at node level.
+
+pub mod commoncrawl;
+pub mod dataset;
+pub mod html;
+pub mod imdb;
+pub mod movie_pages;
+pub mod movie_world;
+pub mod names;
+pub mod rng;
+pub mod schema;
+pub mod small_worlds;
+pub mod style;
+pub mod swde;
+pub mod vertical_pages;
+
+pub use dataset::{GoldFact, Page, PageGold, PageKind, Site};
+pub use html::GtHtml;
+pub use movie_world::{KbBias, MovieWorld, MovieWorldConfig};
+pub use schema::movie_ontology;
+pub use style::{KvStyle, LabelPack, ListStyle, SiteStyle};

@@ -1,0 +1,673 @@
+//! The synthetic movie universe: people, films, TV series, and episodes,
+//! plus the biased seed-KB builder.
+//!
+//! Entities are generated in *fame order* (index 0 = most famous); film
+//! crews are drawn Zipf-skewed from the people pool so a head of prolific
+//! actors emerges (the paper's Frank Welker example: a single person page
+//! listing hundreds of credits). The seed KB is a deliberately biased subset
+//! of the world, mirroring footnote 10 of the paper: popularity-weighted
+//! entity coverage, cast links only for "principal" (low billing number)
+//! credits with character information, and per-predicate keep rates.
+
+use crate::names::{film_title, person_alias, person_name, Date, AMBIGUOUS_TITLES};
+use crate::rng::{choose, derive_rng, prob, zipf};
+use crate::schema::{movie, movie_ontology, types};
+use ceres_kb::{Kb, KbBuilder, ValueId};
+use rand::Rng;
+
+/// Genres used across the movie vertical.
+pub const GENRES: &[&str] = &[
+    "Drama", "Comedy", "Action", "Thriller", "Documentary", "Horror", "Romance", "Animation",
+    "Crime", "Adventure", "Fantasy", "Musical", "Western", "Biography",
+];
+
+/// MPAA ratings (gold-only predicate; never seeded into the KB).
+pub const RATINGS: &[&str] = &["G", "PG", "PG-13", "R", "NC-17"];
+
+/// Production countries (also used for birthplaces).
+pub const COUNTRIES: &[&str] = &[
+    "USA", "United Kingdom", "France", "Italy", "Denmark", "Iceland", "Czech Republic",
+    "Slovakia", "Indonesia", "Nigeria", "India", "Japan", "South Korea", "China", "Canada",
+];
+
+const CITIES: &[&str] = &[
+    "Springfield", "Riverton", "Lakewood", "Fairview", "Greenville", "Bristol", "Ashford",
+    "Milton", "Clayton", "Dover", "Harborview", "Kingsport", "Northgate", "Oakdale",
+];
+
+/// One cast credit on a film.
+#[derive(Debug, Clone, Copy)]
+pub struct CastEntry {
+    pub person: usize,
+    /// 1-based billing order; low numbers are "principal" cast.
+    pub billing: u8,
+    /// Whether the credit carries character information — the paper's seed
+    /// KB "only contains actors when associated IMDb character information
+    /// is available".
+    pub has_character_info: bool,
+}
+
+/// A film (or theatrical release).
+#[derive(Debug, Clone)]
+pub struct Film {
+    pub title: String,
+    pub year: u16,
+    pub release: Date,
+    /// Indexes into [`GENRES`].
+    pub genres: Vec<usize>,
+    pub directors: Vec<usize>,
+    pub writers: Vec<usize>,
+    pub cast: Vec<CastEntry>,
+    pub producers: Vec<usize>,
+    pub composer: Option<usize>,
+    /// Index into [`COUNTRIES`].
+    pub country: usize,
+    pub rating: &'static str,
+}
+
+/// A person with a derived filmography.
+#[derive(Debug, Clone, Default)]
+pub struct Person {
+    pub name: String,
+    pub alias: Option<String>,
+    pub birth: Option<Date>,
+    pub birthplace: Option<String>,
+    pub acted_in: Vec<(usize, u8, bool)>,
+    pub directed: Vec<usize>,
+    pub wrote: Vec<usize>,
+    pub produced: Vec<usize>,
+    pub composed: Vec<usize>,
+}
+
+/// A TV series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    pub title: String,
+}
+
+/// A TV episode.
+#[derive(Debug, Clone)]
+pub struct Episode {
+    pub title: String,
+    pub series: usize,
+    pub season: u8,
+    pub number: u8,
+    pub cast: Vec<usize>,
+}
+
+/// World-size knobs.
+#[derive(Debug, Clone)]
+pub struct MovieWorldConfig {
+    pub seed: u64,
+    pub n_people: usize,
+    pub n_films: usize,
+    pub n_series: usize,
+    /// Fraction of films whose title collides with another film or with an
+    /// ambiguous UI string.
+    pub title_collision_share: f64,
+}
+
+impl Default for MovieWorldConfig {
+    fn default() -> Self {
+        MovieWorldConfig {
+            seed: 42,
+            n_people: 3000,
+            n_films: 1200,
+            n_series: 40,
+            title_collision_share: 0.03,
+        }
+    }
+}
+
+/// The generated universe.
+#[derive(Debug)]
+pub struct MovieWorld {
+    pub config: MovieWorldConfig,
+    pub people: Vec<Person>,
+    pub films: Vec<Film>,
+    pub series: Vec<Series>,
+    pub episodes: Vec<Episode>,
+}
+
+impl MovieWorld {
+    pub fn generate(config: MovieWorldConfig) -> MovieWorld {
+        let mut rng = derive_rng(config.seed, "movie-world");
+
+        // --- People ---
+        let mut people: Vec<Person> = (0..config.n_people)
+            .map(|_| {
+                let name = person_name(&mut rng);
+                let alias =
+                    if prob(&mut rng, 0.35) { Some(person_alias(&mut rng, &name)) } else { None };
+                Person {
+                    name,
+                    alias,
+                    birth: Some(Date::random(&mut rng, 1920, 1999)),
+                    birthplace: Some(format!(
+                        "{}, {}",
+                        choose(&mut rng, CITIES),
+                        choose(&mut rng, COUNTRIES)
+                    )),
+                    ..Person::default()
+                }
+            })
+            .collect();
+
+        // --- Films ---
+        let n_people = config.n_people;
+        let mut films: Vec<Film> = Vec::with_capacity(config.n_films);
+        for fi in 0..config.n_films {
+            let title = if prob(&mut rng, config.title_collision_share) {
+                if prob(&mut rng, 0.5) || films.is_empty() {
+                    (*choose(&mut rng, AMBIGUOUS_TITLES)).to_string()
+                } else {
+                    films[rng.gen_range(0..films.len())].title.clone()
+                }
+            } else {
+                // Serial suffix keeps most titles unique at scale.
+                let base = film_title(&mut rng);
+                if fi % 7 == 0 {
+                    base
+                } else {
+                    format!("{base} {}", 1900 + (fi % 120))
+                }
+            };
+            let year = rng.gen_range(1950..=2017);
+            let mut release = Date::random(&mut rng, year, year);
+            release.year = year;
+
+            let n_genres = rng.gen_range(1..=3);
+            let mut genres: Vec<usize> =
+                (0..n_genres).map(|_| rng.gen_range(0..GENRES.len())).collect();
+            genres.sort_unstable();
+            genres.dedup();
+
+            let n_directors = if prob(&mut rng, 0.12) { 2 } else { 1 };
+            let directors: Vec<usize> =
+                (0..n_directors).map(|_| zipf(&mut rng, n_people, 1.05)).collect();
+
+            let mut writers: Vec<usize> = Vec::new();
+            // Writer/director overlap: the Spike Lee ambiguity of Example 3.1.
+            if prob(&mut rng, 0.4) {
+                writers.push(directors[0]);
+            }
+            while writers.len() < rng.gen_range(1..=3) {
+                writers.push(zipf(&mut rng, n_people, 1.05));
+            }
+            writers.dedup();
+
+            let cast_size = rng.gen_range(5..=22);
+            let mut cast: Vec<CastEntry> = Vec::with_capacity(cast_size);
+            let mut seen = std::collections::BTreeSet::new();
+            // The director occasionally acts in their own film.
+            if prob(&mut rng, 0.18) {
+                seen.insert(directors[0]);
+                cast.push(CastEntry {
+                    person: directors[0],
+                    billing: 1,
+                    has_character_info: true,
+                });
+            }
+            while cast.len() < cast_size {
+                let p = zipf(&mut rng, n_people, 1.02);
+                if seen.insert(p) {
+                    cast.push(CastEntry {
+                        person: p,
+                        billing: (cast.len() + 1) as u8,
+                        has_character_info: prob(&mut rng, 0.55),
+                    });
+                }
+            }
+
+            let mut producers: Vec<usize> = Vec::new();
+            if prob(&mut rng, 0.3) {
+                producers.push(directors[0]);
+            }
+            while producers.len() < rng.gen_range(1..=2) {
+                producers.push(zipf(&mut rng, n_people, 1.1));
+            }
+            producers.dedup();
+
+            let composer =
+                if prob(&mut rng, 0.8) { Some(zipf(&mut rng, n_people.min(200), 1.1)) } else { None };
+
+            films.push(Film {
+                title,
+                year,
+                release,
+                genres,
+                directors,
+                writers,
+                cast,
+                producers,
+                composer,
+                country: rng.gen_range(0..COUNTRIES.len()),
+                #[allow(clippy::explicit_auto_deref)]
+                rating: *choose(&mut rng, RATINGS),
+            });
+        }
+
+        // --- Derived filmographies ---
+        for (fi, film) in films.iter().enumerate() {
+            for c in &film.cast {
+                people[c.person].acted_in.push((fi, c.billing, c.has_character_info));
+            }
+            for &d in &film.directors {
+                people[d].directed.push(fi);
+            }
+            for &w in &film.writers {
+                people[w].wrote.push(fi);
+            }
+            for &p in &film.producers {
+                people[p].produced.push(fi);
+            }
+            if let Some(c) = film.composer {
+                people[c].composed.push(fi);
+            }
+        }
+
+        // --- TV series & episodes ---
+        let mut series: Vec<Series> = Vec::with_capacity(config.n_series);
+        let mut episodes: Vec<Episode> = Vec::new();
+        for si in 0..config.n_series {
+            // One series is called "Biography" — the §2.2 ambiguity where a
+            // page's section header matches a series title.
+            let title = if si == 0 { "Biography".to_string() } else { film_title(&mut rng) };
+            series.push(Series { title });
+            let n_seasons = rng.gen_range(1..=3);
+            for season in 1..=n_seasons {
+                let n_eps = rng.gen_range(4..=10);
+                for number in 1..=n_eps {
+                    let title = if season == 1 && number == 1 && prob(&mut rng, 0.8) {
+                        "Pilot".to_string()
+                    } else if prob(&mut rng, 0.1) {
+                        // Talk-show style: an episode titled with a guest's name.
+                        people[zipf(&mut rng, n_people, 1.02)].name.clone()
+                    } else {
+                        film_title(&mut rng)
+                    };
+                    let cast: Vec<usize> =
+                        (0..rng.gen_range(2..=5)).map(|_| zipf(&mut rng, n_people, 1.02)).collect();
+                    episodes.push(Episode { title, series: si, season, number, cast });
+                }
+            }
+        }
+
+        MovieWorld { config, people, films, series, episodes }
+    }
+
+    /// Build the seed KB under `bias`. Returns the KB plus the subject
+    /// [`ValueId`]s of covered films and people (used by experiments that
+    /// need to know what was annotatable).
+    pub fn build_kb(&self, bias: &KbBias) -> MovieKb {
+        let mut rng = derive_rng(self.config.seed, "movie-kb");
+        let ontology = movie_ontology();
+        let person_t = ontology.type_by_name(types::PERSON).unwrap();
+        let film_t = ontology.type_by_name(types::FILM).unwrap();
+        let series_t = ontology.type_by_name(types::TV_SERIES).unwrap();
+        let episode_t = ontology.type_by_name(types::TV_EPISODE).unwrap();
+
+        let p = |name: &str| ontology.pred_by_name(name).unwrap();
+        let directed_by = p(movie::DIRECTED_BY);
+        let written_by = p(movie::WRITTEN_BY);
+        let has_cast = p(movie::HAS_CAST_MEMBER);
+        let has_genre = p(movie::HAS_GENRE);
+        let release_date = p(movie::RELEASE_DATE);
+        let release_year = p(movie::RELEASE_YEAR);
+        let country = p(movie::COUNTRY);
+        let music_by = p(movie::MUSIC_BY);
+        let ep_number = p(movie::EPISODE_NUMBER);
+        let season_number = p(movie::SEASON_NUMBER);
+        let ep_series = p(movie::EPISODE_SERIES);
+        let has_alias = p(movie::HAS_ALIAS);
+        let place_of_birth = p(movie::PLACE_OF_BIRTH);
+        let birth_date = p(movie::BIRTH_DATE);
+        let acted_in = p(movie::ACTED_IN);
+        let director_of = p(movie::DIRECTOR_OF);
+        let writer_of = p(movie::WRITER_OF);
+        let producer_of = p(movie::PRODUCER_OF);
+        let created_music = p(movie::CREATED_MUSIC_FOR);
+
+        let mut b = KbBuilder::new(ontology);
+
+        // Popularity-weighted film coverage: the famous head is densely
+        // covered, the long tail sparsely.
+        let covered_films: Vec<bool> = (0..self.films.len())
+            .map(|i| {
+                let head = i < (self.films.len() as f64 * bias.film_head_fraction) as usize;
+                prob(&mut rng, if head { bias.film_head_coverage } else { bias.film_tail_coverage })
+            })
+            .collect();
+        let covered_people: Vec<bool> = (0..self.people.len())
+            .map(|i| {
+                let head = i < (self.people.len() as f64 * bias.person_head_fraction) as usize;
+                prob(
+                    &mut rng,
+                    if head { bias.person_head_coverage } else { bias.person_tail_coverage },
+                )
+            })
+            .collect();
+
+        let date_literal = |b: &mut KbBuilder, d: &Date| -> ValueId {
+            let id = b.literal(&d.iso());
+            for v in d.variants() {
+                b.alias(id, &v);
+            }
+            id
+        };
+
+        let mut film_ids: Vec<Option<ValueId>> = vec![None; self.films.len()];
+        let mut person_ids: Vec<Option<ValueId>> = vec![None; self.people.len()];
+
+        for (i, film) in self.films.iter().enumerate() {
+            if !covered_films[i] {
+                continue;
+            }
+            let fid = b.entity(film_t, &film.title);
+            film_ids[i] = Some(fid);
+        }
+        for (i, person) in self.people.iter().enumerate() {
+            if !covered_people[i] {
+                continue;
+            }
+            let pid = b.entity(person_t, &person.name);
+            person_ids[i] = Some(pid);
+        }
+
+        // Film-subject triples.
+        for (i, film) in self.films.iter().enumerate() {
+            let Some(fid) = film_ids[i] else { continue };
+            for &d in &film.directors {
+                if let Some(pid) = person_ids[d] {
+                    if prob(&mut rng, bias.keep_director) {
+                        b.triple(fid, directed_by, pid);
+                        b.triple(pid, director_of, fid);
+                    }
+                }
+            }
+            for &w in &film.writers {
+                if let Some(pid) = person_ids[w] {
+                    if prob(&mut rng, bias.keep_writer) {
+                        b.triple(fid, written_by, pid);
+                        b.triple(pid, writer_of, fid);
+                    }
+                }
+            }
+            for c in &film.cast {
+                // The principal-cast bias: only low billing numbers with
+                // character info enter the KB.
+                let principal =
+                    c.billing <= bias.principal_billing_cutoff && c.has_character_info;
+                if !principal && !prob(&mut rng, bias.keep_cast_nonprincipal) {
+                    continue;
+                }
+                if let Some(pid) = person_ids[c.person] {
+                    b.triple(fid, has_cast, pid);
+                    b.triple(pid, acted_in, fid);
+                }
+            }
+            for &pr in &film.producers {
+                if let Some(pid) = person_ids[pr] {
+                    if prob(&mut rng, bias.keep_producer) {
+                        b.triple(pid, producer_of, fid);
+                    }
+                }
+            }
+            if let Some(cm) = film.composer {
+                if let Some(pid) = person_ids[cm] {
+                    if prob(&mut rng, bias.keep_composer) {
+                        b.triple(fid, music_by, pid);
+                        b.triple(pid, created_music, fid);
+                    }
+                }
+            }
+            if prob(&mut rng, bias.keep_genre) {
+                for &g in &film.genres {
+                    let gid = b.literal(GENRES[g]);
+                    b.triple(fid, has_genre, gid);
+                }
+            }
+            if prob(&mut rng, bias.keep_release_date) {
+                let did = date_literal(&mut b, &film.release);
+                b.triple(fid, release_date, did);
+            }
+            let yid = b.literal(&film.year.to_string());
+            b.triple(fid, release_year, yid);
+            let cid = b.literal(COUNTRIES[film.country]);
+            b.triple(fid, country, cid);
+            // NOTE: mpaaRating deliberately never seeded (Table 3 footnote).
+        }
+
+        // Person-subject triples.
+        for (i, person) in self.people.iter().enumerate() {
+            let Some(pid) = person_ids[i] else { continue };
+            if let Some(alias) = &person.alias {
+                if prob(&mut rng, bias.keep_alias) {
+                    let aid = b.literal(alias);
+                    b.triple(pid, has_alias, aid);
+                    // The alias string also matches the person for topic id.
+                    b.alias(pid, alias);
+                }
+            }
+            if let Some(bp) = &person.birthplace {
+                if prob(&mut rng, bias.keep_birth) {
+                    let bpid = b.literal(bp);
+                    b.triple(pid, place_of_birth, bpid);
+                }
+            }
+            if let Some(bd) = &person.birth {
+                if prob(&mut rng, bias.keep_birth) {
+                    let bdid = date_literal(&mut b, bd);
+                    b.triple(pid, birth_date, bdid);
+                }
+            }
+        }
+
+        // Series & episodes.
+        let mut series_ids = Vec::with_capacity(self.series.len());
+        for s in &self.series {
+            series_ids.push(b.entity(series_t, &s.title));
+        }
+        for (i, ep) in self.episodes.iter().enumerate() {
+            if !prob(&mut rng, bias.episode_coverage) {
+                continue;
+            }
+            // Episodes intern by (type, normalized title); colliding "Pilot"
+            // titles collapse into one entity id, which *is* the ambiguity
+            // the paper describes (one string, thousands of episodes). We
+            // keep them distinct entities by qualifying the canonical name,
+            // with the bare title as a matching alias.
+            let canonical = format!("{} #{i}", ep.title);
+            let eid = b.entity(episode_t, &canonical);
+            b.alias(eid, &ep.title);
+            let sid = series_ids[ep.series];
+            b.triple(eid, ep_series, sid);
+            let season_lit = b.literal(&format!("Season {}", ep.season));
+            b.triple(eid, season_number, season_lit);
+            let num_lit = b.literal(&format!("Episode {}", ep.number));
+            b.triple(eid, ep_number, num_lit);
+            for &c in &ep.cast {
+                if let Some(pid) = person_ids[c] {
+                    b.triple(eid, has_cast, pid);
+                }
+            }
+        }
+
+        let kb = b.build();
+        MovieKb { kb, film_ids, person_ids }
+    }
+}
+
+/// The built KB plus world→KB id maps.
+pub struct MovieKb {
+    pub kb: Kb,
+    /// `film_ids[i]` is the KB id of world film `i`, if covered.
+    pub film_ids: Vec<Option<ValueId>>,
+    pub person_ids: Vec<Option<ValueId>>,
+}
+
+/// Seed-KB bias knobs (DESIGN.md §1; paper footnote 10).
+#[derive(Debug, Clone)]
+pub struct KbBias {
+    pub film_head_fraction: f64,
+    pub film_head_coverage: f64,
+    pub film_tail_coverage: f64,
+    pub person_head_fraction: f64,
+    pub person_head_coverage: f64,
+    pub person_tail_coverage: f64,
+    /// Billing cutoff for "principal" cast membership.
+    pub principal_billing_cutoff: u8,
+    pub keep_cast_nonprincipal: f64,
+    pub keep_director: f64,
+    pub keep_writer: f64,
+    pub keep_producer: f64,
+    pub keep_composer: f64,
+    pub keep_genre: f64,
+    pub keep_release_date: f64,
+    pub keep_alias: f64,
+    pub keep_birth: f64,
+    pub episode_coverage: f64,
+}
+
+impl Default for KbBias {
+    fn default() -> Self {
+        // Tuned so that on rendered pages roughly: cast facts ~14% in KB,
+        // producer ~9%, director ~38%, genre ~58% (footnote 10).
+        KbBias {
+            film_head_fraction: 0.3,
+            film_head_coverage: 0.95,
+            film_tail_coverage: 0.45,
+            person_head_fraction: 0.3,
+            person_head_coverage: 0.9,
+            person_tail_coverage: 0.5,
+            principal_billing_cutoff: 5,
+            keep_cast_nonprincipal: 0.02,
+            keep_director: 0.7,
+            keep_writer: 0.55,
+            keep_producer: 0.2,
+            keep_composer: 0.35,
+            keep_genre: 0.95,
+            keep_release_date: 0.8,
+            keep_alias: 0.8,
+            keep_birth: 0.75,
+            episode_coverage: 0.7,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> MovieWorld {
+        MovieWorld::generate(MovieWorldConfig {
+            seed: 7,
+            n_people: 300,
+            n_films: 120,
+            n_series: 5,
+            title_collision_share: 0.05,
+        })
+    }
+
+    #[test]
+    fn world_generation_is_deterministic() {
+        let a = small_world();
+        let b = small_world();
+        assert_eq!(a.films.len(), b.films.len());
+        assert_eq!(a.films[0].title, b.films[0].title);
+        assert_eq!(a.people[17].name, b.people[17].name);
+        assert_eq!(a.episodes.len(), b.episodes.len());
+    }
+
+    #[test]
+    fn filmographies_are_consistent() {
+        let w = small_world();
+        for (fi, film) in w.films.iter().enumerate() {
+            for c in &film.cast {
+                assert!(w.people[c.person].acted_in.iter().any(|&(f, _, _)| f == fi));
+            }
+            for &d in &film.directors {
+                assert!(w.people[d].directed.contains(&fi));
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_head_people_are_prolific() {
+        let w = small_world();
+        let head_credits: usize =
+            w.people[..10].iter().map(|p| p.acted_in.len()).sum();
+        let tail_credits: usize =
+            w.people[w.people.len() - 10..].iter().map(|p| p.acted_in.len()).sum();
+        assert!(
+            head_credits > tail_credits * 3,
+            "head {head_credits} vs tail {tail_credits}"
+        );
+    }
+
+    #[test]
+    fn pilot_episodes_exist() {
+        let w = small_world();
+        let pilots = w.episodes.iter().filter(|e| e.title == "Pilot").count();
+        assert!(pilots >= 2, "expected several Pilot episodes, got {pilots}");
+    }
+
+    #[test]
+    fn kb_respects_principal_cast_bias() {
+        let w = small_world();
+        let mkb = w.build_kb(&KbBias::default());
+        let kb = &mkb.kb;
+        assert!(kb.n_triples() > 100);
+
+        // Fraction of all world cast credits present in the KB should be
+        // well below the director fraction (footnote 10's shape).
+        let has_cast = kb.ontology().pred_by_name(movie::HAS_CAST_MEMBER).unwrap();
+        let directed = kb.ontology().pred_by_name(movie::DIRECTED_BY).unwrap();
+        let world_cast: usize = w.films.iter().map(|f| f.cast.len()).sum();
+        let world_directed: usize = w.films.iter().map(|f| f.directors.len()).sum();
+        let kb_cast = kb.triples().iter().filter(|t| t.pred == has_cast).count();
+        let kb_directed = kb.triples().iter().filter(|t| t.pred == directed).count();
+        let cast_frac = kb_cast as f64 / world_cast as f64;
+        let dir_frac = kb_directed as f64 / world_directed as f64;
+        assert!(cast_frac < dir_frac, "cast {cast_frac:.2} vs director {dir_frac:.2}");
+        assert!(cast_frac < 0.35, "cast fraction too high: {cast_frac:.2}");
+    }
+
+    #[test]
+    fn mpaa_rating_never_seeded() {
+        let w = small_world();
+        let mkb = w.build_kb(&KbBias::default());
+        let rating = mkb.kb.ontology().pred_by_name(movie::MPAA_RATING).unwrap();
+        assert_eq!(mkb.kb.triples().iter().filter(|t| t.pred == rating).count(), 0);
+    }
+
+    #[test]
+    fn date_literals_match_all_render_styles() {
+        let w = small_world();
+        let mkb = w.build_kb(&KbBias::default());
+        // Find some film with a release-date triple and check the matcher
+        // reaches it from every render style.
+        let rd = mkb.kb.ontology().pred_by_name(movie::RELEASE_DATE).unwrap();
+        let t = mkb.kb.triples().iter().find(|t| t.pred == rd).expect("some release date");
+        let iso = mkb.kb.canonical(t.object).to_string();
+        // Reconstruct the Date from ISO and check variants.
+        let parts: Vec<u16> = iso.split('-').map(|p| p.parse().unwrap()).collect();
+        let d = Date { year: parts[0], month: parts[1] as u8, day: parts[2] as u8 };
+        for v in d.variants() {
+            assert!(
+                mkb.kb.match_text(&v).contains(&t.object),
+                "style {v} failed to match {iso}"
+            );
+        }
+    }
+
+    #[test]
+    fn ambiguous_episode_titles_share_alias() {
+        let w = small_world();
+        // Full episode coverage so every pilot lands in the KB.
+        let bias = KbBias { episode_coverage: 1.0, ..KbBias::default() };
+        let mkb = w.build_kb(&bias);
+        let hits = mkb.kb.match_text("Pilot");
+        assert!(hits.len() >= 2, "Pilot should be ambiguous, got {}", hits.len());
+    }
+}

@@ -1,0 +1,227 @@
+//! Deterministic name, title, and date generators.
+//!
+//! The generators are built from syllable tables so that (a) the space is
+//! large enough to avoid unwanted collisions at scale, while (b) *wanted*
+//! collisions — the ambiguity CERES must survive — are injected explicitly:
+//! episode titles reusing famous strings ("Pilot"), films named after common
+//! UI words, people sharing surnames.
+
+use crate::rng::choose;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+const GIVEN_SYL_A: &[&str] = &[
+    "Al", "Ben", "Car", "Da", "El", "Fran", "Gre", "Hen", "Is", "Jo", "Ka", "Lu", "Mar",
+    "Nor", "Os", "Pat", "Quin", "Ro", "Sam", "Ta", "Ur", "Vic", "Wen", "Xa", "Yo", "Zel",
+];
+const GIVEN_SYL_B: &[&str] = &[
+    "a", "an", "ard", "as", "el", "en", "ia", "in", "io", "is", "on", "or", "ra", "ric",
+    "ta", "ton", "us",
+];
+const SURNAME_SYL_A: &[&str] = &[
+    "Ander", "Black", "Carl", "Dawn", "Ells", "Fitz", "Gold", "Harring", "Ivers", "Jack",
+    "Kings", "Lind", "Mont", "North", "Okon", "Peters", "Quill", "Richard", "Sander",
+    "Thorn", "Under", "Vander", "Whit", "Young", "Zimmer",
+];
+const SURNAME_SYL_B: &[&str] = &[
+    "berg", "by", "dale", "field", "ford", "gate", "house", "land", "ley", "man", "mark",
+    "mont", "son", "stein", "stone", "ton", "well", "wood", "worth",
+];
+
+const TITLE_ADJ: &[&str] = &[
+    "Crimson", "Silent", "Broken", "Golden", "Midnight", "Savage", "Hidden", "Electric",
+    "Frozen", "Burning", "Distant", "Velvet", "Hollow", "Iron", "Paper", "Scarlet",
+    "Wandering", "Forgotten", "Neon", "Quiet",
+];
+const TITLE_NOUN: &[&str] = &[
+    "River", "Empire", "Harvest", "Mirror", "Garden", "Station", "Horizon", "Shadow",
+    "Serenade", "Voyage", "Winter", "Carnival", "Fortress", "Lantern", "Meridian",
+    "Orchard", "Paradox", "Requiem", "Summit", "Tides",
+];
+const TITLE_TAIL: &[&str] = &[
+    "", "", "", " II", " Returns", " Rising", " of the North", " at Dawn", " Forever",
+    " in Blue",
+];
+
+/// Common UI strings that double as entity names — the "Help"/"Biography"
+/// ambiguity of paper §3.1.2 and §2.2.
+pub const AMBIGUOUS_TITLES: &[&str] = &["Help", "Biography", "Home", "Contact", "Pilot"];
+
+const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+/// Generate a person name. Collisions are possible (as in reality) but rare.
+pub fn person_name(rng: &mut SmallRng) -> String {
+    let given = format!("{}{}", choose(rng, GIVEN_SYL_A), choose(rng, GIVEN_SYL_B));
+    let surname = format!("{}{}", choose(rng, SURNAME_SYL_A), choose(rng, SURNAME_SYL_B));
+    format!("{given} {surname}")
+}
+
+/// A "Surname, Given" or initialed variant used as a person alias.
+pub fn person_alias(rng: &mut SmallRng, name: &str) -> String {
+    let mut parts = name.split(' ');
+    let given = parts.next().unwrap_or("X");
+    let surname = parts.next().unwrap_or("Y");
+    match rng.gen_range(0..3u8) {
+        0 => format!("{surname}, {given}"),
+        1 => format!("{}. {surname}", &given[..1]),
+        _ => format!("{given} {} {surname}", choose(rng, &["J.", "M.", "R.", "T."])),
+    }
+}
+
+/// Generate a film/series title; `serial` guarantees uniqueness within a
+/// world when appended (worlds pass a per-title counter for a slice of
+/// titles to keep most titles unique while allowing a controlled share of
+/// duplicates).
+pub fn film_title(rng: &mut SmallRng) -> String {
+    format!(
+        "{} {}{}",
+        choose(rng, TITLE_ADJ),
+        choose(rng, TITLE_NOUN),
+        choose(rng, TITLE_TAIL)
+    )
+}
+
+/// Book titles reuse the film table with a different shape.
+pub fn book_title(rng: &mut SmallRng) -> String {
+    match rng.gen_range(0..3u8) {
+        0 => format!("The {} {}", choose(rng, TITLE_ADJ), choose(rng, TITLE_NOUN)),
+        1 => format!("A {} of {}s", choose(rng, TITLE_NOUN), choose(rng, TITLE_NOUN)),
+        _ => format!("{} & {}", choose(rng, TITLE_NOUN), choose(rng, TITLE_NOUN)),
+    }
+}
+
+/// University names.
+pub fn university_name(rng: &mut SmallRng) -> String {
+    let place = format!("{}{}", choose(rng, SURNAME_SYL_A), choose(rng, SURNAME_SYL_B));
+    match rng.gen_range(0..3u8) {
+        0 => format!("University of {place}"),
+        1 => format!("{place} State University"),
+        _ => format!("{place} College"),
+    }
+}
+
+/// NBA team names.
+pub fn team_name(rng: &mut SmallRng) -> String {
+    let city = format!("{}{}", choose(rng, SURNAME_SYL_A), choose(rng, SURNAME_SYL_B));
+    let mascot = choose(
+        rng,
+        &["Hawks", "Comets", "Titans", "Wolves", "Raptors", "Chargers", "Kings", "Storm"],
+    );
+    format!("{city} {mascot}")
+}
+
+/// A calendar date with multiple render styles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Date {
+    pub year: u16,
+    pub month: u8,
+    pub day: u8,
+}
+
+impl Date {
+    pub fn random(rng: &mut SmallRng, year_lo: u16, year_hi: u16) -> Date {
+        Date {
+            year: rng.gen_range(year_lo..=year_hi),
+            month: rng.gen_range(1..=12),
+            day: rng.gen_range(1..=28),
+        }
+    }
+
+    /// Canonical ISO form — what the KB stores.
+    pub fn iso(&self) -> String {
+        format!("{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+
+    /// US style: "June 30, 1989".
+    pub fn us(&self) -> String {
+        format!("{} {}, {}", MONTHS[(self.month - 1) as usize], self.day, self.year)
+    }
+
+    /// European style: "30 June 1989".
+    pub fn eu(&self) -> String {
+        format!("{} {} {}", self.day, MONTHS[(self.month - 1) as usize], self.year)
+    }
+
+    /// All render variants (used to alias the KB literal so that fuzzy
+    /// matching connects a page rendering to the canonical form).
+    pub fn variants(&self) -> Vec<String> {
+        vec![self.iso(), self.us(), self.eu()]
+    }
+}
+
+/// Render style for dates, fixed per site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DateStyle {
+    Iso,
+    Us,
+    Eu,
+}
+
+impl DateStyle {
+    pub fn render(self, d: &Date) -> String {
+        match self {
+            DateStyle::Iso => d.iso(),
+            DateStyle::Us => d.us(),
+            DateStyle::Eu => d.eu(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut a = derive_rng(1, "n");
+        let mut b = derive_rng(1, "n");
+        assert_eq!(person_name(&mut a), person_name(&mut b));
+        assert_eq!(film_title(&mut a), film_title(&mut b));
+    }
+
+    #[test]
+    fn names_have_two_parts() {
+        let mut rng = derive_rng(3, "names");
+        for _ in 0..50 {
+            let n = person_name(&mut rng);
+            assert_eq!(n.split(' ').count(), 2, "{n}");
+        }
+    }
+
+    #[test]
+    fn alias_differs_from_name() {
+        let mut rng = derive_rng(4, "alias");
+        for _ in 0..50 {
+            let n = person_name(&mut rng);
+            let a = person_alias(&mut rng, &n);
+            assert_ne!(n, a);
+            // Shares the surname.
+            let surname = n.split(' ').nth(1).unwrap();
+            assert!(a.contains(surname), "{a} should contain {surname}");
+        }
+    }
+
+    #[test]
+    fn date_variants_roundtrip_via_normalization() {
+        let d = Date { year: 1989, month: 6, day: 30 };
+        assert_eq!(d.iso(), "1989-06-30");
+        assert_eq!(d.us(), "June 30, 1989");
+        assert_eq!(d.eu(), "30 June 1989");
+        assert_eq!(d.variants().len(), 3);
+    }
+
+    #[test]
+    fn name_space_is_large() {
+        let mut rng = derive_rng(5, "space");
+        let mut set = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            set.insert(person_name(&mut rng));
+        }
+        // Collisions allowed but must be rare.
+        assert!(set.len() > 900, "only {} unique of 1000", set.len());
+    }
+}

@@ -1,0 +1,134 @@
+//! Deterministic randomness helpers.
+//!
+//! Every generator takes an explicit seed; sites derive their own seeds from
+//! the master seed and the site name, so adding a site never perturbs the
+//! pages of another.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Derive a child RNG from a master seed and a string tag.
+pub fn derive_rng(master_seed: u64, tag: &str) -> SmallRng {
+    // FNV-1a over the tag, mixed with the master seed.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ master_seed.rotate_left(17);
+    for b in tag.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    SmallRng::seed_from_u64(h ^ master_seed)
+}
+
+/// Bernoulli draw.
+pub fn prob(rng: &mut SmallRng, p: f64) -> bool {
+    rng.gen_bool(p.clamp(0.0, 1.0))
+}
+
+/// Uniform choice from a non-empty slice.
+pub fn choose<'a, T>(rng: &mut SmallRng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// Approximate Zipf sample over `0..n` with exponent `s` (popularity skew:
+/// index 0 is the most popular item). Uses inverse-CDF rejection, good
+/// enough for workload generation.
+pub fn zipf(rng: &mut SmallRng, n: usize, s: f64) -> usize {
+    debug_assert!(n > 0);
+    if n == 1 {
+        return 0;
+    }
+    // Rejection sampling against the continuous envelope (Devroye).
+    let n_f = n as f64;
+    loop {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let x = ((n_f.powf(1.0 - s) - 1.0) * u + 1.0).powf(1.0 / (1.0 - s));
+        let k = x.floor() as usize;
+        if k >= 1 && k <= n {
+            return k - 1;
+        }
+    }
+}
+
+/// Sample `k` distinct indices from `0..n` with Zipf skew; falls back to all
+/// indices when `k >= n`.
+pub fn zipf_distinct(rng: &mut SmallRng, n: usize, k: usize, s: f64) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    // Cap attempts to avoid pathological loops on tiny n / large k.
+    let mut attempts = 0;
+    while seen.len() < k && attempts < 50 * k + 100 {
+        seen.insert(zipf(rng, n, s));
+        attempts += 1;
+    }
+    let mut i = 0;
+    while seen.len() < k {
+        seen.insert(i);
+        i += 1;
+    }
+    seen.into_iter().collect()
+}
+
+/// Uniform sample of `k` distinct indices from `0..n` (Floyd's algorithm).
+pub fn sample_distinct(rng: &mut SmallRng, n: usize, k: usize) -> Vec<usize> {
+    if k >= n {
+        return (0..n).collect();
+    }
+    let mut set = std::collections::BTreeSet::new();
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if !set.insert(t) {
+            set.insert(j);
+        }
+    }
+    set.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_rng_is_deterministic_and_tag_sensitive() {
+        let mut a1 = derive_rng(42, "site-a");
+        let mut a2 = derive_rng(42, "site-a");
+        let mut b = derive_rng(42, "site-b");
+        let va1: u64 = a1.gen();
+        let va2: u64 = a2.gen();
+        let vb: u64 = b.gen();
+        assert_eq!(va1, va2);
+        assert_ne!(va1, vb);
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_small_indices() {
+        let mut rng = derive_rng(7, "zipf");
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[zipf(&mut rng, 100, 1.1)] += 1;
+        }
+        assert!(counts[0] > counts[50] * 5, "head {} tail {}", counts[0], counts[50]);
+        assert!(counts.iter().sum::<usize>() == 20_000);
+    }
+
+    #[test]
+    fn zipf_distinct_returns_k_unique() {
+        let mut rng = derive_rng(7, "zd");
+        let v = zipf_distinct(&mut rng, 50, 10, 1.2);
+        assert_eq!(v.len(), 10);
+        let mut u = v.clone();
+        u.dedup();
+        assert_eq!(u.len(), 10);
+        assert!(v.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn sample_distinct_bounds() {
+        let mut rng = derive_rng(9, "sd");
+        let v = sample_distinct(&mut rng, 10, 4);
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|&i| i < 10));
+        let all = sample_distinct(&mut rng, 3, 10);
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+}

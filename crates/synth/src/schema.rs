@@ -1,0 +1,162 @@
+//! Ontology definitions shared between the worlds, the site renderers, and
+//! the evaluation harness. Predicate *names* are the cross-crate contract:
+//! gold facts, KB triples, and reported metrics all use these strings.
+
+use ceres_kb::Ontology;
+
+/// Predicate names for the movie vertical (both film-subject and
+/// person-subject predicates, after Tables 5/6/9 of the paper).
+pub mod movie {
+    pub const DIRECTED_BY: &str = "film.wasDirectedBy.person";
+    pub const WRITTEN_BY: &str = "film.wasWrittenBy.person";
+    pub const HAS_CAST_MEMBER: &str = "film.hasCastMember.person";
+    pub const HAS_GENRE: &str = "film.hasGenre.genre";
+    pub const RELEASE_DATE: &str = "film.hasReleaseDate.date";
+    pub const RELEASE_YEAR: &str = "film.releaseYear";
+    pub const MPAA_RATING: &str = "film.mpaaRating";
+    pub const COUNTRY: &str = "film.country";
+    pub const MUSIC_BY: &str = "film.musicBy.person";
+    pub const EPISODE_NUMBER: &str = "episode.episodeNumber";
+    pub const SEASON_NUMBER: &str = "episode.seasonNumber";
+    pub const EPISODE_SERIES: &str = "episode.series";
+    pub const HAS_ALIAS: &str = "person.hasAlias.name";
+    pub const PLACE_OF_BIRTH: &str = "person.placeOfBirth";
+    pub const BIRTH_DATE: &str = "person.birthDate";
+    pub const ACTED_IN: &str = "person.actedIn.film";
+    pub const DIRECTOR_OF: &str = "person.directorOf.film";
+    pub const WRITER_OF: &str = "person.writerOf.film";
+    pub const PRODUCER_OF: &str = "person.producerOf.film";
+    pub const CREATED_MUSIC_FOR: &str = "person.createdMusicFor.film";
+}
+
+/// Predicate names for the Book vertical (Table 1).
+pub mod book {
+    pub const AUTHOR: &str = "book.author";
+    pub const ISBN13: &str = "book.isbn13";
+    pub const PUBLISHER: &str = "book.publisher";
+    pub const PUBLICATION_DATE: &str = "book.publicationDate";
+}
+
+/// Predicate names for the NBA Player vertical (Table 1).
+pub mod nba {
+    pub const TEAM: &str = "player.team";
+    pub const HEIGHT: &str = "player.height";
+    pub const WEIGHT: &str = "player.weight";
+}
+
+/// Predicate names for the University vertical (Table 1).
+pub mod university {
+    pub const PHONE: &str = "university.phone";
+    pub const WEBSITE: &str = "university.website";
+    pub const TYPE: &str = "university.type";
+}
+
+/// Entity type names.
+pub mod types {
+    pub const PERSON: &str = "Person";
+    pub const FILM: &str = "Film";
+    pub const TV_SERIES: &str = "TVSeries";
+    pub const TV_EPISODE: &str = "TVEpisode";
+    pub const BOOK: &str = "Book";
+    pub const AUTHOR: &str = "Author";
+    pub const PLAYER: &str = "NBAPlayer";
+    pub const UNIVERSITY: &str = "University";
+}
+
+/// Build the movie-vertical ontology (Table 2's four entity types).
+///
+/// `film.mpaaRating` is registered but the seed-KB builder never adds
+/// triples for it — reproducing Table 3's footnote ("The KB … did not
+/// include Movie.MPAA-Rating because lacking seed data").
+pub fn movie_ontology() -> Ontology {
+    use movie::*;
+    let mut o = Ontology::new();
+    let person = o.register_type(types::PERSON);
+    let film = o.register_type(types::FILM);
+    let _series = o.register_type(types::TV_SERIES);
+    let episode = o.register_type(types::TV_EPISODE);
+
+    o.register_pred(DIRECTED_BY, film, true);
+    o.register_pred(WRITTEN_BY, film, true);
+    o.register_pred(HAS_CAST_MEMBER, film, true);
+    o.register_pred(HAS_GENRE, film, true);
+    o.register_pred(RELEASE_DATE, film, false);
+    o.register_pred(RELEASE_YEAR, film, false);
+    o.register_pred(MPAA_RATING, film, false);
+    o.register_pred(COUNTRY, film, false);
+    o.register_pred(MUSIC_BY, film, true);
+    o.register_pred(EPISODE_NUMBER, episode, false);
+    o.register_pred(SEASON_NUMBER, episode, false);
+    o.register_pred(EPISODE_SERIES, episode, false);
+    o.register_pred(HAS_ALIAS, person, true);
+    o.register_pred(PLACE_OF_BIRTH, person, false);
+    o.register_pred(BIRTH_DATE, person, false);
+    o.register_pred(ACTED_IN, person, true);
+    o.register_pred(DIRECTOR_OF, person, true);
+    o.register_pred(WRITER_OF, person, true);
+    o.register_pred(PRODUCER_OF, person, true);
+    o.register_pred(CREATED_MUSIC_FOR, person, true);
+    o
+}
+
+/// Build the Book-vertical ontology.
+pub fn book_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    let book = o.register_type(types::BOOK);
+    let _author = o.register_type(types::AUTHOR);
+    o.register_pred(book::AUTHOR, book, true);
+    o.register_pred(book::ISBN13, book, false);
+    o.register_pred(book::PUBLISHER, book, false);
+    o.register_pred(book::PUBLICATION_DATE, book, false);
+    o
+}
+
+/// Build the NBA-vertical ontology.
+pub fn nba_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    let player = o.register_type(types::PLAYER);
+    o.register_pred(nba::TEAM, player, false);
+    o.register_pred(nba::HEIGHT, player, false);
+    o.register_pred(nba::WEIGHT, player, false);
+    o
+}
+
+/// Build the University-vertical ontology.
+pub fn university_ontology() -> Ontology {
+    let mut o = Ontology::new();
+    let uni = o.register_type(types::UNIVERSITY);
+    o.register_pred(university::PHONE, uni, false);
+    o.register_pred(university::WEBSITE, uni, false);
+    o.register_pred(university::TYPE, uni, false);
+    o
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movie_ontology_has_all_predicates() {
+        let o = movie_ontology();
+        assert_eq!(o.n_types(), 4);
+        assert_eq!(o.n_preds(), 20);
+        assert!(o.pred_by_name(movie::ACTED_IN).is_some());
+        assert!(o.pred_by_name(movie::MPAA_RATING).is_some());
+        let film = o.type_by_name(types::FILM).unwrap();
+        assert_eq!(o.preds_of_type(film).len(), 9);
+    }
+
+    #[test]
+    fn vertical_ontologies_build() {
+        assert_eq!(book_ontology().n_preds(), 4);
+        assert_eq!(nba_ontology().n_preds(), 3);
+        assert_eq!(university_ontology().n_preds(), 3);
+    }
+
+    #[test]
+    fn multi_valued_flags_match_semantics() {
+        let o = movie_ontology();
+        assert!(o.pred(o.pred_by_name(movie::HAS_CAST_MEMBER).unwrap()).multi_valued);
+        assert!(!o.pred(o.pred_by_name(movie::RELEASE_YEAR).unwrap()).multi_valued);
+    }
+}

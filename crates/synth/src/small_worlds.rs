@@ -1,0 +1,290 @@
+//! The three non-movie SWDE verticals: Book, NBA Player, University.
+//!
+//! Each world is a flat entity list; per the paper (§5.1.1), the seed KB for
+//! these verticals is built from the *ground truth of one site* (abebooks,
+//! espn, collegeboard respectively), so the KB builders here take the subset
+//! of entities that site carries.
+
+use crate::names::{book_title, person_name, team_name, university_name, Date};
+use crate::rng::{derive_rng, prob};
+use crate::schema::{book, book_ontology, nba, nba_ontology, types, university,
+    university_ontology};
+use ceres_kb::Kb;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A book.
+#[derive(Debug, Clone)]
+pub struct Book {
+    pub title: String,
+    pub authors: Vec<String>,
+    pub isbn13: String,
+    pub publisher: String,
+    pub pub_date: Date,
+}
+
+/// The book universe.
+#[derive(Debug)]
+pub struct BookWorld {
+    pub books: Vec<Book>,
+}
+
+pub const PUBLISHERS: &[&str] = &[
+    "Harbor Press", "Northgate Books", "Meridian House", "Lantern & Sons", "Paper Crane",
+    "Gold Leaf Publishing", "Riverton Press", "Summit Editions",
+];
+
+impl BookWorld {
+    pub fn generate(seed: u64, n_books: usize) -> BookWorld {
+        let mut rng = derive_rng(seed, "book-world");
+        // A pool of authors smaller than the book count so authors repeat
+        // across books (needed for cross-site KB overlap to mean anything).
+        let n_authors = (n_books / 3).max(8);
+        let authors: Vec<String> = (0..n_authors).map(|_| person_name(&mut rng)).collect();
+        let books = (0..n_books)
+            .map(|i| {
+                let n_auth = if prob(&mut rng, 0.2) { 2 } else { 1 };
+                let mut bauthors: Vec<String> = (0..n_auth)
+                    .map(|_| authors[rng.gen_range(0..authors.len())].clone())
+                    .collect();
+                bauthors.dedup();
+                Book {
+                    title: format!("{} ({})", book_title(&mut rng), i),
+                    authors: bauthors,
+                    isbn13: format!("978{:010}", rng.gen_range(0u64..10_000_000_000)),
+                    publisher: (*crate::rng::choose(&mut rng, PUBLISHERS)).to_string(),
+                    pub_date: Date::random(&mut rng, 1980, 2017),
+                }
+            })
+            .collect();
+        BookWorld { books }
+    }
+
+    /// Build the seed KB from the books in `catalog` (site 0's catalog).
+    pub fn build_kb(&self, catalog: &[usize]) -> Kb {
+        let o = book_ontology();
+        let book_t = o.type_by_name(types::BOOK).unwrap();
+        let author_t = o.type_by_name(types::AUTHOR).unwrap();
+        let author_p = o.pred_by_name(book::AUTHOR).unwrap();
+        let isbn_p = o.pred_by_name(book::ISBN13).unwrap();
+        let publisher_p = o.pred_by_name(book::PUBLISHER).unwrap();
+        let date_p = o.pred_by_name(book::PUBLICATION_DATE).unwrap();
+        let mut b = ceres_kb::KbBuilder::new(o);
+        for &i in catalog {
+            let bk = &self.books[i];
+            let bid = b.entity(book_t, &bk.title);
+            for a in &bk.authors {
+                let aid = b.entity(author_t, a);
+                b.triple(bid, author_p, aid);
+            }
+            let isbn = b.literal(&bk.isbn13);
+            b.triple(bid, isbn_p, isbn);
+            let pubid = b.literal(&bk.publisher);
+            b.triple(bid, publisher_p, pubid);
+            let did = b.literal(&bk.pub_date.iso());
+            for v in bk.pub_date.variants() {
+                b.alias(did, &v);
+            }
+            b.triple(bid, date_p, did);
+        }
+        b.build()
+    }
+}
+
+/// An NBA player.
+#[derive(Debug, Clone)]
+pub struct Player {
+    pub name: String,
+    pub team: String,
+    /// Feet-inches, e.g. "6-8".
+    pub height: String,
+    /// Pounds, e.g. "245 lbs".
+    pub weight: String,
+}
+
+/// The NBA universe.
+#[derive(Debug)]
+pub struct NbaWorld {
+    pub players: Vec<Player>,
+    pub teams: Vec<String>,
+}
+
+impl NbaWorld {
+    pub fn generate(seed: u64, n_players: usize) -> NbaWorld {
+        let mut rng = derive_rng(seed, "nba-world");
+        let teams: Vec<String> = (0..30).map(|_| team_name(&mut rng)).collect();
+        let players = (0..n_players)
+            .map(|_| Player {
+                name: person_name(&mut rng),
+                team: teams[rng.gen_range(0..teams.len())].clone(),
+                height: format!("{}-{}", rng.gen_range(5..=7), rng.gen_range(0..=11)),
+                weight: format!("{} lbs", rng.gen_range(160..=320)),
+            })
+            .collect();
+        NbaWorld { players, teams }
+    }
+
+    pub fn build_kb(&self, roster: &[usize]) -> Kb {
+        let o = nba_ontology();
+        let player_t = o.type_by_name(types::PLAYER).unwrap();
+        let team_p = o.pred_by_name(nba::TEAM).unwrap();
+        let height_p = o.pred_by_name(nba::HEIGHT).unwrap();
+        let weight_p = o.pred_by_name(nba::WEIGHT).unwrap();
+        let mut b = ceres_kb::KbBuilder::new(o);
+        for &i in roster {
+            let p = &self.players[i];
+            let pid = b.entity(player_t, &p.name);
+            let tid = b.literal(&p.team);
+            b.triple(pid, team_p, tid);
+            let hid = b.literal(&p.height);
+            // Height renders differently on some sites: 6'8".
+            let parts: Vec<&str> = p.height.split('-').collect();
+            b.alias(hid, &format!("{}'{}\"", parts[0], parts[1]));
+            b.triple(pid, height_p, hid);
+            let wid = b.literal(&p.weight);
+            b.alias(wid, p.weight.trim_end_matches(" lbs"));
+            b.triple(pid, weight_p, wid);
+        }
+        b.build()
+    }
+}
+
+/// A university.
+#[derive(Debug, Clone)]
+pub struct University {
+    pub name: String,
+    pub phone: String,
+    pub website: String,
+    /// "Public" or "Private".
+    pub ty: &'static str,
+}
+
+/// The university universe.
+#[derive(Debug)]
+pub struct UniversityWorld {
+    pub universities: Vec<University>,
+}
+
+impl UniversityWorld {
+    pub fn generate(seed: u64, n: usize) -> UniversityWorld {
+        let mut rng = derive_rng(seed, "uni-world");
+        let mut seen = std::collections::HashSet::new();
+        let mut universities = Vec::with_capacity(n);
+        while universities.len() < n {
+            let name = university_name(&mut rng);
+            if !seen.insert(name.clone()) {
+                continue;
+            }
+            let slug: String = name
+                .to_lowercase()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect();
+            universities.push(University {
+                name,
+                phone: format!(
+                    "({:03}) {:03}-{:04}",
+                    rng.gen_range(200..999),
+                    rng.gen_range(200..999),
+                    rng.gen_range(0..9999)
+                ),
+                website: format!("www.{}.edu", &slug[..slug.len().min(16)]),
+                ty: if prob(&mut rng, 0.55) { "Public" } else { "Private" },
+            });
+        }
+        UniversityWorld { universities }
+    }
+
+    pub fn build_kb(&self, subset: &[usize]) -> Kb {
+        let o = university_ontology();
+        let uni_t = o.type_by_name(types::UNIVERSITY).unwrap();
+        let phone_p = o.pred_by_name(university::PHONE).unwrap();
+        let web_p = o.pred_by_name(university::WEBSITE).unwrap();
+        let type_p = o.pred_by_name(university::TYPE).unwrap();
+        let mut b = ceres_kb::KbBuilder::new(o);
+        for &i in subset {
+            let u = &self.universities[i];
+            let uid = b.entity(uni_t, &u.name);
+            let ph = b.literal(&u.phone);
+            b.triple(uid, phone_p, ph);
+            let web = b.literal(&u.website);
+            b.alias(web, &format!("http://{}", u.website));
+            b.triple(uid, web_p, web);
+            let ty = b.literal(u.ty);
+            b.triple(uid, type_p, ty);
+        }
+        b.build()
+    }
+}
+
+/// Draw a site catalog of `size` entity indexes with `overlap` indexes
+/// shared with `base` (site 0's catalog) and the rest disjoint from it.
+pub fn catalog_with_overlap(
+    rng: &mut SmallRng,
+    universe: usize,
+    base: &[usize],
+    size: usize,
+    overlap: usize,
+) -> Vec<usize> {
+    let overlap = overlap.min(base.len()).min(size);
+    let mut out: Vec<usize> =
+        crate::rng::sample_distinct(rng, base.len(), overlap).iter().map(|&i| base[i]).collect();
+    let base_set: std::collections::BTreeSet<usize> = base.iter().copied().collect();
+    let mut candidates: Vec<usize> = (0..universe).filter(|i| !base_set.contains(i)).collect();
+    let need = size.saturating_sub(out.len());
+    let picks = crate::rng::sample_distinct(rng, candidates.len(), need);
+    for p in picks {
+        out.push(candidates[p]);
+    }
+    candidates.clear();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    #[test]
+    fn book_world_and_kb() {
+        let w = BookWorld::generate(5, 100);
+        assert_eq!(w.books.len(), 100);
+        let kb = w.build_kb(&[0, 1, 2, 3, 4]);
+        assert_eq!(kb.stats().types.iter().find(|t| t.type_name == "Book").unwrap().instances, 5);
+        // ISBN matches.
+        let isbn = &w.books[2].isbn13;
+        assert!(!kb.match_text(isbn).is_empty());
+        // A book outside the catalog does not match.
+        assert!(kb.match_text(&w.books[50].title).is_empty());
+    }
+
+    #[test]
+    fn nba_kb_matches_height_variants() {
+        let w = NbaWorld::generate(6, 40);
+        let kb = w.build_kb(&(0..40).collect::<Vec<_>>());
+        let p = &w.players[0];
+        let parts: Vec<&str> = p.height.split('-').collect();
+        let variant = format!("{}'{}\"", parts[0], parts[1]);
+        assert!(!kb.match_text(&variant).is_empty(), "{variant}");
+    }
+
+    #[test]
+    fn university_types_are_binary() {
+        let w = UniversityWorld::generate(7, 60);
+        assert!(w.universities.iter().all(|u| u.ty == "Public" || u.ty == "Private"));
+        let kb = w.build_kb(&(0..60).collect::<Vec<_>>());
+        assert!(!kb.match_text("Public").is_empty());
+    }
+
+    #[test]
+    fn catalog_overlap_is_exact() {
+        let mut rng = derive_rng(8, "cat");
+        let base: Vec<usize> = (0..50).collect();
+        let cat = catalog_with_overlap(&mut rng, 500, &base, 80, 20);
+        let in_base = cat.iter().filter(|&&i| i < 50).count();
+        assert_eq!(in_base, 20);
+        assert_eq!(cat.len(), 80);
+    }
+}

@@ -1,0 +1,376 @@
+//! Per-site presentation: markup style, class-name lexicon, label language.
+//!
+//! Two sites asserting the same fact render it through different DOM shapes
+//! and labels — this is exactly why DOM extractors must be retrained per
+//! site (paper §1) and what the style lexicon varies.
+
+use crate::names::DateStyle;
+use crate::rng::{choose, prob};
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// How key-value facts are laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KvStyle {
+    /// `<table><tr><td>label</td><td>value</td></tr>…`
+    Table,
+    /// `<div class=row><span class=label>…</span><span class=value>…</span></div>`
+    Divs,
+    /// `<dl><dt>label</dt><dd>value</dd>…`
+    DefinitionList,
+}
+
+/// How multi-valued lists are laid out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ListStyle {
+    /// `<ul><li>…</li></ul>`
+    Ul,
+    /// `<div class=items><div class=item>…</div></div>`
+    Divs,
+}
+
+/// UI label strings in the site's language.
+#[derive(Debug, Clone)]
+pub struct LabelPack {
+    pub language: &'static str,
+    pub director: &'static str,
+    pub writer: &'static str,
+    pub cast: &'static str,
+    pub genre: &'static str,
+    pub release_date: &'static str,
+    pub year: &'static str,
+    pub country: &'static str,
+    pub rating: &'static str,
+    pub also_known_as: &'static str,
+    pub born: &'static str,
+    pub birthplace: &'static str,
+    pub filmography_actor: &'static str,
+    pub filmography_director: &'static str,
+    pub filmography_writer: &'static str,
+    pub filmography_producer: &'static str,
+    pub filmography_composer: &'static str,
+    pub known_for: &'static str,
+    pub recommendations: &'static str,
+    pub search: &'static str,
+    pub help: &'static str,
+    pub contact: &'static str,
+    pub home: &'static str,
+    pub season: &'static str,
+    pub episode: &'static str,
+    pub series: &'static str,
+}
+
+/// English labels.
+pub const EN: LabelPack = LabelPack {
+    language: "en",
+    director: "Director",
+    writer: "Writer",
+    cast: "Cast",
+    genre: "Genre",
+    release_date: "Release Date",
+    year: "Year",
+    country: "Country",
+    rating: "Rating",
+    also_known_as: "Also Known As",
+    born: "Born",
+    birthplace: "Place of Birth",
+    filmography_actor: "Actor",
+    filmography_director: "Director",
+    filmography_writer: "Writer",
+    filmography_producer: "Producer",
+    filmography_composer: "Music Department",
+    known_for: "Known For",
+    recommendations: "People who liked this also liked",
+    search: "Search",
+    help: "Help",
+    contact: "Contact",
+    home: "Home",
+    season: "Season",
+    episode: "Episode",
+    series: "Series",
+};
+
+pub const CS: LabelPack = LabelPack {
+    language: "cs",
+    director: "Režie",
+    writer: "Scénář",
+    cast: "Hrají",
+    genre: "Žánr",
+    release_date: "Datum premiéry",
+    year: "Rok",
+    country: "Země",
+    rating: "Hodnocení",
+    also_known_as: "Také známý jako",
+    born: "Narozen",
+    birthplace: "Místo narození",
+    filmography_actor: "Herec",
+    filmography_director: "Režisér",
+    filmography_writer: "Scenárista",
+    filmography_producer: "Producent",
+    filmography_composer: "Hudba",
+    known_for: "Známý díky",
+    recommendations: "Podobné filmy",
+    search: "Hledat",
+    help: "Nápověda",
+    contact: "Kontakt",
+    home: "Domů",
+    season: "Sezóna",
+    episode: "Epizoda",
+    series: "Seriál",
+};
+
+pub const DA: LabelPack = LabelPack {
+    language: "da",
+    director: "Instruktør",
+    writer: "Manuskript",
+    cast: "Medvirkende",
+    genre: "Genre",
+    release_date: "Premieredato",
+    year: "År",
+    country: "Land",
+    rating: "Bedømmelse",
+    also_known_as: "Også kendt som",
+    born: "Født",
+    birthplace: "Fødested",
+    filmography_actor: "Skuespiller",
+    filmography_director: "Instruktør",
+    filmography_writer: "Forfatter",
+    filmography_producer: "Producent",
+    filmography_composer: "Musik",
+    known_for: "Kendt for",
+    recommendations: "Lignende film",
+    search: "Søg",
+    help: "Hjælp",
+    contact: "Kontakt",
+    home: "Hjem",
+    season: "Sæson",
+    episode: "Episode",
+    series: "Serie",
+};
+
+pub const IS: LabelPack = LabelPack {
+    language: "is",
+    director: "Leikstjóri",
+    writer: "Handrit",
+    cast: "Leikarar",
+    genre: "Tegund",
+    release_date: "Frumsýningardagur",
+    year: "Ár",
+    country: "Land",
+    rating: "Einkunn",
+    also_known_as: "Einnig þekktur sem",
+    born: "Fæddur",
+    birthplace: "Fæðingarstaður",
+    filmography_actor: "Leikari",
+    filmography_director: "Leikstjóri",
+    filmography_writer: "Höfundur",
+    filmography_producer: "Framleiðandi",
+    filmography_composer: "Tónlist",
+    known_for: "Þekktur fyrir",
+    recommendations: "Svipaðar myndir",
+    search: "Leita",
+    help: "Hjálp",
+    contact: "Hafa samband",
+    home: "Heim",
+    season: "Þáttaröð",
+    episode: "Þáttur",
+    series: "Sería",
+};
+
+pub const IT: LabelPack = LabelPack {
+    language: "it",
+    director: "Regia",
+    writer: "Sceneggiatura",
+    cast: "Interpreti",
+    genre: "Genere",
+    release_date: "Data di uscita",
+    year: "Anno",
+    country: "Paese",
+    rating: "Valutazione",
+    also_known_as: "Conosciuto anche come",
+    born: "Nato",
+    birthplace: "Luogo di nascita",
+    filmography_actor: "Attore",
+    filmography_director: "Regista",
+    filmography_writer: "Sceneggiatore",
+    filmography_producer: "Produttore",
+    filmography_composer: "Musiche",
+    known_for: "Noto per",
+    recommendations: "Film simili",
+    search: "Cerca",
+    help: "Aiuto",
+    contact: "Contatti",
+    home: "Home",
+    season: "Stagione",
+    episode: "Episodio",
+    series: "Serie",
+};
+
+pub const ID: LabelPack = LabelPack {
+    language: "id",
+    director: "Sutradara",
+    writer: "Penulis",
+    cast: "Pemeran",
+    genre: "Genre",
+    release_date: "Tanggal rilis",
+    year: "Tahun",
+    country: "Negara",
+    rating: "Peringkat",
+    also_known_as: "Juga dikenal sebagai",
+    born: "Lahir",
+    birthplace: "Tempat lahir",
+    filmography_actor: "Aktor",
+    filmography_director: "Sutradara",
+    filmography_writer: "Penulis",
+    filmography_producer: "Produser",
+    filmography_composer: "Musik",
+    known_for: "Dikenal karena",
+    recommendations: "Film serupa",
+    search: "Cari",
+    help: "Bantuan",
+    contact: "Kontak",
+    home: "Beranda",
+    season: "Musim",
+    episode: "Episode",
+    series: "Serial",
+};
+
+pub const SK: LabelPack = LabelPack {
+    language: "sk",
+    director: "Réžia",
+    writer: "Scenár",
+    cast: "Hrajú",
+    genre: "Žáner",
+    release_date: "Dátum premiéry",
+    year: "Rok",
+    country: "Krajina",
+    rating: "Hodnotenie",
+    also_known_as: "Tiež známy ako",
+    born: "Narodený",
+    birthplace: "Miesto narodenia",
+    filmography_actor: "Herec",
+    filmography_director: "Režisér",
+    filmography_writer: "Scenárista",
+    filmography_producer: "Producent",
+    filmography_composer: "Hudba",
+    known_for: "Známy vďaka",
+    recommendations: "Podobné filmy",
+    search: "Hľadať",
+    help: "Pomoc",
+    contact: "Kontakt",
+    home: "Domov",
+    season: "Séria",
+    episode: "Epizóda",
+    series: "Seriál",
+};
+
+/// Look up a label pack by language code; defaults to English.
+pub fn label_pack(code: &str) -> &'static LabelPack {
+    match code {
+        "cs" => &CS,
+        "da" => &DA,
+        "is" => &IS,
+        "it" => &IT,
+        "id" => &ID,
+        "sk" => &SK,
+        _ => &EN,
+    }
+}
+
+/// The full per-site presentation profile.
+#[derive(Debug, Clone)]
+pub struct SiteStyle {
+    pub kv: KvStyle,
+    pub list: ListStyle,
+    /// Class-name prefix ("rt", "kino", …) making selectors site-specific.
+    pub class_prefix: String,
+    pub labels: &'static LabelPack,
+    pub date_style: DateStyle,
+    /// Whether semantic `itemprop` microdata is emitted.
+    pub use_itemprop: bool,
+    /// Whether class names are semantic (`cast`) or generic (`sec3`).
+    pub semantic_classes: bool,
+    /// Probability that an ad `<div>` precedes a section, shifting sibling
+    /// indices (the Figure 2 phenomenon).
+    pub ad_prob: f64,
+    /// Probability that an optional field is missing from a page.
+    pub missing_prob: f64,
+    /// Extra wrapper divs around the main content (depth jitter per site).
+    pub wrapper_depth: usize,
+    /// If set, section order is shuffled per page (the "template variety"
+    /// pathology of §5.5.1).
+    pub shuffle_sections: bool,
+}
+
+impl SiteStyle {
+    /// Draw a style for a site from its RNG; `language` picks the labels.
+    pub fn random(rng: &mut SmallRng, language: &str, class_prefix: &str) -> SiteStyle {
+        let kv = *choose(rng, &[KvStyle::Table, KvStyle::Divs, KvStyle::DefinitionList]);
+        let list = *choose(rng, &[ListStyle::Ul, ListStyle::Divs]);
+        let date_style = *choose(rng, &[DateStyle::Iso, DateStyle::Us, DateStyle::Eu]);
+        SiteStyle {
+            kv,
+            list,
+            class_prefix: class_prefix.to_string(),
+            labels: label_pack(language),
+            date_style,
+            use_itemprop: prob(rng, 0.35),
+            semantic_classes: prob(rng, 0.6),
+            ad_prob: rng.gen_range(0.05..0.35),
+            missing_prob: rng.gen_range(0.02..0.15),
+            wrapper_depth: rng.gen_range(0..3),
+            shuffle_sections: false,
+        }
+    }
+
+    /// Class attribute value for a section: semantic or positional.
+    pub fn class_for(&self, semantic: &str, position: usize) -> String {
+        if self.semantic_classes {
+            format!("{}-{}", self.class_prefix, semantic)
+        } else {
+            format!("{}-sec{}", self.class_prefix, position)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    #[test]
+    fn label_pack_lookup() {
+        assert_eq!(label_pack("cs").director, "Režie");
+        assert_eq!(label_pack("xx").director, "Director");
+        assert_eq!(label_pack("is").language, "is");
+    }
+
+    #[test]
+    fn style_is_deterministic_per_seed() {
+        let mut a = derive_rng(11, "style");
+        let mut b = derive_rng(11, "style");
+        let sa = SiteStyle::random(&mut a, "en", "x");
+        let sb = SiteStyle::random(&mut b, "en", "x");
+        assert_eq!(sa.kv, sb.kv);
+        assert_eq!(sa.ad_prob, sb.ad_prob);
+    }
+
+    #[test]
+    fn class_for_respects_semantic_flag() {
+        let mut rng = derive_rng(12, "cls");
+        let mut s = SiteStyle::random(&mut rng, "en", "rt");
+        s.semantic_classes = true;
+        assert_eq!(s.class_for("cast", 3), "rt-cast");
+        s.semantic_classes = false;
+        assert_eq!(s.class_for("cast", 3), "rt-sec3");
+    }
+
+    #[test]
+    fn all_label_packs_have_distinct_languages() {
+        let packs = [&EN, &CS, &DA, &IS, &IT, &ID, &SK];
+        let mut langs: Vec<&str> = packs.iter().map(|p| p.language).collect();
+        langs.sort_unstable();
+        langs.dedup();
+        assert_eq!(langs.len(), packs.len());
+    }
+}

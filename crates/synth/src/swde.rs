@@ -1,0 +1,340 @@
+//! SWDE-like benchmark generator: the four verticals of Table 1 (Movie,
+//! Book, NBA Player, University), 10 sites each, page counts scaled from the
+//! paper's.
+//!
+//! Seed-KB construction follows §5.1.1: the Movie vertical uses the (biased)
+//! world-derived KB; the other three verticals build their KB from the
+//! ground truth of the alphabetically-first site (abebooks / espn /
+//! collegeboard analogues — here simply site index 0).
+
+use crate::dataset::Site;
+use crate::movie_pages::{render_film_page, MoviePathology, MovieRenderCtx};
+use crate::movie_world::{KbBias, MovieWorld, MovieWorldConfig};
+use crate::rng::{derive_rng, zipf_distinct};
+use crate::schema::{book, movie, nba, university};
+use crate::small_worlds::{catalog_with_overlap, BookWorld, NbaWorld, UniversityWorld};
+use crate::style::SiteStyle;
+use crate::vertical_pages::{render_book_page, render_player_page, render_university_page};
+use ceres_kb::Kb;
+
+/// Scaling configuration for SWDE generation.
+#[derive(Debug, Clone, Copy)]
+pub struct SwdeConfig {
+    pub seed: u64,
+    /// Multiplier on the paper's page counts (1.0 = full SWDE size).
+    pub scale: f64,
+}
+
+impl Default for SwdeConfig {
+    fn default() -> Self {
+        SwdeConfig { seed: 42, scale: 0.1 }
+    }
+}
+
+impl SwdeConfig {
+    fn pages(&self, paper_count: usize) -> usize {
+        ((paper_count as f64 * self.scale).round() as usize).max(12)
+    }
+}
+
+/// A generated vertical: sites, seed KB, and the attribute list evaluated in
+/// Tables 3/4 (display name, predicate name — `"name"` denotes the topic).
+pub struct SwdeVertical {
+    pub name: &'static str,
+    pub sites: Vec<Site>,
+    pub kb: Kb,
+    pub attributes: Vec<(&'static str, &'static str)>,
+}
+
+/// Paper page counts per site (Table 1 totals / 10 sites).
+const MOVIE_PAGES_PER_SITE: usize = 2000;
+const BOOK_PAGES_PER_SITE: usize = 2000;
+const NBA_PAGES_PER_SITE: usize = 440;
+const UNIVERSITY_PAGES_PER_SITE: usize = 1670;
+
+const MOVIE_SITE_NAMES: [&str; 10] = [
+    "allmovie", "amctv", "hollywood", "iheartmovies", "imdb-swde", "metacritic", "cinestream",
+    "reelviews", "moviefone", "yidio",
+];
+const BOOK_SITE_NAMES: [&str; 10] = [
+    "acebooks", "amazon-books", "bookdepository", "booksamillion", "borders", "buybooks",
+    "christianbook", "deepdiscount", "waterstones", "wordery",
+];
+const NBA_SITE_NAMES: [&str; 10] = [
+    "espn", "fanhouse", "foxsports", "msnca", "nba", "si", "slam", "usatoday", "wiki-nba",
+    "yahoo-nba",
+];
+const UNIVERSITY_SITE_NAMES: [&str; 10] = [
+    "collegeboard", "collegenavigator", "collegeprowler", "collegetoolkit", "ecampustours",
+    "embark", "matchcollege", "princetonreview", "studentaid", "usnews",
+];
+
+/// Generate the Movie vertical (world-derived seed KB, Table 2 bias).
+pub fn movie_vertical(cfg: SwdeConfig) -> (SwdeVertical, MovieWorld) {
+    let pages_per_site = cfg.pages(MOVIE_PAGES_PER_SITE);
+    // Each site samples Zipf-style from a shared film pool ~2.5× a site's
+    // page count so heads overlap across sites.
+    let world = MovieWorld::generate(MovieWorldConfig {
+        seed: cfg.seed ^ 0x5005,
+        n_people: (pages_per_site * 6).max(400),
+        n_films: (pages_per_site * 5 / 2).max(150),
+        n_series: 10,
+        title_collision_share: 0.02,
+    });
+    let kb = world.build_kb(&KbBias::default()).kb;
+
+    let mut sites = Vec::with_capacity(10);
+    for name in MOVIE_SITE_NAMES {
+        let mut rng = derive_rng(cfg.seed, &format!("swde-movie-{name}"));
+        let style = SiteStyle::random(&mut rng, "en", &name[..2.min(name.len())]);
+        let pathology = MoviePathology::default();
+        let ctx = MovieRenderCtx { world: &world, style: &style, site_name: name, pathology: &pathology };
+        let picks = zipf_distinct(&mut rng, world.films.len(), pages_per_site, 1.15);
+        let pages =
+            picks.into_iter().map(|fi| render_film_page(&ctx, fi, &mut rng)).collect();
+        sites.push(Site { name: name.to_string(), focus: "Movies".to_string(), pages });
+    }
+
+    (
+        SwdeVertical {
+            name: "Movie",
+            sites,
+            kb,
+            attributes: vec![
+                ("Title", "name"),
+                ("Director", movie::DIRECTED_BY),
+                ("Genre", movie::HAS_GENRE),
+                ("MPAA Rating", movie::MPAA_RATING),
+            ],
+        },
+        world,
+    )
+}
+
+/// Per-site KB-overlap counts for the Book vertical (drives Figure 4: some
+/// sites share almost no ISBNs with the seed KB).
+fn book_overlaps(catalog_size: usize) -> [usize; 10] {
+    let c = catalog_size as f64;
+    [
+        catalog_size,            // site 0 *is* the KB
+        (c * 0.01) as usize,     // near-zero overlap sites
+        (c * 0.015) as usize,
+        (c * 0.025) as usize,
+        (c * 0.04) as usize,
+        (c * 0.08) as usize,
+        (c * 0.15) as usize,
+        (c * 0.30) as usize,
+        (c * 0.55) as usize,
+        (c * 0.80) as usize,
+    ]
+}
+
+/// Generate the Book vertical (seed KB = site 0's ground truth).
+pub fn book_vertical(cfg: SwdeConfig) -> (SwdeVertical, BookWorld) {
+    let pages_per_site = cfg.pages(BOOK_PAGES_PER_SITE);
+    let universe = pages_per_site * 12;
+    let world = BookWorld::generate(cfg.seed ^ 0xB00C, universe);
+
+    let mut rng = derive_rng(cfg.seed, "swde-book-catalogs");
+    let base: Vec<usize> = crate::rng::sample_distinct(&mut rng, universe, pages_per_site);
+    let kb = world.build_kb(&base);
+
+    let overlaps = book_overlaps(pages_per_site);
+    let mut sites = Vec::with_capacity(10);
+    for (si, name) in BOOK_SITE_NAMES.iter().enumerate() {
+        let mut srng = derive_rng(cfg.seed, &format!("swde-book-{name}"));
+        let style = SiteStyle::random(&mut srng, "en", &name[..2]);
+        let catalog = if si == 0 {
+            base.clone()
+        } else {
+            catalog_with_overlap(&mut srng, universe, &base, pages_per_site, overlaps[si])
+        };
+        let pages = catalog
+            .iter()
+            .map(|&bi| render_book_page(&world.books[bi], bi, &style, name, &mut srng))
+            .collect();
+        sites.push(Site { name: name.to_string(), focus: "Books".to_string(), pages });
+    }
+
+    (
+        SwdeVertical {
+            name: "Book",
+            sites,
+            kb,
+            attributes: vec![
+                ("Title", "name"),
+                ("Author", book::AUTHOR),
+                ("Publisher", book::PUBLISHER),
+                ("Publication Date", book::PUBLICATION_DATE),
+                ("ISBN-13", book::ISBN13),
+            ],
+        },
+        world,
+    )
+}
+
+/// Generate the NBA Player vertical (high cross-site overlap: one league).
+pub fn nba_vertical(cfg: SwdeConfig) -> (SwdeVertical, NbaWorld) {
+    let pages_per_site = cfg.pages(NBA_PAGES_PER_SITE);
+    let universe = pages_per_site * 3 / 2;
+    let world = NbaWorld::generate(cfg.seed ^ 0x0BA5, universe);
+
+    let mut rng = derive_rng(cfg.seed, "swde-nba-rosters");
+    let base: Vec<usize> = crate::rng::sample_distinct(&mut rng, universe, pages_per_site);
+    let kb = world.build_kb(&base);
+
+    let mut sites = Vec::with_capacity(10);
+    for (si, name) in NBA_SITE_NAMES.iter().enumerate() {
+        let mut srng = derive_rng(cfg.seed, &format!("swde-nba-{name}"));
+        let style = SiteStyle::random(&mut srng, "en", &name[..2]);
+        let roster = if si == 0 {
+            base.clone()
+        } else {
+            // Sites cover mostly the same players: 85% overlap.
+            catalog_with_overlap(
+                &mut srng,
+                universe,
+                &base,
+                pages_per_site,
+                pages_per_site * 85 / 100,
+            )
+        };
+        let pages = roster
+            .iter()
+            .map(|&pi| render_player_page(&world.players[pi], pi, &style, name, &mut srng))
+            .collect();
+        sites.push(Site { name: name.to_string(), focus: "NBA players".to_string(), pages });
+    }
+
+    (
+        SwdeVertical {
+            name: "NBAPlayer",
+            sites,
+            kb,
+            attributes: vec![
+                ("Name", "name"),
+                ("Team", nba::TEAM),
+                ("Weight", nba::WEIGHT),
+                ("Height", nba::HEIGHT),
+            ],
+        },
+        world,
+    )
+}
+
+/// Generate the University vertical. Site 7 carries the search-box trap the
+/// paper blames for its University.Type annotation errors.
+pub fn university_vertical(cfg: SwdeConfig) -> (SwdeVertical, UniversityWorld) {
+    let pages_per_site = cfg.pages(UNIVERSITY_PAGES_PER_SITE);
+    let universe = pages_per_site * 2;
+    let world = UniversityWorld::generate(cfg.seed ^ 0x0121, universe);
+
+    let mut rng = derive_rng(cfg.seed, "swde-uni-subsets");
+    let base: Vec<usize> = crate::rng::sample_distinct(&mut rng, universe, pages_per_site);
+    let kb = world.build_kb(&base);
+
+    let mut sites = Vec::with_capacity(10);
+    for (si, name) in UNIVERSITY_SITE_NAMES.iter().enumerate() {
+        let mut srng = derive_rng(cfg.seed, &format!("swde-uni-{name}"));
+        let style = SiteStyle::random(&mut srng, "en", &name[..2]);
+        let subset = if si == 0 {
+            base.clone()
+        } else {
+            catalog_with_overlap(
+                &mut srng,
+                universe,
+                &base,
+                pages_per_site,
+                pages_per_site * 70 / 100,
+            )
+        };
+        let trap = si == 7;
+        let pages = subset
+            .iter()
+            .map(|&ui| {
+                render_university_page(&world.universities[ui], ui, &style, name, trap, &mut srng)
+            })
+            .collect();
+        sites.push(Site { name: name.to_string(), focus: "Universities".to_string(), pages });
+    }
+
+    (
+        SwdeVertical {
+            name: "University",
+            sites,
+            kb,
+            attributes: vec![
+                ("Name", "name"),
+                ("Phone", university::PHONE),
+                ("Website", university::WEBSITE),
+                ("Type", university::TYPE),
+            ],
+        },
+        world,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SwdeConfig {
+        SwdeConfig { seed: 5, scale: 0.01 }
+    }
+
+    #[test]
+    fn movie_vertical_builds() {
+        let (v, world) = movie_vertical(tiny());
+        assert_eq!(v.sites.len(), 10);
+        assert!(v.kb.n_triples() > 50);
+        assert!(v.sites.iter().all(|s| s.pages.len() >= 12));
+        assert!(world.films.len() >= 50);
+    }
+
+    #[test]
+    fn book_sites_have_controlled_overlap() {
+        let (v, world) = book_vertical(tiny());
+        // Site 0's titles are all in the KB; site 1's almost none.
+        let in_kb = |site: &Site| {
+            site.pages
+                .iter()
+                .filter(|p| !v.kb.match_text(p.gold.topic.as_deref().unwrap()).is_empty())
+                .count()
+        };
+        let s0 = in_kb(&v.sites[0]);
+        let s1 = in_kb(&v.sites[1]);
+        let s9 = in_kb(&v.sites[9]);
+        assert_eq!(s0, v.sites[0].pages.len());
+        assert!(s1 < s9, "low-overlap site {s1} should be < high-overlap {s9}");
+        let _ = world;
+    }
+
+    #[test]
+    fn nba_vertical_has_high_overlap() {
+        let (v, _) = nba_vertical(tiny());
+        let in_kb = v.sites[5]
+            .pages
+            .iter()
+            .filter(|p| !v.kb.match_text(p.gold.topic.as_deref().unwrap()).is_empty())
+            .count();
+        assert!(
+            in_kb * 100 >= v.sites[5].pages.len() * 60,
+            "NBA overlap too low: {in_kb}/{}",
+            v.sites[5].pages.len()
+        );
+    }
+
+    #[test]
+    fn university_trap_site_has_search_box() {
+        let (v, _) = university_vertical(tiny());
+        assert!(v.sites[7].pages[0].html.contains("filter-opt"));
+        assert!(!v.sites[0].pages[0].html.contains("filter-opt"));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (a, _) = nba_vertical(tiny());
+        let (b, _) = nba_vertical(tiny());
+        assert_eq!(a.sites[3].pages[5].html, b.sites[3].pages[5].html);
+    }
+}

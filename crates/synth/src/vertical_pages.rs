@@ -1,0 +1,275 @@
+//! Detail-page renderers for the Book, NBA Player, and University verticals.
+
+use crate::dataset::{Page, PageGold, PageKind};
+use crate::html::GtHtml;
+use crate::rng::prob;
+use crate::schema::{book, nba, university};
+use crate::small_worlds::{Book, Player, University};
+use crate::style::SiteStyle;
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+fn page_chrome_open(b: &mut GtHtml, style: &SiteStyle, title: &str, site: &str) {
+    b.open("html", &[]).open("head", &[]);
+    b.field("title", &[], &format!("{title} - {site}"));
+    b.close();
+    b.open("body", &[]);
+    let l = style.labels;
+    b.open("div", &[("class", "nav")]);
+    for label in [l.home, l.search, l.help, l.contact] {
+        b.field("a", &[("href", "#")], label);
+    }
+    b.close();
+    if prob_ad(style) {
+        b.open("div", &[("class", "ad-slot")]);
+        b.field("span", &[("class", "ad")], "Advertisement");
+        b.close();
+    }
+}
+
+// Site-level deterministic "ad" for the chrome (kept simple: the movie
+// renderer handles per-page randomized ads; vertical pages get randomized
+// ads inside their body sections instead).
+fn prob_ad(_style: &SiteStyle) -> bool {
+    false
+}
+
+fn page_chrome_close(b: &mut GtHtml, site: &str) {
+    b.open("div", &[("class", "footer")]);
+    b.field("span", &[], &format!("(c) {site}"));
+    b.close();
+    b.close(); // body
+    b.close(); // html
+}
+
+fn kv_div_row(
+    b: &mut GtHtml,
+    label: &str,
+    value: &str,
+    gold: Option<(&str, &str)>,
+    itemprop: Option<&str>,
+) {
+    b.open("div", &[("class", "row")]);
+    b.field("span", &[("class", "label")], &format!("{label}:"));
+    let attrs: Vec<(&str, &str)> = match itemprop {
+        Some(ip) => vec![("class", "val"), ("itemprop", ip)],
+        None => vec![("class", "val")],
+    };
+    match gold {
+        Some((p, o)) => {
+            b.gold_field("span", &attrs, value, p, o);
+        }
+        None => {
+            b.field("span", &attrs, value);
+        }
+    }
+    b.close();
+}
+
+/// Render a book detail page.
+pub fn render_book_page(
+    bk: &Book,
+    idx: usize,
+    style: &SiteStyle,
+    site: &str,
+    rng: &mut SmallRng,
+) -> Page {
+    let mut b = GtHtml::new();
+    page_chrome_open(&mut b, style, &bk.title, site);
+    if prob(rng, style.ad_prob) {
+        b.open("div", &[("class", "ad-slot")]);
+        b.field("span", &[("class", "ad")], "Advertisement");
+        b.close();
+    }
+    b.name_field("h1", &[("class", "title")], &bk.title);
+    b.open("div", &[("class", &style.class_for("info", 1))]);
+    for a in &bk.authors {
+        kv_div_row(&mut b, "Author", a, Some((book::AUTHOR, a)), ip(style, "author"));
+    }
+    if !prob(rng, style.missing_prob) {
+        kv_div_row(&mut b, "ISBN-13", &bk.isbn13, Some((book::ISBN13, &bk.isbn13)), ip(style, "isbn"));
+    }
+    if !prob(rng, style.missing_prob) {
+        kv_div_row(
+            &mut b,
+            "Publisher",
+            &bk.publisher,
+            Some((book::PUBLISHER, &bk.publisher)),
+            ip(style, "publisher"),
+        );
+    }
+    if !prob(rng, style.missing_prob) {
+        let rendered = style.date_style.render(&bk.pub_date);
+        kv_div_row(
+            &mut b,
+            "Publication Date",
+            &rendered,
+            Some((book::PUBLICATION_DATE, &rendered)),
+            ip(style, "datePublished"),
+        );
+    }
+    b.close();
+    // Price box — plausible non-KB noise.
+    b.open("div", &[("class", "buy")]);
+    b.field("span", &[("class", "price")], &format!("${}.{:02}", rng.gen_range(5..60), rng.gen_range(0..99)));
+    b.field("a", &[("href", "#")], "Add to cart");
+    b.close();
+    page_chrome_close(&mut b, site);
+    let (html, facts) = b.finish();
+    Page {
+        id: format!("book-{idx}"),
+        html,
+        gold: PageGold {
+            kind: PageKind::Detail,
+            topic: Some(bk.title.clone()),
+            topic_type: Some("Book".to_string()),
+            facts,
+        },
+    }
+}
+
+/// Render an NBA player detail page.
+pub fn render_player_page(
+    p: &Player,
+    idx: usize,
+    style: &SiteStyle,
+    site: &str,
+    rng: &mut SmallRng,
+) -> Page {
+    let mut b = GtHtml::new();
+    page_chrome_open(&mut b, style, &p.name, site);
+    b.name_field("h1", &[("class", "title")], &p.name);
+    b.open("div", &[("class", &style.class_for("bio", 1))]);
+    kv_div_row(&mut b, "Team", &p.team, Some((nba::TEAM, &p.team)), ip(style, "memberOf"));
+    if !prob(rng, style.missing_prob) {
+        kv_div_row(&mut b, "Height", &p.height, Some((nba::HEIGHT, &p.height)), ip(style, "height"));
+    }
+    if !prob(rng, style.missing_prob) {
+        kv_div_row(&mut b, "Weight", &p.weight, Some((nba::WEIGHT, &p.weight)), ip(style, "weight"));
+    }
+    b.close();
+    // A stats table (noise: lots of small numbers).
+    b.open("table", &[("class", "stats")]);
+    for season in 0..rng.gen_range(2..6) {
+        b.open("tr", &[]);
+        b.field("td", &[("class", "season")], &format!("{}-{}", 2010 + season, 2011 + season));
+        b.field("td", &[("class", "ppg")], &format!("{:.1}", rng.gen_range(2.0..31.0)));
+        b.field("td", &[("class", "rpg")], &format!("{:.1}", rng.gen_range(1.0..12.0)));
+        b.close();
+    }
+    b.close();
+    page_chrome_close(&mut b, site);
+    let (html, facts) = b.finish();
+    Page {
+        id: format!("player-{idx}"),
+        html,
+        gold: PageGold {
+            kind: PageKind::Detail,
+            topic: Some(p.name.clone()),
+            topic_type: Some("NBAPlayer".to_string()),
+            facts,
+        },
+    }
+}
+
+/// Render a university detail page. When `search_box_trap` is set, every
+/// page carries a search filter listing both type values ("Public",
+/// "Private") — the annotation-error pathology §5.3 reports.
+pub fn render_university_page(
+    u: &University,
+    idx: usize,
+    style: &SiteStyle,
+    site: &str,
+    search_box_trap: bool,
+    rng: &mut SmallRng,
+) -> Page {
+    let mut b = GtHtml::new();
+    page_chrome_open(&mut b, style, &u.name, site);
+    if search_box_trap {
+        b.open("div", &[("class", "searchbox")]);
+        b.field("span", &[("class", "filter-label")], "Filter by type:");
+        b.field("span", &[("class", "filter-opt")], "Public");
+        b.field("span", &[("class", "filter-opt")], "Private");
+        b.close();
+    }
+    b.name_field("h1", &[("class", "title")], &u.name);
+    b.open("div", &[("class", &style.class_for("contact", 1))]);
+    if !prob(rng, style.missing_prob) {
+        kv_div_row(&mut b, "Phone", &u.phone, Some((university::PHONE, &u.phone)), ip(style, "telephone"));
+    }
+    kv_div_row(&mut b, "Website", &u.website, Some((university::WEBSITE, &u.website)), ip(style, "url"));
+    kv_div_row(&mut b, "Type", u.ty, Some((university::TYPE, u.ty)), ip(style, "category"));
+    b.close();
+    // Enrollment stats noise.
+    b.open("div", &[("class", "stats")]);
+    b.field("span", &[("class", "enrollment")], &format!("{} students", rng.gen_range(900..45000)));
+    b.close();
+    page_chrome_close(&mut b, site);
+    let (html, facts) = b.finish();
+    Page {
+        id: format!("uni-{idx}"),
+        html,
+        gold: PageGold {
+            kind: PageKind::Detail,
+            topic: Some(u.name.clone()),
+            topic_type: Some("University".to_string()),
+            facts,
+        },
+    }
+}
+
+fn ip<'a>(style: &SiteStyle, name: &'a str) -> Option<&'a str> {
+    if style.use_itemprop {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+    use crate::small_worlds::{BookWorld, NbaWorld, UniversityWorld};
+    use ceres_dom::parse_html;
+
+    #[test]
+    fn book_page_has_all_predicates_possible() {
+        let w = BookWorld::generate(1, 10);
+        let mut rng = derive_rng(1, "b");
+        let mut style = SiteStyle::random(&mut rng, "en", "bk");
+        style.missing_prob = 0.0;
+        let page = render_book_page(&w.books[0], 0, &style, "books.test", &mut rng);
+        let doc = parse_html(&page.html);
+        doc.check_consistency().unwrap();
+        for pred in [book::AUTHOR, book::ISBN13, book::PUBLISHER, book::PUBLICATION_DATE] {
+            assert!(page.gold.facts.iter().any(|f| f.pred == pred), "missing {pred}");
+        }
+    }
+
+    #[test]
+    fn player_page_parses() {
+        let w = NbaWorld::generate(2, 10);
+        let mut rng = derive_rng(2, "n");
+        let style = SiteStyle::random(&mut rng, "en", "nb");
+        let page = render_player_page(&w.players[0], 0, &style, "hoops.test", &mut rng);
+        parse_html(&page.html).check_consistency().unwrap();
+        assert!(page.gold.facts.iter().any(|f| f.pred == nba::TEAM));
+    }
+
+    #[test]
+    fn university_search_box_trap_renders_both_types() {
+        let w = UniversityWorld::generate(3, 10);
+        let mut rng = derive_rng(3, "u");
+        let style = SiteStyle::random(&mut rng, "en", "un");
+        let page =
+            render_university_page(&w.universities[0], 0, &style, "colleges.test", true, &mut rng);
+        assert!(page.html.contains("filter-opt"));
+        // Both values present on the page regardless of the true type.
+        assert!(page.html.contains(">Public<") && page.html.contains(">Private<"));
+        // But only the true type is gold.
+        let type_facts: Vec<_> =
+            page.gold.facts.iter().filter(|f| f.pred == university::TYPE).collect();
+        assert_eq!(type_facts.len(), 1);
+    }
+}

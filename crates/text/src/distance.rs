@@ -1,0 +1,169 @@
+//! Edit-distance and set-similarity primitives.
+//!
+//! * [`levenshtein`] over `char`s backs the XPath-distance used by the
+//!   relation-annotation clustering step (paper §3.2.2: "The distance
+//!   function between two DOM nodes is defined as the Levenshtein distance
+//!   between their corresponding XPaths").
+//! * [`levenshtein_slices`] is the generic sequence form, used for the
+//!   step-level XPath distance ablation.
+//! * [`jaccard`] implements Eq. 1 of the paper (topic scoring).
+
+/// Levenshtein (edit) distance between two strings, computed over Unicode
+/// scalar values with the classic two-row dynamic program: `O(|a|·|b|)` time,
+/// `O(min(|a|,|b|))` space.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    // Fast paths: equality and empty inputs.
+    if a == b {
+        return 0;
+    }
+    let a_chars: Vec<char> = a.chars().collect();
+    let b_chars: Vec<char> = b.chars().collect();
+    levenshtein_slices(&a_chars, &b_chars)
+}
+
+/// Levenshtein distance between two sequences of comparable items.
+pub fn levenshtein_slices<T: PartialEq>(a: &[T], b: &[T]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Keep the inner loop over the shorter sequence to minimize the row.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+
+    for (i, litem) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, sitem) in short.iter().enumerate() {
+            let cost = usize::from(litem != sitem);
+            curr[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| between two **sorted, deduplicated**
+/// slices. Returns 0.0 when both are empty (the paper's score is undefined
+/// there; 0 keeps such entities out of topic contention).
+pub fn jaccard<T: Ord>(a: &[T], b: &[T]) -> f64 {
+    debug_assert!(a.windows(2).all(|w| w[0] < w[1]), "input a must be sorted+dedup");
+    debug_assert!(b.windows(2).all(|w| w[0] < w[1]), "input b must be sorted+dedup");
+    let (inter, union) = jaccard_counts(a, b);
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Intersection and union sizes of two sorted, deduplicated slices
+/// (merge-based, `O(|a|+|b|)`).
+pub fn jaccard_counts<T: Ord>(a: &[T], b: &[T]) -> (usize, usize) {
+    let (mut i, mut j, mut inter) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                inter += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = a.len() + b.len() - inter;
+    (inter, union)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_on_xpath_like_strings() {
+        // The Figure-2 example: two XPaths differing at two node indices.
+        let p1 = "/html[1]/body[1]/div[3]/div[2]/div[2]/div[4]/div[2]/b[1]";
+        let p2 = "/html[1]/body[1]/div[3]/div[2]/div[2]/div[3]/div[1]/b[1]";
+        assert_eq!(levenshtein(p1, p2), 2);
+    }
+
+    #[test]
+    fn levenshtein_slices_generic() {
+        assert_eq!(levenshtein_slices(&[1, 2, 3], &[1, 3]), 1);
+        assert_eq!(levenshtein_slices::<u8>(&[], &[]), 0);
+        assert_eq!(levenshtein_slices(&["div", "span"], &["div", "b"]), 1);
+    }
+
+    #[test]
+    fn jaccard_known_values() {
+        assert_eq!(jaccard(&[1, 2, 3], &[2, 3, 4]), 0.5);
+        assert_eq!(jaccard(&[1], &[1]), 1.0);
+        assert_eq!(jaccard(&[1], &[2]), 0.0);
+        assert_eq!(jaccard::<u32>(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn jaccard_counts_disjoint_and_subset() {
+        assert_eq!(jaccard_counts(&[1, 2], &[3, 4]), (0, 4));
+        assert_eq!(jaccard_counts(&[1, 2], &[1, 2, 3]), (2, 3));
+    }
+
+    proptest! {
+        #[test]
+        fn levenshtein_symmetry(a in "[a-d]{0,16}", b in "[a-d]{0,16}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn levenshtein_identity(a in ".{0,24}") {
+            prop_assert_eq!(levenshtein(&a, &a), 0);
+        }
+
+        #[test]
+        fn levenshtein_triangle_inequality(
+            a in "[a-c]{0,10}", b in "[a-c]{0,10}", c in "[a-c]{0,10}"
+        ) {
+            let ab = levenshtein(&a, &b);
+            let bc = levenshtein(&b, &c);
+            let ac = levenshtein(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn levenshtein_bounded_by_longer(a in "[a-z]{0,16}", b in "[a-z]{0,16}") {
+            let d = levenshtein(&a, &b);
+            let la = a.chars().count();
+            let lb = b.chars().count();
+            prop_assert!(d <= la.max(lb));
+            prop_assert!(d >= la.abs_diff(lb));
+        }
+
+        #[test]
+        fn jaccard_in_unit_interval(
+            a in proptest::collection::btree_set(0u32..64, 0..16),
+            b in proptest::collection::btree_set(0u32..64, 0..16),
+        ) {
+            let av: Vec<u32> = a.into_iter().collect();
+            let bv: Vec<u32> = b.into_iter().collect();
+            let j = jaccard(&av, &bv);
+            prop_assert!((0.0..=1.0).contains(&j));
+            // Symmetry
+            prop_assert_eq!(j, jaccard(&bv, &av));
+        }
+    }
+}

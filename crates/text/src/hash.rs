@@ -1,0 +1,126 @@
+//! A deterministic, fast, non-cryptographic hasher (the `FxHash` algorithm
+//! used by rustc), plus `HashMap`/`HashSet` aliases built on it.
+//!
+//! CERES is a batch pipeline over untrusted-but-local data; HashDoS is not a
+//! concern, while speed on short string keys (XPaths, feature names,
+//! normalized text fields) and run-to-run determinism are.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash algorithm (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash state: a single 64-bit accumulator.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(&bytes[..8]);
+            self.add_to_hash(u64::from_le_bytes(buf));
+            bytes = &bytes[8..];
+        }
+        if bytes.len() >= 4 {
+            let mut buf = [0u8; 4];
+            buf.copy_from_slice(&bytes[..4]);
+            self.add_to_hash(u64::from(u32::from_le_bytes(buf)));
+            bytes = &bytes[4..];
+        }
+        for &b in bytes {
+            self.add_to_hash(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(u64::from(i));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; zero-sized and deterministic.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with the deterministic FxHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with the deterministic FxHash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_of(&"hello"), hash_of(&"hello"));
+        assert_eq!(hash_of(&12345u64), hash_of(&12345u64));
+    }
+
+    #[test]
+    fn different_inputs_differ() {
+        assert_ne!(hash_of(&"hello"), hash_of(&"world"));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(format!("key-{i}"), i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(m.get(&format!("key-{i}")), Some(&i));
+        }
+    }
+
+    #[test]
+    fn handles_all_byte_lengths() {
+        // Exercise the 8/4/1-byte tails of `write`.
+        for len in 0..32 {
+            let bytes: Vec<u8> = (0..len as u8).collect();
+            let mut h1 = FxHasher::default();
+            let mut h2 = FxHasher::default();
+            h1.write(&bytes);
+            h2.write(&bytes);
+            assert_eq!(h1.finish(), h2.finish());
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! # ceres-text
+//!
+//! String utilities shared by every layer of the CERES reproduction:
+//!
+//! * [`normalize`] / [`tokenize`] — the canonicalization applied before any
+//!   string is compared against the knowledge base (the "fuzzy string
+//!   matching" preprocessing of Gulhane et al. \[18\] as used in CERES §3.1).
+//! * [`levenshtein`] / [`levenshtein_slices`] — edit distance between XPath
+//!   strings (paper §3.2.2) and between XPath step sequences (ablation).
+//! * [`jaccard`] — the set-similarity used by topic identification (Eq. 1).
+//! * [`FxHashMap`] / [`FxHashSet`] — hash containers with a fast,
+//!   deterministic, non-cryptographic hash. CERES hashes millions of short
+//!   strings (text fields, XPaths, feature names); SipHash is measurably
+//!   slower and, more importantly for a reproduction, the std `RandomState`
+//!   is *seeded per process*, which would make iteration order — and thus any
+//!   code that accidentally depends on it — nondeterministic between runs.
+
+pub mod distance;
+pub mod hash;
+pub mod normalize;
+
+pub use distance::{jaccard, jaccard_counts, levenshtein, levenshtein_slices};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use normalize::{normalize, normalize_into, token_sort_key, tokenize};

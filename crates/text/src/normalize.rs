@@ -1,0 +1,133 @@
+//! Text canonicalization applied before any page string is compared with the
+//! knowledge base.
+//!
+//! CERES matches page text fields against KB value strings with a "fuzzy
+//! string matching process" (paper §3.1.1, citing Gulhane et al. \[18\]).
+//! The load-bearing part of that process is an aggressive normalization that
+//! makes cosmetically different renderings of the same value collide:
+//! case, punctuation, bracketed qualifiers, and whitespace are all erased.
+//! On top of the canonical form, [`token_sort_key`] provides an
+//! order-insensitive key ("Lee, Spike" vs "Spike Lee") used as a secondary
+//! fuzzy index by `ceres-kb`.
+
+/// Normalize a raw page string (or KB value string) into its canonical
+/// matching form:
+///
+/// * Unicode lowercased,
+/// * every non-alphanumeric character replaced by a single space,
+/// * whitespace runs collapsed, leading/trailing whitespace removed.
+///
+/// The function is idempotent: `normalize(normalize(s)) == normalize(s)`
+/// (verified by a property test).
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    normalize_into(s, &mut out);
+    out
+}
+
+/// Allocation-reusing variant of [`normalize`]: clears `out` and writes the
+/// canonical form into it. Hot paths (matching every text field on hundreds
+/// of thousands of pages) keep one workhorse `String` alive per thread.
+pub fn normalize_into(s: &str, out: &mut String) {
+    out.clear();
+    let mut pending_space = false;
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for lc in ch.to_lowercase() {
+                out.push(lc);
+            }
+        } else {
+            pending_space = true;
+        }
+    }
+}
+
+/// Split a *normalized* string into its whitespace-delimited tokens.
+pub fn tokenize(normalized: &str) -> impl Iterator<Item = &str> {
+    normalized.split(' ').filter(|t| !t.is_empty())
+}
+
+/// Order-insensitive key for fuzzy matching: normalize, then sort tokens.
+///
+/// `token_sort_key("Lee, Spike") == token_sort_key("Spike Lee")`.
+pub fn token_sort_key(s: &str) -> String {
+    let norm = normalize(s);
+    let mut tokens: Vec<&str> = tokenize(&norm).collect();
+    tokens.sort_unstable();
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn basic_normalization() {
+        assert_eq!(normalize("Do the Right Thing"), "do the right thing");
+        assert_eq!(normalize("  Spike   Lee "), "spike lee");
+        assert_eq!(normalize("ISBN-13: 978-0143127741"), "isbn 13 978 0143127741");
+        assert_eq!(normalize("Do the Right Thing (1989)"), "do the right thing 1989");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("---"), "");
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(normalize("KVIKMYNDAVEFURINN"), "kvikmyndavefurinn");
+        assert_eq!(normalize("Þórður"), "þórður");
+        assert_eq!(normalize("ČESKÝ Film"), "český film");
+    }
+
+    #[test]
+    fn token_sort_key_is_order_insensitive() {
+        assert_eq!(token_sort_key("Lee, Spike"), token_sort_key("Spike Lee"));
+        assert_eq!(token_sort_key("the right do thing"), token_sort_key("Do The Right Thing"));
+        assert_ne!(token_sort_key("spike lee"), token_sort_key("spike jonze"));
+    }
+
+    #[test]
+    fn tokenize_skips_empties() {
+        let norm = normalize("a  b   c");
+        let toks: Vec<&str> = tokenize(&norm).collect();
+        assert_eq!(toks, vec!["a", "b", "c"]);
+    }
+
+    proptest! {
+        #[test]
+        fn normalize_is_idempotent(s in ".*") {
+            let once = normalize(&s);
+            let twice = normalize(&once);
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn normalize_has_no_double_spaces(s in ".*") {
+            let n = normalize(&s);
+            prop_assert!(!n.contains("  "));
+            prop_assert!(!n.starts_with(' '));
+            prop_assert!(!n.ends_with(' '));
+        }
+
+        #[test]
+        fn normalize_into_matches_normalize(s in ".*") {
+            let mut buf = String::from("stale contents");
+            normalize_into(&s, &mut buf);
+            prop_assert_eq!(buf, normalize(&s));
+        }
+
+        #[test]
+        fn token_sort_key_idempotent_under_shuffle(
+            mut tokens in proptest::collection::vec("[a-z]{1,6}", 1..6)
+        ) {
+            let joined = tokens.join(" ");
+            tokens.reverse();
+            let reversed = tokens.join(" ");
+            prop_assert_eq!(token_sort_key(&joined), token_sort_key(&reversed));
+        }
+    }
+}

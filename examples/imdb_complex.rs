@@ -1,0 +1,66 @@
+//! The complex-website experiment (paper §5.4) as a runnable example:
+//! generate the IMDb-like dataset, run CERES-FULL and CERES-TOPIC, print
+//! per-predicate quality and diagnose topic-identification mistakes.
+//!
+//! ```text
+//! cargo run --release --example imdb_complex [scale]
+//! ```
+
+use ceres::eval::experiments::{build_imdb, render_table, ExpConfig};
+use ceres::eval::harness::{eval_page_ids, EvalProtocol, SystemKind};
+use ceres::eval::metrics::{score_topics, GoldIndex, TripleScorer};
+use ceres::text::normalize;
+
+fn main() {
+    let scale: f64 =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let cfg = ExpConfig { seed: 42, scale };
+    eprintln!("generating IMDb-like dataset at scale {scale}…");
+    let imdb = build_imdb(&cfg);
+
+    for domain in ["Person", "Film/TV"] {
+        let site =
+            if domain == "Person" { &imdb.data.person_site } else { &imdb.data.movie_site };
+        let gold = GoldIndex::new(site);
+        let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
+
+        println!("\n=== {domain} ({} pages) ===", site.pages.len());
+        let mut rows = Vec::new();
+        for system in [SystemKind::CeresTopic, SystemKind::CeresFull] {
+            let run =
+                &imdb.runs.iter().find(|(d, s, _)| *d == domain && *s == system).unwrap().2;
+            let scorer =
+                TripleScorer::score(&imdb.data.kb, &gold, &ids, &run.extractions, None);
+            let o = scorer.overall();
+            rows.push(vec![
+                system.label().to_string(),
+                format!("{:.2}", o.precision()),
+                format!("{:.2}", o.recall()),
+                format!("{:.2}", o.f1()),
+                run.extractions.len().to_string(),
+            ]);
+            // Topic diagnostics for the full system.
+            if system == SystemKind::CeresFull {
+                let prf = score_topics(&imdb.data.kb, &gold, &run.topic_records);
+                println!(
+                    "topic identification: P={:.2} R={:.2} F1={:.2}",
+                    prf.precision(),
+                    prf.recall(),
+                    prf.f1()
+                );
+                let mut mismatches = 0;
+                for r in &run.topic_records {
+                    let Some(g) = gold.gold(&r.page_id) else { continue };
+                    let (Some(found), Some(want)) = (&r.topic, &g.topic) else { continue };
+                    let f = normalize(found);
+                    let w = normalize(want);
+                    if f != w && !f.starts_with(&format!("{w} ")) && mismatches < 5 {
+                        println!("  wrong topic on {}: found {found:?}, gold {want:?}", r.page_id);
+                        mismatches += 1;
+                    }
+                }
+            }
+        }
+        println!("{}", render_table(&["System", "P", "R", "F1", "#Extr"], &rows));
+    }
+}

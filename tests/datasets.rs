@@ -1,0 +1,82 @@
+//! Integration tests over the synthetic corpora: gold consistency between
+//! the generator and the parsed DOM, KB/page overlap contracts.
+
+use ceres::dom::parse_html;
+use ceres::synth::commoncrawl;
+use ceres::synth::imdb;
+use ceres::synth::swde::{book_vertical, SwdeConfig};
+
+#[test]
+fn every_gold_fact_resolves_to_a_dom_field() {
+    let d = imdb::generate(11, 0.01);
+    for site in [&d.movie_site, &d.person_site] {
+        for page in site.pages.iter().take(20) {
+            let doc = parse_html(&page.html);
+            let gt_ids: std::collections::HashSet<u32> = doc
+                .text_fields()
+                .iter()
+                .filter_map(|&f| doc.node(f).attr("data-gt").and_then(|v| v.parse().ok()))
+                .collect();
+            for fact in &page.gold.facts {
+                assert!(
+                    gt_ids.contains(&fact.gt_id),
+                    "site {} page {} fact {:?} lost in parsing",
+                    site.name,
+                    page.id,
+                    fact
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn gold_object_text_matches_dom_text() {
+    let d = imdb::generate(11, 0.01);
+    let page = &d.movie_site.pages[0];
+    let doc = parse_html(&page.html);
+    for fact in &page.gold.facts {
+        let field = doc
+            .text_fields()
+            .into_iter()
+            .find(|&f| doc.node(f).attr("data-gt") == Some(fact.gt_id.to_string().as_str()))
+            .expect("field exists");
+        assert_eq!(doc.own_text(field), fact.object, "gold text mismatch for {fact:?}");
+    }
+}
+
+#[test]
+fn book_seed_kb_covers_exactly_site_zero() {
+    let (v, world) = book_vertical(SwdeConfig { seed: 11, scale: 0.01 });
+    // Every site-0 book is in the KB.
+    for page in &v.sites[0].pages {
+        let t = page.gold.topic.as_deref().unwrap();
+        assert!(!v.kb.match_text(t).is_empty(), "site-0 book {t} missing from KB");
+    }
+    // The universe is much larger than the KB.
+    assert!(world.books.len() > v.sites[0].pages.len() * 5);
+}
+
+#[test]
+fn commoncrawl_specs_sum_to_paper_totals() {
+    let specs = commoncrawl::cc_site_specs();
+    assert_eq!(specs.len(), 33);
+    let total: usize = specs.iter().map(|s| s.paper_pages).sum();
+    assert_eq!(total, 433_832, "Table 8 total page count");
+    // Every language pack referenced by a spec exists.
+    for s in &specs {
+        let pack = ceres::synth::style::label_pack(s.language);
+        assert!(!pack.director.is_empty());
+    }
+}
+
+#[test]
+fn commoncrawl_generation_is_deterministic() {
+    let a = commoncrawl::generate(11, 0.002);
+    let b = commoncrawl::generate(11, 0.002);
+    assert_eq!(a.kb.n_triples(), b.kb.n_triples());
+    for (sa, sb) in a.sites.iter().zip(&b.sites) {
+        assert_eq!(sa.pages.len(), sb.pages.len(), "{}", sa.name);
+    }
+    assert_eq!(a.sites[0].pages[0].html, b.sites[0].pages[0].html);
+}

@@ -1,0 +1,118 @@
+//! Cross-crate integration tests: synthetic world → rendered site → parsed
+//! DOM → CERES pipeline → scored extractions.
+
+use ceres::eval::harness::{eval_page_ids, run_ceres_on_site, EvalProtocol, SystemKind};
+use ceres::eval::metrics::{GoldIndex, TripleScorer};
+use ceres::prelude::*;
+use ceres::synth::swde::{movie_vertical, SwdeConfig};
+
+fn tiny_cfg() -> SwdeConfig {
+    SwdeConfig { seed: 77, scale: 0.02 }
+}
+
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let (v, _) = movie_vertical(tiny_cfg());
+    let cfg = CeresConfig::new(7);
+    let site = &v.sites[0];
+    let a = run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
+    let b = run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
+    assert_eq!(a.extractions.len(), b.extractions.len());
+    assert_eq!(a.stats.n_annotations, b.stats.n_annotations);
+    for (x, y) in a.extractions.iter().zip(&b.extractions) {
+        assert_eq!(x.page_id, y.page_id);
+        assert_eq!(x.object, y.object);
+        assert!((x.confidence - y.confidence).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn extractions_reference_real_fields() {
+    let (v, _) = movie_vertical(tiny_cfg());
+    let cfg = CeresConfig::new(7);
+    let site = &v.sites[1];
+    let run = run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
+    assert!(run.stats.trained, "{:?}", run.stats);
+    let gold = GoldIndex::new(site);
+    // Every extraction carries a gt id that exists on its page.
+    for e in &run.extractions {
+        let g = gold.gold(&e.page_id).expect("page exists");
+        let gt = e.gt_id.expect("generated pages stamp every field");
+        // gt ids are dense per page: must be < number of stamped fields,
+        // which is bounded by the page HTML's data-gt count.
+        let page = site.pages.iter().find(|p| p.id == e.page_id).unwrap();
+        let stamps = page.html.matches("data-gt=").count() as u32;
+        assert!(gt < stamps, "gt {gt} out of range ({stamps} stamps)");
+        let _ = g;
+    }
+}
+
+#[test]
+fn clean_movie_site_extracts_with_high_precision() {
+    let (v, _) = movie_vertical(tiny_cfg());
+    let cfg = CeresConfig::new(7);
+    let site = &v.sites[2];
+    let run = run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
+    let gold = GoldIndex::new(site);
+    let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
+    let scorer = TripleScorer::score(&v.kb, &gold, &ids, &run.extractions, None);
+    let overall = scorer.overall();
+    assert!(
+        overall.precision() > 0.8,
+        "precision {:.2} too low (tp={} fp={})",
+        overall.precision(),
+        overall.tp,
+        overall.fp
+    );
+    assert!(overall.recall() > 0.2, "recall {:.2} too low", overall.recall());
+}
+
+#[test]
+fn full_annotation_mode_beats_naive_on_annotation_precision() {
+    use ceres::eval::harness::annotation_page_ids;
+    use ceres::eval::metrics::score_annotations;
+    let imdb = ceres::synth::imdb::generate(5, 0.02);
+    let cfg = CeresConfig::new(5);
+    let site = &imdb.movie_site;
+    let gold = GoldIndex::new(site);
+    let ann_ids = annotation_page_ids(site, EvalProtocol::SplitHalves);
+
+    let prf_of = |system: SystemKind| {
+        let run = run_ceres_on_site(&imdb.kb, site, EvalProtocol::SplitHalves, &cfg, system);
+        let per_pred = score_annotations(&imdb.kb, &gold, &ann_ids, &run.annotation_records);
+        let mut total = ceres::eval::metrics::Prf::default();
+        for p in per_pred.values() {
+            total.add(*p);
+        }
+        total
+    };
+    let full = prf_of(SystemKind::CeresFull);
+    let naive = prf_of(SystemKind::CeresTopic);
+    assert!(
+        full.precision() >= naive.precision(),
+        "full {:.3} must be at least naive {:.3}",
+        full.precision(),
+        naive.precision()
+    );
+}
+
+#[test]
+fn threshold_sweep_trades_recall_for_precision() {
+    let (v, _) = movie_vertical(tiny_cfg());
+    let site = &v.sites[3];
+    let gold = GoldIndex::new(site);
+    let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
+    let mut cfg = CeresConfig::new(7);
+    cfg.extract.threshold = 0.5;
+    let run = run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
+
+    // Extraction counts must shrink monotonically as the threshold rises.
+    let count_at = |t: f64| run.extractions.iter().filter(|e| e.confidence >= t).count();
+    let mut prev = usize::MAX;
+    for t in [0.5, 0.6, 0.7, 0.8, 0.9] {
+        let n = count_at(t);
+        assert!(n <= prev);
+        prev = n;
+    }
+    let _ = (gold, ids);
+}

@@ -1,0 +1,59 @@
+//! Integration test: pipeline extractions → knowledge fusion → linkage,
+//! on overlapping synthetic sites backed by one world.
+
+use ceres::eval::harness::{run_ceres_on_site, EvalProtocol, SystemKind};
+use ceres::fusion::{fuse, link, FusionConfig, Linkage, SourcedExtraction};
+use ceres::prelude::CeresConfig;
+use ceres::synth::commoncrawl::{cc_site_specs, generate_cc_site};
+use ceres::synth::movie_world::{KbBias, MovieWorld, MovieWorldConfig};
+
+#[test]
+fn cross_site_fusion_corroborates_shared_facts() {
+    let world = MovieWorld::generate(MovieWorldConfig {
+        seed: 21,
+        n_people: 600,
+        n_films: 260,
+        n_series: 4,
+        title_collision_share: 0.02,
+    });
+    let kb = world.build_kb(&KbBias::default()).kb;
+    // Two head-biased sites share their famous films.
+    let specs: Vec<_> = cc_site_specs()
+        .into_iter()
+        .filter(|s| s.name == "themoviedb.org" || s.name == "britflicks.com")
+        .collect();
+    let cfg = CeresConfig::new(21);
+
+    let mut sourced: Vec<SourcedExtraction> = Vec::new();
+    for spec in &specs {
+        let site = generate_cc_site(&world, spec, 21, 0.004);
+        let run =
+            run_ceres_on_site(&kb, &site, EvalProtocol::WholeSite, &cfg, SystemKind::CeresFull);
+        for extraction in run.extractions {
+            sourced.push(SourcedExtraction { site: spec.name.to_string(), extraction });
+        }
+    }
+    assert!(!sourced.is_empty(), "no extractions to fuse");
+
+    let fused = fuse(
+        &sourced,
+        |p| kb.ontology().pred_name(p).to_string(),
+        &FusionConfig::default(),
+    );
+    assert!(!fused.is_empty());
+    // Fused output is sorted by belief and beliefs are valid probabilities.
+    for w in fused.windows(2) {
+        assert!(w[0].belief >= w[1].belief);
+    }
+    assert!(fused.iter().all(|f| (0.0..1.0).contains(&f.belief)));
+
+    // Linking resolves at least some subjects into the seed KB and flags
+    // some as new entities (the long tail).
+    let linked = link(&kb, &fused);
+    let n_linked =
+        linked.iter().filter(|l| matches!(l.subject, Linkage::Linked(_))).count();
+    let n_new =
+        linked.iter().filter(|l| matches!(l.subject, Linkage::NewEntity)).count();
+    assert!(n_linked > 0, "nothing linked");
+    assert!(n_new > 0, "no new entities — KB coverage should be partial");
+}
