@@ -74,25 +74,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
     g.bench_function("site_run_full_60p", |b| {
-        b.iter(|| {
-            black_box(run_site_views(
-                &fx.kb,
-                &fx.views,
-                None,
-                &cfg,
-                AnnotationMode::Full,
-            ))
-        })
+        b.iter(|| black_box(run_site_views(&fx.kb, &fx.views, None, &cfg, AnnotationMode::Full)))
     });
     g.bench_function("site_run_topic_only_60p", |b| {
         b.iter(|| {
-            black_box(run_site_views(
-                &fx.kb,
-                &fx.views,
-                None,
-                &cfg,
-                AnnotationMode::TopicOnly,
-            ))
+            black_box(run_site_views(&fx.kb, &fx.views, None, &cfg, AnnotationMode::TopicOnly))
         })
     });
     g.finish();

@@ -20,7 +20,8 @@ fn sample_pages(n: usize) -> (ceres_kb::Kb, Vec<String>) {
     let mut rng = derive_rng(1, "bench-pages");
     let style = SiteStyle::random(&mut rng, "en", "bb");
     let pathology = MoviePathology::default();
-    let ctx = MovieRenderCtx { world: &world, style: &style, site_name: "bench", pathology: &pathology };
+    let ctx =
+        MovieRenderCtx { world: &world, style: &style, site_name: "bench", pathology: &pathology };
     let pages = (0..n).map(|i| render_film_page(&ctx, i, &mut rng).html).collect();
     (kb, pages)
 }
@@ -42,8 +43,7 @@ fn bench_parse(c: &mut Criterion) {
 
 fn bench_matching(c: &mut Criterion) {
     let (kb, pages) = sample_pages(20);
-    let docs: Vec<ceres_dom::Document> =
-        pages.iter().map(|h| ceres_dom::parse_html(h)).collect();
+    let docs: Vec<ceres_dom::Document> = pages.iter().map(|h| ceres_dom::parse_html(h)).collect();
     let texts: Vec<String> = docs
         .iter()
         .flat_map(|d| d.text_fields().into_iter().map(|f| d.own_text(f)).collect::<Vec<_>>())
@@ -93,7 +93,7 @@ fn bench_training(c: &mut Criterion) {
         let idx: Vec<u32> = (0..30)
             .map(|_| {
                 let base = class * 600;
-                base + rng.gen_range(0..660).min(3999 - base)
+                base + rng.gen_range(0..660u32).min(3999 - base)
             })
             .collect();
         data.push(SparseVec::from_indices(idx), class);

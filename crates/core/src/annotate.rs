@@ -66,11 +66,8 @@ pub fn annotate_relations(
         let Some((topic, name_field)) = topics.assignments[i] else { continue };
         let mut cands: Vec<(PredId, ValueId, Vec<usize>)> = Vec::new();
         for &(pred, obj) in kb.triples_about(topic) {
-            let mentions: Vec<usize> = page
-                .mentions_of(obj)
-                .into_iter()
-                .filter(|&fi| fi != name_field)
-                .collect();
+            let mentions: Vec<usize> =
+                page.mentions_of(obj).into_iter().filter(|&fi| fi != name_field).collect();
             if !mentions.is_empty() {
                 cands.push((pred, obj, mentions));
             }
@@ -81,9 +78,9 @@ pub fn annotate_relations(
     // --- Global statistics per predicate ---
     #[derive(Default)]
     struct PredStats {
-        occurrences: usize,        // (page, obj) pairs
-        multi_mention: usize,      // ... with >1 mention
-        max_mentions: usize,       // k for clustering
+        occurrences: usize,   // (page, obj) pairs
+        multi_mention: usize, // ... with >1 mention
+        max_mentions: usize,  // k for clustering
         obj_pages: FxHashMap<ValueId, usize>,
         xpath_counts: FxHashMap<String, usize>,
     }
@@ -137,9 +134,7 @@ pub fn annotate_relations(
         let map: FxHashMap<String, u64> = items
             .iter()
             .enumerate()
-            .map(|(i, p)| {
-                ((*p).clone(), clustering.cluster_weights[clustering.assignment[i]])
-            })
+            .map(|(i, p)| ((*p).clone(), clustering.cluster_weights[clustering.assignment[i]]))
             .collect();
         cluster_of.insert(*pred, map);
     }
@@ -253,12 +248,8 @@ fn choose_mention(
         .map(|&fi| clusters.get(&page.fields[fi].xpath.to_string()).copied().unwrap_or(0))
         .collect();
     let max_w = *weights.iter().max()?;
-    let winners: Vec<usize> = best
-        .iter()
-        .zip(&weights)
-        .filter(|(_, &w)| w == max_w)
-        .map(|(&fi, _)| fi)
-        .collect();
+    let winners: Vec<usize> =
+        best.iter().zip(&weights).filter(|(_, &w)| w == max_w).map(|(&fi, _)| fi).collect();
     if winners.len() == 1 {
         Some(winners[0])
     } else {
@@ -342,12 +333,8 @@ mod tests {
             // The dual-role person's `cast` annotation must be the <li>
             // mention (inside the list with other cast members), not the
             // director/writer rows.
-            let cast_labels: Vec<usize> = ann
-                .labels
-                .iter()
-                .filter(|(_, p)| *p == acted)
-                .map(|(fi, _)| *fi)
-                .collect();
+            let cast_labels: Vec<usize> =
+                ann.labels.iter().filter(|(_, p)| *p == acted).map(|(fi, _)| *fi).collect();
             assert_eq!(cast_labels.len(), 3, "three cast members annotated");
             for fi in cast_labels {
                 let node = page.fields[fi].node;
@@ -380,8 +367,13 @@ mod tests {
         let (kb, pages, ..) = setup();
         let refs: Vec<&PageView> = pages.iter().collect();
         let topics = identify_topics(&refs, &kb, &TopicConfig::default());
-        let full =
-            annotate_relations(&refs, &kb, &topics, &AnnotateConfig::default(), AnnotationMode::Full);
+        let full = annotate_relations(
+            &refs,
+            &kb,
+            &topics,
+            &AnnotateConfig::default(),
+            AnnotationMode::Full,
+        );
         let naive = annotate_relations(
             &refs,
             &kb,

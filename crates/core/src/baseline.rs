@@ -45,10 +45,8 @@ pub fn run_baseline(
     cfg: &CeresConfig,
     bcfg: &BaselineConfig,
 ) -> SiteRun {
-    let ann_views: Vec<PageView> = annotation_pages
-        .iter()
-        .map(|(id, html)| PageView::build(id, html, kb))
-        .collect();
+    let ann_views: Vec<PageView> =
+        annotation_pages.iter().map(|(id, html)| PageView::build(id, html, kb)).collect();
     let ext_views: Option<Vec<PageView>> = extraction_pages
         .map(|pages| pages.iter().map(|(id, html)| PageView::build(id, html, kb)).collect());
 

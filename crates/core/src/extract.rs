@@ -175,13 +175,8 @@ mod tests {
              <span>c4</span><span>c5</span><span>c6</span></div></body></html>",
             &kb,
         );
-        let ex = extract_pages(
-            &[&unseen],
-            &model,
-            &mut space,
-            &class_map,
-            &ExtractConfig::default(),
-        );
+        let ex =
+            extract_pages(&[&unseen], &model, &mut space, &class_map, &ExtractConfig::default());
         let name = ex.iter().find(|e| e.label == ExtractLabel::Name).expect("name found");
         assert_eq!(name.object, "Totally New Film");
         let dir = ex

@@ -139,11 +139,7 @@ impl FeatureSpace {
         }
         let doc = &page.doc;
         // The ancestor subtree scanned for nearby frequent strings.
-        let scope = doc
-            .ancestors(node)
-            .take(self.cfg.text_feature_levels)
-            .last()
-            .unwrap_or(node);
+        let scope = doc.ancestors(node).take(self.cfg.text_feature_levels).last().unwrap_or(node);
         let mut scanned = 0usize;
         for f in &page.fields {
             if f.node == node {
@@ -166,13 +162,7 @@ impl FeatureSpace {
     }
 }
 
-fn emit_node_features(
-    page: &PageView,
-    n: NodeId,
-    level: usize,
-    off: isize,
-    out: &mut Vec<String>,
-) {
+fn emit_node_features(page: &PageView, n: NodeId, level: usize, off: isize, out: &mut Vec<String>) {
     let doc = &page.doc;
     let Some(tag) = doc.node(n).tag() else { return };
     out.push(format!("s:tag={tag}@l{level}o{off}"));
@@ -261,14 +251,16 @@ mod tests {
             })
             .collect();
         let kb = empty_kb();
-        let pages: Vec<PageView> =
-            htmls.iter().enumerate().map(|(i, h)| PageView::build(&format!("p{i}"), h, &kb)).collect();
+        let pages: Vec<PageView> = htmls
+            .iter()
+            .enumerate()
+            .map(|(i, h)| PageView::build(&format!("p{i}"), h, &kb))
+            .collect();
         let refs: Vec<&PageView> = pages.iter().collect();
         let mut space = FeatureSpace::new(&refs, FeatureConfig::default());
         assert!(space.frequent.iter().any(|s| s == "director"), "{:?}", space.frequent);
         let v = space.features(&pages[0], pages[0].fields[1].node);
-        let names: Vec<String> =
-            v.iter().map(|(id, _)| space.dict.name(id).to_string()).collect();
+        let names: Vec<String> = v.iter().map(|(id, _)| space.dict.name(id).to_string()).collect();
         assert!(
             names.iter().any(|n| n.starts_with("t:director@")),
             "text feature missing: {names:?}"
@@ -284,9 +276,7 @@ mod tests {
         let pv2 = page("<div class=never-seen>b</div>");
         let v2 = space.features(&pv2, pv2.fields[0].node);
         assert!(v2.nnz() < v1.nnz() + 5);
-        assert!(space
-            .dict
-            .get("s:class=never-seen@l0o0").is_none());
+        assert!(space.dict.get("s:class=never-seen@l0o0").is_none());
     }
 
     #[test]

@@ -35,7 +35,9 @@ pub mod template;
 pub mod topic;
 pub mod vertex;
 
-pub use config::{AnnotateConfig, CeresConfig, ExtractConfig, FeatureConfig, TemplateConfig,
-    TopicConfig, XPathDistance};
+pub use config::{
+    AnnotateConfig, CeresConfig, ExtractConfig, FeatureConfig, TemplateConfig, TopicConfig,
+    XPathDistance,
+};
 pub use extract::Extraction;
 pub use pipeline::{AnnotationMode, SiteRun, SiteRunStats};

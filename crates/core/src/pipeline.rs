@@ -4,8 +4,8 @@
 //! CERES-FULL and CERES-TOPIC are this same pipeline run with
 //! [`AnnotationMode::Full`] vs [`AnnotationMode::TopicOnly`].
 
-pub use crate::annotate::AnnotationMode;
 use crate::annotate::annotate_relations;
+pub use crate::annotate::AnnotationMode;
 use crate::config::CeresConfig;
 use crate::examples::ClassMap;
 use crate::extract::{extract_pages, Extraction};
@@ -82,10 +82,8 @@ pub fn run_site(
     cfg: &CeresConfig,
     mode: AnnotationMode,
 ) -> SiteRun {
-    let ann_views: Vec<PageView> = annotation_pages
-        .iter()
-        .map(|(id, html)| PageView::build(id, html, kb))
-        .collect();
+    let ann_views: Vec<PageView> =
+        annotation_pages.iter().map(|(id, html)| PageView::build(id, html, kb)).collect();
     let ext_views: Option<Vec<PageView>> = extraction_pages
         .map(|pages| pages.iter().map(|(id, html)| PageView::build(id, html, kb)).collect());
     run_site_views(kb, &ann_views, ext_views.as_deref(), cfg, mode)
@@ -121,9 +119,7 @@ pub fn run_site_views(
         }
         let ann_idx: Vec<usize> = cluster.iter().copied().filter(|&i| i < n_ann).collect();
         let ext_idx: Vec<usize> = match ext_views {
-            Some(_) => {
-                cluster.iter().copied().filter(|&i| i >= n_ann).map(|i| i - n_ann).collect()
-            }
+            Some(_) => cluster.iter().copied().filter(|&i| i >= n_ann).map(|i| i - n_ann).collect(),
             None => ann_idx.clone(),
         };
         if ann_idx.is_empty() {

@@ -112,8 +112,7 @@ mod tests {
             let lis: String = (0..n).map(|i| format!("<li>p{i}</li>")).collect();
             format!("<html><body><h1>t</h1><ul>{lis}</ul></body></html>")
         };
-        let pages: Vec<PageView> =
-            (2..10).map(|n| pv(&format!("p{n}"), &page(n), &kb)).collect();
+        let pages: Vec<PageView> = (2..10).map(|n| pv(&format!("p{n}"), &page(n), &kb)).collect();
         let refs: Vec<&PageView> = pages.iter().collect();
         let clusters = cluster_pages(&refs, &TemplateConfig::default());
         assert_eq!(clusters.len(), 1);
@@ -122,7 +121,8 @@ mod tests {
     #[test]
     fn disabled_clustering_returns_one_cluster() {
         let kb = empty_kb();
-        let pages = [pv("a", "<div>x</div>", &kb), pv("b", "<table><tr><td>y</td></tr></table>", &kb)];
+        let pages =
+            [pv("a", "<div>x</div>", &kb), pv("b", "<table><tr><td>y</td></tr></table>", &kb)];
         let cfg = TemplateConfig { enabled: false, ..Default::default() };
         let refs: Vec<&PageView> = pages.iter().collect();
         let clusters = cluster_pages(&refs, &cfg);

@@ -86,8 +86,7 @@ pub fn identify_topics(pages: &[&PageView], kb: &Kb, cfg: &TopicConfig) -> Topic
         let Some(c) = candidates[i] else { continue };
         for fi in page.mentions_of(c) {
             let xp = &page.fields[fi].xpath;
-            let entry =
-                path_counts.entry(xp.to_string()).or_insert_with(|| (0, xp.clone()));
+            let entry = path_counts.entry(xp.to_string()).or_insert_with(|| (0, xp.clone()));
             entry.0 += 1;
         }
     }

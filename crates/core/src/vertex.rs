@@ -70,8 +70,7 @@ pub fn learn_rules(examples: &[LabeledPage<'_>]) -> Vec<VertexRule> {
         wildcards.sort_unstable();
         // Class filter only when unanimous and present.
         let first_class = &members[0].1;
-        let class_filter = if first_class.is_some()
-            && members.iter().all(|(_, c)| c == first_class)
+        let class_filter = if first_class.is_some() && members.iter().all(|(_, c)| c == first_class)
         {
             first_class.clone()
         } else {
@@ -126,9 +125,10 @@ pub fn apply_rules(rules: &[VertexRule], page: &PageView) -> Vec<Extraction> {
     }
     // One extraction per (label, node).
     out.sort_by(|a, b| {
-        format!("{:?}", a.label).cmp(&format!("{:?}", b.label)).then(a.gt_id.cmp(&b.gt_id)).then(
-            a.object.cmp(&b.object),
-        )
+        format!("{:?}", a.label)
+            .cmp(&format!("{:?}", b.label))
+            .then(a.gt_id.cmp(&b.gt_id))
+            .then(a.object.cmp(&b.object))
     });
     out.dedup_by(|a, b| a.label == b.label && a.object == b.object && a.gt_id == b.gt_id);
     out
@@ -199,7 +199,8 @@ mod tests {
     }
 
     fn page(id: &str, n_cast: usize, kb: &Kb) -> PageView {
-        let lis: String = (0..n_cast).map(|i| format!("<li class=cast>Person {id} {i}</li>")).collect();
+        let lis: String =
+            (0..n_cast).map(|i| format!("<li class=cast>Person {id} {i}</li>")).collect();
         let html = format!(
             "<html><body><h1 class=title>Film {id}</h1><ul class=list>{lis}</ul></body></html>"
         );

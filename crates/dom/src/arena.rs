@@ -116,7 +116,11 @@ impl Document {
         attrs: Vec<(String, String)>,
     ) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { parent: Some(parent), children: Vec::new(), kind: NodeKind::Element { tag, attrs } });
+        self.nodes.push(Node {
+            parent: Some(parent),
+            children: Vec::new(),
+            kind: NodeKind::Element { tag, attrs },
+        });
         self.nodes[parent.index()].children.push(id);
         id
     }
@@ -124,7 +128,11 @@ impl Document {
     /// Append a text node under `parent`; returns its id.
     pub fn push_text(&mut self, parent: NodeId, text: String) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { parent: Some(parent), children: Vec::new(), kind: NodeKind::Text(text) });
+        self.nodes.push(Node {
+            parent: Some(parent),
+            children: Vec::new(),
+            kind: NodeKind::Text(text),
+        });
         self.nodes[parent.index()].children.push(id);
         id
     }
@@ -264,11 +272,8 @@ impl Document {
     /// `/html[1]/body[1]/div[3]/span[2]`. Text nodes are addressed through
     /// their parent element (CERES classifies elements, not text runs).
     pub fn xpath(&self, id: NodeId) -> XPath {
-        let target = if self.node(id).is_element() {
-            id
-        } else {
-            self.node(id).parent.unwrap_or(self.root)
-        };
+        let target =
+            if self.node(id).is_element() { id } else { self.node(id).parent.unwrap_or(self.root) };
         let mut steps = Vec::new();
         let mut cur = target;
         while cur != self.root {
@@ -313,11 +318,7 @@ impl Document {
         if other_set.is_empty() {
             // No competing mention: the whole page is exclusive; use the
             // topmost real element under the document root.
-            return self
-                .ancestors(mention)
-                .filter(|&a| a != self.root)
-                .last()
-                .unwrap_or(mention);
+            return self.ancestors(mention).filter(|&a| a != self.root).last().unwrap_or(mention);
         }
         let mut best = mention;
         for anc in self.ancestors(mention) {

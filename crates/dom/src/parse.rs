@@ -23,8 +23,8 @@ use crate::escape::unescape;
 
 /// Elements that never have children (void elements, HTML spec §13.1.2).
 const VOID_ELEMENTS: &[&str] = &[
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
-    "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 /// Elements whose raw text content runs to the matching close tag.
@@ -177,10 +177,8 @@ impl<'a> Parser<'a> {
         };
 
         let mut chars = inner.char_indices();
-        let name_end = chars
-            .find(|(_, c)| c.is_whitespace())
-            .map(|(idx, _)| idx)
-            .unwrap_or(inner.len());
+        let name_end =
+            chars.find(|(_, c)| c.is_whitespace()).map(|(idx, _)| idx).unwrap_or(inner.len());
         let tag = inner[..name_end].to_ascii_lowercase();
         if tag.is_empty() {
             return;
@@ -302,8 +300,7 @@ mod tests {
     fn unclosed_tags_are_tolerated() {
         let doc = parse_html("<div><p>one<p>two</div><span>after</span>");
         doc.check_consistency().unwrap();
-        let texts: Vec<String> =
-            doc.text_fields().iter().map(|&f| doc.own_text(f)).collect();
+        let texts: Vec<String> = doc.text_fields().iter().map(|&f| doc.own_text(f)).collect();
         assert!(texts.contains(&"after".to_string()));
     }
 
@@ -316,7 +313,9 @@ mod tests {
 
     #[test]
     fn script_and_style_are_skipped() {
-        let doc = parse_html("<script>var x = '<div>Spike Lee</div>';</script><style>b{}</style><b>real</b>");
+        let doc = parse_html(
+            "<script>var x = '<div>Spike Lee</div>';</script><style>b{}</style><b>real</b>",
+        );
         let texts: Vec<String> = doc.text_fields().iter().map(|&f| doc.own_text(f)).collect();
         assert_eq!(texts, vec!["real".to_string()]);
     }

@@ -55,8 +55,7 @@ impl XPath {
     /// in step indices. Such pairs typically denote members of the same
     /// template list (e.g. successive cast rows).
     pub fn same_shape(&self, other: &XPath) -> bool {
-        self.0.len() == other.0.len()
-            && self.0.iter().zip(&other.0).all(|(a, b)| a.tag == b.tag)
+        self.0.len() == other.0.len() && self.0.iter().zip(&other.0).all(|(a, b)| a.tag == b.tag)
     }
 
     /// Positions at which two same-shape paths have different indices.
@@ -81,9 +80,11 @@ impl XPath {
         if !self.same_shape(other) {
             return false;
         }
-        self.0.iter().zip(&other.0).enumerate().all(|(i, (a, b))| {
-            a.tag == b.tag && (a.index == b.index || wildcard.contains(&i))
-        })
+        self.0
+            .iter()
+            .zip(&other.0)
+            .enumerate()
+            .all(|(i, (a, b))| a.tag == b.tag && (a.index == b.index || wildcard.contains(&i)))
     }
 }
 
@@ -185,8 +186,10 @@ mod tests {
     #[test]
     fn figure2_distances() {
         // Acted-in XPaths from Figure 2: differ at two node indices.
-        let winfrey = xp("/html[1]/body[1]/div[1]/div[2]/div[1]/div[1]/div[4]/div[3]/div[68]/b[1]/a[1]");
-        let mckellen = xp("/html[1]/body[1]/div[1]/div[2]/div[1]/div[1]/div[4]/div[2]/div[61]/b[1]/a[1]");
+        let winfrey =
+            xp("/html[1]/body[1]/div[1]/div[2]/div[1]/div[1]/div[4]/div[3]/div[68]/b[1]/a[1]");
+        let mckellen =
+            xp("/html[1]/body[1]/div[1]/div[2]/div[1]/div[1]/div[4]/div[2]/div[61]/b[1]/a[1]");
         assert_eq!(winfrey.step_distance(&mckellen), 2);
         // Char distance counts the two differing digit runs.
         assert!(winfrey.char_distance(&mckellen) >= 2);

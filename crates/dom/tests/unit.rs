@@ -1,0 +1,90 @@
+//! Unit tests for the DOM substrate: tolerant parsing of unclosed tags and
+//! XPath round-trips through the arena.
+
+use ceres_dom::{parse_html, XPath};
+
+#[test]
+fn unclosed_tags_still_yield_their_text() {
+    // <li> and <p> are routinely left unclosed on real sites.
+    let doc = parse_html("<ul><li>First<li>Second<li>Third</ul><p>after");
+    let texts: Vec<String> = doc.text_fields().into_iter().map(|f| doc.own_text(f)).collect();
+    for want in ["First", "Second", "Third", "after"] {
+        assert!(texts.iter().any(|t| t == want), "text {want:?} lost; got {texts:?}");
+    }
+}
+
+#[test]
+fn unclosed_nested_blocks_keep_document_well_formed() {
+    let doc = parse_html("<div><b>bold<div><i>italic</div>tail");
+    // Every node's parent/children links must be mutually consistent.
+    for id in doc.all_nodes() {
+        if let Some(parent) = doc.node(id).parent {
+            assert!(
+                doc.node(parent).children.contains(&id),
+                "node {id:?} missing from its parent's child list"
+            );
+        }
+        for &child in &doc.node(id).children {
+            assert_eq!(doc.node(child).parent, Some(id));
+        }
+    }
+    let all: String =
+        doc.text_fields().into_iter().map(|f| doc.own_text(f)).collect::<Vec<_>>().join(" ");
+    assert!(all.contains("bold") && all.contains("italic") && all.contains("tail"));
+}
+
+#[test]
+fn parser_tolerates_garbage_without_panicking() {
+    for html in [
+        "",
+        "<",
+        "<<<>>>",
+        "</closes-nothing>",
+        "<a href=>unterminated",
+        "<div class=\"never closed",
+        "text & <b>only</b> &amp; entities &#65;",
+        "<DIV><Span>case</SPAN></div>",
+    ] {
+        let _ = parse_html(html); // must not panic
+    }
+}
+
+#[test]
+fn xpath_roundtrip_through_arena() {
+    let doc = parse_html(
+        "<html><body><div><span>a</span><span>b</span></div>\
+         <div><ul><li>x</li><li>y</li><li>z</li></ul></div></body></html>",
+    );
+    // Every text field's absolute XPath must resolve back to the same node.
+    let fields = doc.text_fields();
+    assert!(!fields.is_empty());
+    for f in fields {
+        let path = doc.xpath(f);
+        let resolved = doc.resolve_xpath(&path);
+        assert_eq!(resolved, Some(f), "xpath {path} did not round-trip");
+    }
+}
+
+#[test]
+fn xpath_string_roundtrip() {
+    let doc = parse_html("<html><body><div><ul><li>x</li><li>y</li></ul></div></body></html>");
+    for f in doc.text_fields() {
+        let path = doc.xpath(f);
+        let reparsed: XPath = path.to_string().parse().expect("display form must parse");
+        assert_eq!(
+            doc.resolve_xpath(&reparsed),
+            Some(f),
+            "string round-trip broke resolution for {path}"
+        );
+    }
+}
+
+#[test]
+fn sibling_indices_distinguish_repeated_tags() {
+    let doc = parse_html("<body><div>one</div><div>two</div><div>three</div></body>");
+    let fields = doc.text_fields();
+    let paths: Vec<String> = fields.iter().map(|&f| doc.xpath(f).to_string()).collect();
+    // All three divs must get distinct indexed paths.
+    let unique: std::collections::BTreeSet<&String> = paths.iter().collect();
+    assert_eq!(unique.len(), 3, "expected distinct paths, got {paths:?}");
+}

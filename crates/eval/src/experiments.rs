@@ -9,7 +9,9 @@ use crate::harness::{
     annotation_page_ids, eval_page_ids, protocol_pages, run_ceres_on_site, run_vertex_on_site,
     EvalProtocol, SystemKind,
 };
-use crate::metrics::{score_annotations, score_topics, GoldIndex, PageHitScorer, Prf, TripleScorer};
+use crate::metrics::{
+    score_annotations, score_topics, GoldIndex, PageHitScorer, Prf, TripleScorer,
+};
 use crate::paper;
 use ceres_core::baseline::{run_baseline, BaselineConfig};
 use ceres_core::extract::ExtractLabel;
@@ -17,8 +19,9 @@ use ceres_core::pipeline::SiteRun;
 use ceres_core::{CeresConfig, XPathDistance};
 use ceres_synth::commoncrawl::{self, CcDataset};
 use ceres_synth::imdb::{self, ImdbDataset};
-use ceres_synth::swde::{book_vertical, movie_vertical, nba_vertical, university_vertical,
-    SwdeConfig, SwdeVertical};
+use ceres_synth::swde::{
+    book_vertical, movie_vertical, nba_vertical, university_vertical, SwdeConfig, SwdeVertical,
+};
 use ceres_synth::Site;
 use ceres_text::FxHashMap;
 use std::fmt::Write as _;
@@ -119,12 +122,11 @@ pub fn build_swde(e: &ExpConfig) -> SwdeOutcome {
 /// Predicates a DS system can be scored on: present in the KB (footnote a
 /// of Table 3 — MPAA-Rating is excluded because it has no seed triples).
 fn ds_attributes(v: &SwdeVertical) -> Vec<&str> {
-    let per_pred: FxHashMap<&str, usize> = v
-        .kb
-        .triples_per_pred()
-        .into_iter()
-        .map(|(p, n)| (v.kb.ontology().pred_name(p), n))
-        .collect();
+    let per_pred: FxHashMap<&str, usize> =
+        v.kb.triples_per_pred()
+            .into_iter()
+            .map(|(p, n)| (v.kb.ontology().pred_name(p), n))
+            .collect();
     v.attributes
         .iter()
         .filter(|(_, pred)| *pred == "name" || per_pred.get(pred).copied().unwrap_or(0) > 0)
@@ -148,9 +150,14 @@ pub fn build_imdb(e: &ExpConfig) -> ImdbOutcome {
         ("Person", &data.person_site, SystemKind::CeresTopic),
         ("Person", &data.person_site, SystemKind::CeresFull),
     ];
-    let runs: Vec<(&'static str, SystemKind, SiteRun)> = parallel_map(&jobs, |(domain, site, system)| {
-        (*domain, *system, run_ceres_on_site(&data.kb, site, EvalProtocol::SplitHalves, &cfg, *system))
-    });
+    let runs: Vec<(&'static str, SystemKind, SiteRun)> =
+        parallel_map(&jobs, |(domain, site, system)| {
+            (
+                *domain,
+                *system,
+                run_ceres_on_site(&data.kb, site, EvalProtocol::SplitHalves, &cfg, *system),
+            )
+        });
     ImdbOutcome { data, runs }
 }
 
@@ -191,12 +198,7 @@ pub fn table1(e: &ExpConfig) -> String {
         .map(|v| {
             let pages: usize = v.sites.iter().map(|s| s.pages.len()).sum();
             let attrs: Vec<&str> = v.attributes.iter().map(|(d, _)| *d).collect();
-            vec![
-                v.name.to_string(),
-                v.sites.len().to_string(),
-                pages.to_string(),
-                attrs.join(", "),
-            ]
+            vec![v.name.to_string(), v.sites.len().to_string(), pages.to_string(), attrs.join(", ")]
         })
         .collect();
     format!(
@@ -213,9 +215,7 @@ pub fn table2(e: &ExpConfig) -> String {
     let rows: Vec<Vec<String>> = stats
         .types
         .iter()
-        .map(|t| {
-            vec![t.type_name.clone(), t.instances.to_string(), t.predicates.to_string()]
-        })
+        .map(|t| vec![t.type_name.clone(), t.instances.to_string(), t.predicates.to_string()])
         .collect();
     format!(
         "Table 2 — seed-KB entity types (scale {}; paper KB: Person 7.67M, Film 0.43M, \
@@ -385,9 +385,19 @@ pub fn table5(e: &ExpConfig, imdb: &ImdbOutcome) -> String {
             &imdb.runs.iter().find(|(d, s, _)| *d == domain && *s == system).unwrap().2
         };
         let topic = TripleScorer::score(
-            &imdb.data.kb, &gold, &ids, &get(SystemKind::CeresTopic).extractions, None);
+            &imdb.data.kb,
+            &gold,
+            &ids,
+            &get(SystemKind::CeresTopic).extractions,
+            None,
+        );
         let full = TripleScorer::score(
-            &imdb.data.kb, &gold, &ids, &get(SystemKind::CeresFull).extractions, None);
+            &imdb.data.kb,
+            &gold,
+            &ids,
+            &get(SystemKind::CeresFull).extractions,
+            None,
+        );
 
         let mut preds: Vec<&String> = full.per_pred.keys().collect();
         preds.sort();
@@ -444,7 +454,8 @@ pub fn table6(_e: &ExpConfig, imdb: &ImdbOutcome) -> String {
         let ann_ids = annotation_page_ids(site, EvalProtocol::SplitHalves);
         for system in [SystemKind::CeresTopic, SystemKind::CeresFull] {
             let run = &imdb.runs.iter().find(|(d, s, _)| *d == domain && *s == system).unwrap().2;
-            let per_pred = score_annotations(&imdb.data.kb, &gold, &ann_ids, &run.annotation_records);
+            let per_pred =
+                score_annotations(&imdb.data.kb, &gold, &ann_ids, &run.annotation_records);
             let mut total = Prf::default();
             for p in per_pred.values() {
                 total.add(*p);
@@ -561,8 +572,17 @@ pub fn table8(e: &ExpConfig, cc: &CcOutcome) -> String {
         paper::TABLE8_TOTALS.2,
         paper::TABLE8_TOTALS.3,
         render_table(
-            &["Website", "Focus", "#Pages", "#AnnPages", "#Ann", "#Extr", "ExtPg/AnnPg",
-              "Ext/Ann", "Prec"],
+            &[
+                "Website",
+                "Focus",
+                "#Pages",
+                "#AnnPages",
+                "#Ann",
+                "#Extr",
+                "ExtPg/AnnPg",
+                "Ext/Ann",
+                "Prec"
+            ],
             &rows
         )
     )
@@ -632,11 +652,8 @@ pub fn fig2(e: &ExpConfig) -> String {
     // their first acted-in mention.
     let mut found: Vec<(String, String)> = Vec::new();
     for page in &data.person_site.pages {
-        let Some(fact) = page
-            .gold
-            .facts
-            .iter()
-            .find(|f| f.pred == ceres_synth::schema::movie::ACTED_IN)
+        let Some(fact) =
+            page.gold.facts.iter().find(|f| f.pred == ceres_synth::schema::movie::ACTED_IN)
         else {
             continue;
         };
@@ -670,14 +687,11 @@ pub fn fig4(e: &ExpConfig) -> String {
             .pages
             .iter()
             .filter(|p| {
-                p.gold
-                    .topic
-                    .as_deref()
-                    .map(|t| !v.kb.match_text(t).is_empty())
-                    .unwrap_or(false)
+                p.gold.topic.as_deref().map(|t| !v.kb.match_text(t).is_empty()).unwrap_or(false)
             })
             .count();
-        let run = run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
+        let run =
+            run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
         let gold = GoldIndex::new(site);
         let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
         let scorer = TripleScorer::score(&v.kb, &gold, &ids, &run.extractions, Some(&preds));
@@ -685,10 +699,8 @@ pub fn fig4(e: &ExpConfig) -> String {
     });
     let mut sorted = results;
     sorted.sort_by_key(|(_, o, _)| *o);
-    let rows: Vec<Vec<String>> = sorted
-        .iter()
-        .map(|(name, o, f1)| vec![name.clone(), o.to_string(), fmt_f(*f1)])
-        .collect();
+    let rows: Vec<Vec<String>> =
+        sorted.iter().map(|(name, o, f1)| vec![name.clone(), o.to_string(), fmt_f(*f1)]).collect();
     format!(
         "Figure 4 — Book vertical: extraction F1 vs #books overlapping the seed KB\n\
          (paper: lower overlap ⇒ lower recall; sites with ≤5 overlapping pages score ~0)\n\n{}",
@@ -709,7 +721,13 @@ pub fn fig5(e: &ExpConfig) -> String {
         let mut cfg = ceres_cfg(e);
         cfg.max_annotated_pages = Some(cap);
         let f1s: Vec<f64> = parallel_map(&v.sites, |site| {
-            let run = run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
+            let run = run_ceres_on_site(
+                &v.kb,
+                site,
+                EvalProtocol::SplitHalves,
+                &cfg,
+                SystemKind::CeresFull,
+            );
             let gold = GoldIndex::new(site);
             let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
             PageHitScorer::score(&v.kb, &gold, &ids, &run.extractions, &attrs).mean_f1(&attrs)
@@ -728,8 +746,7 @@ pub fn fig5(e: &ExpConfig) -> String {
 pub fn fig6(e: &ExpConfig, cc: &CcOutcome) -> String {
     let mut rows: Vec<Vec<String>> = Vec::new();
     for t in [0.50, 0.55, 0.60, 0.65, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95] {
-        let kept: Vec<&(usize, f64, bool)> =
-            cc.scored.iter().filter(|(_, c, _)| *c >= t).collect();
+        let kept: Vec<&(usize, f64, bool)> = cc.scored.iter().filter(|(_, c, _)| *c >= t).collect();
         let n = kept.len();
         let correct = kept.iter().filter(|(_, _, ok)| *ok).count();
         let p = if n == 0 { 0.0 } else { correct as f64 / n as f64 };
@@ -780,7 +797,13 @@ pub fn ablations(e: &ExpConfig) -> String {
         }),
     ];
     let results: Vec<(String, Prf, usize)> = parallel_map(&variants, |(name, cfg)| {
-        let run = run_ceres_on_site(&data.kb, site, EvalProtocol::SplitHalves, cfg, SystemKind::CeresFull);
+        let run = run_ceres_on_site(
+            &data.kb,
+            site,
+            EvalProtocol::SplitHalves,
+            cfg,
+            SystemKind::CeresFull,
+        );
         let scorer = TripleScorer::score(&data.kb, &gold, &ids, &run.extractions, None);
         (name.to_string(), scorer.overall(), run.extractions.len())
     });

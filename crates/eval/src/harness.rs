@@ -60,9 +60,7 @@ pub fn protocol_pages(site: &Site, protocol: EvalProtocol) -> (PageSet, Option<P
 /// Ids of the pages extractions are scored against.
 pub fn eval_page_ids(site: &Site, protocol: EvalProtocol) -> Vec<&str> {
     match protocol {
-        EvalProtocol::SplitHalves => {
-            site.split_halves().1.iter().map(|p| p.id.as_str()).collect()
-        }
+        EvalProtocol::SplitHalves => site.split_halves().1.iter().map(|p| p.id.as_str()).collect(),
         EvalProtocol::WholeSite => site.pages.iter().map(|p| p.id.as_str()).collect(),
     }
 }
@@ -70,9 +68,7 @@ pub fn eval_page_ids(site: &Site, protocol: EvalProtocol) -> Vec<&str> {
 /// Ids of the annotation-half pages (annotation/topic scoring).
 pub fn annotation_page_ids(site: &Site, protocol: EvalProtocol) -> Vec<&str> {
     match protocol {
-        EvalProtocol::SplitHalves => {
-            site.split_halves().0.iter().map(|p| p.id.as_str()).collect()
-        }
+        EvalProtocol::SplitHalves => site.split_halves().0.iter().map(|p| p.id.as_str()).collect(),
         EvalProtocol::WholeSite => site.pages.iter().map(|p| p.id.as_str()).collect(),
     }
 }
@@ -87,9 +83,7 @@ pub fn run_ceres_on_site(
 ) -> SiteRun {
     let (train, eval) = protocol_pages(site, protocol);
     match system {
-        SystemKind::CeresFull => {
-            run_site(kb, &train, eval.as_deref(), cfg, AnnotationMode::Full)
-        }
+        SystemKind::CeresFull => run_site(kb, &train, eval.as_deref(), cfg, AnnotationMode::Full),
         SystemKind::CeresTopic => {
             run_site(kb, &train, eval.as_deref(), cfg, AnnotationMode::TopicOnly)
         }
@@ -111,9 +105,7 @@ pub fn run_vertex_on_site(
     let (train_pages, eval_pages): (Vec<&ceres_synth::Page>, Vec<&ceres_synth::Page>) =
         match protocol {
             EvalProtocol::SplitHalves => site.split_halves(),
-            EvalProtocol::WholeSite => {
-                (site.pages.iter().collect(), site.pages.iter().collect())
-            }
+            EvalProtocol::WholeSite => (site.pages.iter().collect(), site.pages.iter().collect()),
         };
 
     // Choose the first training pages that carry gold facts.
@@ -129,8 +121,7 @@ pub fn run_vertex_on_site(
         let view = PageView::build(&page.id, &page.html, kb);
         let mut page_labels = Vec::new();
         for fact in &page.gold.facts {
-            let Some(fi) = view.fields.iter().position(|f| f.gt_id == Some(fact.gt_id))
-            else {
+            let Some(fi) = view.fields.iter().position(|f| f.gt_id == Some(fact.gt_id)) else {
                 continue;
             };
             let label = if fact.pred == "name" {

@@ -78,17 +78,13 @@ impl<'a> GoldIndex<'a> {
             return false;
         }
         match &e.label {
-            ExtractLabel::Name => gold
-                .topic
-                .as_deref()
-                .map(|t| normalize(t) == normalize(&e.object))
-                .unwrap_or(false),
+            ExtractLabel::Name => {
+                gold.topic.as_deref().map(|t| normalize(t) == normalize(&e.object)).unwrap_or(false)
+            }
             ExtractLabel::Pred(p) => {
                 let pred_name = kb.ontology().pred_name(*p);
                 let obj_norm = normalize(&e.object);
-                gold.facts
-                    .iter()
-                    .any(|f| f.pred == pred_name && normalize(&f.object) == obj_norm)
+                gold.facts.iter().any(|f| f.pred == pred_name && normalize(&f.object) == obj_norm)
             }
         }
     }
@@ -256,8 +252,7 @@ impl PageHitScorer {
         if preds.is_empty() {
             return 0.0;
         }
-        let sum: f64 =
-            preds.iter().map(|p| self.per_pred.get(*p).map_or(0.0, |x| x.f1())).sum();
+        let sum: f64 = preds.iter().map(|p| self.per_pred.get(*p).map_or(0.0, |x| x.f1())).sum();
         sum / preds.len() as f64
     }
 }
@@ -273,9 +268,8 @@ pub fn score_topics(kb: &Kb, gold: &GoldIndex<'_>, records: &[TopicRecord]) -> P
             (PageKind::Detail, Some(t)) => Some(t),
             _ => None,
         };
-        let in_kb = gold_topic
-            .map(|t| kb.match_text(t).iter().any(|&v| kb.is_entity(v)))
-            .unwrap_or(false);
+        let in_kb =
+            gold_topic.map(|t| kb.match_text(t).iter().any(|&v| kb.is_entity(v))).unwrap_or(false);
         match (&r.topic, gold_topic) {
             (Some(found), Some(t)) => {
                 // An episode's canonical name may carry a disambiguating
@@ -317,11 +311,7 @@ pub fn score_annotations(
             entry.tp += 1;
             if let (Some(g), Some(gt)) = (gold.gold(&r.page_id), r.gt_id) {
                 if let Some(fact) = g.facts.iter().find(|f| f.gt_id == gt) {
-                    covered.insert((
-                        r.page_id.clone(),
-                        r.pred.clone(),
-                        normalize(&fact.object),
-                    ));
+                    covered.insert((r.page_id.clone(), r.pred.clone(), normalize(&fact.object)));
                 }
             }
         } else {
@@ -343,9 +333,9 @@ pub fn score_annotations(
             }
             let Some(pred_id) = kb.ontology().pred_by_name(pred) else { continue };
             let obj_vals = kb.match_text(obj);
-            let kb_known = topic_vals.iter().any(|&t| {
-                obj_vals.iter().any(|&o| kb.preds_between(t, o).contains(&pred_id))
-            });
+            let kb_known = topic_vals
+                .iter()
+                .any(|&t| obj_vals.iter().any(|&o| kb.preds_between(t, o).contains(&pred_id)));
             if !kb_known {
                 continue;
             }
@@ -416,11 +406,8 @@ mod tests {
         assert!(gold.extraction_correct(&kb, &ok));
         let bad = Extraction { object: "Comedy".into(), ..ok.clone() };
         assert!(!gold.extraction_correct(&kb, &bad));
-        let name_ok = Extraction {
-            label: ExtractLabel::Name,
-            object: "the   film".into(),
-            ..ok.clone()
-        };
+        let name_ok =
+            Extraction { label: ExtractLabel::Name, object: "the   film".into(), ..ok.clone() };
         assert!(gold.extraction_correct(&kb, &name_ok));
     }
 

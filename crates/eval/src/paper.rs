@@ -60,10 +60,8 @@ pub const TABLE6_OVERALL: &[(&str, &str, f64, f64)] = &[
 ];
 
 /// Table 7: topic identification (domain, P, R, F1).
-pub const TABLE7: &[(&str, f64, f64, f64)] = &[
-    ("Person", 0.99, 0.76, 0.86),
-    ("Film/TV", 0.97, 0.88, 0.92),
-];
+pub const TABLE7: &[(&str, f64, f64, f64)] =
+    &[("Person", 0.99, 0.76, 0.86), ("Film/TV", 0.97, 0.88, 0.92)];
 
 /// Table 8 headline: total pages, annotations, extractions, precision.
 pub const TABLE8_TOTALS: (usize, usize, usize, f64) = (433_832, 414_074, 1_688_913, 0.83);
@@ -80,8 +78,9 @@ mod tests {
     fn reference_tables_are_well_formed() {
         assert_eq!(TABLE3_REIMPLEMENTED.len(), 4);
         assert_eq!(TABLE3_LITERATURE.len(), 8);
-        assert!(TABLE5_FULL.iter().all(|&(_, _, p, r)| (0.0..=1.0).contains(&p)
-            && (0.0..=1.0).contains(&r)));
+        assert!(TABLE5_FULL
+            .iter()
+            .all(|&(_, _, p, r)| (0.0..=1.0).contains(&p) && (0.0..=1.0).contains(&r)));
         assert_eq!(TABLE7.len(), 2);
     }
 }

@@ -42,10 +42,8 @@ pub fn link(kb: &Kb, facts: &[FusedFact]) -> Vec<LinkOutcome> {
     facts
         .iter()
         .map(|fact| {
-            let subject_type = kb
-                .ontology()
-                .pred_by_name(&fact.pred)
-                .map(|p| kb.ontology().pred(p).subject_type);
+            let subject_type =
+                kb.ontology().pred_by_name(&fact.pred).map(|p| kb.ontology().pred(p).subject_type);
             let subject = resolve(kb, &fact.subject, subject_type);
             // Objects are untyped in our ontology (entity or literal).
             let object = resolve(kb, &fact.object_surface, None);
@@ -54,11 +52,7 @@ pub fn link(kb: &Kb, facts: &[FusedFact]) -> Vec<LinkOutcome> {
         .collect()
 }
 
-fn resolve(
-    kb: &Kb,
-    text: &str,
-    required_type: Option<ceres_kb::EntityTypeId>,
-) -> Linkage {
+fn resolve(kb: &Kb, text: &str, required_type: Option<ceres_kb::EntityTypeId>) -> Linkage {
     let mut candidates: Vec<ValueId> = kb.match_text(text);
     if let Some(ty) = required_type {
         candidates.retain(|&v| matches!(kb.kind(v), ValueKind::Entity(t) if t == ty));

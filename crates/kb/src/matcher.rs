@@ -24,12 +24,47 @@ impl Default for MatcherConfig {
 /// Country names excluded from topic candidacy (a representative list; the
 /// paper does not enumerate its own).
 pub const COUNTRIES: &[&str] = &[
-    "usa", "united states", "united kingdom", "uk", "france", "germany", "italy", "spain",
-    "canada", "australia", "india", "china", "japan", "korea", "south korea", "nigeria",
-    "indonesia", "brazil", "mexico", "russia", "denmark", "iceland", "czech republic",
-    "slovakia", "south africa", "hong kong", "ireland", "sweden", "norway", "netherlands",
-    "belgium", "austria", "switzerland", "poland", "portugal", "greece", "turkey", "egypt",
-    "argentina", "chile", "new zealand",
+    "usa",
+    "united states",
+    "united kingdom",
+    "uk",
+    "france",
+    "germany",
+    "italy",
+    "spain",
+    "canada",
+    "australia",
+    "india",
+    "china",
+    "japan",
+    "korea",
+    "south korea",
+    "nigeria",
+    "indonesia",
+    "brazil",
+    "mexico",
+    "russia",
+    "denmark",
+    "iceland",
+    "czech republic",
+    "slovakia",
+    "south africa",
+    "hong kong",
+    "ireland",
+    "sweden",
+    "norway",
+    "netherlands",
+    "belgium",
+    "austria",
+    "switzerland",
+    "poland",
+    "portugal",
+    "greece",
+    "turkey",
+    "egypt",
+    "argentina",
+    "chile",
+    "new zealand",
 ];
 
 /// True if a *normalized* string is too uninformative to be a topic

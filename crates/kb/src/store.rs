@@ -144,7 +144,9 @@ impl KbBuilder {
         let mut fuzzy: FxHashMap<String, Vec<ValueId>> = FxHashMap::default();
         for (i, v) in values.iter().enumerate() {
             let id = ValueId(i as u32);
-            for s in std::iter::once(v.canonical.as_str()).chain(v.aliases.iter().map(|a| a.as_str())) {
+            for s in
+                std::iter::once(v.canonical.as_str()).chain(v.aliases.iter().map(|a| a.as_str()))
+            {
                 let norm = normalize(s);
                 if norm.is_empty() {
                     continue;
@@ -159,11 +161,8 @@ impl KbBuilder {
         // appears as the object of a large fraction of all triples.
         let threshold = ((triples.len() as f64) * config.stop_value_fraction).ceil() as usize;
         let threshold = threshold.max(config.stop_value_min_count);
-        let stop_values: FxHashSet<ValueId> = object_counts
-            .iter()
-            .filter(|&(_, &c)| c >= threshold)
-            .map(|(&v, _)| v)
-            .collect();
+        let stop_values: FxHashSet<ValueId> =
+            object_counts.iter().filter(|&(_, &c)| c >= threshold).map(|(&v, _)| v).collect();
 
         Kb {
             ontology,
@@ -311,11 +310,14 @@ impl Kb {
         let mut per_type: FxHashMap<EntityTypeId, TypeStats> = FxHashMap::default();
         for v in &self.values {
             if let ValueKind::Entity(t) = v.kind {
-                per_type.entry(t).or_insert_with(|| TypeStats {
-                    type_name: self.ontology.type_name(t).to_string(),
-                    instances: 0,
-                    predicates: 0,
-                }).instances += 1;
+                per_type
+                    .entry(t)
+                    .or_insert_with(|| TypeStats {
+                        type_name: self.ontology.type_name(t).to_string(),
+                        instances: 0,
+                        predicates: 0,
+                    })
+                    .instances += 1;
             }
         }
         // Distinct predicates observed per subject type.

@@ -149,8 +149,8 @@ fn two_loop(
     let m = s_hist.len();
     let mut alpha = vec![0.0; m];
     for i in (0..m).rev() {
-        let a = rho_hist[i]
-            * s_hist[i].iter().zip(direction.iter()).map(|(s, q)| s * q).sum::<f64>();
+        let a =
+            rho_hist[i] * s_hist[i].iter().zip(direction.iter()).map(|(s, q)| s * q).sum::<f64>();
         alpha[i] = a;
         for (q, y) in direction.iter_mut().zip(&y_hist[i]) {
             *q -= a * y;
@@ -168,8 +168,8 @@ fn two_loop(
         }
     }
     for i in 0..m {
-        let beta = rho_hist[i]
-            * y_hist[i].iter().zip(direction.iter()).map(|(y, q)| y * q).sum::<f64>();
+        let beta =
+            rho_hist[i] * y_hist[i].iter().zip(direction.iter()).map(|(y, q)| y * q).sum::<f64>();
         for (q, s) in direction.iter_mut().zip(&s_hist[i]) {
             *q += (alpha[i] - beta) * s;
         }
@@ -215,8 +215,12 @@ mod tests {
         };
         let cfg = LbfgsConfig { max_iters: 500, ..LbfgsConfig::default() };
         let out = lbfgs_minimize(vec![-1.2, 1.0], obj, &cfg);
-        assert!((out.x[0] - 1.0).abs() < 1e-3 && (out.x[1] - 1.0).abs() < 1e-3,
-            "got {:?} after {} iters", out.x, out.iterations);
+        assert!(
+            (out.x[0] - 1.0).abs() < 1e-3 && (out.x[1] - 1.0).abs() < 1e-3,
+            "got {:?} after {} iters",
+            out.x,
+            out.iterations
+        );
     }
 
     #[test]

@@ -183,12 +183,8 @@ impl LogReg {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = data
-            .examples
-            .iter()
-            .zip(&data.labels)
-            .filter(|(x, &y)| self.predict(x).0 == y)
-            .count();
+        let correct =
+            data.examples.iter().zip(&data.labels).filter(|(x, &y)| self.predict(x).0 == y).count();
         correct as f64 / data.len() as f64
     }
 }
@@ -296,10 +292,8 @@ mod tests {
     #[test]
     fn stronger_regularization_shrinks_weights() {
         let data = xor_free_dataset();
-        let strong =
-            LogReg::train(&data, &TrainConfig { c: 0.01, ..TrainConfig::default() }).0;
-        let weak =
-            LogReg::train(&data, &TrainConfig { c: 100.0, ..TrainConfig::default() }).0;
+        let strong = LogReg::train(&data, &TrainConfig { c: 0.01, ..TrainConfig::default() }).0;
+        let weak = LogReg::train(&data, &TrainConfig { c: 100.0, ..TrainConfig::default() }).0;
         let norm = |m: &LogReg| m.w.iter().map(|v| v * v).sum::<f64>();
         assert!(norm(&strong) < norm(&weak));
     }

@@ -4,8 +4,8 @@
 
 use crate::dataset::Site;
 use crate::movie_pages::{
-    render_chart_page, render_episode_page, render_film_page, render_person_page,
-    MoviePathology, MovieRenderCtx,
+    render_chart_page, render_episode_page, render_film_page, render_person_page, MoviePathology,
+    MovieRenderCtx,
 };
 use crate::movie_world::{KbBias, MovieWorld, MovieWorldConfig};
 use crate::rng::{derive_rng, prob, sample_distinct, zipf_distinct};
@@ -141,10 +141,7 @@ pub fn cc_site_specs() -> Vec<CcSiteSpec> {
             ..spec("sfd.sfu.sk", "Slovak films", 1_711, "sk", 0.15)
         },
         // The three zero-extraction sites of Table 8:
-        CcSiteSpec {
-            nondetail_share: 0.5,
-            ..spec("bcdb.com", "Animated films", 912, "en", 0.02)
-        },
+        CcSiteSpec { nondetail_share: 0.5, ..spec("bcdb.com", "Animated films", 912, "en", 0.02) },
         spec("bmxmdb.com", "BMX films", 924, "en", 0.005),
         CcSiteSpec {
             nondetail_share: 1.0,
@@ -179,10 +176,7 @@ pub fn generate(seed: u64, scale: f64) -> CcDataset {
     });
     let kb = world.build_kb(&KbBias::default()).kb;
 
-    let sites = specs
-        .iter()
-        .map(|s| generate_cc_site(&world, s, seed, scale))
-        .collect();
+    let sites = specs.iter().map(|s| generate_cc_site(&world, s, seed, scale)).collect();
 
     CcDataset { world, sites, kb }
 }

@@ -111,19 +111,12 @@ mod tests {
 
     #[test]
     fn split_halves_partitions() {
-        let site = Site {
-            name: "s".into(),
-            focus: "f".into(),
-            pages: (0..9).map(page).collect(),
-        };
+        let site = Site { name: "s".into(), focus: "f".into(), pages: (0..9).map(page).collect() };
         let (train, eval) = site.split_halves();
         assert_eq!(train.len(), 5);
         assert_eq!(eval.len(), 4);
-        let all: std::collections::HashSet<&str> = train
-            .iter()
-            .chain(eval.iter())
-            .map(|p| p.id.as_str())
-            .collect();
+        let all: std::collections::HashSet<&str> =
+            train.iter().chain(eval.iter()).map(|p| p.id.as_str()).collect();
         assert_eq!(all.len(), 9);
     }
 

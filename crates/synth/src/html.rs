@@ -127,7 +127,8 @@ mod tests {
         b.open("html", &[]).open("body", &[]);
         b.open("div", &[("class", "info")]);
         let name_id = b.name_field("h1", &[], "Do the Right Thing");
-        let dir_id = b.gold_field("span", &[("class", "val")], "Spike Lee", "directedBy", "Spike Lee");
+        let dir_id =
+            b.gold_field("span", &[("class", "val")], "Spike Lee", "directedBy", "Spike Lee");
         let _plain = b.field("span", &[("class", "label")], "Director:");
         b.close();
         b.close().close();
@@ -143,8 +144,7 @@ mod tests {
         let fields = doc.text_fields();
         assert_eq!(fields.len(), 3);
         // Every field carries its data-gt id.
-        let gts: Vec<&str> =
-            fields.iter().map(|&f| doc.node(f).attr("data-gt").unwrap()).collect();
+        let gts: Vec<&str> = fields.iter().map(|&f| doc.node(f).attr("data-gt").unwrap()).collect();
         assert_eq!(gts, vec!["0", "1", "2"]);
     }
 

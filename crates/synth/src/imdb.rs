@@ -54,8 +54,12 @@ pub fn generate(seed: u64, scale: f64) -> ImdbDataset {
         ..SiteStyle::random(&mut rng, "en", "imdb")
     };
     let pathology = MoviePathology::default();
-    let ctx =
-        MovieRenderCtx { world: &world, style: &style, site_name: "imdb-like", pathology: &pathology };
+    let ctx = MovieRenderCtx {
+        world: &world,
+        style: &style,
+        site_name: "imdb-like",
+        pathology: &pathology,
+    };
 
     let mut pages = Vec::with_capacity(n_title_pages);
     for fi in zipf_distinct(&mut rng, world.films.len(), n_film_pages, 1.05) {
@@ -113,10 +117,8 @@ mod tests {
     #[test]
     fn title_site_mixes_films_and_episodes() {
         let d = generate(9, 0.02);
-        let films =
-            d.movie_site.pages.iter().filter(|p| p.id.starts_with("film-")).count();
-        let eps =
-            d.movie_site.pages.iter().filter(|p| p.id.starts_with("episode-")).count();
+        let films = d.movie_site.pages.iter().filter(|p| p.id.starts_with("film-")).count();
+        let eps = d.movie_site.pages.iter().filter(|p| p.id.starts_with("episode-")).count();
         assert!(films > 0 && eps > 0, "films {films}, episodes {eps}");
     }
 

@@ -312,8 +312,7 @@ pub fn render_film_page(ctx: &MovieRenderCtx<'_>, film_idx: usize, rng: &mut Sma
 
     // --- Pathology: genre index on every page ---
     if ctx.pathology.genre_index {
-        let items: Vec<GoldValue> =
-            GENRES.iter().map(|g| (g.to_string(), None)).collect();
+        let items: Vec<GoldValue> = GENRES.iter().map(|g| (g.to_string(), None)).collect();
         render_list_section(&mut b, style, l.genre, "genre-index", &items, 3);
     }
 
@@ -421,12 +420,8 @@ pub fn render_person_page(ctx: &MovieRenderCtx<'_>, person_idx: usize, rng: &mut
     render_info_section(&mut b, style, &rows, 1);
 
     // --- "Known For": the four most famous credits, not a predicate ---
-    let mut known: Vec<usize> = person
-        .acted_in
-        .iter()
-        .map(|&(f, _, _)| f)
-        .chain(person.directed.iter().copied())
-        .collect();
+    let mut known: Vec<usize> =
+        person.acted_in.iter().map(|&(f, _, _)| f).chain(person.directed.iter().copied()).collect();
     known.sort_unstable();
     known.dedup();
     known.truncate(4);
@@ -746,8 +741,7 @@ mod tests {
         let path = MoviePathology::default();
         let page = render_film_page(&ctx(&w, &style, &path), 1, &mut rng);
         use crate::schema::movie as m;
-        let cast_facts =
-            page.gold.facts.iter().filter(|f| f.pred == m::HAS_CAST_MEMBER).count();
+        let cast_facts = page.gold.facts.iter().filter(|f| f.pred == m::HAS_CAST_MEMBER).count();
         assert_eq!(cast_facts, w.films[1].cast.len());
     }
 
@@ -788,7 +782,10 @@ mod tests {
     fn role_ambiguity_merges_filmography() {
         let w = world();
         let mut rng = derive_rng(4, "t");
-        let style = SiteStyle::random(&mut rng, "en", "t");
+        let mut style = SiteStyle::random(&mut rng, "en", "t");
+        // The merged section is only recognizable by class name when the
+        // site emits semantic classes.
+        style.semantic_classes = true;
         let path = MoviePathology { role_ambiguity: true, ..Default::default() };
         let page = render_person_page(&ctx(&w, &style, &path), 0, &mut rng);
         assert!(page.html.contains("filmography"));
@@ -840,6 +837,10 @@ mod tests {
         let mut rng = derive_rng(8, "t");
         let mut style = SiteStyle::random(&mut rng, "en", "t");
         style.ad_prob = 0.9;
+        // Index variation needs the title inside wrapper divs: an ad-slot
+        // <div> before the wrapper shifts the wrapper's sibling index,
+        // while a bare body-level <h1> keeps /body/h1[1] regardless.
+        style.wrapper_depth = 2;
         let path = MoviePathology::default();
         let mut paths = std::collections::HashSet::new();
         for i in 0..6 {

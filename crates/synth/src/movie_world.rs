@@ -17,8 +17,20 @@ use rand::Rng;
 
 /// Genres used across the movie vertical.
 pub const GENRES: &[&str] = &[
-    "Drama", "Comedy", "Action", "Thriller", "Documentary", "Horror", "Romance", "Animation",
-    "Crime", "Adventure", "Fantasy", "Musical", "Western", "Biography",
+    "Drama",
+    "Comedy",
+    "Action",
+    "Thriller",
+    "Documentary",
+    "Horror",
+    "Romance",
+    "Animation",
+    "Crime",
+    "Adventure",
+    "Fantasy",
+    "Musical",
+    "Western",
+    "Biography",
 ];
 
 /// MPAA ratings (gold-only predicate; never seeded into the KB).
@@ -26,13 +38,38 @@ pub const RATINGS: &[&str] = &["G", "PG", "PG-13", "R", "NC-17"];
 
 /// Production countries (also used for birthplaces).
 pub const COUNTRIES: &[&str] = &[
-    "USA", "United Kingdom", "France", "Italy", "Denmark", "Iceland", "Czech Republic",
-    "Slovakia", "Indonesia", "Nigeria", "India", "Japan", "South Korea", "China", "Canada",
+    "USA",
+    "United Kingdom",
+    "France",
+    "Italy",
+    "Denmark",
+    "Iceland",
+    "Czech Republic",
+    "Slovakia",
+    "Indonesia",
+    "Nigeria",
+    "India",
+    "Japan",
+    "South Korea",
+    "China",
+    "Canada",
 ];
 
 const CITIES: &[&str] = &[
-    "Springfield", "Riverton", "Lakewood", "Fairview", "Greenville", "Bristol", "Ashford",
-    "Milton", "Clayton", "Dover", "Harborview", "Kingsport", "Northgate", "Oakdale",
+    "Springfield",
+    "Riverton",
+    "Lakewood",
+    "Fairview",
+    "Greenville",
+    "Bristol",
+    "Ashford",
+    "Milton",
+    "Clayton",
+    "Dover",
+    "Harborview",
+    "Kingsport",
+    "Northgate",
+    "Oakdale",
 ];
 
 /// One cast credit on a film.
@@ -202,11 +239,7 @@ impl MovieWorld {
             // The director occasionally acts in their own film.
             if prob(&mut rng, 0.18) {
                 seen.insert(directors[0]);
-                cast.push(CastEntry {
-                    person: directors[0],
-                    billing: 1,
-                    has_character_info: true,
-                });
+                cast.push(CastEntry { person: directors[0], billing: 1, has_character_info: true });
             }
             while cast.len() < cast_size {
                 let p = zipf(&mut rng, n_people, 1.02);
@@ -228,8 +261,11 @@ impl MovieWorld {
             }
             producers.dedup();
 
-            let composer =
-                if prob(&mut rng, 0.8) { Some(zipf(&mut rng, n_people.min(200), 1.1)) } else { None };
+            let composer = if prob(&mut rng, 0.8) {
+                Some(zipf(&mut rng, n_people.min(200), 1.1))
+            } else {
+                None
+            };
 
             films.push(Film {
                 title,
@@ -396,8 +432,7 @@ impl MovieWorld {
             for c in &film.cast {
                 // The principal-cast bias: only low billing numbers with
                 // character info enter the KB.
-                let principal =
-                    c.billing <= bias.principal_billing_cutoff && c.has_character_info;
+                let principal = c.billing <= bias.principal_billing_cutoff && c.has_character_info;
                 if !principal && !prob(&mut rng, bias.keep_cast_nonprincipal) {
                     continue;
                 }
@@ -595,14 +630,10 @@ mod tests {
     #[test]
     fn zipf_head_people_are_prolific() {
         let w = small_world();
-        let head_credits: usize =
-            w.people[..10].iter().map(|p| p.acted_in.len()).sum();
+        let head_credits: usize = w.people[..10].iter().map(|p| p.acted_in.len()).sum();
         let tail_credits: usize =
             w.people[w.people.len() - 10..].iter().map(|p| p.acted_in.len()).sum();
-        assert!(
-            head_credits > tail_credits * 3,
-            "head {head_credits} vs tail {tail_credits}"
-        );
+        assert!(head_credits > tail_credits * 3, "head {head_credits} vs tail {tail_credits}");
     }
 
     #[test]
@@ -654,10 +685,7 @@ mod tests {
         let parts: Vec<u16> = iso.split('-').map(|p| p.parse().unwrap()).collect();
         let d = Date { year: parts[0], month: parts[1] as u8, day: parts[2] as u8 };
         for v in d.variants() {
-            assert!(
-                mkb.kb.match_text(&v).contains(&t.object),
-                "style {v} failed to match {iso}"
-            );
+            assert!(mkb.kb.match_text(&v).contains(&t.object), "style {v} failed to match {iso}");
         }
     }
 

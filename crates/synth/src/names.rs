@@ -11,35 +11,60 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 
 const GIVEN_SYL_A: &[&str] = &[
-    "Al", "Ben", "Car", "Da", "El", "Fran", "Gre", "Hen", "Is", "Jo", "Ka", "Lu", "Mar",
-    "Nor", "Os", "Pat", "Quin", "Ro", "Sam", "Ta", "Ur", "Vic", "Wen", "Xa", "Yo", "Zel",
+    "Al", "Ben", "Car", "Da", "El", "Fran", "Gre", "Hen", "Is", "Jo", "Ka", "Lu", "Mar", "Nor",
+    "Os", "Pat", "Quin", "Ro", "Sam", "Ta", "Ur", "Vic", "Wen", "Xa", "Yo", "Zel",
 ];
 const GIVEN_SYL_B: &[&str] = &[
-    "a", "an", "ard", "as", "el", "en", "ia", "in", "io", "is", "on", "or", "ra", "ric",
-    "ta", "ton", "us",
+    "a", "an", "ard", "as", "el", "en", "ia", "in", "io", "is", "on", "or", "ra", "ric", "ta",
+    "ton", "us",
 ];
 const SURNAME_SYL_A: &[&str] = &[
-    "Ander", "Black", "Carl", "Dawn", "Ells", "Fitz", "Gold", "Harring", "Ivers", "Jack",
-    "Kings", "Lind", "Mont", "North", "Okon", "Peters", "Quill", "Richard", "Sander",
-    "Thorn", "Under", "Vander", "Whit", "Young", "Zimmer",
+    "Ander", "Black", "Carl", "Dawn", "Ells", "Fitz", "Gold", "Harring", "Ivers", "Jack", "Kings",
+    "Lind", "Mont", "North", "Okon", "Peters", "Quill", "Richard", "Sander", "Thorn", "Under",
+    "Vander", "Whit", "Young", "Zimmer",
 ];
 const SURNAME_SYL_B: &[&str] = &[
-    "berg", "by", "dale", "field", "ford", "gate", "house", "land", "ley", "man", "mark",
-    "mont", "son", "stein", "stone", "ton", "well", "wood", "worth",
+    "berg", "by", "dale", "field", "ford", "gate", "house", "land", "ley", "man", "mark", "mont",
+    "son", "stein", "stone", "ton", "well", "wood", "worth",
 ];
 
 const TITLE_ADJ: &[&str] = &[
-    "Crimson", "Silent", "Broken", "Golden", "Midnight", "Savage", "Hidden", "Electric",
-    "Frozen", "Burning", "Distant", "Velvet", "Hollow", "Iron", "Paper", "Scarlet",
-    "Wandering", "Forgotten", "Neon", "Quiet",
+    "Crimson",
+    "Silent",
+    "Broken",
+    "Golden",
+    "Midnight",
+    "Savage",
+    "Hidden",
+    "Electric",
+    "Frozen",
+    "Burning",
+    "Distant",
+    "Velvet",
+    "Hollow",
+    "Iron",
+    "Paper",
+    "Scarlet",
+    "Wandering",
+    "Forgotten",
+    "Neon",
+    "Quiet",
 ];
 const TITLE_NOUN: &[&str] = &[
-    "River", "Empire", "Harvest", "Mirror", "Garden", "Station", "Horizon", "Shadow",
-    "Serenade", "Voyage", "Winter", "Carnival", "Fortress", "Lantern", "Meridian",
-    "Orchard", "Paradox", "Requiem", "Summit", "Tides",
+    "River", "Empire", "Harvest", "Mirror", "Garden", "Station", "Horizon", "Shadow", "Serenade",
+    "Voyage", "Winter", "Carnival", "Fortress", "Lantern", "Meridian", "Orchard", "Paradox",
+    "Requiem", "Summit", "Tides",
 ];
 const TITLE_TAIL: &[&str] = &[
-    "", "", "", " II", " Returns", " Rising", " of the North", " at Dawn", " Forever",
+    "",
+    "",
+    "",
+    " II",
+    " Returns",
+    " Rising",
+    " of the North",
+    " at Dawn",
+    " Forever",
     " in Blue",
 ];
 
@@ -48,8 +73,18 @@ const TITLE_TAIL: &[&str] = &[
 pub const AMBIGUOUS_TITLES: &[&str] = &["Help", "Biography", "Home", "Contact", "Pilot"];
 
 const MONTHS: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// Generate a person name. Collisions are possible (as in reality) but rare.
@@ -76,12 +111,7 @@ pub fn person_alias(rng: &mut SmallRng, name: &str) -> String {
 /// titles to keep most titles unique while allowing a controlled share of
 /// duplicates).
 pub fn film_title(rng: &mut SmallRng) -> String {
-    format!(
-        "{} {}{}",
-        choose(rng, TITLE_ADJ),
-        choose(rng, TITLE_NOUN),
-        choose(rng, TITLE_TAIL)
-    )
+    format!("{} {}{}", choose(rng, TITLE_ADJ), choose(rng, TITLE_NOUN), choose(rng, TITLE_TAIL))
 }
 
 /// Book titles reuse the film table with a different shape.

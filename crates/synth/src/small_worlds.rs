@@ -7,8 +7,9 @@
 
 use crate::names::{book_title, person_name, team_name, university_name, Date};
 use crate::rng::{derive_rng, prob};
-use crate::schema::{book, book_ontology, nba, nba_ontology, types, university,
-    university_ontology};
+use crate::schema::{
+    book, book_ontology, nba, nba_ontology, types, university, university_ontology,
+};
 use ceres_kb::Kb;
 use rand::rngs::SmallRng;
 use rand::Rng;
@@ -30,8 +31,14 @@ pub struct BookWorld {
 }
 
 pub const PUBLISHERS: &[&str] = &[
-    "Harbor Press", "Northgate Books", "Meridian House", "Lantern & Sons", "Paper Crane",
-    "Gold Leaf Publishing", "Riverton Press", "Summit Editions",
+    "Harbor Press",
+    "Northgate Books",
+    "Meridian House",
+    "Lantern & Sons",
+    "Paper Crane",
+    "Gold Leaf Publishing",
+    "Riverton Press",
+    "Summit Editions",
 ];
 
 impl BookWorld {
@@ -44,9 +51,8 @@ impl BookWorld {
         let books = (0..n_books)
             .map(|i| {
                 let n_auth = if prob(&mut rng, 0.2) { 2 } else { 1 };
-                let mut bauthors: Vec<String> = (0..n_auth)
-                    .map(|_| authors[rng.gen_range(0..authors.len())].clone())
-                    .collect();
+                let mut bauthors: Vec<String> =
+                    (0..n_auth).map(|_| authors[rng.gen_range(0..authors.len())].clone()).collect();
                 bauthors.dedup();
                 Book {
                     title: format!("{} ({})", book_title(&mut rng), i),
@@ -175,11 +181,8 @@ impl UniversityWorld {
             if !seen.insert(name.clone()) {
                 continue;
             }
-            let slug: String = name
-                .to_lowercase()
-                .chars()
-                .filter(|c| c.is_ascii_alphanumeric())
-                .collect();
+            let slug: String =
+                name.to_lowercase().chars().filter(|c| c.is_ascii_alphanumeric()).collect();
             universities.push(University {
                 name,
                 phone: format!(

@@ -53,20 +53,52 @@ const NBA_PAGES_PER_SITE: usize = 440;
 const UNIVERSITY_PAGES_PER_SITE: usize = 1670;
 
 const MOVIE_SITE_NAMES: [&str; 10] = [
-    "allmovie", "amctv", "hollywood", "iheartmovies", "imdb-swde", "metacritic", "cinestream",
-    "reelviews", "moviefone", "yidio",
+    "allmovie",
+    "amctv",
+    "hollywood",
+    "iheartmovies",
+    "imdb-swde",
+    "metacritic",
+    "cinestream",
+    "reelviews",
+    "moviefone",
+    "yidio",
 ];
 const BOOK_SITE_NAMES: [&str; 10] = [
-    "acebooks", "amazon-books", "bookdepository", "booksamillion", "borders", "buybooks",
-    "christianbook", "deepdiscount", "waterstones", "wordery",
+    "acebooks",
+    "amazon-books",
+    "bookdepository",
+    "booksamillion",
+    "borders",
+    "buybooks",
+    "christianbook",
+    "deepdiscount",
+    "waterstones",
+    "wordery",
 ];
 const NBA_SITE_NAMES: [&str; 10] = [
-    "espn", "fanhouse", "foxsports", "msnca", "nba", "si", "slam", "usatoday", "wiki-nba",
+    "espn",
+    "fanhouse",
+    "foxsports",
+    "msnca",
+    "nba",
+    "si",
+    "slam",
+    "usatoday",
+    "wiki-nba",
     "yahoo-nba",
 ];
 const UNIVERSITY_SITE_NAMES: [&str; 10] = [
-    "collegeboard", "collegenavigator", "collegeprowler", "collegetoolkit", "ecampustours",
-    "embark", "matchcollege", "princetonreview", "studentaid", "usnews",
+    "collegeboard",
+    "collegenavigator",
+    "collegeprowler",
+    "collegetoolkit",
+    "ecampustours",
+    "embark",
+    "matchcollege",
+    "princetonreview",
+    "studentaid",
+    "usnews",
 ];
 
 /// Generate the Movie vertical (world-derived seed KB, Table 2 bias).
@@ -88,10 +120,10 @@ pub fn movie_vertical(cfg: SwdeConfig) -> (SwdeVertical, MovieWorld) {
         let mut rng = derive_rng(cfg.seed, &format!("swde-movie-{name}"));
         let style = SiteStyle::random(&mut rng, "en", &name[..2.min(name.len())]);
         let pathology = MoviePathology::default();
-        let ctx = MovieRenderCtx { world: &world, style: &style, site_name: name, pathology: &pathology };
+        let ctx =
+            MovieRenderCtx { world: &world, style: &style, site_name: name, pathology: &pathology };
         let picks = zipf_distinct(&mut rng, world.films.len(), pages_per_site, 1.15);
-        let pages =
-            picks.into_iter().map(|fi| render_film_page(&ctx, fi, &mut rng)).collect();
+        let pages = picks.into_iter().map(|fi| render_film_page(&ctx, fi, &mut rng)).collect();
         sites.push(Site { name: name.to_string(), focus: "Movies".to_string(), pages });
     }
 
@@ -116,8 +148,8 @@ pub fn movie_vertical(cfg: SwdeConfig) -> (SwdeVertical, MovieWorld) {
 fn book_overlaps(catalog_size: usize) -> [usize; 10] {
     let c = catalog_size as f64;
     [
-        catalog_size,            // site 0 *is* the KB
-        (c * 0.01) as usize,     // near-zero overlap sites
+        catalog_size,        // site 0 *is* the KB
+        (c * 0.01) as usize, // near-zero overlap sites
         (c * 0.015) as usize,
         (c * 0.025) as usize,
         (c * 0.04) as usize,

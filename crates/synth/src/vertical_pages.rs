@@ -87,7 +87,13 @@ pub fn render_book_page(
         kv_div_row(&mut b, "Author", a, Some((book::AUTHOR, a)), ip(style, "author"));
     }
     if !prob(rng, style.missing_prob) {
-        kv_div_row(&mut b, "ISBN-13", &bk.isbn13, Some((book::ISBN13, &bk.isbn13)), ip(style, "isbn"));
+        kv_div_row(
+            &mut b,
+            "ISBN-13",
+            &bk.isbn13,
+            Some((book::ISBN13, &bk.isbn13)),
+            ip(style, "isbn"),
+        );
     }
     if !prob(rng, style.missing_prob) {
         kv_div_row(
@@ -111,7 +117,11 @@ pub fn render_book_page(
     b.close();
     // Price box — plausible non-KB noise.
     b.open("div", &[("class", "buy")]);
-    b.field("span", &[("class", "price")], &format!("${}.{:02}", rng.gen_range(5..60), rng.gen_range(0..99)));
+    b.field(
+        "span",
+        &[("class", "price")],
+        &format!("${}.{:02}", rng.gen_range(5..60), rng.gen_range(0..99)),
+    );
     b.field("a", &[("href", "#")], "Add to cart");
     b.close();
     page_chrome_close(&mut b, site);
@@ -142,10 +152,22 @@ pub fn render_player_page(
     b.open("div", &[("class", &style.class_for("bio", 1))]);
     kv_div_row(&mut b, "Team", &p.team, Some((nba::TEAM, &p.team)), ip(style, "memberOf"));
     if !prob(rng, style.missing_prob) {
-        kv_div_row(&mut b, "Height", &p.height, Some((nba::HEIGHT, &p.height)), ip(style, "height"));
+        kv_div_row(
+            &mut b,
+            "Height",
+            &p.height,
+            Some((nba::HEIGHT, &p.height)),
+            ip(style, "height"),
+        );
     }
     if !prob(rng, style.missing_prob) {
-        kv_div_row(&mut b, "Weight", &p.weight, Some((nba::WEIGHT, &p.weight)), ip(style, "weight"));
+        kv_div_row(
+            &mut b,
+            "Weight",
+            &p.weight,
+            Some((nba::WEIGHT, &p.weight)),
+            ip(style, "weight"),
+        );
     }
     b.close();
     // A stats table (noise: lots of small numbers).
@@ -195,9 +217,21 @@ pub fn render_university_page(
     b.name_field("h1", &[("class", "title")], &u.name);
     b.open("div", &[("class", &style.class_for("contact", 1))]);
     if !prob(rng, style.missing_prob) {
-        kv_div_row(&mut b, "Phone", &u.phone, Some((university::PHONE, &u.phone)), ip(style, "telephone"));
+        kv_div_row(
+            &mut b,
+            "Phone",
+            &u.phone,
+            Some((university::PHONE, &u.phone)),
+            ip(style, "telephone"),
+        );
     }
-    kv_div_row(&mut b, "Website", &u.website, Some((university::WEBSITE, &u.website)), ip(style, "url"));
+    kv_div_row(
+        &mut b,
+        "Website",
+        &u.website,
+        Some((university::WEBSITE, &u.website)),
+        ip(style, "url"),
+    );
     kv_div_row(&mut b, "Type", u.ty, Some((university::TYPE, u.ty)), ip(style, "category"));
     b.close();
     // Enrollment stats noise.

@@ -1,0 +1,90 @@
+//! Unit tests for the text substrate: normalization idempotence and
+//! Levenshtein/Jaccard edge cases (empty strings, unicode, identical inputs).
+
+use ceres_text::{jaccard, levenshtein, levenshtein_slices, normalize, token_sort_key, tokenize};
+
+#[test]
+fn normalize_is_idempotent_on_fixed_cases() {
+    for s in [
+        "",
+        "   ",
+        "Do the Right Thing",
+        "  Spike   Lee ",
+        "Amélie — ÉLÉGANT!",
+        "Tab\tand\nnewline",
+        "漢字タイトル 2001",
+        "naïve CAFÉ déjà-vu",
+        "🎬 The 🎬 Movie 🎬",
+        "O'Brien, Conan (1963– )",
+    ] {
+        let once = normalize(s);
+        let twice = normalize(&once);
+        assert_eq!(once, twice, "normalize must be idempotent on {s:?}");
+    }
+}
+
+#[test]
+fn normalize_handles_empty_and_whitespace_only() {
+    assert_eq!(normalize(""), "");
+    assert_eq!(normalize(" \t\n "), "");
+    assert_eq!(tokenize(&normalize(" \t ")).count(), 0);
+}
+
+#[test]
+fn token_sort_key_is_order_insensitive() {
+    assert_eq!(token_sort_key("Lee, Spike"), token_sort_key("Spike Lee"));
+    assert_eq!(token_sort_key(""), token_sort_key("   "));
+}
+
+#[test]
+fn levenshtein_empty_string_cases() {
+    assert_eq!(levenshtein("", ""), 0);
+    assert_eq!(levenshtein("", "abc"), 3);
+    assert_eq!(levenshtein("abc", ""), 3);
+}
+
+#[test]
+fn levenshtein_identical_inputs_are_zero() {
+    for s in ["", "a", "abcdef", "é漢🎬", "/html[1]/body[1]/div[3]"] {
+        assert_eq!(levenshtein(s, s), 0, "distance to self must be 0 for {s:?}");
+    }
+}
+
+#[test]
+fn levenshtein_counts_chars_not_bytes() {
+    // One char substitution, several bytes apart in UTF-8 length.
+    assert_eq!(levenshtein("café", "cafe"), 1);
+    assert_eq!(levenshtein("漢", "字"), 1);
+    assert_eq!(levenshtein("🎬a", "a"), 1);
+}
+
+#[test]
+fn levenshtein_known_distances() {
+    assert_eq!(levenshtein("kitten", "sitting"), 3);
+    assert_eq!(levenshtein("flaw", "lawn"), 2);
+    // Symmetry.
+    assert_eq!(levenshtein("kitten", "sitting"), levenshtein("sitting", "kitten"));
+}
+
+#[test]
+fn levenshtein_slices_matches_char_version() {
+    let a: Vec<char> = "kitten".chars().collect();
+    let b: Vec<char> = "sitting".chars().collect();
+    assert_eq!(levenshtein_slices(&a, &b), levenshtein("kitten", "sitting"));
+    assert_eq!(levenshtein_slices::<u32>(&[], &[]), 0);
+    assert_eq!(levenshtein_slices(&[1, 2, 3], &[]), 3);
+}
+
+#[test]
+fn jaccard_edge_cases() {
+    // Both empty: defined as 0.0 (keeps empty entities out of contention).
+    assert_eq!(jaccard::<u32>(&[], &[]), 0.0);
+    // One empty.
+    assert_eq!(jaccard(&[], &[1, 2, 3]), 0.0);
+    // Identical inputs.
+    assert_eq!(jaccard(&[1, 2, 3], &[1, 2, 3]), 1.0);
+    // Disjoint.
+    assert_eq!(jaccard(&[1, 2], &[3, 4]), 0.0);
+    // Partial overlap: |{2,3}| / |{1,2,3,4}|.
+    assert!((jaccard(&[1, 2, 3], &[2, 3, 4]) - 0.5).abs() < 1e-12);
+}

@@ -15,8 +15,7 @@ use ceres::synth::commoncrawl::{cc_site_specs, generate_cc_site};
 use ceres::synth::movie_world::{KbBias, MovieWorld, MovieWorldConfig};
 
 fn main() {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
     let e = ExpConfig { seed: 42, scale };
 
     let world = MovieWorld::generate(MovieWorldConfig {
@@ -29,8 +28,7 @@ fn main() {
     let kb = world.build_kb(&KbBias::default()).kb;
 
     let chosen = ["themoviedb.org", "britflicks.com", "danksefilm.com", "kinobox.cz"];
-    let specs: Vec<_> =
-        cc_site_specs().into_iter().filter(|s| chosen.contains(&s.name)).collect();
+    let specs: Vec<_> = cc_site_specs().into_iter().filter(|s| chosen.contains(&s.name)).collect();
     eprintln!("harvesting {} overlapping sites at scale {scale}…", specs.len());
 
     let cfg = CeresConfig::new(e.seed);
@@ -49,11 +47,8 @@ fn main() {
     }
     println!("{} raw extractions from {} sites", sourced.len(), chosen.len());
 
-    let fused = fuse(
-        &sourced,
-        |p| kb.ontology().pred_name(p).to_string(),
-        &FusionConfig::default(),
-    );
+    let fused =
+        fuse(&sourced, |p| kb.ontology().pred_name(p).to_string(), &FusionConfig::default());
     let multi_site = fused.iter().filter(|f| f.sites >= 2).count();
     println!("{} fused facts; {} corroborated by ≥2 sites", fused.len(), multi_site);
 

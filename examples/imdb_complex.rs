@@ -12,25 +12,21 @@ use ceres::eval::metrics::{score_topics, GoldIndex, TripleScorer};
 use ceres::text::normalize;
 
 fn main() {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
     let cfg = ExpConfig { seed: 42, scale };
     eprintln!("generating IMDb-like dataset at scale {scale}…");
     let imdb = build_imdb(&cfg);
 
     for domain in ["Person", "Film/TV"] {
-        let site =
-            if domain == "Person" { &imdb.data.person_site } else { &imdb.data.movie_site };
+        let site = if domain == "Person" { &imdb.data.person_site } else { &imdb.data.movie_site };
         let gold = GoldIndex::new(site);
         let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
 
         println!("\n=== {domain} ({} pages) ===", site.pages.len());
         let mut rows = Vec::new();
         for system in [SystemKind::CeresTopic, SystemKind::CeresFull] {
-            let run =
-                &imdb.runs.iter().find(|(d, s, _)| *d == domain && *s == system).unwrap().2;
-            let scorer =
-                TripleScorer::score(&imdb.data.kb, &gold, &ids, &run.extractions, None);
+            let run = &imdb.runs.iter().find(|(d, s, _)| *d == domain && *s == system).unwrap().2;
+            let scorer = TripleScorer::score(&imdb.data.kb, &gold, &ids, &run.extractions, None);
             let o = scorer.overall();
             rows.push(vec![
                 system.label().to_string(),

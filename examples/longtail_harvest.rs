@@ -15,8 +15,7 @@ use ceres::synth::commoncrawl::{cc_site_specs, generate_cc_site};
 use ceres::synth::movie_world::{KbBias, MovieWorld, MovieWorldConfig};
 
 fn main() {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
     let e = ExpConfig { seed: 42, scale };
 
     // A world shared by a handful of contrasting long-tail sites.
@@ -29,10 +28,14 @@ fn main() {
     });
     let kb = world.build_kb(&KbBias::default()).kb;
 
-    let chosen = ["danksefilm.com", "kinobox.cz", "the-numbers.com", "christianfilmdatabase.com",
-        "kvikmyndavefurinn.is"];
-    let specs: Vec<_> =
-        cc_site_specs().into_iter().filter(|s| chosen.contains(&s.name)).collect();
+    let chosen = [
+        "danksefilm.com",
+        "kinobox.cz",
+        "the-numbers.com",
+        "christianfilmdatabase.com",
+        "kvikmyndavefurinn.is",
+    ];
+    let specs: Vec<_> = cc_site_specs().into_iter().filter(|s| chosen.contains(&s.name)).collect();
     eprintln!("harvesting {} sites at scale {scale}…", specs.len());
 
     let cfg = CeresConfig::new(e.seed);
@@ -76,11 +79,8 @@ fn main() {
     for t in [0.5, 0.6, 0.7, 0.75, 0.8, 0.9] {
         let kept: Vec<&(f64, bool)> = all.iter().filter(|(c, _)| *c >= t).collect();
         let n = kept.len();
-        let p = if n == 0 {
-            0.0
-        } else {
-            kept.iter().filter(|(_, ok)| *ok).count() as f64 / n as f64
-        };
+        let p =
+            if n == 0 { 0.0 } else { kept.iter().filter(|(_, ok)| *ok).count() as f64 / n as f64 };
         println!("  threshold {t:.2}: {n:6} extractions at precision {p:.3}");
     }
 }

@@ -7,15 +7,15 @@
 //! ```
 
 use ceres::eval::experiments::{parallel_map, render_table, ExpConfig};
-use ceres::eval::harness::{eval_page_ids, run_ceres_on_site, run_vertex_on_site, EvalProtocol,
-    SystemKind};
+use ceres::eval::harness::{
+    eval_page_ids, run_ceres_on_site, run_vertex_on_site, EvalProtocol, SystemKind,
+};
 use ceres::eval::metrics::{GoldIndex, PageHitScorer};
 use ceres::prelude::CeresConfig;
 use ceres::synth::swde::{movie_vertical, SwdeConfig};
 
 fn main() {
-    let scale: f64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
     let e = ExpConfig { seed: 42, scale };
     eprintln!("generating the SWDE-like Movie vertical at scale {scale}…");
     let (v, _world) = movie_vertical(SwdeConfig { seed: e.seed, scale: e.scale });

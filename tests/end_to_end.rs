@@ -31,7 +31,8 @@ fn extractions_reference_real_fields() {
     let (v, _) = movie_vertical(tiny_cfg());
     let cfg = CeresConfig::new(7);
     let site = &v.sites[1];
-    let run = run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
+    let run =
+        run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
     assert!(run.stats.trained, "{:?}", run.stats);
     let gold = GoldIndex::new(site);
     // Every extraction carries a gt id that exists on its page.
@@ -52,7 +53,8 @@ fn clean_movie_site_extracts_with_high_precision() {
     let (v, _) = movie_vertical(tiny_cfg());
     let cfg = CeresConfig::new(7);
     let site = &v.sites[2];
-    let run = run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
+    let run =
+        run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
     let gold = GoldIndex::new(site);
     let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
     let scorer = TripleScorer::score(&v.kb, &gold, &ids, &run.extractions, None);
@@ -104,7 +106,8 @@ fn threshold_sweep_trades_recall_for_precision() {
     let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
     let mut cfg = CeresConfig::new(7);
     cfg.extract.threshold = 0.5;
-    let run = run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
+    let run =
+        run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
 
     // Extraction counts must shrink monotonically as the threshold rises.
     let count_at = |t: f64| run.extractions.iter().filter(|e| e.confidence >= t).count();

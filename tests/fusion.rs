@@ -35,11 +35,8 @@ fn cross_site_fusion_corroborates_shared_facts() {
     }
     assert!(!sourced.is_empty(), "no extractions to fuse");
 
-    let fused = fuse(
-        &sourced,
-        |p| kb.ontology().pred_name(p).to_string(),
-        &FusionConfig::default(),
-    );
+    let fused =
+        fuse(&sourced, |p| kb.ontology().pred_name(p).to_string(), &FusionConfig::default());
     assert!(!fused.is_empty());
     // Fused output is sorted by belief and beliefs are valid probabilities.
     for w in fused.windows(2) {
@@ -50,10 +47,8 @@ fn cross_site_fusion_corroborates_shared_facts() {
     // Linking resolves at least some subjects into the seed KB and flags
     // some as new entities (the long tail).
     let linked = link(&kb, &fused);
-    let n_linked =
-        linked.iter().filter(|l| matches!(l.subject, Linkage::Linked(_))).count();
-    let n_new =
-        linked.iter().filter(|l| matches!(l.subject, Linkage::NewEntity)).count();
+    let n_linked = linked.iter().filter(|l| matches!(l.subject, Linkage::Linked(_))).count();
+    let n_new = linked.iter().filter(|l| matches!(l.subject, Linkage::NewEntity)).count();
     assert!(n_linked > 0, "nothing linked");
     assert!(n_new > 0, "no new entities — KB coverage should be partial");
 }

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! implements the API surface the CERES benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`,
+//! `black_box`, `BenchmarkId`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a deliberately simple measurement loop:
+//! per bench it calibrates an iteration count to a ~100 ms sample, takes
+//! `sample_size` samples, and prints min/mean/max per iteration.
+//!
+//! CLI compatibility (the flags `cargo bench` and CI pass):
+//!
+//! * `--test`  — smoke mode: run each bench body once and report `ok`;
+//! * `--bench` — ignored (cargo appends it when `harness = false`);
+//! * `<filter>` — positional substring filter on bench names.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample throughput annotation; printed alongside timings.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Two-part bench identifier (`function_id/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything `bench_function` accepts as a name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing driver handed to each bench body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `routine` `self.iters` times, recording total wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark manager; parses its CLI args from the environment.
+pub struct Criterion {
+    sample_size: usize,
+    smoke: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut smoke = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                a if a.starts_with("--") => {} // ignore harness flags (--bench, …)
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { sample_size: 20, smoke, filter }
+    }
+}
+
+impl Criterion {
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.selected(id) {
+            return;
+        }
+        if self.smoke {
+            let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut b);
+            println!("test {id} ... ok");
+            return;
+        }
+        // Calibrate: grow the iteration count until one sample costs ≥ 20 ms.
+        let mut iters: u64 = 1;
+        let per_iter;
+        loop {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            if b.elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+                per_iter = b.elapsed.as_secs_f64() / iters as f64;
+                break;
+            }
+            iters *= 4;
+        }
+        // Sample, bounding total time per bench to keep full runs tolerable.
+        let target = Duration::from_millis(100);
+        let sample_iters = ((target.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 24);
+        let mut times = Vec::with_capacity(sample_size);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        for _ in 0..sample_size {
+            let mut b = Bencher { iters: sample_iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            times.push(b.elapsed.as_secs_f64() / sample_iters as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0, f64::max);
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let rate = match throughput {
+            Some(Throughput::Bytes(b)) => {
+                format!("  {:>10.1} MiB/s", b as f64 / mean / (1024.0 * 1024.0))
+            }
+            Some(Throughput::Elements(n)) => format!("  {:>10.0} elem/s", n as f64 / mean),
+            None => String::new(),
+        };
+        println!("{id:<44} [{} {} {}]{rate}", fmt_time(min), fmt_time(mean), fmt_time(max));
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        let sample_size = self.sample_size;
+        self.run_one(&id.id, None, sample_size, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None, sample_size }
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// A named group of related benches sharing throughput/sample settings.
+/// Settings are scoped to the group (as in real criterion): they do not
+/// leak to benches registered after `finish()`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&id, throughput, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&id, throughput, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

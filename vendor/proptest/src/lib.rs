@@ -1,0 +1,469 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored shim
+//! provides the subset of proptest the CERES workspace's property tests
+//! use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`);
+//! * [`prop_assert!`] / [`prop_assert_eq!`];
+//! * string strategies from a small regex subset (`.`, `[a-z]`-style
+//!   classes, `*`/`+`/`?`/`{m}`/`{m,n}` quantifiers, literals);
+//! * numeric range strategies (`0u32..64`, `-2.0f32..2.0`, …);
+//! * tuple strategies and [`collection::vec`] / [`collection::btree_set`].
+//!
+//! Unlike real proptest there is no shrinking: failures report the
+//! generated inputs via the panic message and the fixed per-test RNG makes
+//! every run reproducible.
+
+pub mod test_runner {
+    /// Per-test configuration; only `cases` is honoured.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic RNG driving generation (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed ^ 0x9e37_79b9_7f4a_7c15 }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            self.next_u64() % n
+        }
+
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    // ---- string strategies from a regex subset ----
+
+    enum Atom {
+        Any,
+        Class(Vec<(char, char)>),
+        Literal(char),
+        /// Parenthesized group: alternation of sequences.
+        Group(Vec<Vec<Piece>>),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: u32,
+        max: u32,
+    }
+
+    struct Parser {
+        chars: Vec<char>,
+        i: usize,
+        pattern: String,
+    }
+
+    /// Recursive-descent parser for the regex subset the workspace's tests
+    /// use: atoms are `.`, `[a-z0-9_]`-style classes, literal chars, or
+    /// `(..|..)` groups; quantifiers are `*`, `+`, `?`, `{m}`, `{m,n}`.
+    /// Unsupported syntax panics so misuse is caught at test time rather
+    /// than silently generating garbage.
+    impl Parser {
+        fn new(pattern: &str) -> Self {
+            Parser { chars: pattern.chars().collect(), i: 0, pattern: pattern.to_string() }
+        }
+
+        fn peek(&self) -> Option<char> {
+            self.chars.get(self.i).copied()
+        }
+
+        /// alternation := sequence ('|' sequence)*
+        fn alternation(&mut self) -> Vec<Vec<Piece>> {
+            let mut branches = vec![self.sequence()];
+            while self.peek() == Some('|') {
+                self.i += 1;
+                branches.push(self.sequence());
+            }
+            branches
+        }
+
+        /// sequence := (atom quantifier?)*  — stops at '|' or ')'.
+        fn sequence(&mut self) -> Vec<Piece> {
+            let mut pieces = Vec::new();
+            while let Some(c) = self.peek() {
+                if c == '|' || c == ')' {
+                    break;
+                }
+                let atom = self.atom();
+                let (min, max) = self.quantifier();
+                pieces.push(Piece { atom, min, max });
+            }
+            pieces
+        }
+
+        fn atom(&mut self) -> Atom {
+            match self.chars[self.i] {
+                '.' => {
+                    self.i += 1;
+                    Atom::Any
+                }
+                '(' => {
+                    self.i += 1;
+                    let branches = self.alternation();
+                    assert_eq!(self.peek(), Some(')'), "unbalanced group in {:?}", self.pattern);
+                    self.i += 1;
+                    Atom::Group(branches)
+                }
+                '[' => {
+                    self.i += 1;
+                    let mut ranges = Vec::new();
+                    while self.i < self.chars.len() && self.chars[self.i] != ']' {
+                        let lo = self.chars[self.i];
+                        if self.i + 2 < self.chars.len()
+                            && self.chars[self.i + 1] == '-'
+                            && self.chars[self.i + 2] != ']'
+                        {
+                            ranges.push((lo, self.chars[self.i + 2]));
+                            self.i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            self.i += 1;
+                        }
+                    }
+                    assert!(
+                        self.i < self.chars.len(),
+                        "unterminated class in pattern {:?}",
+                        self.pattern
+                    );
+                    self.i += 1; // skip ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    assert!(
+                        self.i + 1 < self.chars.len(),
+                        "dangling escape in pattern {:?}",
+                        self.pattern
+                    );
+                    self.i += 2;
+                    Atom::Literal(self.chars[self.i - 1])
+                }
+                c => {
+                    assert!(
+                        !"^$".contains(c),
+                        "unsupported regex syntax {c:?} in pattern {:?}",
+                        self.pattern
+                    );
+                    self.i += 1;
+                    Atom::Literal(c)
+                }
+            }
+        }
+
+        fn quantifier(&mut self) -> (u32, u32) {
+            match self.peek() {
+                Some('*') => {
+                    self.i += 1;
+                    (0, 32)
+                }
+                Some('+') => {
+                    self.i += 1;
+                    (1, 32)
+                }
+                Some('?') => {
+                    self.i += 1;
+                    (0, 1)
+                }
+                Some('{') => {
+                    let close = self.chars[self.i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unterminated {{..}} in {:?}", self.pattern))
+                        + self.i;
+                    let body: String = self.chars[self.i + 1..close].iter().collect();
+                    self.i = close + 1;
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        let lo: u32 = lo.trim().parse().expect("bad {m,n}");
+                        let hi: u32 = if hi.trim().is_empty() {
+                            lo + 32
+                        } else {
+                            hi.trim().parse().expect("bad {m,n}")
+                        };
+                        (lo, hi)
+                    } else {
+                        let n: u32 = body.trim().parse().expect("bad {n}");
+                        (n, n)
+                    }
+                }
+                _ => (1, 1),
+            }
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Vec<Piece>> {
+        let mut parser = Parser::new(pattern);
+        let branches = parser.alternation();
+        assert!(parser.peek().is_none(), "trailing {:?} in pattern {pattern:?}", parser.peek());
+        branches
+    }
+
+    fn gen_branches(branches: &[Vec<Piece>], rng: &mut TestRng, out: &mut String) {
+        let branch = &branches[rng.below(branches.len() as u64) as usize];
+        for piece in branch {
+            let n = piece.min + rng.below(u64::from(piece.max - piece.min + 1)) as u32;
+            for _ in 0..n {
+                match &piece.atom {
+                    Atom::Any => out.push(gen_any_char(rng)),
+                    Atom::Class(ranges) => out.push(gen_class_char(ranges, rng)),
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::Group(inner) => gen_branches(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    /// Pool `.` draws from: mostly printable ASCII, with markup
+    /// metacharacters over-represented (this workspace parses HTML) plus a
+    /// sprinkling of unicode and whitespace.
+    const ANY_EXTRA: &[char] = &[
+        '<', '>', '&', '"', '\'', '/', '=', ' ', '\t', 'é', 'ß', 'Ω', '漢', '🎬', '\u{0301}',
+        '\u{00a0}',
+    ];
+
+    fn gen_any_char(rng: &mut TestRng) -> char {
+        match rng.below(4) {
+            0 => ANY_EXTRA[rng.below(ANY_EXTRA.len() as u64) as usize],
+            _ => (0x20u8 + rng.below(0x5f) as u8) as char,
+        }
+    }
+
+    fn gen_class_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+        let total: u64 = ranges.iter().map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1).sum();
+        debug_assert!(total > 0, "empty character class");
+        let mut k = rng.below(total);
+        for &(lo, hi) in ranges {
+            let span = (hi as u64) - (lo as u64) + 1;
+            if k < span {
+                return char::from_u32(lo as u32 + k as u32).unwrap_or(lo);
+            }
+            k -= span;
+        }
+        unreachable!()
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let branches = parse_pattern(self);
+            let mut out = String::new();
+            gen_branches(&branches, rng, &mut out);
+            out
+        }
+    }
+
+    impl Strategy for String {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            self.as_str().generate(rng)
+        }
+    }
+
+    // ---- numeric range strategies ----
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128).wrapping_sub(self.start as u128);
+                    let v = (rng.next_u64() as u128) % span;
+                    self.start.wrapping_add(v as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    // ---- combinators ----
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+)),+ $(,)?) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D), (A, B, C, D, E));
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::BTreeSet;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Vectors of `size.start..size.end` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Sets of at most `size.end - 1` elements drawn from `element`
+    /// (duplicates collapse, as in real proptest).
+    pub fn btree_set<S: Strategy>(element: S, size: core::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = (self.size.end - self.size.start).max(1) as u64;
+            let n = self.size.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Assert inside a `proptest!` body; reports the failing case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Expand property-test functions into plain `#[test]`s that loop over
+/// `config.cases` generated inputs with a fixed deterministic RNG.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                // Seed from the test name so distinct tests explore
+                // distinct streams, deterministically.
+                let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    seed ^= u64::from(b);
+                    seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                let mut rng = $crate::test_runner::TestRng::new(seed);
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
