@@ -84,6 +84,28 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
+/// Thread scaling: the same site run on the deterministic runtime at 1,
+/// 2, and all available threads (output is identical; only wall time may
+/// differ).
+fn bench_thread_scaling(c: &mut Criterion) {
+    let fx = fixture(60);
+    let available = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let mut counts = vec![1usize, 2, available];
+    counts.sort_unstable();
+    counts.dedup(); // avoid duplicate bench ids on 1- and 2-core machines
+    let mut g = c.benchmark_group("pipeline/threads");
+    g.sample_size(10);
+    for threads in counts {
+        let cfg = CeresConfig::new(5).with_threads(threads);
+        g.bench_function(format!("site_run_full_60p_t{threads}"), |b| {
+            b.iter(|| {
+                black_box(run_site_views(&fx.kb, &fx.views, None, &cfg, AnnotationMode::Full))
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Page-view construction (parse + match) — extraction's fixed cost.
 fn bench_pageview(c: &mut Criterion) {
     let world = MovieWorld::generate(MovieWorldConfig {
@@ -109,5 +131,5 @@ fn bench_pageview(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_stages, bench_end_to_end, bench_pageview);
+criterion_group!(benches, bench_stages, bench_end_to_end, bench_thread_scaling, bench_pageview);
 criterion_main!(benches);

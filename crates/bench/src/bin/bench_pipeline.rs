@@ -1,0 +1,118 @@
+//! Thread-scaling smoke benchmark for the perf trajectory.
+//!
+//! Runs the CERES pipeline on one SWDE-like movie-vertical site at 1 thread
+//! and at N threads, verifies the outputs are identical (the runtime's
+//! determinism contract), and writes the wall times to a JSON file so CI
+//! accumulates perf data over time.
+//!
+//! ```text
+//! bench_pipeline [--scale S] [--seed N] [--out PATH]   (default out: BENCH_pipeline.json)
+//! ```
+
+use ceres_core::page::PageView;
+use ceres_core::pipeline::{run_site_views, AnnotationMode, SiteRun};
+use ceres_core::CeresConfig;
+use ceres_eval::harness::{protocol_pages, run_ceres_on_site, EvalProtocol, SystemKind};
+use ceres_runtime::Runtime;
+use ceres_synth::swde::{movie_vertical, SwdeConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const ITERATIONS: usize = 3;
+
+/// Best-of-N wall time in milliseconds.
+fn time_ms<R>(mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..ITERATIONS {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.expect("at least one iteration"))
+}
+
+fn assert_same_run(a: &SiteRun, b: &SiteRun) {
+    assert_eq!(a.stats, b.stats, "serial and parallel stats diverged");
+    assert_eq!(a.extractions, b.extractions, "serial and parallel extractions diverged");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = 0.02f64;
+    let mut seed = 42u64;
+    let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(scale);
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(seed);
+            }
+            "--out" => {
+                i += 1;
+                out_path = args.get(i).cloned().unwrap_or(out_path);
+            }
+            other => {
+                eprintln!("unknown arg {other}; usage: bench_pipeline [--scale S] [--seed N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let parallel_threads = Runtime::from_env().threads().max(2);
+    eprintln!("# bench_pipeline: scale={scale} seed={seed} threads=1 vs {parallel_threads}");
+
+    let (v, _) = movie_vertical(SwdeConfig { seed, scale });
+    let site = &v.sites[0];
+
+    // Full protocol run (parse + cluster + annotate + train + extract).
+    let cfg_at = |threads: usize| CeresConfig::new(seed).with_threads(threads);
+    let (site_t1, run_a) = time_ms(|| {
+        run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg_at(1), SystemKind::CeresFull)
+    });
+    let (site_tn, run_b) = time_ms(|| {
+        run_ceres_on_site(
+            &v.kb,
+            site,
+            EvalProtocol::SplitHalves,
+            &cfg_at(parallel_threads),
+            SystemKind::CeresFull,
+        )
+    });
+    assert_same_run(&run_a, &run_b);
+
+    // Pre-parsed run (the `run_site_views` hot path the benches track).
+    let (train, _) = protocol_pages(site, EvalProtocol::WholeSite);
+    let views: Vec<PageView> =
+        train.iter().map(|(id, html)| PageView::build(id, html, &v.kb)).collect();
+    let (views_t1, run_c) =
+        time_ms(|| run_site_views(&v.kb, &views, None, &cfg_at(1), AnnotationMode::Full));
+    let (views_tn, run_d) = time_ms(|| {
+        run_site_views(&v.kb, &views, None, &cfg_at(parallel_threads), AnnotationMode::Full)
+    });
+    assert_same_run(&run_c, &run_d);
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"pipeline\",\n  \"scale\": {scale},\n  \"seed\": {seed},\n  \
+         \"site\": \"{}\",\n  \"pages\": {},\n  \"threads_parallel\": {parallel_threads},\n  \
+         \"run_site_ms\": {{\"t1\": {site_t1:.2}, \"tN\": {site_tn:.2}}},\n  \
+         \"run_site_views_ms\": {{\"t1\": {views_t1:.2}, \"tN\": {views_tn:.2}}},\n  \
+         \"speedup_run_site\": {:.3},\n  \"speedup_run_site_views\": {:.3}\n}}\n",
+        site.name,
+        site.pages.len(),
+        site_t1 / site_tn,
+        views_t1 / views_tn,
+    );
+    std::fs::write(&out_path, &json).expect("write bench JSON");
+    println!("{json}");
+    eprintln!("# wrote {out_path}");
+}

@@ -13,15 +13,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "help" || a == "--help" || a == "-h") {
         println!(
-            "repro [--scale S] [--seed N] [targets…]\n\
+            "repro [--scale S] [--seed N] [--threads T] [targets…]\n\
              targets: all | table1 table2 table3 table4 table5 table6 table7 table8 table9\n\
-             \u{20}        | fig2 fig4 fig5 fig6 | ablations"
+             \u{20}        | fig2 fig4 fig5 fig6 | ablations\n\
+             --threads 0 (default) = auto: CERES_THREADS env, then the machine"
         );
         return;
     }
     let (cfg, targets) = ceres_bench::parse_args(&args);
     let want = |t: &str| targets.iter().any(|x| x == t || x == "all");
-    eprintln!("# repro: seed={} scale={} targets={targets:?}", cfg.seed, cfg.scale);
+    eprintln!(
+        "# repro: seed={} scale={} threads={} targets={targets:?}",
+        cfg.seed,
+        cfg.scale,
+        ceres_runtime::Runtime::with_threads(cfg.threads).threads()
+    );
 
     let t0 = std::time::Instant::now();
     let section = |title: &str, body: String| {

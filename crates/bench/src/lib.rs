@@ -5,7 +5,8 @@
 //! (`benches/substrates.rs`, `benches/pipeline.rs`) measure the runtime of
 //! each pipeline stage on representative workloads.
 
-/// Parse `--scale`, `--seed` and the experiment list from CLI args.
+/// Parse `--scale`, `--seed`, `--threads` and the experiment list from CLI
+/// args (`--threads 0` = auto: `CERES_THREADS`, then the machine).
 pub fn parse_args(args: &[String]) -> (ceres_eval::experiments::ExpConfig, Vec<String>) {
     let mut cfg = ceres_eval::experiments::ExpConfig::default();
     let mut targets = Vec::new();
@@ -19,6 +20,10 @@ pub fn parse_args(args: &[String]) -> (ceres_eval::experiments::ExpConfig, Vec<S
             "--seed" => {
                 i += 1;
                 cfg.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(cfg.seed);
+            }
+            "--threads" => {
+                i += 1;
+                cfg.threads = args.get(i).and_then(|v| v.parse().ok()).filter(|&t| t > 0);
             }
             other => targets.push(other.to_string()),
         }
@@ -36,14 +41,23 @@ mod tests {
 
     #[test]
     fn parses_flags_and_targets() {
-        let args: Vec<String> = ["--scale", "0.05", "table3", "fig6", "--seed", "7"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        let args: Vec<String> =
+            ["--scale", "0.05", "table3", "fig6", "--seed", "7", "--threads", "3"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
         let (cfg, targets) = parse_args(&args);
         assert_eq!(cfg.scale, 0.05);
         assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.threads, Some(3));
         assert_eq!(targets, vec!["table3", "fig6"]);
+    }
+
+    #[test]
+    fn threads_zero_means_auto() {
+        let args: Vec<String> = ["--threads", "0"].iter().map(|s| s.to_string()).collect();
+        let (cfg, _) = parse_args(&args);
+        assert_eq!(cfg.threads, None);
     }
 
     #[test]

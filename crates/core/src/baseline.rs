@@ -17,6 +17,7 @@ use crate::page::PageView;
 use crate::pipeline::{SiteRun, SiteRunStats};
 use ceres_kb::{Kb, PredId};
 use ceres_ml::{Dataset, LogReg, SparseVec};
+use ceres_runtime::Runtime;
 use ceres_text::FxHashSet;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -45,10 +46,13 @@ pub fn run_baseline(
     cfg: &CeresConfig,
     bcfg: &BaselineConfig,
 ) -> SiteRun {
+    // Parse stage on the shared runtime (same determinism contract as the
+    // main pipeline: ordered merge, byte-identical at any thread count).
+    let rt = Runtime::with_threads(cfg.threads);
     let ann_views: Vec<PageView> =
-        annotation_pages.iter().map(|(id, html)| PageView::build(id, html, kb)).collect();
+        rt.par_map_chunked(annotation_pages, 4, |(id, html)| PageView::build(id, html, kb));
     let ext_views: Option<Vec<PageView>> = extraction_pages
-        .map(|pages| pages.iter().map(|(id, html)| PageView::build(id, html, kb)).collect());
+        .map(|pages| rt.par_map_chunked(pages, 4, |(id, html)| PageView::build(id, html, kb)));
 
     let mut run = SiteRun {
         stats: SiteRunStats {
@@ -173,7 +177,8 @@ pub fn run_baseline(
                 if fi == fj {
                     continue;
                 }
-                let x = space.pair_features(page, page.fields[fi].node, page.fields[fj].node);
+                let x =
+                    space.pair_features_frozen(page, page.fields[fi].node, page.fields[fj].node);
                 let (class, p) = model.predict(&x);
                 if class == 0 || p < cfg.extract.threshold {
                     continue;

@@ -143,6 +143,12 @@ pub struct CeresConfig {
     /// Cap on annotated pages used for learning (Figure 5's sweep);
     /// `None` = use all.
     pub max_annotated_pages: Option<usize>,
+    /// Worker threads for the parallel stages (page parse, per-cluster
+    /// jobs, per-page extraction). `None` defers to the `CERES_THREADS`
+    /// environment variable, then to the machine's available parallelism.
+    /// Pipeline output is byte-identical for every value (README:
+    /// "Parallelism & determinism").
+    pub threads: Option<usize>,
 }
 
 impl Default for CeresConfig {
@@ -158,6 +164,7 @@ impl Default for CeresConfig {
             extract: ExtractConfig::default(),
             template: TemplateConfig::default(),
             max_annotated_pages: None,
+            threads: None,
         }
     }
 }
@@ -165,6 +172,12 @@ impl Default for CeresConfig {
 impl CeresConfig {
     pub fn new(seed: u64) -> Self {
         CeresConfig { seed, ..Default::default() }
+    }
+
+    /// Pin the worker-thread count (builder style; `0` means "unset").
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 { None } else { Some(threads) };
+        self
     }
 }
 

@@ -9,6 +9,7 @@ use crate::features::FeatureSpace;
 use crate::page::PageView;
 use ceres_kb::PredId;
 use ceres_ml::LogReg;
+use ceres_runtime::Runtime;
 
 /// What an extraction asserts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,7 +20,7 @@ pub enum ExtractLabel {
 }
 
 /// One extracted assertion.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Extraction {
     pub page_id: String,
     /// Ground-truth id of the source field (evaluation only).
@@ -31,73 +32,99 @@ pub struct Extraction {
     pub confidence: f64,
 }
 
-/// Run extraction over `pages`. The feature space must be frozen.
-pub fn extract_pages(
-    pages: &[&PageView],
+/// Run extraction over one page. The feature space must be frozen — it is
+/// only read (`&FeatureSpace`), so concurrent extraction tasks share it.
+pub fn extract_page(
+    page: &PageView,
     model: &LogReg,
-    space: &mut FeatureSpace,
+    space: &FeatureSpace,
     class_map: &ClassMap,
     cfg: &ExtractConfig,
 ) -> Vec<Extraction> {
-    debug_assert!(space.dict.is_frozen(), "freeze the feature space before extraction");
     let mut out = Vec::new();
-    for page in pages.iter().copied() {
-        if page.fields.is_empty() {
+    if page.fields.is_empty() {
+        return out;
+    }
+    let probs: Vec<Vec<f64>> = page
+        .fields
+        .iter()
+        .map(|f| model.predict_proba(&space.features_frozen(page, f.node)))
+        .collect();
+
+    // Name node: the field with the highest NAME probability.
+    let (name_field, name_prob) = probs
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (i, p[CLASS_NAME as usize]))
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+        .expect("non-empty fields");
+    let subject = if name_prob >= cfg.name_threshold {
+        let f = &page.fields[name_field];
+        out.push(Extraction {
+            page_id: page.page_id.clone(),
+            gt_id: f.gt_id,
+            subject: f.text.clone(),
+            label: ExtractLabel::Name,
+            object: f.text.clone(),
+            confidence: name_prob,
+        });
+        f.text.clone()
+    } else {
+        String::new()
+    };
+
+    for (fi, f) in page.fields.iter().enumerate() {
+        if fi == name_field && name_prob >= cfg.name_threshold {
             continue;
         }
-        let probs: Vec<Vec<f64>> = page
-            .fields
-            .iter()
-            .map(|f| model.predict_proba(&space.features(page, f.node)))
-            .collect();
-
-        // Name node: the field with the highest NAME probability.
-        let (name_field, name_prob) = probs
+        let (class, p) = probs[fi]
             .iter()
             .enumerate()
-            .map(|(i, p)| (i, p[CLASS_NAME as usize]))
-            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
-            .expect("non-empty fields");
-        let subject = if name_prob >= cfg.name_threshold {
-            let f = &page.fields[name_field];
-            out.push(Extraction {
-                page_id: page.page_id.clone(),
-                gt_id: f.gt_id,
-                subject: f.text.clone(),
-                label: ExtractLabel::Name,
-                object: f.text.clone(),
-                confidence: name_prob,
-            });
-            f.text.clone()
-        } else {
-            String::new()
-        };
-
-        for (fi, f) in page.fields.iter().enumerate() {
-            if fi == name_field && name_prob >= cfg.name_threshold {
-                continue;
-            }
-            let (class, p) = probs[fi]
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-                .map(|(c, &p)| (c as u32, p))
-                .expect("classes");
-            if class == CLASS_OTHER || class == CLASS_NAME || p < cfg.threshold {
-                continue;
-            }
-            let Some(pred) = class_map.pred_of(class) else { continue };
-            out.push(Extraction {
-                page_id: page.page_id.clone(),
-                gt_id: f.gt_id,
-                subject: subject.clone(),
-                label: ExtractLabel::Pred(pred),
-                object: f.text.clone(),
-                confidence: p,
-            });
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(c, &p)| (c as u32, p))
+            .expect("classes");
+        if class == CLASS_OTHER || class == CLASS_NAME || p < cfg.threshold {
+            continue;
         }
+        let Some(pred) = class_map.pred_of(class) else { continue };
+        out.push(Extraction {
+            page_id: page.page_id.clone(),
+            gt_id: f.gt_id,
+            subject: subject.clone(),
+            label: ExtractLabel::Pred(pred),
+            object: f.text.clone(),
+            confidence: p,
+        });
     }
     out
+}
+
+/// Run extraction over `pages` sequentially, results in page order.
+pub fn extract_pages(
+    pages: &[&PageView],
+    model: &LogReg,
+    space: &FeatureSpace,
+    class_map: &ClassMap,
+    cfg: &ExtractConfig,
+) -> Vec<Extraction> {
+    extract_pages_on(&Runtime::sequential(), pages, model, space, class_map, cfg)
+}
+
+/// [`extract_pages`] with the per-page fan-out on `rt`. The merged output
+/// is byte-identical for every thread count (page order is preserved).
+pub fn extract_pages_on(
+    rt: &Runtime,
+    pages: &[&PageView],
+    model: &LogReg,
+    space: &FeatureSpace,
+    class_map: &ClassMap,
+    cfg: &ExtractConfig,
+) -> Vec<Extraction> {
+    debug_assert!(space.is_frozen(), "freeze the feature space before extraction");
+    rt.par_map_chunked(pages, 4, |page| extract_page(page, model, space, class_map, cfg))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
@@ -175,8 +202,7 @@ mod tests {
              <span>c4</span><span>c5</span><span>c6</span></div></body></html>",
             &kb,
         );
-        let ex =
-            extract_pages(&[&unseen], &model, &mut space, &class_map, &ExtractConfig::default());
+        let ex = extract_pages(&[&unseen], &model, &space, &class_map, &ExtractConfig::default());
         let name = ex.iter().find(|e| e.label == ExtractLabel::Name).expect("name found");
         assert_eq!(name.object, "Totally New Film");
         let dir = ex

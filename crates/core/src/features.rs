@@ -65,21 +65,33 @@ impl FeatureSpace {
     }
 
     /// Freeze the dictionary: extraction-time features not seen in training
-    /// are dropped.
+    /// are dropped. After freezing, the lookup-only
+    /// [`FeatureSpace::features_frozen`] / [`FeatureSpace::pair_features_frozen`]
+    /// twins work through `&self`, so the parallel extract stage shares one
+    /// space across threads without cloning.
     pub fn freeze(&mut self) {
         self.dict.freeze();
     }
 
-    /// Compute the feature vector of one node.
+    pub fn is_frozen(&self) -> bool {
+        self.dict.is_frozen()
+    }
+
+    /// Compute the feature vector of one node, interning new feature names
+    /// (the training path; requires an unfrozen space).
     pub fn features(&mut self, page: &PageView, node: NodeId) -> SparseVec {
-        let mut names: Vec<String> = Vec::with_capacity(64);
-        if self.cfg.enable_structural {
-            self.structural_features(page, node, &mut names);
-        }
-        if self.cfg.enable_text {
-            self.text_features(page, node, &mut names);
-        }
+        let names = self.collect_names(page, node);
         let idx: Vec<u32> = names.iter().filter_map(|n| self.dict.intern(n)).collect();
+        SparseVec::from_indices(idx)
+    }
+
+    /// Lookup-only twin of [`FeatureSpace::features`] for a frozen space.
+    /// On a frozen dictionary `intern` and `get` coincide, so the returned
+    /// vector is identical to what `features` would produce.
+    pub fn features_frozen(&self, page: &PageView, node: NodeId) -> SparseVec {
+        debug_assert!(self.dict.is_frozen(), "freeze the feature space before extraction");
+        let names = self.collect_names(page, node);
+        let idx: Vec<u32> = names.iter().filter_map(|n| self.dict.get(n)).collect();
         SparseVec::from_indices(idx)
     }
 
@@ -93,20 +105,48 @@ impl FeatureSpace {
         subject_node: NodeId,
         object_node: NodeId,
     ) -> SparseVec {
-        let mut names: Vec<String> = Vec::with_capacity(128);
-        let mut tmp: Vec<String> = Vec::with_capacity(64);
-        for (prefix, node) in [("S|", subject_node), ("O|", object_node)] {
-            tmp.clear();
-            if self.cfg.enable_structural {
-                self.structural_features(page, node, &mut tmp);
-            }
-            if self.cfg.enable_text {
-                self.text_features(page, node, &mut tmp);
-            }
-            names.extend(tmp.iter().map(|n| format!("{prefix}{n}")));
-        }
+        let names = self.collect_pair_names(page, subject_node, object_node);
         let idx: Vec<u32> = names.iter().filter_map(|n| self.dict.intern(n)).collect();
         SparseVec::from_indices(idx)
+    }
+
+    /// Lookup-only twin of [`FeatureSpace::pair_features`] for a frozen
+    /// space (the baseline's extraction path).
+    pub fn pair_features_frozen(
+        &self,
+        page: &PageView,
+        subject_node: NodeId,
+        object_node: NodeId,
+    ) -> SparseVec {
+        debug_assert!(self.dict.is_frozen(), "freeze the feature space before extraction");
+        let names = self.collect_pair_names(page, subject_node, object_node);
+        let idx: Vec<u32> = names.iter().filter_map(|n| self.dict.get(n)).collect();
+        SparseVec::from_indices(idx)
+    }
+
+    fn collect_names(&self, page: &PageView, node: NodeId) -> Vec<String> {
+        let mut names: Vec<String> = Vec::with_capacity(64);
+        if self.cfg.enable_structural {
+            self.structural_features(page, node, &mut names);
+        }
+        if self.cfg.enable_text {
+            self.text_features(page, node, &mut names);
+        }
+        names
+    }
+
+    fn collect_pair_names(
+        &self,
+        page: &PageView,
+        subject_node: NodeId,
+        object_node: NodeId,
+    ) -> Vec<String> {
+        let mut names: Vec<String> = Vec::with_capacity(128);
+        for (prefix, node) in [("S|", subject_node), ("O|", object_node)] {
+            let tmp = self.collect_names(page, node);
+            names.extend(tmp.iter().map(|n| format!("{prefix}{n}")));
+        }
+        names
     }
 
     fn structural_features(&self, page: &PageView, node: NodeId, out: &mut Vec<String>) {
@@ -265,6 +305,27 @@ mod tests {
             names.iter().any(|n| n.starts_with("t:director@")),
             "text feature missing: {names:?}"
         );
+    }
+
+    #[test]
+    fn frozen_twins_match_the_interning_path() {
+        let pv = page(
+            r#"<div class="info"><span class="l">Director:</span><span class="v">Someone</span></div>"#,
+        );
+        let mut space = FeatureSpace::new(&[&pv], FeatureConfig::default());
+        let trained = space.features(&pv, pv.fields[1].node);
+        space.freeze();
+        // Same page: identical vectors through &self and &mut self.
+        assert_eq!(space.features_frozen(&pv, pv.fields[1].node), trained);
+        assert_eq!(space.features(&pv, pv.fields[1].node), trained);
+        // Unseen page: unknown names dropped identically by both paths.
+        let pv2 = page(r#"<div class="fresh"><span class="l">Director:</span></div>"#);
+        let a = space.features_frozen(&pv2, pv2.fields[0].node);
+        let b = space.features(&pv2, pv2.fields[0].node);
+        assert_eq!(a, b);
+        let p = space.pair_features_frozen(&pv, pv.fields[0].node, pv.fields[1].node);
+        let q = space.pair_features(&pv, pv.fields[0].node, pv.fields[1].node);
+        assert_eq!(p, q);
     }
 
     #[test]

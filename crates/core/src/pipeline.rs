@@ -1,24 +1,41 @@
-//! The end-to-end site extractor (Figure 3): template clustering →
-//! topic identification → relation annotation → training → extraction.
+//! The end-to-end site extractor (Figure 3), restructured as explicit
+//! stages on the deterministic [`ceres_runtime`] executor:
+//!
+//! ```text
+//! Parse ──▶ Cluster ──▶ {Topic ▸ Annotate}   ──▶ Plan ──▶ Train  ──▶ Extract
+//! (par,     (seq,       (par, one job per        (seq     (par,      (par, one task per
+//!  pages)    site-wide)  template cluster)        budget   cluster)   (cluster, page) pair)
+//!                                                 alloc)
+//! ```
+//!
+//! Every parallel stage merges its results in **input order** (cluster
+//! order, then page order), so [`SiteRun`] output is byte-identical for
+//! every thread count — the serial path at `threads = 1` and the parallel
+//! path are the same computation, differently scheduled. The
+//! `max_annotated_pages` budget, which would otherwise chain cluster jobs
+//! sequentially, is allocated by the Plan stage over annotation *counts*
+//! (in cluster order) before any training starts, so cluster jobs stay
+//! independent.
 //!
 //! CERES-FULL and CERES-TOPIC are this same pipeline run with
 //! [`AnnotationMode::Full`] vs [`AnnotationMode::TopicOnly`].
 
-use crate::annotate::annotate_relations;
 pub use crate::annotate::AnnotationMode;
+use crate::annotate::{annotate_relations, PageAnnotation};
 use crate::config::CeresConfig;
 use crate::examples::ClassMap;
-use crate::extract::{extract_pages, Extraction};
+use crate::extract::{extract_page, Extraction};
 use crate::features::FeatureSpace;
 use crate::page::PageView;
 use crate::template::cluster_pages;
-use crate::topic::identify_topics;
+use crate::topic::{identify_topics, TopicOutcome};
 use ceres_kb::Kb;
 use ceres_ml::LogReg;
+use ceres_runtime::Runtime;
 
 /// Topic decision for one annotation-half page (evaluation input for
 /// Table 7).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TopicRecord {
     pub page_id: String,
     /// Canonical name of the identified topic entity, if any.
@@ -30,7 +47,7 @@ pub struct TopicRecord {
 }
 
 /// One relation annotation (evaluation input for Table 6).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnnotationRecord {
     pub page_id: String,
     pub gt_id: Option<u32>,
@@ -39,7 +56,13 @@ pub struct AnnotationRecord {
 }
 
 /// Aggregate counters for one site run.
-#[derive(Debug, Clone, Default)]
+///
+/// Counters are either **sums** over clusters (`n_*_pages`, `n_annotations`,
+/// `n_train_examples`) or **maxima** (`n_features`, `n_classes`). Both are
+/// commutative and associative, so every aggregate is well-defined no
+/// matter which order concurrent cluster jobs complete in; the merge
+/// additionally runs in fixed cluster order for byte-stable output.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SiteRunStats {
     pub n_annotation_pages: usize,
     pub n_extraction_pages: usize,
@@ -50,7 +73,12 @@ pub struct SiteRunStats {
     /// Total relation annotations on surviving pages.
     pub n_annotations: usize,
     pub n_train_examples: usize,
+    /// Feature-space size of the **largest** per-cluster model (explicitly
+    /// a max, not a sum: clusters train independent models over
+    /// independent dictionaries, so summing dimensions is meaningless).
     pub n_features: usize,
+    /// Class count of the largest per-cluster model (max, like
+    /// [`SiteRunStats::n_features`]).
     pub n_classes: usize,
     /// Whether at least one cluster trained a model.
     pub trained: bool,
@@ -82,15 +110,56 @@ pub fn run_site(
     cfg: &CeresConfig,
     mode: AnnotationMode,
 ) -> SiteRun {
+    let rt = Runtime::with_threads(cfg.threads);
+    // --- Parse stage: PageView::build fans out, one task per page ---
     let ann_views: Vec<PageView> =
-        annotation_pages.iter().map(|(id, html)| PageView::build(id, html, kb)).collect();
+        rt.par_map_chunked(annotation_pages, 4, |(id, html)| PageView::build(id, html, kb));
     let ext_views: Option<Vec<PageView>> = extraction_pages
-        .map(|pages| pages.iter().map(|(id, html)| PageView::build(id, html, kb)).collect());
-    run_site_views(kb, &ann_views, ext_views.as_deref(), cfg, mode)
+        .map(|pages| rt.par_map_chunked(pages, 4, |(id, html)| PageView::build(id, html, kb)));
+    run_site_views_on(&rt, kb, &ann_views, ext_views.as_deref(), cfg, mode)
+}
+
+/// One template cluster's work order: indexes into the annotation and
+/// extraction view slices. Plans are fixed before any cluster stage runs,
+/// which is what lets cluster jobs execute concurrently.
+struct ClusterPlan {
+    ann_idx: Vec<usize>,
+    ext_idx: Vec<usize>,
+}
+
+/// Output of one cluster's {Topic ▸ Annotate} job.
+struct ClusterAnnotations {
+    topic_out: TopicOutcome,
+    annotations: Vec<PageAnnotation>,
+}
+
+/// Output of one cluster's Train job; the frozen [`FeatureSpace`] is shared
+/// by reference across that cluster's parallel extract tasks.
+struct ClusterModel {
+    model: LogReg,
+    space: FeatureSpace,
+    class_map: ClassMap,
+    n_train_examples: usize,
+    n_features: usize,
+    n_classes: usize,
 }
 
 /// [`run_site`] over pre-built [`PageView`]s (benchmarks parse once).
+/// Threads come from `cfg.threads` (then `CERES_THREADS`, then the
+/// machine); output is byte-identical for every thread count.
 pub fn run_site_views(
+    kb: &Kb,
+    ann_views: &[PageView],
+    ext_views: Option<&[PageView]>,
+    cfg: &CeresConfig,
+    mode: AnnotationMode,
+) -> SiteRun {
+    run_site_views_on(&Runtime::with_threads(cfg.threads), kb, ann_views, ext_views, cfg, mode)
+}
+
+/// [`run_site_views`] on a caller-provided [`Runtime`].
+pub fn run_site_views_on(
+    rt: &Runtime,
     kb: &Kb,
     ann_views: &[PageView],
     ext_views: Option<&[PageView]>,
@@ -101,8 +170,9 @@ pub fn run_site_views(
     run.stats.n_annotation_pages = ann_views.len();
     run.stats.n_extraction_pages = ext_views.map_or(ann_views.len(), |v| v.len());
 
-    // --- Template clustering over annotation ∪ extraction pages, so every
-    // extraction page is handled by the model of its own template family ---
+    // --- Cluster stage: template clustering over annotation ∪ extraction
+    // pages, so every extraction page is handled by the model of its own
+    // template family (site-wide, sequential) ---
     let n_ann = ann_views.len();
     let combined: Vec<&PageView> = match ext_views {
         Some(ext) => ann_views.iter().chain(ext.iter()).collect(),
@@ -111,40 +181,59 @@ pub fn run_site_views(
     let clusters = cluster_pages(&combined, &cfg.template);
     run.stats.n_clusters = clusters.len();
 
+    // Fix each cluster's work order up front (in cluster order).
+    let plans: Vec<ClusterPlan> = clusters
+        .into_iter()
+        .filter(|cluster| cluster.len() >= cfg.template.min_cluster_size)
+        .filter_map(|cluster| {
+            let ann_idx: Vec<usize> = cluster.iter().copied().filter(|&i| i < n_ann).collect();
+            if ann_idx.is_empty() {
+                return None;
+            }
+            let ext_idx: Vec<usize> = match ext_views {
+                Some(_) => {
+                    cluster.iter().copied().filter(|&i| i >= n_ann).map(|i| i - n_ann).collect()
+                }
+                None => ann_idx.clone(),
+            };
+            Some(ClusterPlan { ann_idx, ext_idx })
+        })
+        .collect();
+    let cluster_ann = |plan: &ClusterPlan| -> Vec<&PageView> {
+        plan.ann_idx.iter().map(|&i| &ann_views[i]).collect()
+    };
+
+    // --- {Topic ▸ Annotate} stage: Algorithms 1 and 2, one concurrent job
+    // per cluster (no cross-cluster state) ---
+    let mut annotated: Vec<ClusterAnnotations> = rt.par_map(&plans, |plan| {
+        let pages = cluster_ann(plan);
+        let topic_out = identify_topics(&pages, kb, &cfg.topic);
+        let annotations = annotate_relations(&pages, kb, &topic_out, &cfg.annotate, mode);
+        ClusterAnnotations { topic_out, annotations }
+    });
+
+    // --- Plan stage: allocate Figure 5's annotated-pages budget across
+    // clusters *before* training. Walking annotation counts in cluster
+    // order reproduces exactly what consuming the budget inside a
+    // sequential cluster loop produced, while leaving the Train/Extract
+    // jobs below free of cross-cluster data flow.
     let mut annotated_budget = cfg.max_annotated_pages.unwrap_or(usize::MAX);
+    for ca in &mut annotated {
+        let granted = ca.annotations.len().min(annotated_budget);
+        ca.annotations.truncate(granted);
+        annotated_budget -= granted;
+    }
 
-    for cluster in clusters {
-        if cluster.len() < cfg.template.min_cluster_size {
-            continue;
-        }
-        let ann_idx: Vec<usize> = cluster.iter().copied().filter(|&i| i < n_ann).collect();
-        let ext_idx: Vec<usize> = match ext_views {
-            Some(_) => cluster.iter().copied().filter(|&i| i >= n_ann).map(|i| i - n_ann).collect(),
-            None => ann_idx.clone(),
-        };
-        if ann_idx.is_empty() {
-            continue;
-        }
-        let cluster_ann: Vec<&PageView> = ann_idx.iter().map(|&i| &ann_views[i]).collect();
-
-        // --- Algorithm 1: topic identification ---
-        let topic_out = identify_topics(&cluster_ann, kb, &cfg.topic);
-        run.stats.n_pages_with_topic +=
-            topic_out.assignments.iter().filter(|a| a.is_some()).count();
-
-        // --- Algorithm 2: relation annotation ---
-        let mut annotations = annotate_relations(&cluster_ann, kb, &topic_out, &cfg.annotate, mode);
-        // Figure 5's annotated-pages cap.
-        if annotations.len() > annotated_budget {
-            annotations.truncate(annotated_budget);
-        }
-        annotated_budget -= annotations.len().min(annotated_budget);
-
-        // Records for the evaluation harness.
+    // Records for the evaluation harness (ordered merge: cluster order,
+    // then page order within each cluster).
+    for (plan, ca) in plans.iter().zip(&annotated) {
+        let pages = cluster_ann(plan);
         let survived: std::collections::BTreeSet<usize> =
-            annotations.iter().map(|a| a.page_idx).collect();
-        for (k, page) in cluster_ann.iter().enumerate() {
-            let assignment = topic_out.assignments[k];
+            ca.annotations.iter().map(|a| a.page_idx).collect();
+        run.stats.n_pages_with_topic +=
+            ca.topic_out.assignments.iter().filter(|a| a.is_some()).count();
+        for (k, page) in pages.iter().enumerate() {
+            let assignment = ca.topic_out.assignments[k];
             run.topic_records.push(TopicRecord {
                 page_id: page.page_id.clone(),
                 topic: assignment.map(|(v, _)| kb.canonical(v).to_string()),
@@ -152,8 +241,8 @@ pub fn run_site_views(
                 survived: survived.contains(&k),
             });
         }
-        for ann in &annotations {
-            let page = cluster_ann[ann.page_idx];
+        for ann in &ca.annotations {
+            let page = pages[ann.page_idx];
             for &(fi, pred) in &ann.labels {
                 run.annotation_records.push(AnnotationRecord {
                     page_id: page.page_id.clone(),
@@ -162,22 +251,27 @@ pub fn run_site_views(
                 });
             }
         }
-        run.stats.n_annotated_pages += annotations.len();
-        run.stats.n_annotations += annotations.iter().map(|a| a.labels.len()).sum::<usize>();
+        run.stats.n_annotated_pages += ca.annotations.len();
+        run.stats.n_annotations += ca.annotations.iter().map(|a| a.labels.len()).sum::<usize>();
+    }
 
-        if annotations.len() < 2 {
-            continue;
+    // --- Train stage: one concurrent job per cluster; budgets are already
+    // fixed, so jobs are fully independent ---
+    let cluster_ids: Vec<usize> = (0..plans.len()).collect();
+    let trained: Vec<Option<ClusterModel>> = rt.par_map(&cluster_ids, |&ci| {
+        let ca = &annotated[ci];
+        if ca.annotations.len() < 2 {
+            return None;
         }
-        let class_map = ClassMap::from_annotations(&annotations);
+        let class_map = ClassMap::from_annotations(&ca.annotations);
         if class_map.preds().is_empty() {
-            continue;
+            return None;
         }
-
-        // --- Training ---
-        let mut space = FeatureSpace::new(&cluster_ann, cfg.features.clone());
+        let pages = cluster_ann(&plans[ci]);
+        let mut space = FeatureSpace::new(&pages, cfg.features.clone());
         let data = crate::examples::build_training_opts(
-            &cluster_ann,
-            &annotations,
+            &pages,
+            &ca.annotations,
             &mut space,
             &class_map,
             cfg.negative_ratio,
@@ -185,23 +279,46 @@ pub fn run_site_views(
             cfg.list_exclusion,
         );
         if data.is_empty() {
-            continue;
+            return None;
         }
         let (model, _train_stats) = LogReg::train(&data, &cfg.train);
         space.freeze();
-        run.stats.n_train_examples += data.len();
-        run.stats.n_features = run.stats.n_features.max(data.n_features);
-        run.stats.n_classes = run.stats.n_classes.max(data.n_classes);
+        Some(ClusterModel {
+            model,
+            space,
+            class_map,
+            n_train_examples: data.len(),
+            n_features: data.n_features,
+            n_classes: data.n_classes,
+        })
+    });
+    for cm in trained.iter().flatten() {
+        run.stats.n_train_examples += cm.n_train_examples;
+        run.stats.n_features = run.stats.n_features.max(cm.n_features);
+        run.stats.n_classes = run.stats.n_classes.max(cm.n_classes);
         run.stats.trained = true;
-
-        // --- Extraction ---
-        let targets: Vec<&PageView> = match ext_views {
-            Some(ext) => ext_idx.iter().map(|&i| &ext[i]).collect(),
-            None => ext_idx.iter().map(|&i| &ann_views[i]).collect(),
-        };
-        let extractions = extract_pages(&targets, &model, &mut space, &class_map, &cfg.extract);
-        run.extractions.extend(extractions);
     }
+
+    // --- Extract stage: flatten to one task per (cluster, page) pair so a
+    // single-cluster site still fans out across its pages. Each task only
+    // reads its cluster's frozen FeatureSpace (`&FeatureSpace`); the merge
+    // restores cluster order then page order.
+    let tasks: Vec<(usize, &PageView)> = plans
+        .iter()
+        .enumerate()
+        .filter(|&(ci, _)| trained[ci].is_some())
+        .flat_map(|(ci, plan)| {
+            plan.ext_idx.iter().map(move |&i| match ext_views {
+                Some(ext) => (ci, &ext[i]),
+                None => (ci, &ann_views[i]),
+            })
+        })
+        .collect();
+    let extracted: Vec<Vec<Extraction>> = rt.par_map_chunked(&tasks, 4, |&(ci, page)| {
+        let cm = trained[ci].as_ref().expect("extract tasks exist only for trained clusters");
+        extract_page(page, &cm.model, &cm.space, &cm.class_map, &cfg.extract)
+    });
+    run.extractions = extracted.into_iter().flatten().collect();
     run
 }
 
@@ -309,6 +426,41 @@ mod tests {
         cfg.max_annotated_pages = Some(3);
         let run = run_site(&kb, &pages, None, &cfg, AnnotationMode::Full);
         assert!(run.stats.n_annotated_pages <= 3);
+    }
+
+    #[test]
+    fn output_is_byte_identical_for_every_thread_count() {
+        let (kb, pages) = small_site();
+        let run_at = |threads: usize| {
+            let cfg = CeresConfig::new(11).with_threads(threads);
+            run_site(&kb, &pages, None, &cfg, AnnotationMode::Full)
+        };
+        let serial = run_at(1);
+        assert!(serial.stats.trained);
+        for threads in [2, 8] {
+            let parallel = run_at(threads);
+            assert_eq!(serial.stats, parallel.stats, "stats differ at {threads} threads");
+            assert_eq!(serial.extractions, parallel.extractions);
+            assert_eq!(serial.topic_records, parallel.topic_records);
+            assert_eq!(serial.annotation_records, parallel.annotation_records);
+        }
+    }
+
+    #[test]
+    fn annotated_page_cap_is_thread_count_invariant() {
+        // The budget plan must allocate identically whether cluster jobs
+        // run sequentially or concurrently.
+        let (kb, pages) = small_site();
+        let run_at = |threads: usize| {
+            let mut cfg = CeresConfig::new(11).with_threads(threads);
+            cfg.max_annotated_pages = Some(5);
+            run_site(&kb, &pages, None, &cfg, AnnotationMode::Full)
+        };
+        let serial = run_at(1);
+        let parallel = run_at(8);
+        assert!(serial.stats.n_annotated_pages <= 5);
+        assert_eq!(serial.stats, parallel.stats);
+        assert_eq!(serial.extractions, parallel.extractions);
     }
 
     #[test]

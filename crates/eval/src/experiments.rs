@@ -17,6 +17,7 @@ use ceres_core::baseline::{run_baseline, BaselineConfig};
 use ceres_core::extract::ExtractLabel;
 use ceres_core::pipeline::SiteRun;
 use ceres_core::{CeresConfig, XPathDistance};
+use ceres_runtime::Runtime;
 use ceres_synth::commoncrawl::{self, CcDataset};
 use ceres_synth::imdb::{self, ImdbDataset};
 use ceres_synth::swde::{
@@ -32,38 +33,28 @@ pub struct ExpConfig {
     pub seed: u64,
     /// Corpus scale relative to the paper (1.0 = paper-sized page counts).
     pub scale: f64,
+    /// Worker threads for the per-site experiment loops (`None` = the
+    /// `CERES_THREADS` env var, then available parallelism). Reports are
+    /// byte-identical for every value.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExpConfig {
     fn default() -> Self {
-        ExpConfig { seed: 42, scale: 0.1 }
+        ExpConfig { seed: 42, scale: 0.1, threads: None }
     }
 }
 
 fn ceres_cfg(e: &ExpConfig) -> CeresConfig {
-    CeresConfig::new(e.seed)
+    // Fan-out happens at the site level (the experiment loops below); the
+    // inner pipeline runs sequentially so N sites × M cluster jobs don't
+    // oversubscribe the machine N×M-fold. Output is identical either way.
+    CeresConfig::new(e.seed).with_threads(1)
 }
 
-/// Map-in-parallel over items with scoped threads (sites are independent).
-pub fn parallel_map<T: Sync, R: Send>(items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
-    let n_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
-    let n_threads = n_threads.min(items.len()).max(1);
-    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|s| {
-        for _ in 0..n_threads {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                slots.lock().unwrap()[i] = Some(r);
-            });
-        }
-    });
-    results.into_iter().map(|r| r.expect("worker filled slot")).collect()
+/// The runtime the per-site experiment loops fan out on.
+fn rt(e: &ExpConfig) -> Runtime {
+    Runtime::with_threads(e.threads)
 }
 
 fn fmt_f(x: f64) -> String {
@@ -151,7 +142,7 @@ pub fn build_imdb(e: &ExpConfig) -> ImdbOutcome {
         ("Person", &data.person_site, SystemKind::CeresFull),
     ];
     let runs: Vec<(&'static str, SystemKind, SiteRun)> =
-        parallel_map(&jobs, |(domain, site, system)| {
+        rt(e).par_map(&jobs, |(domain, site, system)| {
             (
                 *domain,
                 *system,
@@ -172,7 +163,7 @@ pub struct CcOutcome {
 pub fn build_commoncrawl(e: &ExpConfig) -> CcOutcome {
     let data = commoncrawl::generate(e.seed, e.scale);
     let cfg = ceres_cfg(e);
-    let runs: Vec<SiteRun> = parallel_map(&data.sites, |site| {
+    let runs: Vec<SiteRun> = rt(e).par_map(&data.sites, |site| {
         run_ceres_on_site(&data.kb, site, EvalProtocol::WholeSite, &cfg, SystemKind::CeresFull)
     });
     let mut scored = Vec::new();
@@ -228,6 +219,7 @@ pub fn table2(e: &ExpConfig) -> String {
 
 /// One vertical × one system → mean page-hit F1 (None = OOM/NA).
 fn system_vertical_f1(
+    rt: &Runtime,
     v: &SwdeVertical,
     system: SystemKind,
     cfg: &CeresConfig,
@@ -237,7 +229,7 @@ fn system_vertical_f1(
         SystemKind::VertexPlusPlus => v.attributes.iter().map(|(_, p)| *p).collect(),
         _ => ds_attributes(v),
     };
-    let site_f1: Vec<Option<f64>> = parallel_map(&v.sites, |site| {
+    let site_f1: Vec<Option<f64>> = rt.par_map(&v.sites, |site| {
         let run = match system {
             SystemKind::CeresBaseline => {
                 let (train, eval) = protocol_pages(site, EvalProtocol::SplitHalves);
@@ -296,7 +288,7 @@ pub fn table3(e: &ExpConfig) -> String {
             if *system == SystemKind::VertexPlusPlus { "yes" } else { "no" }.to_string(),
         ];
         for v in &swde.verticals {
-            let f1 = system_vertical_f1(v, *system, &cfg, baseline_budget);
+            let f1 = system_vertical_f1(&rt(e), v, *system, &cfg, baseline_budget);
             ours.push(fmt_opt(f1));
         }
         rows.push(ours);
@@ -318,10 +310,12 @@ pub fn table4(e: &ExpConfig) -> String {
         let mut vertex_scores: FxHashMap<String, Prf> = FxHashMap::default();
         let mut full_scores: FxHashMap<String, Prf> = FxHashMap::default();
         let preds: Vec<&str> = v.attributes.iter().map(|(_, p)| *p).collect();
-        let per_site: Vec<(TripleScorer, TripleScorer)> = parallel_map(&v.sites, |site| {
+        let per_site: Vec<(TripleScorer, TripleScorer)> = rt(e).par_map(&v.sites, |site| {
             let gold = GoldIndex::new(site);
             let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
-            let vrun = run_vertex_on_site(&v.kb, site, EvalProtocol::SplitHalves, 2);
+            // Site-level fan-out is the outer par_map; keep Vertex inner-
+            // sequential, like ceres_cfg does for the pipeline.
+            let vrun = run_vertex_on_site(&v.kb, site, EvalProtocol::SplitHalves, 2, Some(1));
             let frun = run_ceres_on_site(
                 &v.kb,
                 site,
@@ -682,7 +676,7 @@ pub fn fig4(e: &ExpConfig) -> String {
     let (v, _world) = book_vertical(SwdeConfig { seed: e.seed, scale: e.scale });
     let cfg = ceres_cfg(e);
     let preds: Vec<&str> = v.attributes.iter().map(|(_, p)| *p).collect();
-    let results: Vec<(String, usize, f64)> = parallel_map(&v.sites[1..], |site| {
+    let results: Vec<(String, usize, f64)> = rt(e).par_map(&v.sites[1..], |site| {
         let overlap = site
             .pages
             .iter()
@@ -720,7 +714,7 @@ pub fn fig5(e: &ExpConfig) -> String {
     for &cap in &caps {
         let mut cfg = ceres_cfg(e);
         cfg.max_annotated_pages = Some(cap);
-        let f1s: Vec<f64> = parallel_map(&v.sites, |site| {
+        let f1s: Vec<f64> = rt(e).par_map(&v.sites, |site| {
             let run = run_ceres_on_site(
                 &v.kb,
                 site,
@@ -796,7 +790,7 @@ pub fn ablations(e: &ExpConfig) -> String {
             c
         }),
     ];
-    let results: Vec<(String, Prf, usize)> = parallel_map(&variants, |(name, cfg)| {
+    let results: Vec<(String, Prf, usize)> = rt(e).par_map(&variants, |(name, cfg)| {
         let run = run_ceres_on_site(
             &data.kb,
             site,
@@ -831,14 +825,7 @@ mod tests {
     use super::*;
 
     fn tiny() -> ExpConfig {
-        ExpConfig { seed: 3, scale: 0.01 }
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<usize> = (0..37).collect();
-        let out = parallel_map(&items, |&x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        ExpConfig { seed: 3, scale: 0.01, threads: None }
     }
 
     #[test]
@@ -858,7 +845,18 @@ mod tests {
 
     #[test]
     fn fig2_shows_xpath_drift() {
-        let f = fig2(&ExpConfig { seed: 3, scale: 0.04 });
+        let f = fig2(&ExpConfig { seed: 3, scale: 0.04, threads: None });
         assert!(f.contains("Levenshtein"), "{f}");
+    }
+
+    #[test]
+    fn report_is_thread_count_invariant() {
+        // The eval-report half of the serial-vs-parallel equivalence suite:
+        // the rendered report must be byte-identical at 1, 2, and 8 threads.
+        let report =
+            |threads: usize| fig4(&ExpConfig { seed: 3, scale: 0.01, threads: Some(threads) });
+        let serial = report(1);
+        assert_eq!(serial, report(2));
+        assert_eq!(serial, report(8));
     }
 }

@@ -7,6 +7,7 @@ use ceres_core::pipeline::{run_site, AnnotationMode, SiteRun};
 use ceres_core::vertex::{apply_rules, learn_rules, LabeledPage};
 use ceres_core::CeresConfig;
 use ceres_kb::Kb;
+use ceres_runtime::Runtime;
 use ceres_synth::Site;
 
 /// The systems of §5.2.
@@ -90,17 +91,22 @@ pub fn run_ceres_on_site(
         SystemKind::CeresBaseline => {
             run_baseline(kb, &train, eval.as_deref(), cfg, &BaselineConfig::default())
         }
-        SystemKind::VertexPlusPlus => run_vertex_on_site(kb, site, protocol, 2),
+        SystemKind::VertexPlusPlus => run_vertex_on_site(kb, site, protocol, 2, cfg.threads),
     }
 }
 
 /// Run VERTEX++ with gold ("manual") labels on `n_annotated` training
 /// pages — the paper's protocol ("Vertex++ required two pages per site").
+/// Per-page work fans out on `threads` (`None` = `CERES_THREADS`, then the
+/// machine); callers already parallel at the site level should pass
+/// `Some(1)` to avoid nested oversubscription. Output is identical for
+/// every value.
 pub fn run_vertex_on_site(
     kb: &Kb,
     site: &Site,
     protocol: EvalProtocol,
     n_annotated: usize,
+    threads: Option<usize>,
 ) -> SiteRun {
     let (train_pages, eval_pages): (Vec<&ceres_synth::Page>, Vec<&ceres_synth::Page>) =
         match protocol {
@@ -154,12 +160,15 @@ pub fn run_vertex_on_site(
     let rules = learn_rules(&examples);
     run.stats.trained = !rules.is_empty();
 
-    let mut extractions: Vec<Extraction> = Vec::new();
-    for page in &eval_pages {
+    // Per-page parse + rule application fans out on the runtime; the
+    // ordered merge keeps extraction order byte-identical to the serial
+    // loop for every thread count.
+    let rt = Runtime::with_threads(threads);
+    let per_page: Vec<Vec<Extraction>> = rt.par_map_chunked(&eval_pages, 4, |page| {
         let view = PageView::build(&page.id, &page.html, kb);
-        extractions.extend(apply_rules(&rules, &view));
-    }
-    run.extractions = extractions;
+        apply_rules(&rules, &view)
+    });
+    run.extractions = per_page.into_iter().flatten().collect();
     run
 }
 
@@ -171,7 +180,7 @@ mod tests {
     #[test]
     fn vertex_runs_on_synthetic_site() {
         let (v, _) = nba_vertical(SwdeConfig { seed: 2, scale: 0.01 });
-        let run = run_vertex_on_site(&v.kb, &v.sites[0], EvalProtocol::SplitHalves, 2);
+        let run = run_vertex_on_site(&v.kb, &v.sites[0], EvalProtocol::SplitHalves, 2, None);
         assert!(run.stats.trained);
         assert!(!run.extractions.is_empty());
     }

@@ -1,0 +1,315 @@
+//! # ceres-runtime
+//!
+//! Deterministic parallel execution for the CERES workspace.
+//!
+//! The paper runs CERES over 440k+ CommonCrawl pages across hundreds of
+//! sites; every unit of that work (page parse, cluster job, site run) is
+//! independent. This crate provides the one primitive all of them share: an
+//! **index-ordered parallel map** over a slice, built on scoped threads —
+//! no external dependencies, no persistent pool, no unsafe.
+//!
+//! ## The determinism contract
+//!
+//! For a pure `f`, `Runtime::par_map(items, f)` returns **exactly** the
+//! vector the sequential loop `items.iter().map(f).collect()` returns, for
+//! every thread count:
+//!
+//! * each `f(&items[i])` is invoked exactly once, with nothing shared
+//!   between invocations;
+//! * results are merged by **item index**, never by completion order;
+//! * `threads = 1` short-circuits to the plain sequential loop (no threads
+//!   are spawned at all), so the fallback is byte-identical by construction
+//!   and the parallel path is byte-identical by the ordered merge.
+//!
+//! Worker panics propagate to the caller: the payload of the
+//! lowest-indexed panicking item is re-raised (deterministic even when
+//! several items panic), and remaining work is abandoned promptly.
+//!
+//! ## Choosing the thread count
+//!
+//! [`Runtime::with_threads`] resolves, in order: an explicit programmatic
+//! override (e.g. `CeresConfig::threads`), the `CERES_THREADS` environment
+//! variable, then [`std::thread::available_parallelism`]. `0` or an
+//! unparsable value means "not set" at either level.
+
+use std::any::Any;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable consulted when no programmatic thread count is
+/// given. `0`, empty, or unparsable values fall through to the machine's
+/// available parallelism.
+pub const THREADS_ENV: &str = "CERES_THREADS";
+
+/// A handle describing how parallel stages execute.
+///
+/// Construction is free: no threads exist until a `par_map*` call needs
+/// them, and all threads are joined before the call returns (scoped), so a
+/// `Runtime` can be rebuilt per call site without cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runtime {
+    threads: usize,
+}
+
+impl Default for Runtime {
+    /// Equivalent to [`Runtime::from_env`].
+    fn default() -> Self {
+        Runtime::from_env()
+    }
+}
+
+impl Runtime {
+    /// A runtime with exactly `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Runtime {
+        Runtime { threads: threads.max(1) }
+    }
+
+    /// The sequential runtime: `par_map` degenerates to a plain loop.
+    pub fn sequential() -> Runtime {
+        Runtime::new(1)
+    }
+
+    /// Thread count from `CERES_THREADS`, else available parallelism.
+    pub fn from_env() -> Runtime {
+        Runtime::with_threads(None)
+    }
+
+    /// Resolve a thread count: explicit override → `CERES_THREADS` env →
+    /// available parallelism. `Some(0)` counts as "no override".
+    pub fn with_threads(threads: Option<usize>) -> Runtime {
+        let resolved =
+            threads.filter(|&t| t > 0).or_else(env_threads).unwrap_or_else(available_threads);
+        Runtime::new(resolved)
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Map `f` over `items` on up to `threads` workers; results come back
+    /// in item order (see the crate-level determinism contract).
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_chunked(items, 1, f)
+    }
+
+    /// [`Runtime::par_map`] with workers claiming `chunk` consecutive items
+    /// at a time — fewer atomic operations for many small items. Output is
+    /// identical to `par_map` for every `chunk` value.
+    pub fn par_map_chunked<T, R, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let n = items.len();
+        let chunk = chunk.max(1);
+        // No more workers than there are chunks to claim.
+        let threads = self.threads.min(n.div_ceil(chunk));
+        if threads <= 1 {
+            // The byte-identical sequential fallback: same calls, same order.
+            return items.iter().map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        // Lowest-indexed panic payload wins; only touched on the panic path.
+        let panicked: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
+        let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
+
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        while !stop.load(Ordering::Relaxed) {
+                            let start = next.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + chunk).min(n);
+                            for (i, item) in items[start..end].iter().enumerate() {
+                                let i = start + i;
+                                match panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+                                    Ok(r) => local.push((i, r)),
+                                    Err(payload) => {
+                                        stop.store(true, Ordering::Relaxed);
+                                        let mut slot = panicked.lock().unwrap();
+                                        match &*slot {
+                                            Some((j, _)) if *j <= i => {}
+                                            _ => *slot = Some((i, payload)),
+                                        }
+                                        return local;
+                                    }
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                // Worker closures never unwind (panics are caught above);
+                // a join error would be a runtime bug, not a user panic.
+                parts.push(h.join().expect("ceres-runtime worker did not unwind"));
+            }
+        });
+
+        if let Some((_, payload)) = panicked.into_inner().unwrap() {
+            panic::resume_unwind(payload);
+        }
+
+        // Ordered merge: scatter completion-ordered parts back by index.
+        let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        for (i, r) in parts.into_iter().flatten() {
+            out[i] = Some(r);
+        }
+        out.into_iter().map(|r| r.expect("every index was claimed exactly once")).collect()
+    }
+}
+
+fn env_threads() -> Option<usize> {
+    std::env::var(THREADS_ENV).ok()?.trim().parse::<usize>().ok().filter(|&t| t > 0)
+}
+
+fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_item_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 3, 8] {
+            let rt = Runtime::new(threads);
+            assert_eq!(rt.par_map(&items, |&x| x * 3), expect, "threads={threads}");
+            for chunk in [1, 4, 1000] {
+                assert_eq!(
+                    rt.par_map_chunked(&items, chunk, |&x| x * 3),
+                    expect,
+                    "threads={threads} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential_fallback_exactly() {
+        // Non-trivial per-item output: formatting exercises byte identity.
+        let items: Vec<u64> = (0..100).map(|i| i * 7919).collect();
+        let f = |&x: &u64| format!("{:x}:{}", x.wrapping_mul(0x9E3779B97F4A7C15), x % 13);
+        let serial = Runtime::sequential().par_map(&items, f);
+        let parallel = Runtime::new(8).par_map(&items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        assert!(Runtime::new(4).par_map(&items, |&x| x).is_empty());
+        assert!(Runtime::sequential().par_map_chunked(&items, 16, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(Runtime::new(8).par_map(&[41], |&x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let items: Vec<usize> = (0..64).collect();
+        let rt = Runtime::new(4);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.par_map(&items, |&x| {
+                if x == 37 {
+                    panic!("boom at {x}");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "boom at 37");
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_when_all_items_panic() {
+        let items: Vec<usize> = (0..32).collect();
+        // threads=2 so index 0 is always claimed before stop is observed.
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            Runtime::new(2).par_map(&items, |&x| -> usize { panic!("item {x}") })
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload.downcast_ref::<String>().expect("string payload");
+        assert_eq!(msg, "item 0");
+    }
+
+    #[test]
+    fn sequential_panic_propagates_too() {
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            Runtime::sequential().par_map(&[1u8], |_| -> u8 { panic!("serial boom") })
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn thread_count_resolution_clamps_and_overrides() {
+        // Env-independent resolution only; env-reading assertions live in
+        // env_variable_sets_the_default_thread_count, the single test
+        // allowed to touch the (process-global) environment.
+        assert_eq!(Runtime::new(0).threads(), 1);
+        assert_eq!(Runtime::new(6).threads(), 6);
+        assert!(Runtime::sequential().is_sequential());
+        assert_eq!(Runtime::with_threads(Some(3)).threads(), 3);
+    }
+
+    #[test]
+    fn env_variable_sets_the_default_thread_count() {
+        // The ONLY test that reads or writes CERES_THREADS: concurrent
+        // getenv during setenv is a data race on glibc, so env access must
+        // not span test threads. The original value is restored at the end
+        // (the CI matrix pins CERES_THREADS process-wide).
+        let saved = std::env::var(THREADS_ENV).ok();
+        // Some(0) is "no override": resolution falls through to env/machine,
+        // which is always ≥ 1.
+        assert!(Runtime::with_threads(Some(0)).threads() >= 1);
+        std::env::set_var(THREADS_ENV, "3");
+        assert_eq!(Runtime::from_env().threads(), 3);
+        assert_eq!(Runtime::with_threads(None).threads(), 3);
+        // Programmatic override beats the env var.
+        assert_eq!(Runtime::with_threads(Some(2)).threads(), 2);
+        std::env::set_var(THREADS_ENV, "0");
+        assert!(Runtime::from_env().threads() >= 1);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(Runtime::from_env().threads() >= 1);
+        match saved {
+            Some(v) => std::env::set_var(THREADS_ENV, v),
+            None => std::env::remove_var(THREADS_ENV),
+        }
+    }
+
+    #[test]
+    fn borrowed_state_is_shared_not_cloned() {
+        // par_map must work with closures that only borrow (&Fn + Sync):
+        // a lookup table shared by reference across all workers.
+        let table: Vec<u64> = (0..1000).map(|i| i * i).collect();
+        let idx: Vec<usize> = (0..1000).rev().collect();
+        let out = Runtime::new(4).par_map(&idx, |&i| table[i]);
+        assert_eq!(out[0], 999 * 999);
+        assert_eq!(out[999], 0);
+    }
+}

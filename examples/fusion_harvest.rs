@@ -7,16 +7,17 @@
 //! cargo run --release --example fusion_harvest [scale]
 //! ```
 
-use ceres::eval::experiments::{parallel_map, ExpConfig};
+use ceres::eval::experiments::ExpConfig;
 use ceres::eval::harness::{run_ceres_on_site, EvalProtocol, SystemKind};
 use ceres::fusion::{fuse, link, FusionConfig, Linkage, SourcedExtraction};
 use ceres::prelude::CeresConfig;
+use ceres::runtime::Runtime;
 use ceres::synth::commoncrawl::{cc_site_specs, generate_cc_site};
 use ceres::synth::movie_world::{KbBias, MovieWorld, MovieWorldConfig};
 
 fn main() {
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
-    let e = ExpConfig { seed: 42, scale };
+    let e = ExpConfig { seed: 42, scale, threads: None };
 
     let world = MovieWorld::generate(MovieWorldConfig {
         seed: e.seed ^ 0xCC,
@@ -31,8 +32,11 @@ fn main() {
     let specs: Vec<_> = cc_site_specs().into_iter().filter(|s| chosen.contains(&s.name)).collect();
     eprintln!("harvesting {} overlapping sites at scale {scale}…", specs.len());
 
-    let cfg = CeresConfig::new(e.seed);
-    let per_site = parallel_map(&specs, |spec| {
+    // Site-level fan-out happens in the loop below; the inner pipeline
+    // stays sequential so N sites don't each spawn M more workers.
+    let cfg = CeresConfig::new(e.seed).with_threads(1);
+    let rt = Runtime::with_threads(e.threads);
+    let per_site = rt.par_map(&specs, |spec| {
         let site = generate_cc_site(&world, spec, e.seed, e.scale);
         let run =
             run_ceres_on_site(&kb, &site, EvalProtocol::WholeSite, &cfg, SystemKind::CeresFull);

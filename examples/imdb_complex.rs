@@ -13,7 +13,7 @@ use ceres::text::normalize;
 
 fn main() {
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
-    let cfg = ExpConfig { seed: 42, scale };
+    let cfg = ExpConfig { seed: 42, scale, threads: None };
     eprintln!("generating IMDb-like dataset at scale {scale}…");
     let imdb = build_imdb(&cfg);
 

@@ -6,17 +6,18 @@
 //! cargo run --release --example movie_vertical [scale]
 //! ```
 
-use ceres::eval::experiments::{parallel_map, render_table, ExpConfig};
+use ceres::eval::experiments::{render_table, ExpConfig};
 use ceres::eval::harness::{
     eval_page_ids, run_ceres_on_site, run_vertex_on_site, EvalProtocol, SystemKind,
 };
 use ceres::eval::metrics::{GoldIndex, PageHitScorer};
 use ceres::prelude::CeresConfig;
+use ceres::runtime::Runtime;
 use ceres::synth::swde::{movie_vertical, SwdeConfig};
 
 fn main() {
     let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.05);
-    let e = ExpConfig { seed: 42, scale };
+    let e = ExpConfig { seed: 42, scale, threads: None };
     eprintln!("generating the SWDE-like Movie vertical at scale {scale}…");
     let (v, _world) = movie_vertical(SwdeConfig { seed: e.seed, scale: e.scale });
     println!(
@@ -30,13 +31,16 @@ fn main() {
         v.attributes.iter().map(|(_, p)| *p).filter(|p| !p.contains("mpaa")).collect();
     let vertex_attrs: Vec<&str> = v.attributes.iter().map(|(_, p)| *p).collect();
 
-    let cfg = CeresConfig::new(e.seed);
-    let rows: Vec<Vec<String>> = parallel_map(&v.sites, |site| {
+    // Site-level fan-out happens in the loop below; the inner pipeline
+    // stays sequential so N sites don't each spawn M more workers.
+    let cfg = CeresConfig::new(e.seed).with_threads(1);
+    let rt = Runtime::with_threads(e.threads);
+    let rows: Vec<Vec<String>> = rt.par_map(&v.sites, |site| {
         let gold = GoldIndex::new(site);
         let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
         let full =
             run_ceres_on_site(&v.kb, site, EvalProtocol::SplitHalves, &cfg, SystemKind::CeresFull);
-        let vx = run_vertex_on_site(&v.kb, site, EvalProtocol::SplitHalves, 2);
+        let vx = run_vertex_on_site(&v.kb, site, EvalProtocol::SplitHalves, 2, Some(1));
         let f_full = PageHitScorer::score(&v.kb, &gold, &ids, &full.extractions, &ceres_attrs)
             .mean_f1(&ceres_attrs);
         let f_vx = PageHitScorer::score(&v.kb, &gold, &ids, &vx.extractions, &vertex_attrs)

@@ -10,6 +10,8 @@
 //! * [`kb`] — ontology, triple store, fuzzy entity matching;
 //! * [`ml`] — sparse features, softmax regression + L-BFGS, agglomerative
 //!   clustering;
+//! * [`runtime`] — the deterministic parallel executor every stage fans
+//!   out on (`CERES_THREADS`; byte-identical output at any thread count);
 //! * [`synth`] — the synthetic semi-structured web (SWDE-like, IMDb-like,
 //!   CommonCrawl-like corpora) standing in for the paper's proprietary data;
 //! * [`core`] — the CERES pipeline (Algorithms 1 & 2, training, extraction)
@@ -71,6 +73,7 @@ pub use ceres_eval as eval;
 pub use ceres_fusion as fusion;
 pub use ceres_kb as kb;
 pub use ceres_ml as ml;
+pub use ceres_runtime as runtime;
 pub use ceres_synth as synth;
 pub use ceres_text as text;
 
@@ -84,6 +87,7 @@ pub mod prelude {
     pub use ceres_dom::{parse_html, Document, XPath};
     pub use ceres_kb::{Kb, KbBuilder, Ontology, PredId, ValueId};
     pub use ceres_ml::{LogReg, TrainConfig};
+    pub use ceres_runtime::Runtime;
     pub use ceres_synth::{GoldFact, Page, PageGold, Site};
 }
 

@@ -11,7 +11,7 @@ fn vertex_with_two_manual_pages_is_near_perfect_on_nba() {
     let attrs: Vec<&str> = v.attributes.iter().map(|(_, p)| *p).collect();
     let mut f1s = Vec::new();
     for site in v.sites.iter().take(3) {
-        let run = run_vertex_on_site(&v.kb, site, EvalProtocol::SplitHalves, 2);
+        let run = run_vertex_on_site(&v.kb, site, EvalProtocol::SplitHalves, 2, None);
         let gold = GoldIndex::new(site);
         let ids = eval_page_ids(site, EvalProtocol::SplitHalves);
         let f1 = PageHitScorer::score(&v.kb, &gold, &ids, &run.extractions, &attrs).mean_f1(&attrs);
@@ -28,7 +28,7 @@ fn vertex_handles_multi_valued_lists_via_wildcards() {
     use ceres::synth::swde::movie_vertical;
     let (v, _) = movie_vertical(SwdeConfig { seed: 3, scale: 0.02 });
     let site = &v.sites[0];
-    let run = run_vertex_on_site(&v.kb, site, EvalProtocol::SplitHalves, 2);
+    let run = run_vertex_on_site(&v.kb, site, EvalProtocol::SplitHalves, 2, None);
     let cast_pred = v.kb.ontology().pred_by_name(ceres::synth::schema::movie::HAS_CAST_MEMBER);
     let cast_extractions = run
         .extractions
