@@ -6,8 +6,15 @@
 //! accumulates perf data over time.
 //!
 //! ```text
-//! bench_pipeline [--scale S] [--seed N] [--out PATH]   (default out: BENCH_pipeline.json)
+//! bench_pipeline [--scale S] [--seed N] [--out PATH] [--baseline PATH]
+//!                                                  (default out: BENCH_pipeline.json)
 //! ```
+//!
+//! `--baseline` points at a previous run's JSON (e.g. the committed
+//! `BENCH_pipeline.json` from the last PR); its single-thread wall times
+//! are embedded in the output as `baseline_*` fields together with the
+//! before→after ratio, so the perf trajectory is recorded in the artifact
+//! itself.
 
 use ceres_core::page::PageView;
 use ceres_core::pipeline::{run_site_views, AnnotationMode, SiteRun};
@@ -38,11 +45,31 @@ fn assert_same_run(a: &SiteRun, b: &SiteRun) {
     assert_eq!(a.extractions, b.extractions, "serial and parallel extractions diverged");
 }
 
+/// Pull `"key": <number>` (possibly nested as `"t1": …` after `key`) out of
+/// our own JSON format — two fixed shapes, no general parser needed.
+fn json_number_after(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(key)? + key.len();
+    let rest = &json[at..];
+    let start = rest.find(|c: char| c.is_ascii_digit() || c == '-')?;
+    let rest = &rest[start..];
+    let end = rest.find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))?;
+    rest[..end].parse().ok()
+}
+
+/// `(run_site t1, run_site_views t1)` from a previous run's JSON.
+fn baseline_t1(path: &str) -> Option<(f64, f64)> {
+    let json = std::fs::read_to_string(path).ok()?;
+    let site = json_number_after(&json, "\"run_site_ms\": {\"t1\":")?;
+    let views = json_number_after(&json, "\"run_site_views_ms\": {\"t1\":")?;
+    Some((site, views))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = 0.02f64;
     let mut seed = 42u64;
     let mut out_path = "BENCH_pipeline.json".to_string();
+    let mut baseline_path: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -58,8 +85,15 @@ fn main() {
                 i += 1;
                 out_path = args.get(i).cloned().unwrap_or(out_path);
             }
+            "--baseline" => {
+                i += 1;
+                baseline_path = args.get(i).cloned();
+            }
             other => {
-                eprintln!("unknown arg {other}; usage: bench_pipeline [--scale S] [--seed N] [--out PATH]");
+                eprintln!(
+                    "unknown arg {other}; usage: \
+                     bench_pipeline [--scale S] [--seed N] [--out PATH] [--baseline PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -106,12 +140,37 @@ fn main() {
          \"site\": \"{}\",\n  \"pages\": {},\n  \"threads_parallel\": {parallel_threads},\n  \
          \"run_site_ms\": {{\"t1\": {site_t1:.2}, \"tN\": {site_tn:.2}}},\n  \
          \"run_site_views_ms\": {{\"t1\": {views_t1:.2}, \"tN\": {views_tn:.2}}},\n  \
-         \"speedup_run_site\": {:.3},\n  \"speedup_run_site_views\": {:.3}\n}}\n",
+         \"speedup_run_site\": {:.3},\n  \"speedup_run_site_views\": {:.3}",
         site.name,
         site.pages.len(),
         site_t1 / site_tn,
         views_t1 / views_tn,
     );
+    // Before→after trajectory against a previous run (the committed
+    // record): < 1.0 means this build's single-thread path is faster.
+    if let Some(path) = baseline_path.as_deref() {
+        match baseline_t1(path) {
+            Some((base_site, base_views)) => {
+                let _ = write!(
+                    json,
+                    ",\n  \"baseline_run_site_t1_ms\": {base_site:.2},\n  \
+                     \"baseline_run_site_views_t1_ms\": {base_views:.2},\n  \
+                     \"t1_vs_baseline_run_site\": {:.3},\n  \
+                     \"t1_vs_baseline_run_site_views\": {:.3}",
+                    site_t1 / base_site,
+                    views_t1 / base_views,
+                );
+            }
+            // Loud, not fatal: the record must never silently stop
+            // accumulating, but a missing baseline (first run on a fresh
+            // clone) shouldn't fail the bench either.
+            None => eprintln!(
+                "# WARNING: --baseline {path} missing or unparsable; \
+                 baseline_* fields omitted from {out_path}"
+            ),
+        }
+    }
+    json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write bench JSON");
     println!("{json}");
     eprintln!("# wrote {out_path}");

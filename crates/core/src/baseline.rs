@@ -12,7 +12,7 @@
 
 use crate::config::CeresConfig;
 use crate::extract::{ExtractLabel, Extraction};
-use crate::features::FeatureSpace;
+use crate::features::{FeatureScratch, FeatureSpace};
 use crate::page::PageView;
 use crate::pipeline::{SiteRun, SiteRunStats};
 use ceres_kb::{Kb, PredId};
@@ -50,9 +50,9 @@ pub fn run_baseline(
     // main pipeline: ordered merge, byte-identical at any thread count).
     let rt = Runtime::with_threads(cfg.threads);
     let ann_views: Vec<PageView> =
-        rt.par_map_chunked(annotation_pages, 4, |(id, html)| PageView::build(id, html, kb));
-    let ext_views: Option<Vec<PageView>> = extraction_pages
-        .map(|pages| rt.par_map_chunked(pages, 4, |(id, html)| PageView::build(id, html, kb)));
+        rt.par_map(annotation_pages, |(id, html)| PageView::build(id, html, kb));
+    let ext_views: Option<Vec<PageView>> =
+        extraction_pages.map(|pages| rt.par_map(pages, |(id, html)| PageView::build(id, html, kb)));
 
     let mut run = SiteRun {
         stats: SiteRunStats {
@@ -129,16 +129,27 @@ pub fn run_baseline(
     preds.dedup();
     let class_of = |p: PredId| (preds.binary_search(&p).unwrap() + 1) as u32;
 
+    let mut scratch = FeatureScratch::new();
     let mut rows: Vec<(SparseVec, u32)> = Vec::with_capacity(positives.len() * 4);
     for &(pi, fi, fj, pred) in &positives {
         let page = ann_refs[pi];
-        let x = space.pair_features(page, page.fields[fi].node, page.fields[fj].node);
+        let x = space.pair_features_with(
+            page,
+            page.fields[fi].node,
+            page.fields[fj].node,
+            &mut scratch,
+        );
         rows.push((x, class_of(pred)));
     }
     negatives_pool.shuffle(&mut rng);
     for &(pi, fi, fj) in negatives_pool.iter().take(cfg.negative_ratio * positives.len()) {
         let page = ann_refs[pi];
-        let x = space.pair_features(page, page.fields[fi].node, page.fields[fj].node);
+        let x = space.pair_features_with(
+            page,
+            page.fields[fi].node,
+            page.fields[fj].node,
+            &mut scratch,
+        );
         rows.push((x, 0));
     }
     let mut data = Dataset::new(preds.len() + 1, space.dict.len());
@@ -177,8 +188,12 @@ pub fn run_baseline(
                 if fi == fj {
                     continue;
                 }
-                let x =
-                    space.pair_features_frozen(page, page.fields[fi].node, page.fields[fj].node);
+                let x = space.pair_features_frozen_with(
+                    page,
+                    page.fields[fi].node,
+                    page.fields[fj].node,
+                    &mut scratch,
+                );
                 let (class, p) = model.predict(&x);
                 if class == 0 || p < cfg.extract.threshold {
                     continue;

@@ -8,10 +8,11 @@
 //! indices"), because such nodes are probably unannotated true values.
 
 use crate::annotate::PageAnnotation;
-use crate::features::FeatureSpace;
+use crate::features::{FeatureSpace, NameArena, NameBuf};
 use crate::page::PageView;
 use ceres_kb::PredId;
-use ceres_ml::Dataset;
+use ceres_ml::{Dataset, SparseVec};
+use ceres_runtime::Runtime;
 use ceres_text::{FxHashMap, FxHashSet};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -75,6 +76,42 @@ pub fn build_training(
 /// [`build_training`] with the list-index exclusion switchable (ablation).
 #[allow(clippy::too_many_arguments)]
 pub fn build_training_opts(
+    pages: &[&PageView],
+    annotations: &[PageAnnotation],
+    space: &mut FeatureSpace,
+    class_map: &ClassMap,
+    negative_ratio: usize,
+    seed: u64,
+    list_exclusion: bool,
+) -> Dataset {
+    build_training_on(
+        &Runtime::sequential(),
+        pages,
+        annotations,
+        space,
+        class_map,
+        negative_ratio,
+        seed,
+        list_exclusion,
+    )
+}
+
+/// How many training rows one name-collection task covers. Coarse enough
+/// that a task's arena amortizes its buffers, fine enough to fan out.
+const NAME_ROWS_PER_TASK: usize = 32;
+
+/// [`build_training_opts`] with the feature pass split over `rt`.
+///
+/// The dictionary is the training hot loop's `&mut` bottleneck: interning
+/// serializes every example. The split runs **name collection** — all the
+/// DOM walking and string assembly, which only needs `&FeatureSpace` — as
+/// a parallel pass producing packed [`NameArena`]s, then replays the rows
+/// **sequentially in row order** against the dictionary. Interning order is
+/// exactly what the fused loop produced, so feature ids, vectors, and the
+/// resulting dataset are byte-identical at every thread count.
+#[allow(clippy::too_many_arguments)]
+pub fn build_training_on(
+    rt: &Runtime,
     pages: &[&PageView],
     annotations: &[PageAnnotation],
     space: &mut FeatureSpace,
@@ -148,13 +185,37 @@ pub fn build_training_opts(
         }
     }
 
-    // Feature pass.
+    // Feature pass, split in two:
+    // 1. parallel name collection (`&FeatureSpace`, one packed arena per
+    //    row chunk, no dictionary access);
+    let row_chunks: Vec<&[(usize, usize, u32)]> = rows.chunks(NAME_ROWS_PER_TASK).collect();
+    let arenas: Vec<NameArena> = rt.par_map(&row_chunks, |chunk| {
+        let mut buf = NameBuf::default();
+        let mut arena = NameArena::default();
+        let space = &*space;
+        for &(pi, fi, _) in *chunk {
+            space.emit_names(pages[pi], pages[pi].fields[fi].node, &mut buf, &mut arena);
+            arena.end_row();
+        }
+        arena
+    });
+    // 2. sequential interning, replaying rows in order — the dictionary
+    //    grows exactly as the fused loop grew it.
     let mut examples = Vec::with_capacity(rows.len());
     let mut labels = Vec::with_capacity(rows.len());
-    for (pi, fi, class) in rows {
-        let x = space.features(pages[pi], pages[pi].fields[fi].node);
-        examples.push(x);
-        labels.push(class);
+    let mut idx: Vec<u32> = Vec::with_capacity(64);
+    let mut row_iter = rows.iter();
+    for arena in &arenas {
+        for r in 0..arena.n_rows() {
+            let &(_, _, class) = row_iter.next().expect("one row per arena entry");
+            for name in arena.row(r) {
+                if let Some(id) = space.dict.intern(name) {
+                    idx.push(id);
+                }
+            }
+            examples.push(SparseVec::from_indices_buf(&mut idx));
+            labels.push(class);
+        }
     }
     let mut data = Dataset::new(class_map.n_classes(), space.dict.len());
     for (x, y) in examples.into_iter().zip(labels) {
@@ -264,6 +325,29 @@ mod tests {
         let n_pos = data.labels.iter().filter(|&&y| y != CLASS_OTHER).count();
         let n_neg = data.labels.iter().filter(|&&y| y == CLASS_OTHER).count();
         assert!(n_neg <= 2 * n_pos);
+    }
+
+    #[test]
+    fn parallel_name_collection_is_thread_count_invariant() {
+        // The split (parallel collect + sequential intern) must produce a
+        // byte-identical dataset — including dictionary ids — at any
+        // thread count, against the sequential entry point.
+        let (_, page, pred, topic) = kb_and_page();
+        let ann = annotation(&page, pred, topic);
+        let cm = ClassMap::from_annotations(std::slice::from_ref(&ann));
+        let pages = vec![&page];
+        let mut s_ref = FeatureSpace::new(&pages, FeatureConfig::default());
+        let d_ref = build_training(&pages, std::slice::from_ref(&ann), &mut s_ref, &cm, 3, 9);
+        for threads in [1, 2, 8] {
+            let rt = Runtime::new(threads);
+            let mut s = FeatureSpace::new(&pages, FeatureConfig::default());
+            let d =
+                build_training_on(&rt, &pages, std::slice::from_ref(&ann), &mut s, &cm, 3, 9, true);
+            assert_eq!(d.labels, d_ref.labels, "threads={threads}");
+            assert_eq!(d.examples, d_ref.examples, "threads={threads}");
+            assert_eq!(d.n_features, d_ref.n_features, "threads={threads}");
+            assert_eq!(s.dict.len(), s_ref.dict.len(), "threads={threads}");
+        }
     }
 
     #[test]

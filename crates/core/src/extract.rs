@@ -5,7 +5,7 @@
 
 use crate::config::ExtractConfig;
 use crate::examples::{ClassMap, CLASS_NAME, CLASS_OTHER};
-use crate::features::FeatureSpace;
+use crate::features::{FeatureScratch, FeatureSpace};
 use crate::page::PageView;
 use ceres_kb::PredId;
 use ceres_ml::LogReg;
@@ -45,10 +45,13 @@ pub fn extract_page(
     if page.fields.is_empty() {
         return out;
     }
+    // One scratch for the whole page: every field's vectorization reuses
+    // the same name/index buffers (zero transient allocations per node).
+    let mut scratch = FeatureScratch::new();
     let probs: Vec<Vec<f64>> = page
         .fields
         .iter()
-        .map(|f| model.predict_proba(&space.features_frozen(page, f.node)))
+        .map(|f| model.predict_proba(&space.features_frozen_with(page, f.node, &mut scratch)))
         .collect();
 
     // Name node: the field with the highest NAME probability.
@@ -121,7 +124,7 @@ pub fn extract_pages_on(
     cfg: &ExtractConfig,
 ) -> Vec<Extraction> {
     debug_assert!(space.is_frozen(), "freeze the feature space before extraction");
-    rt.par_map_chunked(pages, 4, |page| extract_page(page, model, space, class_map, cfg))
+    rt.par_map(pages, |page| extract_page(page, model, space, class_map, cfg))
         .into_iter()
         .flatten()
         .collect()

@@ -10,6 +10,26 @@
 //! "Žánr:") found near the node produce features of (string, tree-path to
 //! the string's node).
 //!
+//! ## Feature sinks
+//!
+//! Vectorizing a node used to materialize a `Vec<String>` of feature names
+//! (one heap string per feature per node, re-`format!`ed with a role prefix
+//! for pairs). The hot paths now **stream** names instead: every name is
+//! assembled in a reusable [`NameBuf`] and handed to a [`FeatureSink`] as a
+//! `&str` that is valid only for the duration of the call. The sinks are:
+//!
+//! * an *interning* sink (training: `&mut FeatureDict`),
+//! * a *lookup* sink (frozen extraction: `&FeatureDict`),
+//! * a [`NameArena`] (the parallel name-collection pass of
+//!   `build_training_on`, which packs names end-to-end for the sequential
+//!   interning pass),
+//! * a plain `Vec<String>` collector ([`FeatureSpace::collect_names`]),
+//!   kept as the reference path the equivalence suite pins the sinks to.
+//!
+//! Together with the reusable index buffer in [`FeatureScratch`], per-node
+//! vectorization performs no transient allocations: the only allocation is
+//! the exact-size output `SparseVec`.
+//!
 //! Ground-truth hygiene: all `data-*` attributes — in particular the
 //! generator's `data-gt` — are excluded from features (unit-tested below).
 
@@ -17,11 +37,147 @@ use crate::config::FeatureConfig;
 use crate::page::PageView;
 use ceres_dom::NodeId;
 use ceres_ml::{FeatureDict, SparseVec};
-use ceres_text::FxHashMap;
+use ceres_text::{FxHashMap, FxHashSet};
 use std::fmt::Write as _;
 
 /// Attributes used for structural features (paper list).
 const FEATURE_ATTRS: &[&str] = &["class", "id", "itemprop", "itemtype", "property"];
+
+/// Receives streamed feature names. The `&str` lives in the caller's
+/// [`NameBuf`] and is only valid for the duration of the call — sinks that
+/// keep names (arena, collector) must copy the bytes out.
+pub trait FeatureSink {
+    fn accept(&mut self, name: &str);
+}
+
+/// Reusable assembly state for streaming feature names: the name buffer
+/// (with an optional role prefix for pair features) plus the node-chain
+/// and sibling-window scratch vectors the structural emitter needs.
+#[derive(Debug, Default)]
+pub struct NameBuf {
+    s: String,
+    prefix: usize,
+    chain: Vec<NodeId>,
+    sibs: Vec<(isize, NodeId)>,
+}
+
+impl NameBuf {
+    /// Prefix subsequent names with `p` (pair features: `"S|"` / `"O|"`).
+    fn set_prefix(&mut self, p: &str) {
+        self.s.clear();
+        self.s.push_str(p);
+        self.prefix = self.s.len();
+    }
+
+    fn clear_prefix(&mut self) {
+        self.s.clear();
+        self.prefix = 0;
+    }
+
+    /// Start assembling a fresh name: truncate back to the role prefix.
+    #[inline]
+    fn begin(&mut self) -> &mut String {
+        self.s.truncate(self.prefix);
+        &mut self.s
+    }
+
+    #[inline]
+    fn as_str(&self) -> &str {
+        &self.s
+    }
+}
+
+/// Reusable buffers for allocation-free vectorization: the [`NameBuf`]
+/// plus the feature-index buffer the dict sinks collect into. One scratch
+/// per worker/loop; `Default::default()` is a valid fresh scratch.
+#[derive(Debug, Default)]
+pub struct FeatureScratch {
+    buf: NameBuf,
+    idx: Vec<u32>,
+}
+
+impl FeatureScratch {
+    pub fn new() -> FeatureScratch {
+        FeatureScratch::default()
+    }
+}
+
+/// Feature names packed end-to-end — one backing `String`, name ends, and
+/// row boundaries. The parallel name-collection pass of training fills one
+/// arena per row chunk through `&FeatureSpace`; the sequential interning
+/// pass replays rows in order against the `&mut` dictionary. Two small
+/// buffers per *chunk* replace one `String` per *feature*.
+#[derive(Debug, Default)]
+pub struct NameArena {
+    text: String,
+    ends: Vec<u32>,
+    rows: Vec<u32>,
+}
+
+impl NameArena {
+    /// Close the current row (a row = one training example's names).
+    pub fn end_row(&mut self) {
+        self.rows.push(self.ends.len() as u32);
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Names of row `r`, in emission order.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = &str> + '_ {
+        let lo = if r == 0 { 0 } else { self.rows[r - 1] as usize };
+        let hi = self.rows[r] as usize;
+        (lo..hi).map(move |k| {
+            let start = if k == 0 { 0 } else { self.ends[k - 1] as usize };
+            &self.text[start..self.ends[k] as usize]
+        })
+    }
+}
+
+impl FeatureSink for NameArena {
+    fn accept(&mut self, name: &str) {
+        self.text.push_str(name);
+        self.ends.push(self.text.len() as u32);
+    }
+}
+
+/// Training sink: intern through the mutable dictionary.
+struct DictSink<'a> {
+    dict: &'a mut FeatureDict,
+    idx: &'a mut Vec<u32>,
+}
+
+impl FeatureSink for DictSink<'_> {
+    fn accept(&mut self, name: &str) {
+        if let Some(i) = self.dict.intern(name) {
+            self.idx.push(i);
+        }
+    }
+}
+
+/// Extraction sink: lookup-only against a frozen dictionary.
+struct FrozenSink<'a> {
+    dict: &'a FeatureDict,
+    idx: &'a mut Vec<u32>,
+}
+
+impl FeatureSink for FrozenSink<'_> {
+    fn accept(&mut self, name: &str) {
+        if let Some(i) = self.dict.get(name) {
+            self.idx.push(i);
+        }
+    }
+}
+
+/// Reference sink: copy every name out (the old `Vec<String>` path).
+struct CollectSink(Vec<String>);
+
+impl FeatureSink for CollectSink {
+    fn accept(&mut self, name: &str) {
+        self.0.push(name.to_string());
+    }
+}
 
 /// Site-level feature state: the dictionary and the frequent-string
 /// lexicon, built during training and frozen for extraction.
@@ -30,6 +186,8 @@ pub struct FeatureSpace {
     pub dict: FeatureDict,
     /// Normalized frequent strings (labels etc.).
     pub frequent: Vec<String>,
+    /// Set view of `frequent` for the per-field membership test.
+    frequent_set: FxHashSet<String>,
     pub cfg: FeatureConfig,
 }
 
@@ -57,11 +215,9 @@ impl FeatureSpace {
             .collect();
         frequent.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         frequent.truncate(cfg.max_frequent_strings);
-        FeatureSpace {
-            dict: FeatureDict::new(),
-            frequent: frequent.into_iter().map(|(s, _)| s).collect(),
-            cfg,
-        }
+        let frequent: Vec<String> = frequent.into_iter().map(|(s, _)| s).collect();
+        let frequent_set = frequent.iter().cloned().collect();
+        FeatureSpace { dict: FeatureDict::new(), frequent, frequent_set, cfg }
     }
 
     /// Freeze the dictionary: extraction-time features not seen in training
@@ -77,22 +233,77 @@ impl FeatureSpace {
         self.dict.is_frozen()
     }
 
+    /// Stream the feature names of `node` into `sink` (no dictionary
+    /// involved — `&self`). This is the single emitter every vectorization
+    /// path shares; name bytes and order are identical for all sinks.
+    pub fn emit_names(
+        &self,
+        page: &PageView,
+        node: NodeId,
+        buf: &mut NameBuf,
+        sink: &mut dyn FeatureSink,
+    ) {
+        emit_names(&self.frequent_set, &self.cfg, page, node, buf, sink);
+    }
+
+    /// Pair twin of [`FeatureSpace::emit_names`]: subject's names under
+    /// `S|`, then object's under `O|` (§5.2 concatenation).
+    pub fn emit_pair_names(
+        &self,
+        page: &PageView,
+        subject_node: NodeId,
+        object_node: NodeId,
+        buf: &mut NameBuf,
+        sink: &mut dyn FeatureSink,
+    ) {
+        for (prefix, node) in [("S|", subject_node), ("O|", object_node)] {
+            buf.set_prefix(prefix);
+            emit_names(&self.frequent_set, &self.cfg, page, node, buf, sink);
+        }
+        buf.clear_prefix();
+    }
+
     /// Compute the feature vector of one node, interning new feature names
-    /// (the training path; requires an unfrozen space).
+    /// (the training path; requires an unfrozen space). Allocates a fresh
+    /// scratch — hot loops use [`FeatureSpace::features_with`].
     pub fn features(&mut self, page: &PageView, node: NodeId) -> SparseVec {
-        let names = self.collect_names(page, node);
-        let idx: Vec<u32> = names.iter().filter_map(|n| self.dict.intern(n)).collect();
-        SparseVec::from_indices(idx)
+        self.features_with(page, node, &mut FeatureScratch::new())
+    }
+
+    /// [`FeatureSpace::features`] through caller-owned reusable buffers.
+    pub fn features_with(
+        &mut self,
+        page: &PageView,
+        node: NodeId,
+        scratch: &mut FeatureScratch,
+    ) -> SparseVec {
+        let FeatureScratch { buf, idx } = scratch;
+        let mut sink = DictSink { dict: &mut self.dict, idx };
+        emit_names(&self.frequent_set, &self.cfg, page, node, buf, &mut sink);
+        SparseVec::from_indices_buf(idx)
     }
 
     /// Lookup-only twin of [`FeatureSpace::features`] for a frozen space.
     /// On a frozen dictionary `intern` and `get` coincide, so the returned
     /// vector is identical to what `features` would produce.
     pub fn features_frozen(&self, page: &PageView, node: NodeId) -> SparseVec {
+        self.features_frozen_with(page, node, &mut FeatureScratch::new())
+    }
+
+    /// [`FeatureSpace::features_frozen`] through caller-owned buffers —
+    /// the per-(cluster, page) extract tasks keep one scratch alive across
+    /// every field they classify.
+    pub fn features_frozen_with(
+        &self,
+        page: &PageView,
+        node: NodeId,
+        scratch: &mut FeatureScratch,
+    ) -> SparseVec {
         debug_assert!(self.dict.is_frozen(), "freeze the feature space before extraction");
-        let names = self.collect_names(page, node);
-        let idx: Vec<u32> = names.iter().filter_map(|n| self.dict.get(n)).collect();
-        SparseVec::from_indices(idx)
+        let FeatureScratch { buf, idx } = scratch;
+        let mut sink = FrozenSink { dict: &self.dict, idx };
+        emit_names(&self.frequent_set, &self.cfg, page, node, buf, &mut sink);
+        SparseVec::from_indices_buf(idx)
     }
 
     /// Feature vector for a *pair* of nodes: each node's features prefixed
@@ -105,9 +316,25 @@ impl FeatureSpace {
         subject_node: NodeId,
         object_node: NodeId,
     ) -> SparseVec {
-        let names = self.collect_pair_names(page, subject_node, object_node);
-        let idx: Vec<u32> = names.iter().filter_map(|n| self.dict.intern(n)).collect();
-        SparseVec::from_indices(idx)
+        self.pair_features_with(page, subject_node, object_node, &mut FeatureScratch::new())
+    }
+
+    /// [`FeatureSpace::pair_features`] through caller-owned buffers.
+    pub fn pair_features_with(
+        &mut self,
+        page: &PageView,
+        subject_node: NodeId,
+        object_node: NodeId,
+        scratch: &mut FeatureScratch,
+    ) -> SparseVec {
+        let FeatureScratch { buf, idx } = scratch;
+        let mut sink = DictSink { dict: &mut self.dict, idx };
+        for (prefix, node) in [("S|", subject_node), ("O|", object_node)] {
+            buf.set_prefix(prefix);
+            emit_names(&self.frequent_set, &self.cfg, page, node, buf, &mut sink);
+        }
+        buf.clear_prefix();
+        SparseVec::from_indices_buf(idx)
     }
 
     /// Lookup-only twin of [`FeatureSpace::pair_features`] for a frozen
@@ -118,94 +345,157 @@ impl FeatureSpace {
         subject_node: NodeId,
         object_node: NodeId,
     ) -> SparseVec {
+        self.pair_features_frozen_with(page, subject_node, object_node, &mut FeatureScratch::new())
+    }
+
+    /// [`FeatureSpace::pair_features_frozen`] through caller-owned buffers.
+    pub fn pair_features_frozen_with(
+        &self,
+        page: &PageView,
+        subject_node: NodeId,
+        object_node: NodeId,
+        scratch: &mut FeatureScratch,
+    ) -> SparseVec {
         debug_assert!(self.dict.is_frozen(), "freeze the feature space before extraction");
-        let names = self.collect_pair_names(page, subject_node, object_node);
-        let idx: Vec<u32> = names.iter().filter_map(|n| self.dict.get(n)).collect();
-        SparseVec::from_indices(idx)
+        let FeatureScratch { buf, idx } = scratch;
+        let mut sink = FrozenSink { dict: &self.dict, idx };
+        for (prefix, node) in [("S|", subject_node), ("O|", object_node)] {
+            buf.set_prefix(prefix);
+            emit_names(&self.frequent_set, &self.cfg, page, node, buf, &mut sink);
+        }
+        buf.clear_prefix();
+        SparseVec::from_indices_buf(idx)
     }
 
-    fn collect_names(&self, page: &PageView, node: NodeId) -> Vec<String> {
-        let mut names: Vec<String> = Vec::with_capacity(64);
-        if self.cfg.enable_structural {
-            self.structural_features(page, node, &mut names);
-        }
-        if self.cfg.enable_text {
-            self.text_features(page, node, &mut names);
-        }
-        names
+    /// The reference `Vec<String>` path: every feature name of `node`,
+    /// owned, in emission order. The equivalence suite pins the streaming
+    /// sinks to this output; hot paths never call it.
+    pub fn collect_names(&self, page: &PageView, node: NodeId) -> Vec<String> {
+        let mut sink = CollectSink(Vec::with_capacity(64));
+        self.emit_names(page, node, &mut NameBuf::default(), &mut sink);
+        sink.0
     }
 
-    fn collect_pair_names(
+    /// Reference pair path (role-prefixed concatenation), owned.
+    pub fn collect_pair_names(
         &self,
         page: &PageView,
         subject_node: NodeId,
         object_node: NodeId,
     ) -> Vec<String> {
-        let mut names: Vec<String> = Vec::with_capacity(128);
-        for (prefix, node) in [("S|", subject_node), ("O|", object_node)] {
-            let tmp = self.collect_names(page, node);
-            names.extend(tmp.iter().map(|n| format!("{prefix}{n}")));
-        }
-        names
+        let mut sink = CollectSink(Vec::with_capacity(128));
+        self.emit_pair_names(page, subject_node, object_node, &mut NameBuf::default(), &mut sink);
+        sink.0
     }
+}
 
-    fn structural_features(&self, page: &PageView, node: NodeId, out: &mut Vec<String>) {
-        let doc = &page.doc;
-        // Chain: the node itself (level 0) and its ancestors.
-        let mut chain: Vec<NodeId> = vec![node];
-        chain.extend(doc.ancestors(node).take(self.cfg.max_ancestor_levels));
-        for (level, &n) in chain.iter().enumerate() {
-            if !doc.node(n).is_element() || n == doc.root() {
-                continue;
-            }
-            emit_node_features(page, n, level, 0, out);
-            // Sibling number of the chain node itself (4th tuple slot).
-            let sib = doc.element_sibling_number(n).min(9);
-            out.push(format!("s:sib={sib}@l{level}"));
-            // Siblings of ancestors (not of the leaf node itself — the
-            // paper examines "ancestors of the node, and siblings of those
-            // ancestors").
-            if level >= 1 {
-                for (off, sib_node) in doc.sibling_window(n, self.cfg.sibling_width) {
-                    emit_node_features(page, sib_node, level, off, out);
-                }
+/// The one true emitter: structural then text features, every name
+/// assembled in `buf` and streamed to `sink`.
+fn emit_names(
+    frequent_set: &FxHashSet<String>,
+    cfg: &FeatureConfig,
+    page: &PageView,
+    node: NodeId,
+    buf: &mut NameBuf,
+    sink: &mut dyn FeatureSink,
+) {
+    if cfg.enable_structural {
+        structural_features(cfg, page, node, buf, sink);
+    }
+    if cfg.enable_text {
+        text_features(frequent_set, cfg, page, node, buf, sink);
+    }
+}
+
+fn structural_features(
+    cfg: &FeatureConfig,
+    page: &PageView,
+    node: NodeId,
+    buf: &mut NameBuf,
+    sink: &mut dyn FeatureSink,
+) {
+    let doc = &page.doc;
+    // Chain: the node itself (level 0) and its ancestors. The chain and
+    // sibling-window vectors are borrowed out of the scratch for the loop
+    // (they cannot be used while `buf` assembles names).
+    let mut chain = std::mem::take(&mut buf.chain);
+    let mut sibs = std::mem::take(&mut buf.sibs);
+    chain.clear();
+    chain.push(node);
+    chain.extend(doc.ancestors(node).take(cfg.max_ancestor_levels));
+    for (level, &n) in chain.iter().enumerate() {
+        if !doc.node(n).is_element() || n == doc.root() {
+            continue;
+        }
+        emit_node_features(page, n, level, 0, buf, sink);
+        // Sibling number of the chain node itself (4th tuple slot).
+        let sib = doc.element_sibling_number(n).min(9);
+        let b = buf.begin();
+        let _ = write!(b, "s:sib={sib}@l{level}");
+        sink.accept(buf.as_str());
+        // Siblings of ancestors (not of the leaf node itself — the
+        // paper examines "ancestors of the node, and siblings of those
+        // ancestors").
+        if level >= 1 {
+            doc.sibling_window_into(n, cfg.sibling_width, &mut sibs);
+            for &(off, sib_node) in &sibs {
+                emit_node_features(page, sib_node, level, off, buf, sink);
             }
         }
     }
+    buf.chain = chain;
+    buf.sibs = sibs;
+}
 
-    fn text_features(&self, page: &PageView, node: NodeId, out: &mut Vec<String>) {
-        if self.frequent.is_empty() {
-            return;
+fn text_features(
+    frequent_set: &FxHashSet<String>,
+    cfg: &FeatureConfig,
+    page: &PageView,
+    node: NodeId,
+    buf: &mut NameBuf,
+    sink: &mut dyn FeatureSink,
+) {
+    if frequent_set.is_empty() {
+        return;
+    }
+    let doc = &page.doc;
+    // The ancestor subtree scanned for nearby frequent strings.
+    let scope = doc.ancestors(node).take(cfg.text_feature_levels).last().unwrap_or(node);
+    let mut scanned = 0usize;
+    for f in &page.fields {
+        if f.node == node {
+            continue;
         }
-        let doc = &page.doc;
-        // The ancestor subtree scanned for nearby frequent strings.
-        let scope = doc.ancestors(node).take(self.cfg.text_feature_levels).last().unwrap_or(node);
-        let mut scanned = 0usize;
-        for f in &page.fields {
-            if f.node == node {
-                continue;
-            }
-            if !(f.node == scope || doc.is_ancestor(scope, f.node)) {
-                continue;
-            }
-            if scanned >= self.cfg.max_nearby_fields {
-                break;
-            }
-            scanned += 1;
-            if self.frequent.iter().any(|s| s == &f.norm) {
-                let rel = doc.relative_path(node, f.node);
-                let mut name = String::with_capacity(8 + f.norm.len() + rel.len());
-                let _ = write!(name, "t:{}@{}", &f.norm[..f.norm.len().min(30)], rel);
-                out.push(name);
-            }
+        // O(1) Euler-interval test, ≡ `f.node == scope || is_ancestor(…)`.
+        if !page.in_subtree(scope, f.node) {
+            continue;
+        }
+        if scanned >= cfg.max_nearby_fields {
+            break;
+        }
+        scanned += 1;
+        if frequent_set.contains(&f.norm) {
+            let b = buf.begin();
+            let _ = write!(b, "t:{}@", &f.norm[..f.norm.len().min(30)]);
+            doc.relative_path_into(node, f.node, b);
+            sink.accept(buf.as_str());
         }
     }
 }
 
-fn emit_node_features(page: &PageView, n: NodeId, level: usize, off: isize, out: &mut Vec<String>) {
+fn emit_node_features(
+    page: &PageView,
+    n: NodeId,
+    level: usize,
+    off: isize,
+    buf: &mut NameBuf,
+    sink: &mut dyn FeatureSink,
+) {
     let doc = &page.doc;
     let Some(tag) = doc.node(n).tag() else { return };
-    out.push(format!("s:tag={tag}@l{level}o{off}"));
+    let b = buf.begin();
+    let _ = write!(b, "s:tag={tag}@l{level}o{off}");
+    sink.accept(buf.as_str());
     for (k, v) in doc.node(n).attrs() {
         // Never leak generator ground truth (or any data-* payload) into
         // the model.
@@ -213,7 +503,9 @@ fn emit_node_features(page: &PageView, n: NodeId, level: usize, off: isize, out:
             continue;
         }
         if FEATURE_ATTRS.contains(&k.as_str()) {
-            out.push(format!("s:{k}={v}@l{level}o{off}"));
+            let b = buf.begin();
+            let _ = write!(b, "s:{k}={v}@l{level}o{off}");
+            sink.accept(buf.as_str());
         }
     }
 }
@@ -326,6 +618,74 @@ mod tests {
         let p = space.pair_features_frozen(&pv, pv.fields[0].node, pv.fields[1].node);
         let q = space.pair_features(&pv, pv.fields[0].node, pv.fields[1].node);
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn sinks_match_the_reference_vec_string_path() {
+        // Interning sink vs interning collect_names output by hand, with a
+        // *reused* scratch across nodes (buffer-reuse bugs would show as
+        // name bleed between nodes).
+        let pv = page(
+            r#"<div class="info"><span class="l">Director:</span><span class="v">Someone</span></div><ul><li class=x>A</li><li>B</li></ul>"#,
+        );
+        let mut by_sink = FeatureSpace::new(&[&pv], FeatureConfig::default());
+        let mut by_ref = by_sink.clone();
+        let mut scratch = FeatureScratch::new();
+        for f in &pv.fields {
+            let a = by_sink.features_with(&pv, f.node, &mut scratch);
+            let names = by_ref.collect_names(&pv, f.node);
+            let idx: Vec<u32> = names.iter().filter_map(|n| by_ref.dict.intern(n)).collect();
+            let b = SparseVec::from_indices(idx);
+            assert_eq!(a, b, "node {:?}", f.node);
+        }
+        // The dictionaries grew identically → frozen lookups agree too.
+        by_sink.freeze();
+        by_ref.freeze();
+        for f in &pv.fields {
+            let a = by_sink.features_frozen_with(&pv, f.node, &mut scratch);
+            let names = by_ref.collect_names(&pv, f.node);
+            let idx: Vec<u32> = names.iter().filter_map(|n| by_ref.dict.get(n)).collect();
+            assert_eq!(a, SparseVec::from_indices(idx));
+        }
+    }
+
+    #[test]
+    fn pair_sinks_match_reference_and_reset_prefix() {
+        let pv = page(r#"<div class="a"><b>S</b></div><div class="b"><i>O</i></div>"#);
+        let mut space = FeatureSpace::new(&[&pv], FeatureConfig::default());
+        let s = pv.fields[0].node;
+        let o = pv.fields[1].node;
+        let mut scratch = FeatureScratch::new();
+        let v = space.pair_features_with(&pv, s, o, &mut scratch);
+        let names = space.collect_pair_names(&pv, s, o);
+        assert!(names.iter().any(|n| n.starts_with("S|")));
+        assert!(names.iter().any(|n| n.starts_with("O|")));
+        let idx: Vec<u32> = names.iter().filter_map(|n| space.dict.get(n)).collect();
+        assert_eq!(v, SparseVec::from_indices(idx));
+        // After a pair call, the same scratch must produce unprefixed
+        // single-node names (prefix fully cleared).
+        let single = space.features_with(&pv, s, &mut scratch);
+        let single_names: Vec<String> =
+            single.iter().map(|(i, _)| space.dict.name(i).to_string()).collect();
+        assert!(single_names.iter().all(|n| !n.starts_with("S|") && !n.starts_with("O|")));
+    }
+
+    #[test]
+    fn name_arena_round_trips_rows() {
+        let pv = page(r#"<div class="q"><span>A</span><span>B</span></div>"#);
+        let space = FeatureSpace::new(&[&pv], FeatureConfig::default());
+        let mut arena = NameArena::default();
+        let mut buf = NameBuf::default();
+        for f in &pv.fields {
+            space.emit_names(&pv, f.node, &mut buf, &mut arena);
+            arena.end_row();
+        }
+        assert_eq!(arena.n_rows(), pv.fields.len());
+        for (r, f) in pv.fields.iter().enumerate() {
+            let from_arena: Vec<&str> = arena.row(r).collect();
+            let reference = space.collect_names(&pv, f.node);
+            assert_eq!(from_arena, reference, "row {r}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use ceres_dom::{parse_html, Document, NodeId, XPath};
 use ceres_kb::{Kb, ValueId};
-use ceres_text::normalize;
+use ceres_text::{normalize, FxHashMap};
 
 /// One text field of a page.
 #[derive(Debug, Clone)]
@@ -31,6 +31,15 @@ pub struct PageView {
     pub page_id: String,
     pub doc: Document,
     pub fields: Vec<FieldInfo>,
+    /// `NodeId → fields index`, built once so [`PageView::field_of_node`]
+    /// is O(1) instead of a linear scan per call.
+    field_by_node: FxHashMap<NodeId, usize>,
+    /// Euler-tour entry/exit clocks per node, built once so
+    /// [`PageView::in_subtree`] is O(1) instead of an ancestor walk (the
+    /// feature extractor's nearby-text scan tests subtree membership for
+    /// every (node, field) pair).
+    enter: Vec<u32>,
+    exit: Vec<u32>,
 }
 
 impl PageView {
@@ -38,20 +47,35 @@ impl PageView {
     pub fn build(page_id: &str, html: &str, kb: &Kb) -> PageView {
         let doc = parse_html(html);
         let mut fields = Vec::new();
+        let mut field_by_node = FxHashMap::default();
         for node in doc.text_fields() {
             let text = doc.own_text(node);
+            // Normalize once; `match_norm` consumes the canonical form
+            // directly (the old `match_text(&text)` re-normalized `text`
+            // internally — every field was normalized twice).
             let norm = normalize(&text);
-            let matches = if norm.is_empty() { Vec::new() } else { kb.match_text(&text) };
+            let matches = kb.match_norm(&norm).to_vec();
             let gt_id = doc.node(node).attr("data-gt").and_then(|v| v.parse().ok());
             let xpath = doc.xpath(node);
+            field_by_node.insert(node, fields.len());
             fields.push(FieldInfo { node, text, norm, matches, xpath, gt_id });
         }
-        PageView { page_id: page_id.to_string(), doc, fields }
+        let (enter, exit) = euler_intervals(&doc);
+        PageView { page_id: page_id.to_string(), doc, fields, field_by_node, enter, exit }
     }
 
     /// Index of the field at `node`, if it is a text field.
     pub fn field_of_node(&self, node: NodeId) -> Option<usize> {
-        self.fields.iter().position(|f| f.node == node)
+        self.field_by_node.get(&node).copied()
+    }
+
+    /// True if `node` lies in the subtree rooted at `ancestor` (including
+    /// `node == ancestor`). O(1) via the precomputed Euler intervals;
+    /// equivalent to `node == ancestor || doc.is_ancestor(ancestor, node)`.
+    #[inline]
+    pub fn in_subtree(&self, ancestor: NodeId, node: NodeId) -> bool {
+        self.enter[ancestor.index()] <= self.enter[node.index()]
+            && self.exit[node.index()] <= self.exit[ancestor.index()]
     }
 
     /// All distinct KB values mentioned on the page (the `pageSet` of
@@ -73,6 +97,34 @@ impl PageView {
             .map(|(i, _)| i)
             .collect()
     }
+}
+
+/// One iterative DFS assigning entry/exit clocks to every node.
+fn euler_intervals(doc: &Document) -> (Vec<u32>, Vec<u32>) {
+    let n = doc.len();
+    let mut enter = vec![0u32; n];
+    let mut exit = vec![0u32; n];
+    let mut clock = 0u32;
+    let root = doc.root();
+    enter[root.index()] = clock;
+    clock += 1;
+    let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+    while let Some(top) = stack.last_mut() {
+        let (id, ci) = *top;
+        let children = &doc.node(id).children;
+        if ci < children.len() {
+            top.1 += 1;
+            let c = children[ci];
+            enter[c.index()] = clock;
+            clock += 1;
+            stack.push((c, 0));
+        } else {
+            exit[id.index()] = clock;
+            clock += 1;
+            stack.pop();
+        }
+    }
+    (enter, exit)
 }
 
 #[cfg(test)]
@@ -112,6 +164,31 @@ mod tests {
         let html = "<div><b>Spike Lee</b></div><ul><li>Spike Lee</li><li>Other</li></ul>";
         let pv = PageView::build("p", html, &kb);
         assert_eq!(pv.mentions_of(lee).len(), 2);
+    }
+
+    #[test]
+    fn field_of_node_maps_every_field_and_only_fields() {
+        let kb = kb();
+        let html = "<div><b>Spike Lee</b></div><ul><li>A</li><li>B</li></ul>";
+        let pv = PageView::build("p", html, &kb);
+        for (i, f) in pv.fields.iter().enumerate() {
+            assert_eq!(pv.field_of_node(f.node), Some(i));
+        }
+        // A non-field node (the root) maps to nothing.
+        assert_eq!(pv.field_of_node(pv.doc.root()), None);
+    }
+
+    #[test]
+    fn in_subtree_matches_the_ancestor_walk() {
+        let kb = kb();
+        let html = "<div><b>a</b><i><u>b</u></i></div><p>c</p>";
+        let pv = PageView::build("p", html, &kb);
+        for a in pv.doc.all_nodes() {
+            for n in pv.doc.all_nodes() {
+                let reference = n == a || pv.doc.is_ancestor(a, n);
+                assert_eq!(pv.in_subtree(a, n), reference, "a={a:?} n={n:?}");
+            }
+        }
     }
 
     #[test]

@@ -113,9 +113,9 @@ pub fn run_site(
     let rt = Runtime::with_threads(cfg.threads);
     // --- Parse stage: PageView::build fans out, one task per page ---
     let ann_views: Vec<PageView> =
-        rt.par_map_chunked(annotation_pages, 4, |(id, html)| PageView::build(id, html, kb));
-    let ext_views: Option<Vec<PageView>> = extraction_pages
-        .map(|pages| rt.par_map_chunked(pages, 4, |(id, html)| PageView::build(id, html, kb)));
+        rt.par_map(annotation_pages, |(id, html)| PageView::build(id, html, kb));
+    let ext_views: Option<Vec<PageView>> =
+        extraction_pages.map(|pages| rt.par_map(pages, |(id, html)| PageView::build(id, html, kb)));
     run_site_views_on(&rt, kb, &ann_views, ext_views.as_deref(), cfg, mode)
 }
 
@@ -269,7 +269,12 @@ pub fn run_site_views_on(
         }
         let pages = cluster_ann(&plans[ci]);
         let mut space = FeatureSpace::new(&pages, cfg.features.clone());
-        let data = crate::examples::build_training_opts(
+        // Nested fan-out: name collection for this cluster's rows runs on
+        // the same pool (the caller-participates pool makes the nesting
+        // deadlock-free), so a single-cluster site still parallelizes its
+        // training feature pass.
+        let data = crate::examples::build_training_on(
+            rt,
             &pages,
             &ca.annotations,
             &mut space,
@@ -314,7 +319,7 @@ pub fn run_site_views_on(
             })
         })
         .collect();
-    let extracted: Vec<Vec<Extraction>> = rt.par_map_chunked(&tasks, 4, |&(ci, page)| {
+    let extracted: Vec<Vec<Extraction>> = rt.par_map(&tasks, |&(ci, page)| {
         let cm = trained[ci].as_ref().expect("extract tasks exist only for trained clusters");
         extract_page(page, &cm.model, &cm.space, &cm.class_map, &cfg.extract)
     });

@@ -249,23 +249,43 @@ impl Document {
     /// excluding `id` itself. Returns `(offset, node)` pairs where `offset`
     /// is negative for preceding siblings.
     pub fn sibling_window(&self, id: NodeId, width: usize) -> Vec<(isize, NodeId)> {
-        let Some(parent) = self.node(id).parent else { return Vec::new() };
-        let elems: Vec<NodeId> = self.nodes[parent.index()]
-            .children
-            .iter()
-            .copied()
-            .filter(|&c| self.node(c).is_element())
-            .collect();
-        let Some(pos) = elems.iter().position(|&c| c == id) else { return Vec::new() };
-        let lo = pos.saturating_sub(width);
-        let hi = (pos + width).min(elems.len().saturating_sub(1));
-        let mut out = Vec::with_capacity(hi - lo);
-        for (i, &sib) in elems.iter().enumerate().take(hi + 1).skip(lo) {
-            if sib != id {
-                out.push((i as isize - pos as isize, sib));
+        let mut out = Vec::new();
+        self.sibling_window_into(id, width, &mut out);
+        out
+    }
+
+    /// Allocation-reusing [`Document::sibling_window`]: clears `out` and
+    /// fills it with the same `(offset, node)` pairs. The feature extractor
+    /// calls this once per ancestor level of every node on every page —
+    /// the buffer lives in its scratch state instead of being reallocated.
+    pub fn sibling_window_into(&self, id: NodeId, width: usize, out: &mut Vec<(isize, NodeId)>) {
+        out.clear();
+        let Some(parent) = self.node(id).parent else { return };
+        let children = &self.nodes[parent.index()].children;
+        // Pass 1: position of `id` among its element siblings.
+        let mut pos = None;
+        let mut i = 0usize;
+        for &c in children {
+            if self.node(c).is_element() {
+                if c == id {
+                    pos = Some(i);
+                }
+                i += 1;
             }
         }
-        out
+        let Some(pos) = pos else { return };
+        let lo = pos.saturating_sub(width);
+        let hi = pos + width;
+        // Pass 2: emit the window, excluding `id` itself.
+        let mut i = 0usize;
+        for &c in children {
+            if self.node(c).is_element() {
+                if (lo..=hi).contains(&i) && c != id {
+                    out.push((i as isize - pos as isize, c));
+                }
+                i += 1;
+            }
+        }
     }
 
     /// The absolute XPath of an element node, e.g.
@@ -339,6 +359,14 @@ impl Document {
     /// steps). Used in node-text features: the classifier learns e.g. "the
     /// string *Director:* appears at `^2/span[1]` from this node".
     pub fn relative_path(&self, from: NodeId, to: NodeId) -> String {
+        let mut out = String::new();
+        self.relative_path_into(from, to, &mut out);
+        out
+    }
+
+    /// [`Document::relative_path`] **appending** to `out` (not clearing it),
+    /// so feature names can be assembled around the path in one buffer.
+    pub fn relative_path_into(&self, from: NodeId, to: NodeId, out: &mut String) {
         // Collect ancestor chains (self included) up to the root.
         let chain = |mut n: NodeId| -> Vec<NodeId> {
             let mut v = vec![n];
@@ -354,7 +382,6 @@ impl Document {
         // Lowest common ancestor = first node of to_chain present in from_chain.
         let lca = *to_chain.iter().find(|n| from_set.contains(n)).unwrap_or(&self.root);
         let up = from_chain.iter().position(|&n| n == lca).unwrap_or(0);
-        let mut out = String::new();
         let _ = write!(out, "^{up}");
         // Steps from the LCA down to `to`.
         let lca_pos = to_chain.iter().position(|&n| n == lca).unwrap_or(0);
@@ -362,7 +389,6 @@ impl Document {
             let tag = self.node(n).tag().unwrap_or("#text");
             let _ = write!(out, "/{}[{}]", tag, self.xpath_index(n));
         }
-        out
     }
 
     /// Serialize back to HTML (used in tests for parse/serialize roundtrips

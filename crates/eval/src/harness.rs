@@ -164,7 +164,7 @@ pub fn run_vertex_on_site(
     // ordered merge keeps extraction order byte-identical to the serial
     // loop for every thread count.
     let rt = Runtime::with_threads(threads);
-    let per_page: Vec<Vec<Extraction>> = rt.par_map_chunked(&eval_pages, 4, |page| {
+    let per_page: Vec<Vec<Extraction>> = rt.par_map(&eval_pages, |page| {
         let view = PageView::build(&page.id, &page.html, kb);
         apply_rules(&rules, &view)
     });

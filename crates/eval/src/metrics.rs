@@ -323,7 +323,7 @@ pub fn score_annotations(
         let Some(g) = gold.gold(pid) else { continue };
         let (PageKind::Detail, Some(topic)) = (g.kind, g.topic.as_deref()) else { continue };
         let topic_vals: Vec<_> =
-            kb.match_text(topic).into_iter().filter(|&v| kb.is_entity(v)).collect();
+            kb.match_text(topic).iter().copied().filter(|&v| kb.is_entity(v)).collect();
         if topic_vals.is_empty() {
             continue;
         }

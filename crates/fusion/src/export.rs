@@ -5,6 +5,7 @@
 //! trivially consumable by downstream tools.
 
 use crate::fuse::FusedFact;
+use ceres_runtime::Runtime;
 use std::fmt::Write as _;
 
 /// Escape a field for TSV (tabs/newlines/backslashes).
@@ -71,40 +72,46 @@ pub fn to_tsv(facts: &[FusedFact]) -> String {
 }
 
 /// Parse a TSV produced by [`to_tsv`]. Malformed lines are reported with
-/// their line number.
+/// their line number (the first — lowest-numbered — bad line wins).
 pub fn from_tsv(tsv: &str) -> Result<Vec<FusedFact>, String> {
+    from_tsv_on(&Runtime::sequential(), tsv)
+}
+
+/// [`from_tsv`] with per-line parsing fanned out on `rt` — the ingest path
+/// for multi-site harvest files. Built on `Runtime::try_par_map`, so the
+/// reported error is the lowest-numbered malformed line at every thread
+/// count, exactly what the sequential scan reports.
+pub fn from_tsv_on(rt: &Runtime, tsv: &str) -> Result<Vec<FusedFact>, String> {
     let mut lines = tsv.lines().enumerate();
     match lines.next() {
         Some((_, h)) if h == HEADER => {}
         Some((_, h)) => return Err(format!("unexpected header: {h}")),
         None => return Err("empty input".to_string()),
     }
-    let mut out = Vec::new();
-    for (i, line) in lines {
-        if line.is_empty() {
-            continue;
-        }
-        let cols: Vec<&str> = line.split('\t').collect();
-        if cols.len() != 7 {
-            return Err(format!("line {}: expected 7 columns, got {}", i + 1, cols.len()));
-        }
-        let belief: f64 =
-            cols[4].parse().map_err(|_| format!("line {}: bad belief {}", i + 1, cols[4]))?;
-        let observations: usize =
-            cols[5].parse().map_err(|_| format!("line {}: bad count {}", i + 1, cols[5]))?;
-        let sites: usize =
-            cols[6].parse().map_err(|_| format!("line {}: bad count {}", i + 1, cols[6]))?;
-        out.push(FusedFact {
-            subject: unescape(cols[0]),
-            pred: unescape(cols[1]),
-            object: unescape(cols[2]),
-            object_surface: unescape(cols[3]),
-            belief,
-            observations,
-            sites,
-        });
+    let lines: Vec<(usize, &str)> = lines.filter(|(_, line)| !line.is_empty()).collect();
+    rt.try_par_map(&lines, |&(i, line)| parse_line(i, line))
+}
+
+fn parse_line(i: usize, line: &str) -> Result<FusedFact, String> {
+    let cols: Vec<&str> = line.split('\t').collect();
+    if cols.len() != 7 {
+        return Err(format!("line {}: expected 7 columns, got {}", i + 1, cols.len()));
     }
-    Ok(out)
+    let belief: f64 =
+        cols[4].parse().map_err(|_| format!("line {}: bad belief {}", i + 1, cols[4]))?;
+    let observations: usize =
+        cols[5].parse().map_err(|_| format!("line {}: bad count {}", i + 1, cols[5]))?;
+    let sites: usize =
+        cols[6].parse().map_err(|_| format!("line {}: bad count {}", i + 1, cols[6]))?;
+    Ok(FusedFact {
+        subject: unescape(cols[0]),
+        pred: unescape(cols[1]),
+        object: unescape(cols[2]),
+        object_surface: unescape(cols[3]),
+        belief,
+        observations,
+        sites,
+    })
 }
 
 #[cfg(test)]
@@ -121,6 +128,29 @@ mod tests {
             belief: 0.875,
             observations: 3,
             sites: 2,
+        }
+    }
+
+    #[test]
+    fn parallel_ingest_matches_sequential_and_reports_first_error() {
+        let facts: Vec<FusedFact> =
+            (0..200).map(|i| fact(&format!("subject {i}"), "spike lee")).collect();
+        let tsv = to_tsv(&facts);
+        let serial = from_tsv(&tsv).unwrap();
+        for threads in [2, 8] {
+            let par = from_tsv_on(&Runtime::new(threads), &tsv).unwrap();
+            assert_eq!(par.len(), serial.len(), "threads={threads}");
+            assert_eq!(par[7].subject, serial[7].subject);
+        }
+        // Corrupt two lines; the lowest line number must be reported at
+        // any thread count (try_par_map's lowest-indexed-error contract).
+        let mut bad: Vec<&str> = tsv.lines().collect();
+        bad[50] = "garbage";
+        bad[10] = "also garbage";
+        let bad = bad.join("\n");
+        for threads in [1, 2, 8] {
+            let err = from_tsv_on(&Runtime::new(threads), &bad).unwrap_err();
+            assert!(err.starts_with("line 11:"), "threads={threads}: {err}");
         }
     }
 

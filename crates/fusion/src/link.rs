@@ -53,7 +53,7 @@ pub fn link(kb: &Kb, facts: &[FusedFact]) -> Vec<LinkOutcome> {
 }
 
 fn resolve(kb: &Kb, text: &str, required_type: Option<ceres_kb::EntityTypeId>) -> Linkage {
-    let mut candidates: Vec<ValueId> = kb.match_text(text);
+    let mut candidates: Vec<ValueId> = kb.match_text(text).to_vec();
     if let Some(ty) = required_type {
         candidates.retain(|&v| matches!(kb.kind(v), ValueKind::Entity(t) if t == ty));
     }

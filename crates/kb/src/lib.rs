@@ -27,4 +27,4 @@ pub mod store;
 
 pub use matcher::{is_low_information, MatcherConfig};
 pub use ontology::{EntityTypeId, Ontology, PredDef, PredId};
-pub use store::{Kb, KbBuilder, KbStats, Triple, TypeStats, ValueId, ValueKind};
+pub use store::{Kb, KbBuilder, KbStats, MatchShards, Triple, TypeStats, ValueId, ValueKind};

@@ -13,11 +13,21 @@ pub struct MatcherConfig {
     pub stop_value_min_count: usize,
     /// Normalized strings shorter than this are low-information.
     pub min_chars: usize,
+    /// Shard count for the string-matching indexes (see
+    /// [`crate::store::MatchShards`]); rounded up to a power of two,
+    /// clamped to ≥ 1. `1` gives the classic unsharded layout — lookup
+    /// results are identical for every value (equivalence-tested).
+    pub n_shards: usize,
 }
 
 impl Default for MatcherConfig {
     fn default() -> Self {
-        MatcherConfig { stop_value_fraction: 1e-4, stop_value_min_count: 20, min_chars: 3 }
+        MatcherConfig {
+            stop_value_fraction: 1e-4,
+            stop_value_min_count: 20,
+            min_chars: 3,
+            n_shards: 16,
+        }
     }
 }
 

@@ -3,7 +3,10 @@
 
 use crate::matcher::{is_low_information, MatcherConfig};
 use crate::ontology::{EntityTypeId, Ontology, PredId};
-use ceres_text::{normalize, token_sort_key, FxHashMap, FxHashSet};
+use ceres_text::{
+    normalize, token_sort_key, token_sort_key_normalized, FxBuildHasher, FxHashMap, FxHashSet,
+};
+use std::hash::BuildHasher;
 
 /// Identifier of an interned value (entity or literal).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -139,9 +142,8 @@ impl KbBuilder {
         }
 
         // String indexes: normalized form and token-sorted form, over
-        // canonical names and aliases.
-        let mut exact: FxHashMap<String, Vec<ValueId>> = FxHashMap::default();
-        let mut fuzzy: FxHashMap<String, Vec<ValueId>> = FxHashMap::default();
+        // canonical names and aliases, sharded by hash prefix.
+        let mut shards = MatchShards::new(config.n_shards);
         for (i, v) in values.iter().enumerate() {
             let id = ValueId(i as u32);
             for s in
@@ -151,9 +153,8 @@ impl KbBuilder {
                 if norm.is_empty() {
                     continue;
                 }
-                push_unique(exact.entry(norm).or_default(), id);
                 let key = token_sort_key(s);
-                push_unique(fuzzy.entry(key).or_default(), id);
+                shards.insert(norm, key, id);
             }
         }
 
@@ -164,6 +165,20 @@ impl KbBuilder {
         let stop_values: FxHashSet<ValueId> =
             object_counts.iter().filter(|&(_, &c)| c >= threshold).map(|(&v, _)| v).collect();
 
+        // Topic disqualification (§3.1.1 step 1), precomputed per value:
+        // the check runs once per (page, candidate) in topic scoring, and
+        // the low-information test re-normalizes the canonical string —
+        // pay that once here instead of per call.
+        let topic_disqualified: Vec<bool> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                !matches!(v.kind, ValueKind::Entity(_))
+                    || stop_values.contains(&ValueId(i as u32))
+                    || is_low_information(&normalize(&v.canonical), &config)
+            })
+            .collect();
+
         Kb {
             ontology,
             values,
@@ -171,9 +186,9 @@ impl KbBuilder {
             by_subject,
             object_sets,
             pair_index,
-            exact,
-            fuzzy,
+            shards,
             stop_values,
+            topic_disqualified,
             config,
         }
     }
@@ -182,6 +197,69 @@ impl KbBuilder {
 fn push_unique(v: &mut Vec<ValueId>, id: ValueId) {
     if !v.contains(&id) {
         v.push(id);
+    }
+}
+
+/// The string-matching indexes (exact normalized form + token-sorted fuzzy
+/// form), **sharded by hash prefix**: a key lives in the shard selected by
+/// the top bits of its deterministic FxHash. Sharding does not change any
+/// lookup result — a key hashes to exactly one shard, so the sharded maps
+/// partition the unsharded one — but it bounds per-shard memory and is the
+/// unit a multi-machine KB would distribute (ROADMAP "KB sharding").
+#[derive(Debug)]
+pub struct MatchShards {
+    /// `log2(shard count)`; the shard of a key is its hash's top `bits`.
+    bits: u32,
+    shards: Vec<MatchShard>,
+}
+
+#[derive(Debug, Default)]
+struct MatchShard {
+    exact: FxHashMap<String, Vec<ValueId>>,
+    fuzzy: FxHashMap<String, Vec<ValueId>>,
+}
+
+impl MatchShards {
+    /// `n_shards` is rounded up to a power of two and clamped to ≥ 1.
+    pub fn new(n_shards: usize) -> MatchShards {
+        let n = n_shards.clamp(1, 1 << 16).next_power_of_two();
+        let bits = n.trailing_zeros();
+        let mut shards = Vec::with_capacity(n);
+        shards.resize_with(n, MatchShard::default);
+        MatchShards { bits, shards }
+    }
+
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Shard index of a key: the top `bits` of its FxHash — the "hash
+    /// prefix", so a sorted-by-prefix key space splits contiguously.
+    #[inline]
+    fn shard_of(&self, key: &str) -> usize {
+        if self.bits == 0 {
+            return 0;
+        }
+        (FxBuildHasher::default().hash_one(key) >> (64 - self.bits)) as usize
+    }
+
+    fn insert(&mut self, norm: String, fuzzy_key: String, id: ValueId) {
+        let s = self.shard_of(&norm);
+        push_unique(self.shards[s].exact.entry(norm).or_default(), id);
+        let s = self.shard_of(&fuzzy_key);
+        push_unique(self.shards[s].fuzzy.entry(fuzzy_key).or_default(), id);
+    }
+
+    /// Values whose normalized form equals `norm` exactly.
+    #[inline]
+    pub fn lookup_exact(&self, norm: &str) -> Option<&[ValueId]> {
+        self.shards[self.shard_of(norm)].exact.get(norm).map(Vec::as_slice)
+    }
+
+    /// Values whose token-sorted form equals `key`.
+    #[inline]
+    pub fn lookup_fuzzy(&self, key: &str) -> Option<&[ValueId]> {
+        self.shards[self.shard_of(key)].fuzzy.get(key).map(Vec::as_slice)
     }
 }
 
@@ -194,9 +272,10 @@ pub struct Kb {
     by_subject: FxHashMap<ValueId, Vec<(PredId, ValueId)>>,
     object_sets: FxHashMap<ValueId, Vec<ValueId>>,
     pair_index: FxHashMap<(ValueId, ValueId), Vec<PredId>>,
-    exact: FxHashMap<String, Vec<ValueId>>,
-    fuzzy: FxHashMap<String, Vec<ValueId>>,
+    shards: MatchShards,
     stop_values: FxHashSet<ValueId>,
+    /// Per-value §3.1.1 step-1 verdicts, precomputed (see `build`).
+    topic_disqualified: Vec<bool>,
     config: MatcherConfig,
 }
 
@@ -261,31 +340,44 @@ impl Kb {
     /// then the token-sorted fuzzy fallback. Returns all matching values
     /// (ambiguity — "Pilot" matching thousands of episodes — is preserved
     /// for the caller to resolve).
-    pub fn match_text(&self, raw: &str) -> Vec<ValueId> {
+    ///
+    /// The returned slice **borrows** the KB's index — no per-call clone.
+    /// Callers that need ownership use `.to_vec()`. When the caller already
+    /// holds the normalized form (every hot path does: `PageView::build`
+    /// normalizes each field once), [`Kb::match_norm`] skips the
+    /// re-normalization this entry point must perform.
+    pub fn match_text(&self, raw: &str) -> &[ValueId] {
         let norm = normalize(raw);
+        self.match_norm(&norm)
+    }
+
+    /// [`Kb::match_text`] over a **pre-normalized** string (the output of
+    /// [`ceres_text::normalize`]). An exact hit costs one hash lookup and
+    /// zero allocations; only the fuzzy fallback builds its token-sorted
+    /// key (from the normalized form — never re-normalizing).
+    pub fn match_norm(&self, norm: &str) -> &[ValueId] {
         if norm.is_empty() {
-            return Vec::new();
+            return &[];
         }
-        if let Some(hits) = self.exact.get(&norm) {
-            return hits.clone();
+        if let Some(hits) = self.shards.lookup_exact(norm) {
+            return hits;
         }
-        let key = token_sort_key(raw);
-        match self.fuzzy.get(&key) {
-            Some(hits) => hits.clone(),
-            None => Vec::new(),
-        }
+        let key = token_sort_key_normalized(norm);
+        self.shards.lookup_fuzzy(&key).unwrap_or(&[])
+    }
+
+    /// The sharded string-matching indexes (read-only view).
+    pub fn match_shards(&self) -> &MatchShards {
+        &self.shards
     }
 
     /// True if `v` is disqualified from being a page-topic candidate
     /// (§3.1.1 step 1): a literal, a stop value, or low-information.
+    /// Precomputed at build time — one indexed load on the topic-scoring
+    /// hot path (no re-normalization per call).
+    #[inline]
     pub fn is_topic_disqualified(&self, v: ValueId) -> bool {
-        if !self.is_entity(v) {
-            return true;
-        }
-        if self.stop_values.contains(&v) {
-            return true;
-        }
-        is_low_information(&normalize(self.canonical(v)), &self.config)
+        self.topic_disqualified[v.0 as usize]
     }
 
     pub fn is_stop_value(&self, v: ValueId) -> bool {

@@ -90,6 +90,19 @@ impl SparseVec {
         SparseVec(idx.into_iter().map(|i| (i, 1.0)).collect())
     }
 
+    /// [`SparseVec::from_indices`] draining a **reusable** buffer: sorts
+    /// and dedups `buf` in place, copies out an exact-size vector, and
+    /// clears `buf` (capacity retained). Hot loops vectorizing thousands
+    /// of nodes keep one index buffer alive instead of allocating a
+    /// growing `Vec<u32>` per node.
+    pub fn from_indices_buf(buf: &mut Vec<u32>) -> Self {
+        buf.sort_unstable();
+        buf.dedup();
+        let v = SparseVec(buf.iter().map(|&i| (i, 1.0)).collect());
+        buf.clear();
+        v
+    }
+
     pub fn iter(&self) -> impl Iterator<Item = (u32, f32)> + '_ {
         self.0.iter().copied()
     }
@@ -161,6 +174,19 @@ mod tests {
         let v = SparseVec::from_indices(vec![5, 1, 5, 2]);
         assert_eq!(v.nnz(), 3);
         assert_eq!(v.max_index(), Some(5));
+    }
+
+    #[test]
+    fn from_indices_buf_matches_from_indices_and_clears() {
+        let mut buf = vec![5, 1, 5, 2];
+        let a = SparseVec::from_indices_buf(&mut buf);
+        assert_eq!(a, SparseVec::from_indices(vec![5, 1, 5, 2]));
+        assert!(buf.is_empty());
+        assert!(buf.capacity() >= 4, "capacity must be retained for reuse");
+        // The drained buffer is immediately reusable.
+        buf.extend([9, 9, 0]);
+        let b = SparseVec::from_indices_buf(&mut buf);
+        assert_eq!(b, SparseVec::from_indices(vec![9, 9, 0]));
     }
 
     #[test]

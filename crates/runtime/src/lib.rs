@@ -5,25 +5,45 @@
 //! The paper runs CERES over 440k+ CommonCrawl pages across hundreds of
 //! sites; every unit of that work (page parse, cluster job, site run) is
 //! independent. This crate provides the one primitive all of them share: an
-//! **index-ordered parallel map** over a slice, built on scoped threads —
-//! no external dependencies, no persistent pool, no unsafe.
+//! **index-ordered parallel map** over a slice, executed on a persistent
+//! **worker pool** (spawn-per-call dominates at micro scale) with
+//! chunk-size autotuning.
 //!
 //! ## The determinism contract
 //!
 //! For a pure `f`, `Runtime::par_map(items, f)` returns **exactly** the
 //! vector the sequential loop `items.iter().map(f).collect()` returns, for
-//! every thread count:
+//! every thread count and every chunk size:
 //!
 //! * each `f(&items[i])` is invoked exactly once, with nothing shared
 //!   between invocations;
 //! * results are merged by **item index**, never by completion order;
-//! * `threads = 1` short-circuits to the plain sequential loop (no threads
-//!   are spawned at all), so the fallback is byte-identical by construction
-//!   and the parallel path is byte-identical by the ordered merge.
+//! * `threads = 1` short-circuits to the plain sequential loop (no pool,
+//!   no threads), so the fallback is byte-identical by construction and
+//!   the parallel path is byte-identical by the indexed merge.
 //!
 //! Worker panics propagate to the caller: the payload of the
 //! lowest-indexed panicking item is re-raised (deterministic even when
-//! several items panic), and remaining work is abandoned promptly.
+//! several items panic), and remaining work is abandoned promptly. For
+//! fallible stages prefer [`Runtime::try_par_map`], which returns the
+//! lowest-indexed `Err` instead of unwinding.
+//!
+//! ## The worker pool
+//!
+//! Parallel calls execute on a process-wide pool that is created lazily
+//! and grown on demand (never shrunk). A call's work is a *chunk-claiming
+//! job*: the calling thread pushes the job on the pool's queue, then
+//! **participates itself**, claiming chunks until none remain; idle pool
+//! workers join in (up to `threads - 1` helpers). Because the caller
+//! always drains its own job, a `par_map` issued from *inside* a pool
+//! worker (nested parallelism, e.g. per-row feature collection inside a
+//! per-cluster training job) makes progress even when every other worker
+//! is busy — the pool cannot deadlock and never oversubscribes beyond its
+//! fixed worker set.
+//!
+//! [`Runtime::par_map_spawn_chunked`] keeps the original
+//! spawn-scoped-threads-per-call execution path; the equivalence suite
+//! pins pool output to spawn output byte-for-byte.
 //!
 //! ## Choosing the thread count
 //!
@@ -32,10 +52,9 @@
 //! variable, then [`std::thread::available_parallelism`]. `0` or an
 //! unparsable value means "not set" at either level.
 
-use std::any::Any;
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic;
+
+mod pool;
 
 /// Environment variable consulted when no programmatic thread count is
 /// given. `0`, empty, or unparsable values fall through to the machine's
@@ -44,8 +63,8 @@ pub const THREADS_ENV: &str = "CERES_THREADS";
 
 /// A handle describing how parallel stages execute.
 ///
-/// Construction is free: no threads exist until a `par_map*` call needs
-/// them, and all threads are joined before the call returns (scoped), so a
+/// Construction is free: the backing worker pool is process-wide, created
+/// lazily by the first parallel call and shared by every `Runtime`, so a
 /// `Runtime` can be rebuilt per call site without cost.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Runtime {
@@ -92,19 +111,23 @@ impl Runtime {
     }
 
     /// Map `f` over `items` on up to `threads` workers; results come back
-    /// in item order (see the crate-level determinism contract).
+    /// in item order (see the crate-level determinism contract). The chunk
+    /// size is autotuned from `items.len()` (see [`auto_chunk`]); output is
+    /// identical for every chunk size.
     pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
     where
         T: Sync,
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        self.par_map_chunked(items, 1, f)
+        self.par_map_chunked(items, auto_chunk(items.len(), self.threads), f)
     }
 
     /// [`Runtime::par_map`] with workers claiming `chunk` consecutive items
-    /// at a time — fewer atomic operations for many small items. Output is
-    /// identical to `par_map` for every `chunk` value.
+    /// at a time — fewer claim operations for many small items. Output is
+    /// identical to `par_map` for every `chunk` value. Runs on the
+    /// persistent worker pool; the calling thread participates, so nesting
+    /// `par_map` inside a parallel task is safe and productive.
     pub fn par_map_chunked<T, R, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<R>
     where
         T: Sync,
@@ -119,11 +142,50 @@ impl Runtime {
             // The byte-identical sequential fallback: same calls, same order.
             return items.iter().map(f).collect();
         }
+        pool::run(items, chunk, threads, &f)
+    }
+
+    /// Fallible [`Runtime::par_map`]: every item is attempted, and the
+    /// **lowest-indexed** `Err` is returned (deterministic at any thread
+    /// count); `Ok` carries the results in item order. Panics still
+    /// propagate as panics.
+    pub fn try_par_map<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&T) -> Result<R, E> + Sync,
+    {
+        // The indexed merge makes `collect` see errors in item order, so
+        // the first one it stops at is the lowest-indexed failure.
+        self.par_map(items, f).into_iter().collect()
+    }
+
+    /// The original spawn-scoped-threads-per-call execution path, kept as
+    /// the reference implementation the pool is tested against (and for
+    /// callers that must not touch the shared pool). Output is
+    /// byte-identical to [`Runtime::par_map_chunked`].
+    pub fn par_map_spawn_chunked<T, R, F>(&self, items: &[T], chunk: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        use std::panic::AssertUnwindSafe;
+        use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        let n = items.len();
+        let chunk = chunk.max(1);
+        let threads = self.threads.min(n.div_ceil(chunk));
+        if threads <= 1 {
+            return items.iter().map(f).collect();
+        }
 
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
         // Lowest-indexed panic payload wins; only touched on the panic path.
-        let panicked: Mutex<Option<(usize, Box<dyn Any + Send>)>> = Mutex::new(None);
+        let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
         let mut parts: Vec<Vec<(usize, R)>> = Vec::with_capacity(threads);
 
         std::thread::scope(|s| {
@@ -178,6 +240,17 @@ impl Runtime {
     }
 }
 
+/// Chunk-size autotuning for [`Runtime::par_map`]: aim for several chunks
+/// per worker (load balance for uneven items) without letting one-item
+/// chunks drown in claim traffic. Chunk size never affects output, only
+/// scheduling granularity.
+pub fn auto_chunk(n: usize, threads: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    (n / (threads.max(1) * 8)).clamp(1, 64)
+}
+
 fn env_threads() -> Option<usize> {
     std::env::var(THREADS_ENV).ok()?.trim().parse::<usize>().ok().filter(|&t| t > 0)
 }
@@ -189,6 +262,7 @@ fn available_threads() -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::panic::AssertUnwindSafe;
 
     #[test]
     fn results_come_back_in_item_order() {
@@ -215,6 +289,72 @@ mod tests {
         let serial = Runtime::sequential().par_map(&items, f);
         let parallel = Runtime::new(8).par_map(&items, f);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pool_path_matches_spawn_path_exactly() {
+        // The persistent pool and the spawn-per-call reference must agree
+        // byte-for-byte at every thread count and chunk size.
+        let items: Vec<u64> = (0..311u64).map(|i| i.wrapping_mul(2654435761)).collect();
+        let f = |&x: &u64| format!("{:x}|{}", x.rotate_left(17), x % 101);
+        for threads in [1, 2, 8] {
+            let rt = Runtime::new(threads);
+            for chunk in [1, 3, 64, 1000] {
+                assert_eq!(
+                    rt.par_map_chunked(&items, chunk, f),
+                    rt.par_map_spawn_chunked(&items, chunk, f),
+                    "threads={threads} chunk={chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nested_par_map_completes_and_is_deterministic() {
+        // A parallel task that itself fans out on the pool: the inner call
+        // must make progress even when every worker is busy with the outer
+        // job (the caller-participates guarantee).
+        let outer: Vec<usize> = (0..16).collect();
+        let rt = Runtime::new(4);
+        let expect: Vec<usize> = outer.iter().map(|&i| (0..50).map(|j| i * j).sum()).collect();
+        let got = rt.par_map(&outer, |&i| {
+            let inner: Vec<usize> = (0..50).collect();
+            rt.par_map(&inner, |&j| i * j).into_iter().sum::<usize>()
+        });
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn try_par_map_returns_lowest_indexed_error() {
+        let items: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let rt = Runtime::new(threads);
+            let ok: Result<Vec<usize>, String> = rt.try_par_map(&items, |&x| Ok(x * 2));
+            assert_eq!(ok.unwrap()[50], 100, "threads={threads}");
+            let err: Result<Vec<usize>, String> =
+                rt.try_par_map(
+                    &items,
+                    |&x| {
+                        if x % 7 == 3 {
+                            Err(format!("bad {x}"))
+                        } else {
+                            Ok(x)
+                        }
+                    },
+                );
+            // Items 3, 10, 17, … fail; the lowest index must win at any
+            // thread count.
+            assert_eq!(err.unwrap_err(), "bad 3", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn auto_chunk_is_sane() {
+        assert_eq!(auto_chunk(0, 4), 1);
+        assert_eq!(auto_chunk(1, 4), 1);
+        assert_eq!(auto_chunk(10, 4), 1);
+        assert!(auto_chunk(10_000, 4) > 1);
+        assert!(auto_chunk(usize::MAX, 1) <= 64);
     }
 
     #[test]
@@ -249,13 +389,27 @@ mod tests {
     #[test]
     fn lowest_index_panic_wins_when_all_items_panic() {
         let items: Vec<usize> = (0..32).collect();
-        // threads=2 so index 0 is always claimed before stop is observed.
+        // chunk=1 so index 0 is its own claim unit: whichever participant
+        // claims it records it, and lower indexes always win the slot.
         let result = panic::catch_unwind(AssertUnwindSafe(|| {
-            Runtime::new(2).par_map(&items, |&x| -> usize { panic!("item {x}") })
+            Runtime::new(2).par_map_chunked(&items, 1, |&x| -> usize { panic!("item {x}") })
         }));
         let payload = result.expect_err("panic must propagate");
         let msg = payload.downcast_ref::<String>().expect("string payload");
         assert_eq!(msg, "item 0");
+    }
+
+    #[test]
+    fn pool_panic_then_reuse_is_clean() {
+        // A panicking job must not poison the pool for later jobs.
+        let items: Vec<usize> = (0..64).collect();
+        let rt = Runtime::new(4);
+        let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.par_map(&items, |&x| -> usize { panic!("die {x}") })
+        }))
+        .expect_err("must panic");
+        let expect: Vec<usize> = items.iter().map(|&x| x + 1).collect();
+        assert_eq!(rt.par_map(&items, |&x| x + 1), expect);
     }
 
     #[test]

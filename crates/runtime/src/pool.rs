@@ -1,0 +1,277 @@
+//! The persistent worker pool behind `Runtime::par_map*`.
+//!
+//! One process-wide pool, created lazily by the first parallel call and
+//! grown on demand (never shrunk, never torn down — workers park on a
+//! condvar and cost nothing while idle). A parallel call is a
+//! **chunk-claiming job**:
+//!
+//! 1. the caller pushes the job onto the pool queue and wakes workers;
+//! 2. the caller itself claims and runs chunks until none remain
+//!    (*caller participates* — this is what makes nested `par_map` from
+//!    inside a pool worker deadlock-free: the nested caller drains its own
+//!    job even when every other worker is busy);
+//! 3. idle workers join as helpers, up to `threads - 1` of them;
+//! 4. the caller waits until every participant has left the job, then
+//!    collects the per-index result slots.
+//!
+//! ## Safety argument
+//!
+//! The job's borrowed state (`items`, `f`, the result slots) lives on the
+//! caller's stack and is reached through a type-erased pointer, so the
+//! whole design reduces to one invariant: **no participant dereferences
+//! the context except between a successful chunk claim and the
+//! participant-count decrement the caller waits on.**
+//!
+//! * Claims come from a monotonic `fetch_add` counter stored in the
+//!   heap-allocated job header (`Arc<Job>`), never on the stack. Once the
+//!   counter passes `n_chunks`, every future claim fails — and the caller
+//!   only stops participating when its own claim fails, so after the
+//!   caller moves on, a late helper can touch nothing but the `Arc`.
+//! * Each successful claimant is counted in `active` (a mutex so the
+//!   caller can condvar-wait on it). The caller returns only after
+//!   `active == 0`, i.e. after every dereferencing participant is gone.
+//! * Panics poison the claim counter *first* (`fetch_max(n_chunks)`), so
+//!   a stopped job can never hand out another chunk, then record the
+//!   lowest-indexed payload for deterministic re-raise.
+//!
+//! Each result slot `out[i]` is written by exactly one claimant (chunks
+//! partition the index space), and those writes happen-before the caller's
+//! reads via the `active` mutex.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on pool workers, a guard against absurd `CERES_THREADS`
+/// values; the pool grows to `threads - 1` as runtimes request capacity.
+const MAX_POOL_WORKERS: usize = 128;
+
+/// Type-erased view of one `par_map_chunked` call, valid only while the
+/// submitting caller is inside [`run`].
+struct JobCtx<T, R, F> {
+    items: *const T,
+    n: usize,
+    chunk: usize,
+    f: *const F,
+    slots: *mut Option<R>,
+}
+
+/// Heap-shared job header. Everything a participant touches *before*
+/// winning a claim lives here; `ctx` is only dereferenced after one.
+struct Job {
+    /// Next chunk index to claim (monotonic; `>= n_chunks` = exhausted).
+    next: AtomicUsize,
+    n_chunks: usize,
+    /// Helpers admitted so far (the caller is not counted).
+    helpers: AtomicUsize,
+    helper_limit: usize,
+    /// Lowest-indexed panic payload (deterministic re-raise).
+    panic_slot: Mutex<Option<(usize, Box<dyn Any + Send>)>>,
+    /// Participants currently inside [`Job::participate`]; guarded by a
+    /// mutex (not an atomic) so the caller can condvar-wait for zero.
+    active: Mutex<usize>,
+    idle_cv: Condvar,
+    /// Monomorphized chunk runner + its stack context.
+    run_chunk: unsafe fn(*const (), &Job, usize),
+    ctx: *const (),
+}
+
+// Safety: `ctx` and the pointers inside it are only dereferenced under the
+// claim protocol documented at module level; the pointee types are
+// constrained by `run` to `T: Sync`, `R: Send`, `F: Sync`.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claim and run chunks until none remain. Never blocks.
+    fn participate(&self) {
+        *self.active.lock().unwrap() += 1;
+        loop {
+            let c = self.next.fetch_add(1, Ordering::SeqCst);
+            if c >= self.n_chunks {
+                break;
+            }
+            // Safety: successful claim; see the module-level argument.
+            unsafe { (self.run_chunk)(self.ctx, self, c) };
+        }
+        let mut active = self.active.lock().unwrap();
+        *active -= 1;
+        if *active == 0 {
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Block until every participant has left the job.
+    fn wait_idle(&self) {
+        let mut active = self.active.lock().unwrap();
+        while *active > 0 {
+            active = self.idle_cv.wait(active).unwrap();
+        }
+    }
+
+    /// Would a fresh helper find work here?
+    fn wants_help(&self) -> bool {
+        self.next.load(Ordering::SeqCst) < self.n_chunks
+            && self.helpers.load(Ordering::SeqCst) < self.helper_limit
+    }
+
+    /// Reserve a helper slot; a lost race returns `false`.
+    fn try_help(&self) -> bool {
+        if self.next.load(Ordering::SeqCst) >= self.n_chunks {
+            return false;
+        }
+        if self.helpers.fetch_add(1, Ordering::SeqCst) >= self.helper_limit {
+            self.helpers.fetch_sub(1, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Poison further claims, then record the lowest-indexed panic.
+    fn record_panic(&self, item: usize, payload: Box<dyn Any + Send>) {
+        self.next.fetch_max(self.n_chunks, Ordering::SeqCst);
+        let mut slot = self.panic_slot.lock().unwrap();
+        match &*slot {
+            Some((j, _)) if *j <= item => {}
+            _ => *slot = Some((item, payload)),
+        }
+    }
+}
+
+/// Run chunk `c` of the job: `f` over `items[c*chunk .. min(+chunk, n)]`,
+/// results written to the per-index slots.
+///
+/// Safety: caller holds a successful claim on `c`, and the submitting
+/// thread is still inside [`run`] (guaranteed by the claim protocol).
+unsafe fn run_chunk<T, R, F>(ctx: *const (), job: &Job, c: usize)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let ctx = unsafe { &*(ctx as *const JobCtx<T, R, F>) };
+    let items = unsafe { std::slice::from_raw_parts(ctx.items, ctx.n) };
+    let f = unsafe { &*ctx.f };
+    let start = c * ctx.chunk;
+    let end = (start + ctx.chunk).min(ctx.n);
+    for (i, item) in items[start..end].iter().enumerate() {
+        let i = start + i;
+        match panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
+            // Safety: each index belongs to exactly one claimed chunk.
+            Ok(r) => unsafe { *ctx.slots.add(i) = Some(r) },
+            Err(payload) => {
+                job.record_panic(i, payload);
+                return;
+            }
+        }
+    }
+}
+
+/// Execute one parallel map on the pool. `threads >= 2` (the sequential
+/// fallback short-circuits in `Runtime::par_map_chunked`).
+pub(crate) fn run<T, R, F>(items: &[T], chunk: usize, threads: usize, f: &F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    let ctx = JobCtx::<T, R, F> {
+        items: items.as_ptr(),
+        n,
+        chunk,
+        f: f as *const F,
+        slots: slots.as_mut_ptr(),
+    };
+    let job = Arc::new(Job {
+        next: AtomicUsize::new(0),
+        n_chunks: n.div_ceil(chunk),
+        helpers: AtomicUsize::new(0),
+        helper_limit: threads - 1,
+        panic_slot: Mutex::new(None),
+        active: Mutex::new(0),
+        idle_cv: Condvar::new(),
+        run_chunk: run_chunk::<T, R, F>,
+        ctx: &ctx as *const JobCtx<T, R, F> as *const (),
+    });
+
+    let pool = Pool::global();
+    pool.ensure_workers(threads - 1);
+    pool.submit(Arc::clone(&job));
+    job.participate();
+    pool.retire(&job);
+    job.wait_idle();
+
+    if let Some((_, payload)) = job.panic_slot.lock().unwrap().take() {
+        panic::resume_unwind(payload);
+    }
+    slots.into_iter().map(|r| r.expect("every index was claimed exactly once")).collect()
+}
+
+/// The process-wide pool: a queue of in-flight jobs plus parked workers.
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_cv: Condvar,
+    n_workers: Mutex<usize>,
+}
+
+impl Pool {
+    fn global() -> &'static Pool {
+        static POOL: OnceLock<Pool> = OnceLock::new();
+        POOL.get_or_init(|| Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            n_workers: Mutex::new(0),
+        })
+    }
+
+    /// Grow the pool to at least `want` workers (capped, never shrunk).
+    fn ensure_workers(&'static self, want: usize) {
+        let want = want.min(MAX_POOL_WORKERS);
+        let mut n = self.n_workers.lock().unwrap();
+        while *n < want {
+            *n += 1;
+            std::thread::Builder::new()
+                .name(format!("ceres-pool-{n}"))
+                .spawn(move || self.worker_loop())
+                .expect("spawn ceres-runtime pool worker");
+        }
+    }
+
+    fn submit(&self, job: Arc<Job>) {
+        self.queue.lock().unwrap().push_back(job);
+        self.work_cv.notify_all();
+    }
+
+    /// Remove a finished job from the queue (late helpers already holding
+    /// the `Arc` fail their claims harmlessly).
+    fn retire(&self, job: &Arc<Job>) {
+        let mut q = self.queue.lock().unwrap();
+        if let Some(pos) = q.iter().position(|j| Arc::ptr_eq(j, job)) {
+            q.remove(pos);
+        }
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(j) = q.iter().find(|j| j.wants_help()).cloned() {
+                        break j;
+                    }
+                    q = self.work_cv.wait(q).unwrap();
+                }
+            };
+            if job.try_help() {
+                job.participate();
+            }
+            // Exhausted or full jobs stop matching `wants_help`, so the
+            // next loop iteration parks instead of spinning.
+        }
+    }
+}

@@ -21,4 +21,6 @@ pub mod normalize;
 
 pub use distance::{jaccard, jaccard_counts, levenshtein, levenshtein_slices};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use normalize::{normalize, normalize_into, token_sort_key, tokenize};
+pub use normalize::{
+    normalize, normalize_into, token_sort_key, token_sort_key_normalized, tokenize,
+};

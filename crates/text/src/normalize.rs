@@ -56,7 +56,16 @@ pub fn tokenize(normalized: &str) -> impl Iterator<Item = &str> {
 /// `token_sort_key("Lee, Spike") == token_sort_key("Spike Lee")`.
 pub fn token_sort_key(s: &str) -> String {
     let norm = normalize(s);
-    let mut tokens: Vec<&str> = tokenize(&norm).collect();
+    token_sort_key_normalized(&norm)
+}
+
+/// [`token_sort_key`] for input that is **already normalized** — the hot
+/// matching path computes `normalize` once per text field and derives the
+/// fuzzy key from the canonical form instead of re-normalizing the raw
+/// string. `token_sort_key(s) == token_sort_key_normalized(&normalize(s))`
+/// for every `s` (normalize is idempotent; property-tested below).
+pub fn token_sort_key_normalized(norm: &str) -> String {
+    let mut tokens: Vec<&str> = tokenize(norm).collect();
     tokens.sort_unstable();
     tokens.join(" ")
 }
@@ -118,6 +127,11 @@ mod tests {
             let mut buf = String::from("stale contents");
             normalize_into(&s, &mut buf);
             prop_assert_eq!(buf, normalize(&s));
+        }
+
+        #[test]
+        fn token_sort_key_normalized_matches_raw_path(s in ".*") {
+            prop_assert_eq!(token_sort_key(&s), token_sort_key_normalized(&normalize(&s)));
         }
 
         #[test]
