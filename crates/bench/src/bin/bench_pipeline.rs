@@ -3,7 +3,11 @@
 //! Runs the CERES pipeline on one SWDE-like movie-vertical site at 1 thread
 //! and at N threads, verifies the outputs are identical (the runtime's
 //! determinism contract), and writes the wall times to a JSON file so CI
-//! accumulates perf data over time.
+//! accumulates perf data over time. Three variants are timed: the batch
+//! `run_site` protocol, the pre-parsed `run_site_views` hot path, and the
+//! streaming `SiteSession` path (`run_site_streaming`) where pages are
+//! pushed one at a time through the ingest reorder buffer — the overlap
+//! win of the train-once/extract-many API.
 //!
 //! ```text
 //! bench_pipeline [--scale S] [--seed N] [--out PATH] [--baseline PATH]
@@ -15,9 +19,14 @@
 //! are embedded in the output as `baseline_*` fields together with the
 //! before→after ratio, so the perf trajectory is recorded in the artifact
 //! itself.
+//!
+//! Built with `--features runtime-stats`, the pool's scheduling counters
+//! (jobs executed, helper joins, steal misses) are appended to the JSON
+//! and printed to stderr.
 
 use ceres_core::page::PageView;
 use ceres_core::pipeline::{run_site_views, AnnotationMode, SiteRun};
+use ceres_core::session::SiteSession;
 use ceres_core::CeresConfig;
 use ceres_eval::harness::{protocol_pages, run_ceres_on_site, EvalProtocol, SystemKind};
 use ceres_runtime::Runtime;
@@ -56,12 +65,15 @@ fn json_number_after(json: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-/// `(run_site t1, run_site_views t1)` from a previous run's JSON.
-fn baseline_t1(path: &str) -> Option<(f64, f64)> {
+/// `(run_site t1, run_site_views t1, run_site_streaming t1)` from a
+/// previous run's JSON. Streaming is `None` for records written before
+/// the streaming path existed (PR ≤ 3).
+fn baseline_t1(path: &str) -> Option<(f64, f64, Option<f64>)> {
     let json = std::fs::read_to_string(path).ok()?;
     let site = json_number_after(&json, "\"run_site_ms\": {\"t1\":")?;
     let views = json_number_after(&json, "\"run_site_views_ms\": {\"t1\":")?;
-    Some((site, views))
+    let streaming = json_number_after(&json, "\"run_site_streaming_ms\": {\"t1\":");
+    Some((site, views, streaming))
 }
 
 fn main() {
@@ -133,6 +145,24 @@ fn main() {
     });
     assert_same_run(&run_c, &run_d);
 
+    // Streaming run: pages pushed one at a time through the SiteSession
+    // ingest buffer (parse overlaps the push loop), then train + serve.
+    // Must be byte-identical to the batch whole-site run above.
+    let streaming_run = |threads: usize| {
+        let mut session = SiteSession::builder(&v.kb).config(cfg_at(threads)).build();
+        for (id, html) in &train {
+            session.push_page(id.clone(), html.clone());
+        }
+        let trained = session.finish_training();
+        let n = trained.n_training_pages();
+        let extractions = trained.extract_training_pages();
+        trained.into_site_run(extractions, n)
+    };
+    let (stream_t1, run_e) = time_ms(|| streaming_run(1));
+    let (stream_tn, run_f) = time_ms(|| streaming_run(parallel_threads));
+    assert_same_run(&run_e, &run_f);
+    assert_same_run(&run_c, &run_e); // streaming ≡ batch, byte for byte
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -140,17 +170,20 @@ fn main() {
          \"site\": \"{}\",\n  \"pages\": {},\n  \"threads_parallel\": {parallel_threads},\n  \
          \"run_site_ms\": {{\"t1\": {site_t1:.2}, \"tN\": {site_tn:.2}}},\n  \
          \"run_site_views_ms\": {{\"t1\": {views_t1:.2}, \"tN\": {views_tn:.2}}},\n  \
-         \"speedup_run_site\": {:.3},\n  \"speedup_run_site_views\": {:.3}",
+         \"run_site_streaming_ms\": {{\"t1\": {stream_t1:.2}, \"tN\": {stream_tn:.2}}},\n  \
+         \"speedup_run_site\": {:.3},\n  \"speedup_run_site_views\": {:.3},\n  \
+         \"speedup_run_site_streaming\": {:.3}",
         site.name,
         site.pages.len(),
         site_t1 / site_tn,
         views_t1 / views_tn,
+        stream_t1 / stream_tn,
     );
     // Before→after trajectory against a previous run (the committed
     // record): < 1.0 means this build's single-thread path is faster.
     if let Some(path) = baseline_path.as_deref() {
         match baseline_t1(path) {
-            Some((base_site, base_views)) => {
+            Some((base_site, base_views, base_streaming)) => {
                 let _ = write!(
                     json,
                     ",\n  \"baseline_run_site_t1_ms\": {base_site:.2},\n  \
@@ -160,6 +193,14 @@ fn main() {
                     site_t1 / base_site,
                     views_t1 / base_views,
                 );
+                if let Some(base_streaming) = base_streaming {
+                    let _ = write!(
+                        json,
+                        ",\n  \"baseline_run_site_streaming_t1_ms\": {base_streaming:.2},\n  \
+                         \"t1_vs_baseline_run_site_streaming\": {:.3}",
+                        stream_t1 / base_streaming,
+                    );
+                }
             }
             // Loud, not fatal: the record must never silently stop
             // accumulating, but a missing baseline (first run on a fresh
@@ -169,6 +210,23 @@ fn main() {
                  baseline_* fields omitted from {out_path}"
             ),
         }
+    }
+    // Pool scheduling counters (the `runtime-stats` feature): how many
+    // jobs the pool ran for this whole process, how often idle workers
+    // joined them, and how often a woken worker lost the claim race.
+    #[cfg(feature = "runtime-stats")]
+    {
+        let stats = ceres_runtime::pool_stats();
+        let _ = write!(
+            json,
+            ",\n  \"pool_jobs_executed\": {},\n  \"pool_helper_joins\": {},\n  \
+             \"pool_steal_misses\": {}",
+            stats.jobs_executed, stats.helper_joins, stats.steal_misses,
+        );
+        eprintln!(
+            "# pool stats: jobs_executed={} helper_joins={} steal_misses={}",
+            stats.jobs_executed, stats.helper_joins, stats.steal_misses
+        );
     }
     json.push_str("\n}\n");
     std::fs::write(&out_path, &json).expect("write bench JSON");

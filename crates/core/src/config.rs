@@ -1,5 +1,5 @@
 //! All pipeline knobs, with defaults set "according to our empirical
-//! observations … tend[ing] to a small value" (paper §3.1.2), matching the
+//! observations … tend\[ing\] to a small value" (paper §3.1.2), matching the
 //! concrete examples given in the text wherever one is given.
 
 pub use ceres_ml::TrainConfig;
@@ -109,7 +109,7 @@ impl Default for ExtractConfig {
     }
 }
 
-/// Template-clustering knobs (§2.1; the Vertex clustering of [17]).
+/// Template-clustering knobs (§2.1; the Vertex clustering of \[17\]).
 #[derive(Debug, Clone)]
 pub struct TemplateConfig {
     pub enabled: bool,
@@ -149,6 +149,12 @@ pub struct CeresConfig {
     /// Pipeline output is byte-identical for every value (README:
     /// "Parallelism & determinism").
     pub threads: Option<usize>,
+    /// Cap on pages being parsed concurrently while a
+    /// [`crate::session::SiteSession`] ingests (the reorder buffer's
+    /// in-flight limit). `None` = twice the worker-thread count. Output is
+    /// byte-identical for every value; the cap only bounds memory and
+    /// overlap during ingest.
+    pub ingest_ahead: Option<usize>,
 }
 
 impl Default for CeresConfig {
@@ -165,6 +171,7 @@ impl Default for CeresConfig {
             template: TemplateConfig::default(),
             max_annotated_pages: None,
             threads: None,
+            ingest_ahead: None,
         }
     }
 }

@@ -15,8 +15,13 @@
 //!   sampling and list-index exclusion (§4.1);
 //! * [`extract`] — model application, name-node subject resolution, and
 //!   confidence-thresholded extraction (§4.3);
-//! * [`pipeline`] — the end-to-end site extractor (CERES-FULL and
+//! * [`pipeline`] — the end-to-end batch site extractor (CERES-FULL and
 //!   CERES-TOPIC are the same pipeline with different annotation modes);
+//! * [`session`] — the streaming train-once/extract-many API the batch
+//!   pipeline wraps: [`session::SiteSession`] ingests pages as they
+//!   arrive (parse overlaps the caller's fetch loop), trains once, and
+//!   freezes a thread-safe [`session::TrainedSite`] that extracts from
+//!   new pages indefinitely;
 //! * [`baseline`] — CERES-BASELINE: the classic pairwise distant-supervision
 //!   assumption, with a memory budget that reproduces the paper's
 //!   out-of-memory failure on large KBs;
@@ -31,6 +36,7 @@ pub mod extract;
 pub mod features;
 pub mod page;
 pub mod pipeline;
+pub mod session;
 pub mod template;
 pub mod topic;
 pub mod vertex;
@@ -41,3 +47,4 @@ pub use config::{
 };
 pub use extract::Extraction;
 pub use pipeline::{AnnotationMode, SiteRun, SiteRunStats};
+pub use session::{SiteSession, SiteSessionBuilder, TrainedSite};

@@ -15,7 +15,7 @@ pub struct FieldInfo {
     pub node: NodeId,
     /// Whitespace-normalized visible text.
     pub text: String,
-    /// [`ceres_text::normalize`]d form of `text`.
+    /// [`ceres_text::normalize`](fn@ceres_text::normalize)d form of `text`.
     pub norm: String,
     /// KB values this field's text matches (possibly several: ambiguity).
     pub matches: Vec<ValueId>,

@@ -1,11 +1,12 @@
-//! The end-to-end site extractor (Figure 3), restructured as explicit
-//! stages on the deterministic [`ceres_runtime`] executor:
+//! The end-to-end site extractor (Figure 3): batch wrappers over the
+//! streaming train-once/extract-many engine in [`crate::session`]. The
+//! stages run on the deterministic [`ceres_runtime`] executor:
 //!
 //! ```text
 //! Parse ──▶ Cluster ──▶ {Topic ▸ Annotate}   ──▶ Plan ──▶ Train  ──▶ Extract
 //! (par,     (seq,       (par, one job per        (seq     (par,      (par, one task per
-//!  pages)    site-wide)  template cluster)        budget   cluster)   (cluster, page) pair)
-//!                                                 alloc)
+//!  stream)   site-wide)  template cluster)        budget   cluster)   page / (cluster,
+//!                                                 alloc)              page) pair)
 //! ```
 //!
 //! Every parallel stage merges its results in **input order** (cluster
@@ -17,20 +18,23 @@
 //! (in cluster order) before any training starts, so cluster jobs stay
 //! independent.
 //!
+//! Training clusters the **annotation pages only**; extraction pages
+//! (when given) are placed by the trained template signatures
+//! ([`crate::template::Clustering::assign`]) — the same path
+//! [`crate::session::TrainedSite::extract_page`] uses for pages that
+//! arrive long after training, so `run_site` is the streaming API run
+//! back-to-back and is byte-identical to it by construction (and by the
+//! `tests/session.rs` equivalence suite).
+//!
 //! CERES-FULL and CERES-TOPIC are this same pipeline run with
 //! [`AnnotationMode::Full`] vs [`AnnotationMode::TopicOnly`].
 
 pub use crate::annotate::AnnotationMode;
-use crate::annotate::{annotate_relations, PageAnnotation};
 use crate::config::CeresConfig;
-use crate::examples::ClassMap;
-use crate::extract::{extract_page, Extraction};
-use crate::features::FeatureSpace;
+use crate::extract::Extraction;
 use crate::page::PageView;
-use crate::template::cluster_pages;
-use crate::topic::{identify_topics, TopicOutcome};
+use crate::session::train_views_on;
 use ceres_kb::Kb;
-use ceres_ml::LogReg;
 use ceres_runtime::Runtime;
 
 /// Topic decision for one annotation-half page (evaluation input for
@@ -103,6 +107,12 @@ pub struct SiteRun {
 /// * `extraction_pages`: pages to extract from; `None` extracts from the
 ///   annotation pages themselves (the CommonCrawl protocol, where the
 ///   whole site is both annotated and harvested).
+///
+/// This is the train-once/extract-many session run back-to-back on the
+/// same engine, with one batch advantage: the page slices are already
+/// materialized, so parsing borrows them (a bulk `par_map`, no per-page
+/// string copies and no reorder buffer — those exist for producers that
+/// stream pages in, which is [`crate::session::SiteSession`]'s job).
 pub fn run_site(
     kb: &Kb,
     annotation_pages: &[(String, String)],
@@ -111,37 +121,14 @@ pub fn run_site(
     mode: AnnotationMode,
 ) -> SiteRun {
     let rt = Runtime::with_threads(cfg.threads);
-    // --- Parse stage: PageView::build fans out, one task per page ---
     let ann_views: Vec<PageView> =
         rt.par_map(annotation_pages, |(id, html)| PageView::build(id, html, kb));
-    let ext_views: Option<Vec<PageView>> =
-        extraction_pages.map(|pages| rt.par_map(pages, |(id, html)| PageView::build(id, html, kb)));
-    run_site_views_on(&rt, kb, &ann_views, ext_views.as_deref(), cfg, mode)
-}
-
-/// One template cluster's work order: indexes into the annotation and
-/// extraction view slices. Plans are fixed before any cluster stage runs,
-/// which is what lets cluster jobs execute concurrently.
-struct ClusterPlan {
-    ann_idx: Vec<usize>,
-    ext_idx: Vec<usize>,
-}
-
-/// Output of one cluster's {Topic ▸ Annotate} job.
-struct ClusterAnnotations {
-    topic_out: TopicOutcome,
-    annotations: Vec<PageAnnotation>,
-}
-
-/// Output of one cluster's Train job; the frozen [`FeatureSpace`] is shared
-/// by reference across that cluster's parallel extract tasks.
-struct ClusterModel {
-    model: LogReg,
-    space: FeatureSpace,
-    class_map: ClassMap,
-    n_train_examples: usize,
-    n_features: usize,
-    n_classes: usize,
+    let core = train_views_on(&rt, kb, &ann_views, cfg, mode);
+    let (extractions, n_ext) = match extraction_pages {
+        Some(pages) => (core.extract_pages_on(&rt, kb, pages), pages.len()),
+        None => (core.extract_members_on(&rt, &ann_views), ann_views.len()),
+    };
+    core.into_site_run(extractions, n_ext)
 }
 
 /// [`run_site`] over pre-built [`PageView`]s (benchmarks parse once).
@@ -166,165 +153,17 @@ pub fn run_site_views_on(
     cfg: &CeresConfig,
     mode: AnnotationMode,
 ) -> SiteRun {
-    let mut run = SiteRun::default();
-    run.stats.n_annotation_pages = ann_views.len();
-    run.stats.n_extraction_pages = ext_views.map_or(ann_views.len(), |v| v.len());
-
-    // --- Cluster stage: template clustering over annotation ∪ extraction
-    // pages, so every extraction page is handled by the model of its own
-    // template family (site-wide, sequential) ---
-    let n_ann = ann_views.len();
-    let combined: Vec<&PageView> = match ext_views {
-        Some(ext) => ann_views.iter().chain(ext.iter()).collect(),
-        None => ann_views.iter().collect(),
+    let core = train_views_on(rt, kb, ann_views, cfg, mode);
+    let (extractions, n_ext) = match ext_views {
+        // Unseen pages go through the template-assignment path, one task
+        // per page, merged in page order.
+        Some(ext) => (core.extract_views_on(rt, ext), ext.len()),
+        // The whole-site protocol extracts from the training pages via
+        // their recorded cluster membership (cluster order, then page
+        // order — the classic batch layout).
+        None => (core.extract_members_on(rt, ann_views), ann_views.len()),
     };
-    let clusters = cluster_pages(&combined, &cfg.template);
-    run.stats.n_clusters = clusters.len();
-
-    // Fix each cluster's work order up front (in cluster order).
-    let plans: Vec<ClusterPlan> = clusters
-        .into_iter()
-        .filter(|cluster| cluster.len() >= cfg.template.min_cluster_size)
-        .filter_map(|cluster| {
-            let ann_idx: Vec<usize> = cluster.iter().copied().filter(|&i| i < n_ann).collect();
-            if ann_idx.is_empty() {
-                return None;
-            }
-            let ext_idx: Vec<usize> = match ext_views {
-                Some(_) => {
-                    cluster.iter().copied().filter(|&i| i >= n_ann).map(|i| i - n_ann).collect()
-                }
-                None => ann_idx.clone(),
-            };
-            Some(ClusterPlan { ann_idx, ext_idx })
-        })
-        .collect();
-    let cluster_ann = |plan: &ClusterPlan| -> Vec<&PageView> {
-        plan.ann_idx.iter().map(|&i| &ann_views[i]).collect()
-    };
-
-    // --- {Topic ▸ Annotate} stage: Algorithms 1 and 2, one concurrent job
-    // per cluster (no cross-cluster state) ---
-    let mut annotated: Vec<ClusterAnnotations> = rt.par_map(&plans, |plan| {
-        let pages = cluster_ann(plan);
-        let topic_out = identify_topics(&pages, kb, &cfg.topic);
-        let annotations = annotate_relations(&pages, kb, &topic_out, &cfg.annotate, mode);
-        ClusterAnnotations { topic_out, annotations }
-    });
-
-    // --- Plan stage: allocate Figure 5's annotated-pages budget across
-    // clusters *before* training. Walking annotation counts in cluster
-    // order reproduces exactly what consuming the budget inside a
-    // sequential cluster loop produced, while leaving the Train/Extract
-    // jobs below free of cross-cluster data flow.
-    let mut annotated_budget = cfg.max_annotated_pages.unwrap_or(usize::MAX);
-    for ca in &mut annotated {
-        let granted = ca.annotations.len().min(annotated_budget);
-        ca.annotations.truncate(granted);
-        annotated_budget -= granted;
-    }
-
-    // Records for the evaluation harness (ordered merge: cluster order,
-    // then page order within each cluster).
-    for (plan, ca) in plans.iter().zip(&annotated) {
-        let pages = cluster_ann(plan);
-        let survived: std::collections::BTreeSet<usize> =
-            ca.annotations.iter().map(|a| a.page_idx).collect();
-        run.stats.n_pages_with_topic +=
-            ca.topic_out.assignments.iter().filter(|a| a.is_some()).count();
-        for (k, page) in pages.iter().enumerate() {
-            let assignment = ca.topic_out.assignments[k];
-            run.topic_records.push(TopicRecord {
-                page_id: page.page_id.clone(),
-                topic: assignment.map(|(v, _)| kb.canonical(v).to_string()),
-                name_gt_id: assignment.and_then(|(_, fi)| page.fields[fi].gt_id),
-                survived: survived.contains(&k),
-            });
-        }
-        for ann in &ca.annotations {
-            let page = pages[ann.page_idx];
-            for &(fi, pred) in &ann.labels {
-                run.annotation_records.push(AnnotationRecord {
-                    page_id: page.page_id.clone(),
-                    gt_id: page.fields[fi].gt_id,
-                    pred: kb.ontology().pred_name(pred).to_string(),
-                });
-            }
-        }
-        run.stats.n_annotated_pages += ca.annotations.len();
-        run.stats.n_annotations += ca.annotations.iter().map(|a| a.labels.len()).sum::<usize>();
-    }
-
-    // --- Train stage: one concurrent job per cluster; budgets are already
-    // fixed, so jobs are fully independent ---
-    let cluster_ids: Vec<usize> = (0..plans.len()).collect();
-    let trained: Vec<Option<ClusterModel>> = rt.par_map(&cluster_ids, |&ci| {
-        let ca = &annotated[ci];
-        if ca.annotations.len() < 2 {
-            return None;
-        }
-        let class_map = ClassMap::from_annotations(&ca.annotations);
-        if class_map.preds().is_empty() {
-            return None;
-        }
-        let pages = cluster_ann(&plans[ci]);
-        let mut space = FeatureSpace::new(&pages, cfg.features.clone());
-        // Nested fan-out: name collection for this cluster's rows runs on
-        // the same pool (the caller-participates pool makes the nesting
-        // deadlock-free), so a single-cluster site still parallelizes its
-        // training feature pass.
-        let data = crate::examples::build_training_on(
-            rt,
-            &pages,
-            &ca.annotations,
-            &mut space,
-            &class_map,
-            cfg.negative_ratio,
-            cfg.seed,
-            cfg.list_exclusion,
-        );
-        if data.is_empty() {
-            return None;
-        }
-        let (model, _train_stats) = LogReg::train(&data, &cfg.train);
-        space.freeze();
-        Some(ClusterModel {
-            model,
-            space,
-            class_map,
-            n_train_examples: data.len(),
-            n_features: data.n_features,
-            n_classes: data.n_classes,
-        })
-    });
-    for cm in trained.iter().flatten() {
-        run.stats.n_train_examples += cm.n_train_examples;
-        run.stats.n_features = run.stats.n_features.max(cm.n_features);
-        run.stats.n_classes = run.stats.n_classes.max(cm.n_classes);
-        run.stats.trained = true;
-    }
-
-    // --- Extract stage: flatten to one task per (cluster, page) pair so a
-    // single-cluster site still fans out across its pages. Each task only
-    // reads its cluster's frozen FeatureSpace (`&FeatureSpace`); the merge
-    // restores cluster order then page order.
-    let tasks: Vec<(usize, &PageView)> = plans
-        .iter()
-        .enumerate()
-        .filter(|&(ci, _)| trained[ci].is_some())
-        .flat_map(|(ci, plan)| {
-            plan.ext_idx.iter().map(move |&i| match ext_views {
-                Some(ext) => (ci, &ext[i]),
-                None => (ci, &ann_views[i]),
-            })
-        })
-        .collect();
-    let extracted: Vec<Vec<Extraction>> = rt.par_map(&tasks, |&(ci, page)| {
-        let cm = trained[ci].as_ref().expect("extract tasks exist only for trained clusters");
-        extract_page(page, &cm.model, &cm.space, &cm.class_map, &cfg.extract)
-    });
-    run.extractions = extracted.into_iter().flatten().collect();
-    run
+    core.into_site_run(extractions, n_ext)
 }
 
 #[cfg(test)]

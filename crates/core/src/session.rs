@@ -1,0 +1,675 @@
+//! The streaming, train-once/extract-many site API.
+//!
+//! CERES's Figure-3 pipeline is two-phase by nature: distant supervision
+//! trains per-template-cluster models once, then extraction applies them
+//! to every page of the site. This module makes that split the API:
+//!
+//! ```text
+//!  ingest                      train                      serve
+//!  ──────                      ─────                      ─────
+//!  SiteSession::push_page ──▶  finish_training()    ──▶   TrainedSite::extract_page
+//!  (parse overlaps the         (Cluster ▸ Topic/Annotate  extract_batch / extract_views
+//!   caller's fetch loop         ▸ Plan ▸ Train; freezes   (&self, thread-safe: many
+//!   via a bounded reorder       models + template          callers extract concurrently,
+//!   buffer)                     signatures)                no re-training, ever)
+//! ```
+//!
+//! * **Ingest** — [`SiteSession::push_page`] hands each page to the
+//!   runtime's bounded reorder buffer ([`ceres_runtime::StreamMap`]):
+//!   parsing runs on pool workers while the caller fetches/decompresses
+//!   the next page, and parsed views surface in input order, so the
+//!   session is byte-identical to batch parsing at every thread count.
+//! * **Train** — [`SiteSession::finish_training`] runs the training-side
+//!   stages once and freezes everything extraction needs: per-cluster
+//!   `(LogReg, FeatureSpace, ClassMap)` triples plus the template
+//!   signatures ([`Clustering`]) that place *unseen* pages into a cluster.
+//! * **Serve** — [`TrainedSite`] is an immutable artifact: every method
+//!   takes `&self`, so one trained site can serve many extracting threads
+//!   simultaneously and indefinitely.
+//!
+//! [`run_site`](crate::pipeline::run_site) and friends are thin wrappers
+//! over this module (one engine, proven byte-identical by the equivalence
+//! suite in `tests/session.rs`).
+
+use crate::annotate::{annotate_relations, AnnotationMode, PageAnnotation};
+use crate::config::{CeresConfig, ExtractConfig};
+use crate::examples::ClassMap;
+use crate::extract::{extract_page, Extraction};
+use crate::features::FeatureSpace;
+use crate::page::PageView;
+use crate::pipeline::{AnnotationRecord, SiteRun, SiteRunStats, TopicRecord};
+use crate::template::{cluster_site, Clustering};
+use crate::topic::identify_topics;
+use ceres_kb::Kb;
+use ceres_ml::LogReg;
+use ceres_runtime::{Runtime, StreamMap};
+
+/// One cluster's frozen model: everything its extract tasks read.
+pub(crate) struct ClusterModel {
+    pub(crate) model: LogReg,
+    pub(crate) space: FeatureSpace,
+    pub(crate) class_map: ClassMap,
+    pub(crate) n_train_examples: usize,
+    pub(crate) n_features: usize,
+    pub(crate) n_classes: usize,
+}
+
+/// The trained engine state shared by [`TrainedSite`] and the batch
+/// wrappers in [`crate::pipeline`]: per-cluster models, the template
+/// signatures for cluster assignment, and the training-side records.
+pub(crate) struct TrainedCore {
+    clustering: Clustering,
+    /// Trained-eligible clusters' page-index lists (cluster order).
+    plans: Vec<Vec<usize>>,
+    /// Sorted-cluster index → index into `plans`/`models` (clusters that
+    /// failed the size filter map to `None`).
+    plan_of_cluster: Vec<Option<usize>>,
+    models: Vec<Option<ClusterModel>>,
+    stats: SiteRunStats,
+    topic_records: Vec<TopicRecord>,
+    annotation_records: Vec<AnnotationRecord>,
+    extract_cfg: ExtractConfig,
+}
+
+/// Run the training side of the pipeline — Cluster → {Topic ▸ Annotate} →
+/// Plan → Train — over pre-parsed views, exactly as the staged batch
+/// pipeline always has (same stage order, same ordered merges, so the
+/// output is byte-identical at every thread count).
+pub(crate) fn train_views_on(
+    rt: &Runtime,
+    kb: &Kb,
+    views: &[PageView],
+    cfg: &CeresConfig,
+    mode: AnnotationMode,
+) -> TrainedCore {
+    let mut stats = SiteRunStats { n_annotation_pages: views.len(), ..Default::default() };
+    let mut topic_records = Vec::new();
+    let mut annotation_records = Vec::new();
+
+    // --- Cluster stage: template clustering over the training pages
+    // (site-wide, sequential). The representative signatures are kept so
+    // unseen pages can be assigned to a cluster at serve time. ---
+    let refs: Vec<&PageView> = views.iter().collect();
+    let clustering = cluster_site(&refs, &cfg.template);
+    stats.n_clusters = clustering.n_clusters();
+
+    // Fix each cluster's work order up front (in cluster order).
+    let mut plan_of_cluster: Vec<Option<usize>> = vec![None; clustering.n_clusters()];
+    let mut plans: Vec<Vec<usize>> = Vec::new();
+    for (ci, cluster) in clustering.clusters.iter().enumerate() {
+        if !cluster.is_empty() && cluster.len() >= cfg.template.min_cluster_size {
+            plan_of_cluster[ci] = Some(plans.len());
+            plans.push(cluster.clone());
+        }
+    }
+    let cluster_pages_of =
+        |plan: &Vec<usize>| -> Vec<&PageView> { plan.iter().map(|&i| &views[i]).collect() };
+
+    // --- {Topic ▸ Annotate} stage: Algorithms 1 and 2, one concurrent job
+    // per cluster (no cross-cluster state) ---
+    struct ClusterAnnotations {
+        topic_out: crate::topic::TopicOutcome,
+        annotations: Vec<PageAnnotation>,
+    }
+    let mut annotated: Vec<ClusterAnnotations> = rt.par_map(&plans, |plan| {
+        let pages = cluster_pages_of(plan);
+        let topic_out = identify_topics(&pages, kb, &cfg.topic);
+        let annotations = annotate_relations(&pages, kb, &topic_out, &cfg.annotate, mode);
+        ClusterAnnotations { topic_out, annotations }
+    });
+
+    // --- Plan stage: allocate Figure 5's annotated-pages budget across
+    // clusters *before* training. Walking annotation counts in cluster
+    // order reproduces exactly what consuming the budget inside a
+    // sequential cluster loop produced, while leaving the Train jobs below
+    // free of cross-cluster data flow.
+    let mut annotated_budget = cfg.max_annotated_pages.unwrap_or(usize::MAX);
+    for ca in &mut annotated {
+        let granted = ca.annotations.len().min(annotated_budget);
+        ca.annotations.truncate(granted);
+        annotated_budget -= granted;
+    }
+
+    // Records for the evaluation harness (ordered merge: cluster order,
+    // then page order within each cluster).
+    for (plan, ca) in plans.iter().zip(&annotated) {
+        let pages = cluster_pages_of(plan);
+        let survived: std::collections::BTreeSet<usize> =
+            ca.annotations.iter().map(|a| a.page_idx).collect();
+        stats.n_pages_with_topic += ca.topic_out.assignments.iter().filter(|a| a.is_some()).count();
+        for (k, page) in pages.iter().enumerate() {
+            let assignment = ca.topic_out.assignments[k];
+            topic_records.push(TopicRecord {
+                page_id: page.page_id.clone(),
+                topic: assignment.map(|(v, _)| kb.canonical(v).to_string()),
+                name_gt_id: assignment.and_then(|(_, fi)| page.fields[fi].gt_id),
+                survived: survived.contains(&k),
+            });
+        }
+        for ann in &ca.annotations {
+            let page = pages[ann.page_idx];
+            for &(fi, pred) in &ann.labels {
+                annotation_records.push(AnnotationRecord {
+                    page_id: page.page_id.clone(),
+                    gt_id: page.fields[fi].gt_id,
+                    pred: kb.ontology().pred_name(pred).to_string(),
+                });
+            }
+        }
+        stats.n_annotated_pages += ca.annotations.len();
+        stats.n_annotations += ca.annotations.iter().map(|a| a.labels.len()).sum::<usize>();
+    }
+
+    // --- Train stage: one concurrent job per cluster; budgets are already
+    // fixed, so jobs are fully independent ---
+    let cluster_ids: Vec<usize> = (0..plans.len()).collect();
+    let models: Vec<Option<ClusterModel>> = rt.par_map(&cluster_ids, |&ci| {
+        let ca = &annotated[ci];
+        if ca.annotations.len() < 2 {
+            return None;
+        }
+        let class_map = ClassMap::from_annotations(&ca.annotations);
+        if class_map.preds().is_empty() {
+            return None;
+        }
+        let pages = cluster_pages_of(&plans[ci]);
+        let mut space = FeatureSpace::new(&pages, cfg.features.clone());
+        // Nested fan-out: name collection for this cluster's rows runs on
+        // the same pool (the caller-participates pool makes the nesting
+        // deadlock-free), so a single-cluster site still parallelizes its
+        // training feature pass.
+        let data = crate::examples::build_training_on(
+            rt,
+            &pages,
+            &ca.annotations,
+            &mut space,
+            &class_map,
+            cfg.negative_ratio,
+            cfg.seed,
+            cfg.list_exclusion,
+        );
+        if data.is_empty() {
+            return None;
+        }
+        let (model, _train_stats) = LogReg::train(&data, &cfg.train);
+        space.freeze();
+        Some(ClusterModel {
+            model,
+            space,
+            class_map,
+            n_train_examples: data.len(),
+            n_features: data.n_features,
+            n_classes: data.n_classes,
+        })
+    });
+    for cm in models.iter().flatten() {
+        stats.n_train_examples += cm.n_train_examples;
+        stats.n_features = stats.n_features.max(cm.n_features);
+        stats.n_classes = stats.n_classes.max(cm.n_classes);
+        stats.trained = true;
+    }
+
+    TrainedCore {
+        clustering,
+        plans,
+        plan_of_cluster,
+        models,
+        stats,
+        topic_records,
+        annotation_records,
+        extract_cfg: cfg.extract.clone(),
+    }
+}
+
+impl TrainedCore {
+    /// The model serving `view`, via the template-assignment path.
+    fn model_for(&self, view: &PageView) -> Option<&ClusterModel> {
+        let ci = self.clustering.assign(view)?;
+        let pi = self.plan_of_cluster[ci]?;
+        self.models[pi].as_ref()
+    }
+
+    /// Extract from one page not seen at train time: assign it to a
+    /// template cluster, apply that cluster's model.
+    pub(crate) fn extract_one(&self, view: &PageView) -> Vec<Extraction> {
+        match self.model_for(view) {
+            Some(cm) => extract_page(view, &cm.model, &cm.space, &cm.class_map, &self.extract_cfg),
+            None => Vec::new(),
+        }
+    }
+
+    /// Extract from unseen pre-parsed views (assignment path), one task
+    /// per page, results merged in page order.
+    pub(crate) fn extract_views_on(&self, rt: &Runtime, views: &[PageView]) -> Vec<Extraction> {
+        rt.par_map(views, |view| self.extract_one(view)).into_iter().flatten().collect()
+    }
+
+    /// Extract from unseen raw pages: parse (borrowing the slice — no
+    /// string copies) + assign + extract, one task per page, merged in
+    /// page order.
+    pub(crate) fn extract_pages_on(
+        &self,
+        rt: &Runtime,
+        kb: &Kb,
+        pages: &[(String, String)],
+    ) -> Vec<Extraction> {
+        rt.par_map(pages, |(id, html)| self.extract_one(&PageView::build(id, html, kb)))
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Extract from the training pages themselves (the CommonCrawl
+    /// protocol) using their recorded cluster **membership** — no
+    /// re-assignment — one task per (cluster, page), merged in cluster
+    /// order then page order, exactly as the batch pipeline always has.
+    pub(crate) fn extract_members_on(&self, rt: &Runtime, views: &[PageView]) -> Vec<Extraction> {
+        let tasks: Vec<(usize, &PageView)> = self
+            .plans
+            .iter()
+            .enumerate()
+            .filter(|&(pi, _)| self.models[pi].is_some())
+            .flat_map(|(pi, plan)| plan.iter().map(move |&i| (pi, &views[i])))
+            .collect();
+        let extracted: Vec<Vec<Extraction>> = rt.par_map(&tasks, |&(pi, page)| {
+            let cm = self.models[pi].as_ref().expect("tasks exist only for trained clusters");
+            extract_page(page, &cm.model, &cm.space, &cm.class_map, &self.extract_cfg)
+        });
+        extracted.into_iter().flatten().collect()
+    }
+
+    pub(crate) fn into_site_run(
+        mut self,
+        extractions: Vec<Extraction>,
+        n_extraction_pages: usize,
+    ) -> SiteRun {
+        self.stats.n_extraction_pages = n_extraction_pages;
+        SiteRun {
+            extractions,
+            topic_records: self.topic_records,
+            annotation_records: self.annotation_records,
+            stats: self.stats,
+        }
+    }
+}
+
+/// Builds a [`SiteSession`]; obtained from [`SiteSession::builder`].
+pub struct SiteSessionBuilder<'kb> {
+    kb: &'kb Kb,
+    cfg: CeresConfig,
+    mode: AnnotationMode,
+    ingest_ahead: Option<usize>,
+}
+
+impl<'kb> SiteSessionBuilder<'kb> {
+    /// Use `cfg` for every stage (defaults to [`CeresConfig::default`]).
+    pub fn config(mut self, cfg: CeresConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Annotation mode for training (defaults to [`AnnotationMode::Full`]).
+    pub fn mode(mut self, mode: AnnotationMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Cap on pages being parsed concurrently during ingest (the reorder
+    /// buffer's in-flight limit). Overrides [`CeresConfig::ingest_ahead`];
+    /// the default is twice the worker-thread count.
+    pub fn ingest_ahead(mut self, cap: usize) -> Self {
+        self.ingest_ahead = Some(cap);
+        self
+    }
+
+    /// Open the session.
+    pub fn build(self) -> SiteSession<'kb> {
+        let rt = Runtime::with_threads(self.cfg.threads);
+        let cap = self
+            .ingest_ahead
+            .or(self.cfg.ingest_ahead)
+            .unwrap_or_else(|| (rt.threads() * 2).max(1));
+        let kb = self.kb;
+        let parser = move |(id, html): (String, String)| PageView::build(&id, &html, kb);
+        SiteSession {
+            kb,
+            cfg: self.cfg,
+            mode: self.mode,
+            rt,
+            stream: StreamMap::new(&rt, cap, parser),
+            views: Vec::new(),
+        }
+    }
+}
+
+/// The ingest/train phase of the streaming pipeline: pages are pushed in
+/// as they arrive (parsing overlaps the caller's fetch loop), then
+/// [`SiteSession::finish_training`] freezes a [`TrainedSite`].
+///
+/// Output is byte-identical to the batch [`crate::pipeline::run_site`] fed
+/// the same pages in the same order, at every thread count and every
+/// ingest-ahead cap (see `tests/session.rs`).
+pub struct SiteSession<'kb> {
+    kb: &'kb Kb,
+    cfg: CeresConfig,
+    mode: AnnotationMode,
+    rt: Runtime,
+    stream: StreamMap<'kb, (String, String), PageView>,
+    views: Vec<PageView>,
+}
+
+impl<'kb> SiteSession<'kb> {
+    /// Start building a session against `kb`.
+    pub fn builder(kb: &Kb) -> SiteSessionBuilder<'_> {
+        SiteSessionBuilder {
+            kb,
+            cfg: CeresConfig::default(),
+            mode: AnnotationMode::Full,
+            ingest_ahead: None,
+        }
+    }
+
+    /// Ingest one `(page id, html)` pair. Parsing is handed to the worker
+    /// pool and this call returns as soon as the reorder buffer has room —
+    /// fetch the next page while this one parses.
+    pub fn push_page(&mut self, id: impl Into<String>, html: impl Into<String>) {
+        if let Some(view) = self.stream.push((id.into(), html.into())) {
+            self.views.push(view);
+        }
+    }
+
+    /// Ingest every page of an iterator (a convenience loop over
+    /// [`SiteSession::push_page`] — the iterator may be lazy, e.g. a
+    /// fetcher or archive reader, and parsing overlaps its `next()`).
+    pub fn ingest(&mut self, pages: impl IntoIterator<Item = (String, String)>) {
+        for (id, html) in pages {
+            self.push_page(id, html);
+        }
+    }
+
+    /// Pages ingested so far (parsed or still in flight).
+    pub fn pages_ingested(&self) -> usize {
+        self.views.len() + self.stream.in_flight()
+    }
+
+    /// The session's resolved runtime (thread count etc.).
+    pub fn runtime(&self) -> Runtime {
+        self.rt
+    }
+
+    /// Close ingest and run the training side of the pipeline — Cluster →
+    /// {Topic ▸ Annotate} → Plan → Train — freezing per-cluster models and
+    /// the template signatures that let the returned [`TrainedSite`]
+    /// place pages it has never seen.
+    pub fn finish_training(mut self) -> TrainedSite<'kb> {
+        self.views.extend(self.stream.drain());
+        let core = train_views_on(&self.rt, self.kb, &self.views, &self.cfg, self.mode);
+        TrainedSite { kb: self.kb, rt: self.rt, core, train_views: self.views }
+    }
+}
+
+/// The frozen serve-phase artifact: per-cluster models plus template
+/// signatures. Every method takes `&self` and all state is immutable, so
+/// a `TrainedSite` can be shared by reference across any number of
+/// threads, each extracting from new pages concurrently — train once,
+/// extract many, no re-training ever.
+pub struct TrainedSite<'kb> {
+    kb: &'kb Kb,
+    rt: Runtime,
+    core: TrainedCore,
+    train_views: Vec<PageView>,
+}
+
+impl<'kb> TrainedSite<'kb> {
+    /// Extract from one page **not seen at train time**: parse it, assign
+    /// it to the best-matching template cluster, and apply that cluster's
+    /// model. Pages matching no trained template yield no extractions.
+    pub fn extract_page(&self, id: &str, html: &str) -> Vec<Extraction> {
+        self.core.extract_one(&PageView::build(id, html, self.kb))
+    }
+
+    /// [`TrainedSite::extract_page`] over a pre-built view.
+    pub fn extract_view(&self, view: &PageView) -> Vec<Extraction> {
+        self.core.extract_one(view)
+    }
+
+    /// Extract from a batch of unseen pages: parse + assign + extract,
+    /// one task per page on this site's runtime, results merged in page
+    /// order (byte-identical at every thread count).
+    pub fn extract_batch(&self, pages: &[(String, String)]) -> Vec<Extraction> {
+        self.core.extract_pages_on(&self.rt, self.kb, pages)
+    }
+
+    /// [`TrainedSite::extract_batch`] over pre-built views.
+    pub fn extract_views(&self, views: &[PageView]) -> Vec<Extraction> {
+        self.core.extract_views_on(&self.rt, views)
+    }
+
+    /// Extract from the training pages themselves (the CommonCrawl
+    /// whole-site protocol) using their recorded cluster membership.
+    /// Returns nothing after [`TrainedSite::take_training_views`].
+    pub fn extract_training_pages(&self) -> Vec<Extraction> {
+        if self.train_views.is_empty() {
+            return Vec::new();
+        }
+        self.core.extract_members_on(&self.rt, &self.train_views)
+    }
+
+    /// Release the parsed training pages, returning them to the caller
+    /// (drop the result to free the memory). A long-lived serving
+    /// artifact only needs the models and template signatures; the
+    /// training views — the whole parsed corpus — are kept solely for
+    /// [`TrainedSite::extract_training_pages`], which yields nothing once
+    /// they are taken. Serving new pages is unaffected.
+    pub fn take_training_views(&mut self) -> Vec<PageView> {
+        std::mem::take(&mut self.train_views)
+    }
+
+    /// Which template cluster `view` would be served by, if any (an index
+    /// into the training clustering, largest cluster first).
+    pub fn assign(&self, view: &PageView) -> Option<usize> {
+        self.core.clustering.assign(view)
+    }
+
+    /// Whether cluster `ci` (as returned by [`TrainedSite::assign`])
+    /// carries a trained model.
+    pub fn cluster_is_trained(&self, ci: usize) -> bool {
+        self.core
+            .plan_of_cluster
+            .get(ci)
+            .copied()
+            .flatten()
+            .is_some_and(|pi| self.core.models[pi].is_some())
+    }
+
+    /// Training-side statistics (`n_extraction_pages` is 0 until a
+    /// [`SiteRun`] is assembled by [`TrainedSite::into_site_run`]).
+    pub fn stats(&self) -> &SiteRunStats {
+        &self.core.stats
+    }
+
+    /// Topic decisions recorded during training (Table 7 input).
+    pub fn topic_records(&self) -> &[TopicRecord] {
+        &self.core.topic_records
+    }
+
+    /// Relation annotations recorded during training (Table 6 input).
+    pub fn annotation_records(&self) -> &[AnnotationRecord] {
+        &self.core.annotation_records
+    }
+
+    /// Number of pages the site was trained on.
+    pub fn n_training_pages(&self) -> usize {
+        self.train_views.len()
+    }
+
+    /// The KB this site was trained against.
+    pub fn kb(&self) -> &'kb Kb {
+        self.kb
+    }
+
+    /// Assemble a batch-style [`SiteRun`] from this site's training
+    /// records plus `extractions` produced by the serve phase.
+    pub fn into_site_run(self, extractions: Vec<Extraction>, n_extraction_pages: usize) -> SiteRun {
+        self.core.into_site_run(extractions, n_extraction_pages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceres_kb::{KbBuilder, Ontology};
+
+    type Pages = Vec<(String, String)>;
+
+    /// A two-template site: detail pages (director + cast) and review
+    /// pages (three critics), each template backed by its own predicates.
+    fn two_template_world() -> (Kb, Pages, Pages) {
+        let mut o = Ontology::new();
+        let film = o.register_type("Film");
+        let person = o.register_type("Person");
+        let directed = o.register_pred("directedBy", film, true);
+        let cast_p = o.register_pred("cast", film, true);
+        let reviewed = o.register_pred("reviewedBy", film, true);
+        let mut b = KbBuilder::new(o);
+        for i in 0..8 {
+            let f = b.entity(film, &format!("Great Movie {i}"));
+            let d = b.entity(person, &format!("Director Person {i}"));
+            b.triple(f, directed, d);
+            for j in 0..3 {
+                let a = b.entity(person, &format!("Star {i} {j}"));
+                b.triple(f, cast_p, a);
+                let r = b.entity(person, &format!("Critic Writer {i} {j}"));
+                b.triple(f, reviewed, r);
+            }
+        }
+        let kb = b.build();
+
+        let detail = |i: usize| {
+            format!(
+                "<html><body><div class=nav><a>Home</a><a>Help</a></div>\
+                 <h1 class=title>Great Movie {i}</h1>\
+                 <div class=info><div class=row><span class=label>Director:</span>\
+                 <span class=val>Director Person {i}</span></div></div>\
+                 <div class=cast><h2>Cast</h2><ul>\
+                 <li>Star {i} 0</li><li>Star {i} 1</li><li>Star {i} 2</li></ul></div>\
+                 <div class=footer><span>terms</span><span>privacy</span><span>contact</span>\
+                 <span>about</span><span>jobs</span><span>press</span></div></body></html>"
+            )
+        };
+        let review = |i: usize| {
+            format!(
+                "<html><body><table class=rev><tr><th class=movie>Great Movie {i}</th></tr>\
+                 <tr><td class=who>Critic Writer {i} 0</td><td class=when>2019</td></tr>\
+                 <tr><td class=who>Critic Writer {i} 1</td><td class=when>2020</td></tr>\
+                 <tr><td class=who>Critic Writer {i} 2</td><td class=when>2021</td></tr>\
+                 <tr><td>blurb a</td><td>blurb b</td></tr>\
+                 <tr><td>blurb c</td><td>blurb d</td></tr></table></body></html>"
+            )
+        };
+        let details: Vec<(String, String)> =
+            (0..8).map(|i| (format!("d-{i}"), detail(i))).collect();
+        let reviews: Vec<(String, String)> =
+            (0..8).map(|i| (format!("r-{i}"), review(i))).collect();
+        (kb, details, reviews)
+    }
+
+    #[test]
+    fn session_lifecycle_trains_and_serves_unseen_pages() {
+        let (kb, details, reviews) = two_template_world();
+        let mut session = SiteSession::builder(&kb)
+            .config(CeresConfig::new(11))
+            .mode(AnnotationMode::Full)
+            .build();
+        for (id, html) in details.iter().chain(reviews.iter()) {
+            session.push_page(id.clone(), html.clone());
+        }
+        assert_eq!(session.pages_ingested(), 16);
+        let trained = session.finish_training();
+        assert!(trained.stats().trained, "both templates must train: {:?}", trained.stats());
+
+        // An unseen detail page about a film the KB has never heard of.
+        let ex = trained.extract_page(
+            "d-new",
+            "<html><body><div class=nav><a>Home</a><a>Help</a></div>\
+             <h1 class=title>Totally Fresh Film</h1>\
+             <div class=info><div class=row><span class=label>Director:</span>\
+             <span class=val>Fresh Face</span></div></div>\
+             <div class=cast><h2>Cast</h2><ul>\
+             <li>New Star 0</li><li>New Star 1</li><li>New Star 2</li></ul></div>\
+             <div class=footer><span>terms</span><span>privacy</span><span>contact</span>\
+             <span>about</span><span>jobs</span><span>press</span></div></body></html>",
+        );
+        assert!(
+            ex.iter().any(|e| e.object == "Fresh Face"),
+            "detail model must extract the director: {ex:?}"
+        );
+    }
+
+    #[test]
+    fn unseen_pages_are_served_by_their_own_templates_model() {
+        let (kb, details, reviews) = two_template_world();
+        let mut session = SiteSession::builder(&kb).config(CeresConfig::new(11)).build();
+        session.ingest(details.iter().cloned());
+        session.ingest(reviews.iter().cloned());
+        let trained = session.finish_training();
+
+        let detail_view = PageView::build("d-x", &details[3].1, &kb);
+        let review_view = PageView::build("r-x", &reviews[3].1, &kb);
+        let cd = trained.assign(&detail_view).expect("detail page must match a cluster");
+        let cr = trained.assign(&review_view).expect("review page must match a cluster");
+        assert_ne!(cd, cr, "the two templates must map to different clusters");
+        assert!(trained.cluster_is_trained(cd));
+        assert!(trained.cluster_is_trained(cr));
+    }
+
+    #[test]
+    fn trained_site_serves_many_threads_concurrently() {
+        let (kb, details, reviews) = two_template_world();
+        let mut session = SiteSession::builder(&kb).config(CeresConfig::new(11)).build();
+        session.ingest(details.iter().cloned());
+        session.ingest(reviews.iter().cloned());
+        let trained = session.finish_training();
+
+        let reference: Vec<Vec<Extraction>> =
+            details.iter().map(|(id, html)| trained.extract_page(id, html)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for ((id, html), expect) in details.iter().zip(&reference) {
+                        assert_eq!(&trained.extract_page(id, html), expect);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn taking_training_views_frees_serving_artifacts_without_breaking_serve() {
+        let (kb, details, _) = two_template_world();
+        let mut session = SiteSession::builder(&kb).config(CeresConfig::new(11)).build();
+        session.ingest(details.iter().cloned());
+        let mut trained = session.finish_training();
+        let before = trained.extract_page(&details[0].0, &details[0].1);
+
+        let views = trained.take_training_views();
+        assert_eq!(views.len(), 8, "all parsed training pages are handed back");
+        assert_eq!(trained.n_training_pages(), 0);
+        assert!(trained.extract_training_pages().is_empty());
+        // Serving unseen pages is unaffected by shedding the views.
+        assert_eq!(trained.extract_page(&details[0].0, &details[0].1), before);
+    }
+
+    #[test]
+    fn pages_matching_no_template_extract_nothing() {
+        let (kb, details, _) = two_template_world();
+        let mut session = SiteSession::builder(&kb).config(CeresConfig::new(11)).build();
+        session.ingest(details.iter().cloned());
+        let trained = session.finish_training();
+        let ex = trained.extract_page(
+            "alien",
+            "<html><body><form><p>a</p><p>b</p><p>c</p><p>d</p><p>e</p></form></body></html>",
+        );
+        assert!(ex.is_empty(), "unmatched template must yield nothing: {ex:?}");
+    }
+}

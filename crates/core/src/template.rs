@@ -1,6 +1,6 @@
 //! Template clustering of a website's pages — our implementation of the
 //! Vertex clustering step CERES runs before extraction (§2.1: "we first
-//! apply the clustering algorithm in [17] to cluster the webpages such that
+//! apply the clustering algorithm in \[17\] to cluster the webpages such that
 //! each cluster roughly corresponds to a template").
 //!
 //! Pages are represented by their *structural shingles* — the index-free
@@ -9,6 +9,16 @@
 //! this is deliberately imperfect: §5.5.1 documents that the strict Vertex
 //! algorithm sometimes lumps detail and non-detail pages together, and the
 //! imperfection is part of what the CommonCrawl experiment measures.
+//!
+//! Two entry points share the greedy pass:
+//!
+//! * [`cluster_pages`] — cluster a fixed page set (training);
+//! * [`Clustering::assign`] — place a page **not seen during clustering**
+//!   into the best existing cluster, using the representative signatures
+//!   the greedy pass produced. This is what lets a trained site extract
+//!   from pages that arrive after training (the train-once/extract-many
+//!   split of [`crate::session`]); before it existed, extraction pages had
+//!   to be clustered jointly with the training pages.
 
 use crate::config::TemplateConfig;
 use crate::page::PageView;
@@ -33,22 +43,75 @@ fn shingles(page: &PageView) -> Vec<String> {
     v
 }
 
-/// Cluster pages into template groups; returns clusters of page indexes,
-/// largest first.
-pub fn cluster_pages(pages: &[&PageView], cfg: &TemplateConfig) -> Vec<Vec<usize>> {
+/// The result of clustering a site's training pages: the clusters
+/// themselves plus the representative signatures needed to [`assign`]
+/// pages that were not part of the clustered set.
+///
+/// [`assign`]: Clustering::assign
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Clusters of page indexes (into the clustered page set), largest
+    /// first — exactly what [`cluster_pages`] returns.
+    pub clusters: Vec<Vec<usize>>,
+    /// Representative signatures in cluster-**creation** order (the order
+    /// the greedy pass consulted them in), each tagged with its cluster's
+    /// index in the size-sorted `clusters`.
+    reps: Vec<(Vec<String>, usize)>,
+    enabled: bool,
+    sim_threshold: f64,
+}
+
+impl Clustering {
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Place a page that was **not** part of the clustered set: the index
+    /// (into [`Clustering::clusters`]) of the best-matching cluster, or
+    /// `None` when no representative reaches the similarity threshold.
+    ///
+    /// The comparison mirrors the greedy pass exactly — representatives
+    /// are consulted in creation order and only a strictly better
+    /// similarity displaces the incumbent — so a page identical to one
+    /// seen at clustering time lands in the same cluster it would have
+    /// joined.
+    pub fn assign(&self, page: &PageView) -> Option<usize> {
+        if !self.enabled {
+            return (!self.clusters.is_empty()).then_some(0);
+        }
+        let sig = shingles(page);
+        let mut best: Option<(usize, f64)> = None;
+        for (rep, cluster) in &self.reps {
+            let sim = jaccard(rep.as_slice(), sig.as_slice());
+            if sim >= self.sim_threshold && best.is_none_or(|(_, b)| sim > b) {
+                best = Some((*cluster, sim));
+            }
+        }
+        best.map(|(cluster, _)| cluster)
+    }
+}
+
+/// Cluster pages into template groups, keeping the representative
+/// signatures so later pages can be [`Clustering::assign`]ed.
+pub fn cluster_site(pages: &[&PageView], cfg: &TemplateConfig) -> Clustering {
     if !cfg.enabled {
-        return vec![(0..pages.len()).collect()];
+        return Clustering {
+            clusters: vec![(0..pages.len()).collect()],
+            reps: Vec::new(),
+            enabled: false,
+            sim_threshold: cfg.sim_threshold,
+        };
     }
     let sigs: Vec<Vec<String>> = pages.iter().map(|p| shingles(p)).collect();
 
     // Greedy leader clustering: each cluster is represented by the
     // signature of its first member.
     let mut clusters: Vec<Vec<usize>> = Vec::new();
-    let mut reps: Vec<&Vec<String>> = Vec::new();
+    let mut rep_pages: Vec<usize> = Vec::new();
     for (i, sig) in sigs.iter().enumerate() {
         let mut best: Option<(usize, f64)> = None;
-        for (ci, rep) in reps.iter().enumerate() {
-            let sim = jaccard(rep.as_slice(), sig.as_slice());
+        for (ci, &rep) in rep_pages.iter().enumerate() {
+            let sim = jaccard(sigs[rep].as_slice(), sig.as_slice());
             if sim >= cfg.sim_threshold && best.is_none_or(|(_, b)| sim > b) {
                 best = Some((ci, sim));
             }
@@ -57,12 +120,36 @@ pub fn cluster_pages(pages: &[&PageView], cfg: &TemplateConfig) -> Vec<Vec<usize
             Some((ci, _)) => clusters[ci].push(i),
             None => {
                 clusters.push(vec![i]);
-                reps.push(sig);
+                rep_pages.push(i);
             }
         }
     }
-    clusters.sort_by_key(|c| std::cmp::Reverse(c.len()));
-    clusters
+
+    // Stable argsort by descending size = the sort `cluster_pages` always
+    // applied, but tracked so each creation-order rep knows its sorted
+    // cluster's index.
+    let mut order: Vec<usize> = (0..clusters.len()).collect();
+    order.sort_by_key(|&ci| std::cmp::Reverse(clusters[ci].len()));
+    let mut sorted_pos = vec![0usize; clusters.len()];
+    for (new_ci, &old_ci) in order.iter().enumerate() {
+        sorted_pos[old_ci] = new_ci;
+    }
+    let mut slots: Vec<Option<Vec<usize>>> = clusters.into_iter().map(Some).collect();
+    let sorted: Vec<Vec<usize>> =
+        order.iter().map(|&ci| slots[ci].take().expect("each cluster placed once")).collect();
+    let mut sigs: Vec<Option<Vec<String>>> = sigs.into_iter().map(Some).collect();
+    let reps: Vec<(Vec<String>, usize)> = rep_pages
+        .iter()
+        .enumerate()
+        .map(|(ci, &p)| (sigs[p].take().expect("each rep page starts one cluster"), sorted_pos[ci]))
+        .collect();
+    Clustering { clusters: sorted, reps, enabled: true, sim_threshold: cfg.sim_threshold }
+}
+
+/// Cluster pages into template groups; returns clusters of page indexes,
+/// largest first.
+pub fn cluster_pages(pages: &[&PageView], cfg: &TemplateConfig) -> Vec<Vec<usize>> {
+    cluster_site(pages, cfg).clusters
 }
 
 #[cfg(test)]
@@ -133,5 +220,71 @@ mod tests {
     fn empty_input() {
         let clusters = cluster_pages(&[], &TemplateConfig::default());
         assert!(clusters.is_empty());
+    }
+
+    #[test]
+    fn assign_places_unseen_pages_with_their_template() {
+        let kb = empty_kb();
+        let detail = |t: &str| {
+            format!(
+                "<html><body><h1>{t}</h1><div class=i><span>a</span><span>b</span></div></body></html>"
+            )
+        };
+        let chart = |t: &str| {
+            format!(
+                "<html><body><table><tr><td>{t}</td><td>1</td></tr><tr><td>x</td><td>2</td></tr></table></body></html>"
+            )
+        };
+        let pages: Vec<PageView> = vec![
+            pv("d1", &detail("one"), &kb),
+            pv("c1", &chart("one"), &kb),
+            pv("d2", &detail("two"), &kb),
+            pv("c2", &chart("two"), &kb),
+            pv("d3", &detail("three"), &kb),
+        ];
+        let refs: Vec<&PageView> = pages.iter().collect();
+        let clustering = cluster_site(&refs, &TemplateConfig::default());
+        assert_eq!(clustering.n_clusters(), 2);
+
+        // Unseen pages of each template land in that template's cluster
+        // (0 = details, the larger cluster after the size sort).
+        let new_detail = pv("d9", &detail("nine"), &kb);
+        let new_chart = pv("c9", &chart("nine"), &kb);
+        assert_eq!(clustering.assign(&new_detail), Some(0));
+        assert_eq!(clustering.assign(&new_chart), Some(1));
+
+        // A page unlike any template is rejected.
+        let alien =
+            pv("x", "<html><body><form><p>q</p><p>r</p><p>s</p><p>t</p></form></body></html>", &kb);
+        assert_eq!(clustering.assign(&alien), None);
+    }
+
+    #[test]
+    fn assign_agrees_with_joint_clustering_for_member_lookalikes() {
+        // A page byte-identical to a clustered page must be assigned to
+        // exactly the cluster that page is a member of.
+        let kb = empty_kb();
+        let page = |n: usize| {
+            let lis: String = (0..n).map(|i| format!("<li>p{i}</li>")).collect();
+            format!("<html><body><h1>t</h1><ul>{lis}</ul></body></html>")
+        };
+        let pages: Vec<PageView> = (2..10).map(|n| pv(&format!("p{n}"), &page(n), &kb)).collect();
+        let refs: Vec<&PageView> = pages.iter().collect();
+        let clustering = cluster_site(&refs, &TemplateConfig::default());
+        for (i, p) in pages.iter().enumerate() {
+            let ci = clustering.assign(p).expect("member lookalike must match");
+            assert!(clustering.clusters[ci].contains(&i), "page {i} assigned to {ci}");
+        }
+    }
+
+    #[test]
+    fn disabled_clustering_assigns_everything_to_the_single_cluster() {
+        let kb = empty_kb();
+        let cfg = TemplateConfig { enabled: false, ..Default::default() };
+        let pages = [pv("a", "<div>x</div>", &kb)];
+        let refs: Vec<&PageView> = pages.iter().collect();
+        let clustering = cluster_site(&refs, &cfg);
+        let other = pv("b", "<table><tr><td>y</td></tr></table>", &kb);
+        assert_eq!(clustering.assign(&other), Some(0));
     }
 }

@@ -1,6 +1,6 @@
 //! VERTEX++: wrapper induction from manual annotations (§5.2).
 //!
-//! The Vertex algorithm [17] learns XPath extraction rules from a handful
+//! The Vertex algorithm \[17\] learns XPath extraction rules from a handful
 //! of annotated pages; the paper's VERTEX++ re-implementation adds a richer
 //! feature set. Ours learns, per label:
 //!

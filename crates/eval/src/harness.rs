@@ -3,7 +3,8 @@
 use ceres_core::baseline::{run_baseline, BaselineConfig};
 use ceres_core::extract::{ExtractLabel, Extraction};
 use ceres_core::page::PageView;
-use ceres_core::pipeline::{run_site, AnnotationMode, SiteRun};
+use ceres_core::pipeline::{AnnotationMode, SiteRun};
+use ceres_core::session::SiteSession;
 use ceres_core::vertex::{apply_rules, learn_rules, LabeledPage};
 use ceres_core::CeresConfig;
 use ceres_kb::Kb;
@@ -75,6 +76,13 @@ pub fn annotation_page_ids(site: &Site, protocol: EvalProtocol) -> Vec<&str> {
 }
 
 /// Run a distantly-supervised system (FULL / TOPIC / BASELINE) on a site.
+///
+/// The CERES systems go through the streaming session API: pages are
+/// pushed into a [`SiteSession`] (the protocol's training half), training
+/// is frozen once, and the evaluation half is served by the resulting
+/// [`ceres_core::session::TrainedSite`] — the same train-once/extract-many
+/// path a production deployment uses, byte-identical to the batch
+/// `run_site` wrapper.
 pub fn run_ceres_on_site(
     kb: &Kb,
     site: &Site,
@@ -83,16 +91,27 @@ pub fn run_ceres_on_site(
     system: SystemKind,
 ) -> SiteRun {
     let (train, eval) = protocol_pages(site, protocol);
-    match system {
-        SystemKind::CeresFull => run_site(kb, &train, eval.as_deref(), cfg, AnnotationMode::Full),
-        SystemKind::CeresTopic => {
-            run_site(kb, &train, eval.as_deref(), cfg, AnnotationMode::TopicOnly)
-        }
+    let mode = match system {
+        SystemKind::CeresFull => AnnotationMode::Full,
+        SystemKind::CeresTopic => AnnotationMode::TopicOnly,
         SystemKind::CeresBaseline => {
-            run_baseline(kb, &train, eval.as_deref(), cfg, &BaselineConfig::default())
+            return run_baseline(kb, &train, eval.as_deref(), cfg, &BaselineConfig::default())
         }
-        SystemKind::VertexPlusPlus => run_vertex_on_site(kb, site, protocol, 2, cfg.threads),
-    }
+        SystemKind::VertexPlusPlus => {
+            return run_vertex_on_site(kb, site, protocol, 2, cfg.threads)
+        }
+    };
+    let mut session = SiteSession::builder(kb).config(cfg.clone()).mode(mode).build();
+    session.ingest(train);
+    let trained = session.finish_training();
+    let (extractions, n_ext) = match eval {
+        Some(pages) => {
+            let n = pages.len();
+            (trained.extract_batch(&pages), n)
+        }
+        None => (trained.extract_training_pages(), trained.n_training_pages()),
+    };
+    trained.into_site_run(extractions, n_ext)
 }
 
 /// Run VERTEX++ with gold ("manual") labels on `n_annotated` training

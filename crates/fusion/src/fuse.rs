@@ -56,7 +56,7 @@ impl FusionConfig {
 /// A fused fact: the canonical triple plus aggregate evidence.
 #[derive(Debug, Clone)]
 pub struct FusedFact {
-    /// Normalized subject string (as extracted; see [`crate::link`] for KB
+    /// Normalized subject string (as extracted; see [`crate::link`](mod@crate::link) for KB
     /// resolution).
     pub subject: String,
     /// Predicate name, or `"name"` for topic-name assertions.

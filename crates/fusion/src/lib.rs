@@ -7,15 +7,15 @@
 //! future work to investigate how many of these aforementioned mistakes can
 //! be solved by applying knowledge fusion [10, 11] on the extraction
 //! results" — and *entity linkage* of extracted strings to KB entities
-//! ([13]). This crate implements practical versions of both, following the
+//! (\[13\]). This crate implements practical versions of both, following the
 //! Knowledge Vault recipe:
 //!
-//! * [`fuse`] — group extracted triples by their normalized
+//! * [`fuse`](mod@fuse) — group extracted triples by their normalized
 //!   `(subject, predicate, object)`, combine per-source confidences with a
 //!   noisy-OR model damped by per-source reliability, and emit fused facts
 //!   ranked by belief. Facts asserted independently by several sites gain
 //!   belief; one-off extractions from a single shaky site lose it.
-//! * [`link`] — resolve fused subjects/objects against a seed KB: exact
+//! * [`link`](mod@link) — resolve fused subjects/objects against a seed KB: exact
 //!   normalized match, token-sorted fuzzy match, and type-compatibility
 //!   with the predicate's ontology signature.
 

@@ -2,7 +2,7 @@
 //!
 //! CERES extracts *strings*; growing a KB requires deciding whether
 //! "Spike Lee" on a new site is the `Person` the KB already knows or a new
-//! entity (paper §2.1 defers this to big-data-integration techniques [13]).
+//! entity (paper §2.1 defers this to big-data-integration techniques \[13\]).
 //! The linker here resolves a fused fact in three steps:
 //!
 //! 1. candidate generation — the KB matcher's exact-normalized and

@@ -13,7 +13,7 @@
 //!   (Eq. 1) can compare "values present on this page" with "objects of this
 //!   candidate subject" as plain sorted id-sets.
 //! * **Matching = canonicalization + two indexes.** A page string matches a
-//!   value if their [`ceres_text::normalize`] forms are equal, or — the
+//!   value if their [`ceres_text::normalize()`] forms are equal, or — the
 //!   fuzzy fallback — if their token-sorted forms are equal ("Lee, Spike" ≡
 //!   "Spike Lee"). Aliases index like canonical names.
 //! * **Topic-candidate filters.** Following §3.1.1 we precompute *stop

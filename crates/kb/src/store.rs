@@ -352,7 +352,7 @@ impl Kb {
     }
 
     /// [`Kb::match_text`] over a **pre-normalized** string (the output of
-    /// [`ceres_text::normalize`]). An exact hit costs one hash lookup and
+    /// [`ceres_text::normalize()`]). An exact hit costs one hash lookup and
     /// zero allocations; only the fuzzy fallback builds its token-sorted
     /// key (from the normalized form — never re-normalizing).
     pub fn match_norm(&self, norm: &str) -> &[ValueId] {

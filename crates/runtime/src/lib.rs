@@ -55,6 +55,9 @@
 use std::panic;
 
 mod pool;
+mod stream;
+
+pub use stream::StreamMap;
 
 /// Environment variable consulted when no programmatic thread count is
 /// given. `0`, empty, or unparsable values fall through to the machine's
@@ -161,6 +164,25 @@ impl Runtime {
         self.par_map(items, f).into_iter().collect()
     }
 
+    /// A bounded, order-preserving streaming map (the runtime's *reorder
+    /// buffer*): [`StreamMap::push`] hands items to the pool one at a
+    /// time, at most `cap` are in flight at once, and results come back
+    /// in input order regardless of completion order. Use it to overlap a
+    /// producer loop (fetch, decompress, read) with per-item work the
+    /// pool runs — see the [`stream`](crate::StreamMap) docs for the
+    /// determinism contract.
+    pub fn stream<'f, T, R>(
+        &self,
+        cap: usize,
+        f: impl Fn(T) -> R + Send + Sync + 'f,
+    ) -> StreamMap<'f, T, R>
+    where
+        T: Send,
+        R: Send,
+    {
+        StreamMap::new(self, cap, f)
+    }
+
     /// The original spawn-scoped-threads-per-call execution path, kept as
     /// the reference implementation the pool is tested against (and for
     /// callers that must not touch the shared pool). Output is
@@ -249,6 +271,43 @@ pub fn auto_chunk(n: usize, threads: usize) -> usize {
         return 1;
     }
     (n / (threads.max(1) * 8)).clamp(1, 64)
+}
+
+/// Snapshot of the pool's scheduling counters (the `runtime-stats`
+/// feature). Counters are process-wide and monotonic since process start
+/// (or the last [`reset_pool_stats`]).
+#[cfg(feature = "runtime-stats")]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Jobs pushed onto the pool queue: one per parallel call that reached
+    /// the pool, plus one per streamed [`StreamMap`] item.
+    pub jobs_executed: u64,
+    /// Pool workers that won a helper slot and joined a job.
+    pub helper_joins: u64,
+    /// Pool workers that woke for a job but lost the claim race.
+    pub steal_misses: u64,
+}
+
+/// Read the pool's scheduling counters. Only present with the
+/// `runtime-stats` feature; the counters cost three relaxed atomic
+/// increments per scheduling event when enabled and nothing when not.
+#[cfg(feature = "runtime-stats")]
+pub fn pool_stats() -> PoolStats {
+    use std::sync::atomic::Ordering;
+    PoolStats {
+        jobs_executed: pool::stats::JOBS_EXECUTED.load(Ordering::Relaxed),
+        helper_joins: pool::stats::HELPER_JOINS.load(Ordering::Relaxed),
+        steal_misses: pool::stats::STEAL_MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the pool's scheduling counters (e.g. between bench phases).
+#[cfg(feature = "runtime-stats")]
+pub fn reset_pool_stats() {
+    use std::sync::atomic::Ordering;
+    pool::stats::JOBS_EXECUTED.store(0, Ordering::Relaxed);
+    pool::stats::HELPER_JOINS.store(0, Ordering::Relaxed);
+    pool::stats::STEAL_MISSES.store(0, Ordering::Relaxed);
 }
 
 fn env_threads() -> Option<usize> {

@@ -48,6 +48,32 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 /// values; the pool grows to `threads - 1` as runtimes request capacity.
 const MAX_POOL_WORKERS: usize = 128;
 
+/// Scheduling counters behind the `runtime-stats` feature: zero-cost when
+/// disabled, three relaxed atomic increments per event when enabled. Read
+/// through [`crate::pool_stats`].
+#[cfg(feature = "runtime-stats")]
+pub(crate) mod stats {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Jobs pushed onto the pool queue (one per parallel call or per
+    /// streamed item), whether or not a helper ever joined them.
+    pub(crate) static JOBS_EXECUTED: AtomicU64 = AtomicU64::new(0);
+    /// Pool workers that won a helper slot and participated in a job.
+    pub(crate) static HELPER_JOINS: AtomicU64 = AtomicU64::new(0);
+    /// Pool workers that woke for a job but lost the claim race (the job
+    /// was exhausted or its helper slots were already taken).
+    pub(crate) static STEAL_MISSES: AtomicU64 = AtomicU64::new(0);
+
+    /// Record the outcome of one worker's `try_help` attempt.
+    pub(crate) fn note_help_attempt(helped: bool) {
+        if helped {
+            HELPER_JOINS.fetch_add(1, Ordering::Relaxed);
+        } else {
+            STEAL_MISSES.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Type-erased view of one `par_map_chunked` call, valid only while the
 /// submitting caller is inside [`run`].
 struct JobCtx<T, R, F> {
@@ -60,7 +86,9 @@ struct JobCtx<T, R, F> {
 
 /// Heap-shared job header. Everything a participant touches *before*
 /// winning a claim lives here; `ctx` is only dereferenced after one.
-struct Job {
+/// Shared with the [`crate::stream`] module, whose per-item jobs are
+/// one-chunk instances of the same claim protocol.
+pub(crate) struct Job {
     /// Next chunk index to claim (monotonic; `>= n_chunks` = exhausted).
     next: AtomicUsize,
     n_chunks: usize,
@@ -130,7 +158,7 @@ impl Job {
     }
 
     /// Poison further claims, then record the lowest-indexed panic.
-    fn record_panic(&self, item: usize, payload: Box<dyn Any + Send>) {
+    pub(crate) fn record_panic(&self, item: usize, payload: Box<dyn Any + Send>) {
         self.next.fetch_max(self.n_chunks, Ordering::SeqCst);
         let mut slot = self.panic_slot.lock().unwrap();
         match &*slot {
@@ -201,6 +229,8 @@ where
 
     let pool = Pool::global();
     pool.ensure_workers(threads - 1);
+    #[cfg(feature = "runtime-stats")]
+    stats::JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
     pool.submit(Arc::clone(&job));
     job.participate();
     pool.retire(&job);
@@ -210,6 +240,47 @@ where
         panic::resume_unwind(payload);
     }
     slots.into_iter().map(|r| r.expect("every index was claimed exactly once")).collect()
+}
+
+/// Submit a one-chunk job (a single streamed item) to the pool and return
+/// its header. The caller must eventually call [`finish_stream_job`] on the
+/// returned header — and keep `ctx` alive until it does — or the pool's
+/// workers could dereference a dangling context.
+pub(crate) fn submit_stream_job(
+    threads: usize,
+    run_chunk: unsafe fn(*const (), &Job, usize),
+    ctx: *const (),
+) -> Arc<Job> {
+    let job = Arc::new(Job {
+        next: AtomicUsize::new(0),
+        n_chunks: 1,
+        helpers: AtomicUsize::new(0),
+        // One chunk, so at most one helper is ever useful.
+        helper_limit: 1,
+        panic_slot: Mutex::new(None),
+        active: Mutex::new(0),
+        idle_cv: Condvar::new(),
+        run_chunk,
+        ctx,
+    });
+    let pool = Pool::global();
+    pool.ensure_workers(threads.saturating_sub(1));
+    #[cfg(feature = "runtime-stats")]
+    stats::JOBS_EXECUTED.fetch_add(1, Ordering::Relaxed);
+    pool.submit(Arc::clone(&job));
+    job
+}
+
+/// Complete a job from [`submit_stream_job`]: the caller participates
+/// (running the item inline if no worker claimed it yet), the job is
+/// retired from the queue, and the call returns once every participant has
+/// left — after which the job's context may be freed. Returns the recorded
+/// panic payload, if the item's closure panicked.
+pub(crate) fn finish_stream_job(job: &Arc<Job>) -> Option<Box<dyn Any + Send>> {
+    job.participate();
+    Pool::global().retire(job);
+    job.wait_idle();
+    job.panic_slot.lock().unwrap().take().map(|(_, payload)| payload)
 }
 
 /// The process-wide pool: a queue of in-flight jobs plus parked workers.
@@ -267,7 +338,10 @@ impl Pool {
                     q = self.work_cv.wait(q).unwrap();
                 }
             };
-            if job.try_help() {
+            let helped = job.try_help();
+            #[cfg(feature = "runtime-stats")]
+            stats::note_help_attempt(helped);
+            if helped {
                 job.participate();
             }
             // Exhausted or full jobs stop matching `wants_help`, so the

@@ -1,0 +1,342 @@
+//! [`StreamMap`]: a bounded, order-preserving streaming map on the worker
+//! pool — the runtime's *reorder buffer*.
+//!
+//! [`Runtime::par_map`](crate::Runtime::par_map) wants the whole input
+//! slice up front. A streaming producer (a fetcher, a WARC reader, a
+//! decompressor) has the opposite shape: items trickle in one at a time,
+//! and the caller wants the expensive per-item work (e.g. HTML parsing) to
+//! overlap its own production loop. `StreamMap` is that bridge:
+//!
+//! * [`StreamMap::push`] hands one item to the pool and returns
+//!   immediately — the calling thread goes back to producing while pool
+//!   workers run `f` on the items in flight;
+//! * at most `cap` items are in flight at once (the *bounded* part): a
+//!   push beyond the cap first completes the **oldest** item and returns
+//!   its result, which is what keeps memory bounded under a fast producer;
+//! * results always come back in **input order** (the *reorder* part), no
+//!   matter which worker finishes first — `push` yields the oldest item,
+//!   [`StreamMap::drain`]/[`StreamMap::finish`] yield the remainder
+//!   front-to-back.
+//!
+//! Each in-flight item is a one-chunk job under the pool's chunk-claiming
+//! protocol (see [`crate::pool`]): a pool worker claims it, or the caller
+//! claims it itself when it needs the result (caller participates), so
+//! completion never depends on pool capacity and a `StreamMap` used inside
+//! a busy pool worker cannot deadlock.
+//!
+//! ## Determinism
+//!
+//! For a pure `f`, the concatenation of every `Some` returned by `push`
+//! plus the tail from `drain`/`finish` is **exactly**
+//! `items.map(f).collect()` in input order, for every thread count and
+//! every `cap`. On a sequential runtime (`threads == 1`) `push` runs `f`
+//! inline and returns the result immediately — the byte-identical
+//! fallback, with the same order guarantee (results just surface with a
+//! different cadence than under a saturated parallel buffer).
+//!
+//! A panic inside `f` is re-raised on the thread that pops the panicked
+//! item (the submitting thread), never on a pool worker.
+
+use crate::pool::{self, Job};
+use crate::Runtime;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Heap context of one in-flight item. Like the pool's `JobCtx`, it is
+/// only dereferenced between a successful chunk claim and the
+/// participant-count decrement the popping thread waits on; unlike
+/// `JobCtx` it lives on the heap (kept alive by [`InFlight`]) because the
+/// submitting call returns before the item completes.
+struct ItemCtx<T, R> {
+    item: UnsafeCell<Option<T>>,
+    result: UnsafeCell<Option<R>>,
+    /// The shared map closure. The `'static` in the type is a lie told to
+    /// the borrow checker (see the transmute in [`StreamMap::submit`]);
+    /// the real lifetime is the `'f` of the owning [`StreamMap`], and the
+    /// pointer is dead before the closure drops because every job is
+    /// finished before the `StreamMap` (and its boxed closure) goes away.
+    f: *const (dyn Fn(T) -> R + Sync),
+}
+
+/// Run the single chunk of an item job: take the item, apply `f`, store
+/// the result (or record the panic).
+///
+/// Safety: the caller holds the successful claim on chunk 0, so this is
+/// the only dereference of `ctx` for this item, and the popping thread's
+/// `wait_idle` orders it before the context is freed.
+unsafe fn run_item<T, R>(ctx: *const (), job: &Job, _chunk: usize) {
+    let ctx = unsafe { &*(ctx as *const ItemCtx<T, R>) };
+    let f = unsafe { &*ctx.f };
+    let item = unsafe { (*ctx.item.get()).take() }.expect("item job claimed exactly once");
+    match panic::catch_unwind(AssertUnwindSafe(move || f(item))) {
+        Ok(r) => unsafe { *ctx.result.get() = Some(r) },
+        Err(payload) => job.record_panic(0, payload),
+    }
+}
+
+/// One submitted item: the pool job header plus the heap context it
+/// points at. The context box must outlive the job (dropped only after
+/// `finish_stream_job`).
+struct InFlight<T, R> {
+    job: Arc<Job>,
+    ctx: Box<ItemCtx<T, R>>,
+}
+
+/// A bounded, order-preserving streaming map over the worker pool. See
+/// the crate's `StreamMap` docs above for the contract; construct one with
+/// [`Runtime::stream`] (or [`StreamMap::new`]).
+pub struct StreamMap<'f, T: Send + 'static, R: Send + 'static> {
+    f: Box<dyn Fn(T) -> R + Send + Sync + 'f>,
+    threads: usize,
+    cap: usize,
+    /// Submitted items, oldest first — the reorder buffer itself.
+    inflight: VecDeque<InFlight<T, R>>,
+    _borrow: PhantomData<&'f ()>,
+}
+
+// Safety: moving a StreamMap moves the VecDeque and the Boxes, never the
+// heap blocks the in-flight jobs point at (ItemCtx and the closure are
+// both boxed). Items and results cross threads (`T: Send`, `R: Send`) and
+// the closure is shared (`Sync`) and movable (`Send`).
+unsafe impl<T: Send + 'static, R: Send + 'static> Send for StreamMap<'_, T, R> {}
+
+impl<'f, T: Send + 'static, R: Send + 'static> StreamMap<'f, T, R> {
+    /// A stream map running `f` on `rt`'s workers with at most `cap`
+    /// items in flight (`cap` is clamped to ≥ 1).
+    pub fn new(rt: &Runtime, cap: usize, f: impl Fn(T) -> R + Send + Sync + 'f) -> Self {
+        StreamMap {
+            f: Box::new(f),
+            threads: rt.threads(),
+            cap: cap.max(1),
+            inflight: VecDeque::new(),
+            _borrow: PhantomData,
+        }
+    }
+
+    /// Items currently in flight (submitted, result not yet yielded).
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// The in-flight cap this map was built with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Submit one item. Returns `None` while the buffer has room; once
+    /// `cap` items are in flight, completes and returns the **oldest**
+    /// item's result (blocking on it if necessary — the caller runs it
+    /// itself when no worker has picked it up). On a sequential runtime
+    /// the item is mapped inline and its result returned immediately.
+    pub fn push(&mut self, item: T) -> Option<R> {
+        if self.threads <= 1 {
+            return Some((self.f)(item));
+        }
+        let out = if self.inflight.len() >= self.cap { Some(self.pop_oldest()) } else { None };
+        self.submit(item);
+        out
+    }
+
+    /// Complete every in-flight item and return the results, oldest
+    /// first (i.e. in input order).
+    pub fn drain(&mut self) -> Vec<R> {
+        let mut out = Vec::with_capacity(self.inflight.len());
+        while !self.inflight.is_empty() {
+            out.push(self.pop_oldest());
+        }
+        out
+    }
+
+    /// [`StreamMap::drain`], consuming the map.
+    pub fn finish(mut self) -> Vec<R> {
+        self.drain()
+    }
+
+    fn submit(&mut self, item: T) {
+        // Erase the closure's 'f lifetime for storage in ItemCtx: every
+        // job is finished (and its ctx dropped) before `self.f` can drop,
+        // because pop_oldest/drain/Drop all run finish_stream_job first.
+        let f: *const (dyn Fn(T) -> R + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(T) -> R + Sync), &'static (dyn Fn(T) -> R + Sync)>(
+                &*self.f,
+            )
+        };
+        let ctx = Box::new(ItemCtx::<T, R> {
+            item: UnsafeCell::new(Some(item)),
+            result: UnsafeCell::new(None),
+            f,
+        });
+        let job =
+            pool::submit_stream_job(self.threads, run_item::<T, R>, &*ctx as *const _ as *const ());
+        self.inflight.push_back(InFlight { job, ctx });
+    }
+
+    /// Complete the oldest in-flight item and return its result,
+    /// re-raising its panic if the closure panicked.
+    fn pop_oldest(&mut self) -> R {
+        let inf = self.inflight.pop_front().expect("pop_oldest on an empty buffer");
+        if let Some(payload) = pool::finish_stream_job(&inf.job) {
+            panic::resume_unwind(payload);
+        }
+        unsafe { (*inf.ctx.result.get()).take() }.expect("one claimant wrote the result")
+    }
+}
+
+impl<T: Send + 'static, R: Send + 'static> Drop for StreamMap<'_, T, R> {
+    /// Complete (or run) every outstanding item so no job outlives its
+    /// context; results are discarded and panics swallowed (propagating
+    /// from `drop` would abort).
+    fn drop(&mut self) {
+        while let Some(inf) = self.inflight.pop_front() {
+            let _ = pool::finish_stream_job(&inf.job);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Spin long enough that completion order scrambles under load.
+    fn slow_square(x: u64) -> u64 {
+        let mut acc = x;
+        for _ in 0..((x % 5) * 400) {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        std::hint::black_box(acc);
+        x * x
+    }
+
+    fn run_stream(threads: usize, cap: usize, items: &[u64]) -> Vec<u64> {
+        let rt = Runtime::new(threads);
+        let mut sm = rt.stream(cap, |x: u64| slow_square(x));
+        let mut got = Vec::new();
+        for &x in items {
+            if let Some(r) = sm.push(x) {
+                got.push(r);
+            }
+        }
+        got.extend(sm.finish());
+        got
+    }
+
+    #[test]
+    fn results_arrive_in_input_order_at_every_thread_count_and_cap() {
+        let items: Vec<u64> = (0..173).map(|i| i * 7 % 101).collect();
+        let expect: Vec<u64> = items.iter().map(|&x| slow_square(x)).collect();
+        for threads in [1, 2, 4, 8] {
+            for cap in [1, 2, 5, 64] {
+                assert_eq!(run_stream(threads, cap, &items), expect, "threads={threads} cap={cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_runtime_maps_inline() {
+        let rt = Runtime::sequential();
+        let mut sm = rt.stream(4, |x: u32| x + 1);
+        assert_eq!(sm.push(1), Some(2));
+        assert_eq!(sm.push(2), Some(3));
+        assert_eq!(sm.in_flight(), 0);
+        assert!(sm.finish().is_empty());
+    }
+
+    #[test]
+    fn buffer_stays_bounded() {
+        let rt = Runtime::new(4);
+        let mut sm = rt.stream(3, |x: u64| slow_square(x));
+        for x in 0..50u64 {
+            sm.push(x);
+            assert!(sm.in_flight() <= 3, "in_flight {} exceeds cap", sm.in_flight());
+        }
+        drop(sm);
+    }
+
+    #[test]
+    fn empty_stream_finishes_empty() {
+        let rt = Runtime::new(4);
+        let sm = rt.stream(2, |x: u8| x);
+        assert_eq!(sm.finish(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn borrowed_state_is_shared_with_workers() {
+        let table: Vec<u64> = (0..100).map(|i| i * 3).collect();
+        let rt = Runtime::new(4);
+        let mut sm = rt.stream(4, |i: usize| table[i]);
+        let mut got = Vec::new();
+        for i in 0..100 {
+            if let Some(r) = sm.push(i) {
+                got.push(r);
+            }
+        }
+        got.extend(sm.finish());
+        assert_eq!(got, table);
+    }
+
+    #[test]
+    fn panic_in_worker_resurfaces_on_pop_and_buffer_survives() {
+        let rt = Runtime::new(4);
+        let mut sm = rt.stream(2, |x: u64| {
+            if x == 3 {
+                panic!("boom at {x}");
+            }
+            x * 10
+        });
+        let mut popped: Vec<u64> = Vec::new();
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            for x in 0..10u64 {
+                if let Some(r) = sm.push(x) {
+                    popped.push(r);
+                }
+            }
+            sm.drain()
+        }));
+        assert!(caught.is_err(), "panic must propagate to the popping thread");
+        // Items before the panicking one surfaced in order.
+        assert!(popped.iter().copied().eq((0..popped.len() as u64).map(|x| x * 10)));
+        // The map is still usable (remaining in-flight items were cleaned
+        // up by drain/Drop) and the pool is not poisoned.
+        drop(sm);
+        let rt2 = Runtime::new(4);
+        let mut ok = rt2.stream(2, |x: u64| x + 1);
+        assert_eq!(ok.push(41).or_else(|| ok.finish().pop()), Some(42));
+    }
+
+    #[test]
+    fn drop_with_items_in_flight_is_clean() {
+        let rt = Runtime::new(4);
+        let mut sm = rt.stream(8, slow_square);
+        for x in 0..8u64 {
+            sm.push(x);
+        }
+        drop(sm); // must not leak, dangle, or deadlock
+        let rt2 = Runtime::new(4);
+        assert_eq!(rt2.par_map(&[1u64, 2], |&x| x * 2), vec![2, 4]);
+    }
+
+    #[test]
+    fn stream_inside_a_pool_worker_makes_progress() {
+        // A StreamMap driven from inside a par_map task: the caller-
+        // participates pop keeps it deadlock-free even when every worker
+        // is busy with the outer job.
+        let rt = Runtime::new(2);
+        let outer: Vec<u64> = (0..8).collect();
+        let expect: Vec<u64> =
+            outer.iter().map(|&i| (0..20).map(|j| (i + j) * (i + j)).sum()).collect();
+        let got = rt.par_map(&outer, |&i| {
+            let mut sm = rt.stream(3, |j: u64| (i + j) * (i + j));
+            let mut acc = 0u64;
+            for j in 0..20 {
+                if let Some(r) = sm.push(j) {
+                    acc += r;
+                }
+            }
+            acc + sm.finish().into_iter().sum::<u64>()
+        });
+        assert_eq!(got, expect);
+    }
+}

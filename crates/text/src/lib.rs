@@ -2,7 +2,7 @@
 //!
 //! String utilities shared by every layer of the CERES reproduction:
 //!
-//! * [`normalize`] / [`tokenize`] — the canonicalization applied before any
+//! * [`normalize()`] / [`tokenize`] — the canonicalization applied before any
 //!   string is compared against the knowledge base (the "fuzzy string
 //!   matching" preprocessing of Gulhane et al. \[18\] as used in CERES §3.1).
 //! * [`levenshtein`] / [`levenshtein_slices`] — edit distance between XPath

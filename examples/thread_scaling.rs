@@ -1,7 +1,9 @@
-//! The determinism contract, live: run the same site at 1, 2, and N
-//! threads, verify the three `SiteRun`s are identical, and print the wall
-//! times. `CERES_THREADS` (or `CeresConfig::threads`) picks the fan-out;
-//! the output never depends on it.
+//! The determinism contract, live: stream the same site through a
+//! `SiteSession` at 1, 2, and N threads, verify the three `SiteRun`s are
+//! identical, and print the wall times. `CERES_THREADS` (or
+//! `CeresConfig::threads`) picks the fan-out — including how many pages
+//! the ingest reorder buffer parses concurrently — and the output never
+//! depends on it.
 //!
 //! ```text
 //! cargo run --release --example thread_scaling [scale]
@@ -16,15 +18,22 @@ fn main() {
     eprintln!("generating one movie-vertical site at scale {scale}…");
     let (v, _) = movie_vertical(SwdeConfig { seed: 42, scale });
     let site = &v.sites[0];
-    let pages: Vec<(String, String)> =
-        site.pages.iter().map(|p| (p.id.clone(), p.html.clone())).collect();
 
     let available = Runtime::from_env().threads();
     let mut baseline: Option<SiteRun> = None;
     for threads in [1, 2, available.max(2)] {
         let cfg = CeresConfig::new(42).with_threads(threads);
         let t0 = Instant::now();
-        let run = run_site(&v.kb, &pages, None, &cfg, AnnotationMode::Full);
+        // Ingest: one push per page, parsing overlapped by the reorder
+        // buffer; train once; serve the site's own pages.
+        let mut session = SiteSession::builder(&v.kb).config(cfg).build();
+        for p in &site.pages {
+            session.push_page(p.id.clone(), p.html.clone());
+        }
+        let trained = session.finish_training();
+        let n_pages = trained.n_training_pages();
+        let extractions = trained.extract_training_pages();
+        let run = trained.into_site_run(extractions, n_pages);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
         println!(
             "threads={threads:<2}  {:>8.1} ms   {} extractions, {} clusters, trained={}",
