@@ -26,7 +26,7 @@
 
 use ceres_core::page::PageView;
 use ceres_core::pipeline::{run_site_views, AnnotationMode, SiteRun};
-use ceres_core::session::SiteSession;
+use ceres_core::session::{SiteSession, TrainedSite};
 use ceres_core::CeresConfig;
 use ceres_eval::harness::{protocol_pages, run_ceres_on_site, EvalProtocol, SystemKind};
 use ceres_runtime::Runtime;
@@ -66,13 +66,12 @@ fn json_number_after(json: &str, key: &str) -> Option<f64> {
 }
 
 /// `(run_site t1, run_site_views t1, run_site_streaming t1)` from a
-/// previous run's JSON. Streaming is `None` for records written before
-/// the streaming path existed (PR ≤ 3).
-fn baseline_t1(path: &str) -> Option<(f64, f64, Option<f64>)> {
-    let json = std::fs::read_to_string(path).ok()?;
-    let site = json_number_after(&json, "\"run_site_ms\": {\"t1\":")?;
-    let views = json_number_after(&json, "\"run_site_views_ms\": {\"t1\":")?;
-    let streaming = json_number_after(&json, "\"run_site_streaming_ms\": {\"t1\":");
+/// previous run's JSON text. Streaming is `None` for records written
+/// before the streaming path existed (PR ≤ 3).
+fn baseline_t1(json: &str) -> Option<(f64, f64, Option<f64>)> {
+    let site = json_number_after(json, "\"run_site_ms\": {\"t1\":")?;
+    let views = json_number_after(json, "\"run_site_views_ms\": {\"t1\":")?;
+    let streaming = json_number_after(json, "\"run_site_streaming_ms\": {\"t1\":");
     Some((site, views, streaming))
 }
 
@@ -163,6 +162,31 @@ fn main() {
     assert_same_run(&run_e, &run_f);
     assert_same_run(&run_c, &run_e); // streaming ≡ batch, byte for byte
 
+    // Artifact round trip: the train/serve process split's cost. Size plus
+    // save/load wall times go into the JSON; a probe batch pins the loaded
+    // site to the in-memory one (full equivalence lives in tests/artifact.rs).
+    let trained = {
+        let mut session = SiteSession::builder(&v.kb).config(cfg_at(1)).build();
+        session.ingest(train.iter().cloned());
+        session.finish_training()
+    };
+    let (artifact_save_ms, artifact) =
+        time_ms(|| trained.to_bytes().expect("serialize trained site"));
+    let artifact_bytes = artifact.len();
+    let (artifact_load_ms, loaded) = time_ms(|| {
+        TrainedSite::load_on(&v.kb, Runtime::new(1), &artifact[..]).expect("load trained site")
+    });
+    let probe: Vec<(String, String)> = train.iter().take(8).cloned().collect();
+    assert_eq!(
+        loaded.extract_batch(&probe),
+        trained.extract_batch(&probe),
+        "loaded artifact diverged from the in-memory session"
+    );
+    eprintln!(
+        "# artifact: {artifact_bytes} bytes, save {artifact_save_ms:.2} ms, \
+         load {artifact_load_ms:.2} ms"
+    );
+
     let mut json = String::new();
     let _ = write!(
         json,
@@ -172,7 +196,10 @@ fn main() {
          \"run_site_views_ms\": {{\"t1\": {views_t1:.2}, \"tN\": {views_tn:.2}}},\n  \
          \"run_site_streaming_ms\": {{\"t1\": {stream_t1:.2}, \"tN\": {stream_tn:.2}}},\n  \
          \"speedup_run_site\": {:.3},\n  \"speedup_run_site_views\": {:.3},\n  \
-         \"speedup_run_site_streaming\": {:.3}",
+         \"speedup_run_site_streaming\": {:.3},\n  \
+         \"artifact_bytes\": {artifact_bytes},\n  \
+         \"artifact_save_ms\": {artifact_save_ms:.2},\n  \
+         \"artifact_load_ms\": {artifact_load_ms:.2}",
         site.name,
         site.pages.len(),
         site_t1 / site_tn,
@@ -182,7 +209,9 @@ fn main() {
     // Before→after trajectory against a previous run (the committed
     // record): < 1.0 means this build's single-thread path is faster.
     if let Some(path) = baseline_path.as_deref() {
-        match baseline_t1(path) {
+        // One read serves both the t1 triple and the artifact fields.
+        let baseline_json = std::fs::read_to_string(path).unwrap_or_default();
+        match baseline_t1(&baseline_json) {
             Some((base_site, base_views, base_streaming)) => {
                 let _ = write!(
                     json,
@@ -199,6 +228,16 @@ fn main() {
                         ",\n  \"baseline_run_site_streaming_t1_ms\": {base_streaming:.2},\n  \
                          \"t1_vs_baseline_run_site_streaming\": {:.3}",
                         stream_t1 / base_streaming,
+                    );
+                }
+                // Artifact trajectory (absent from records older than the
+                // codec layer — PR ≤ 4).
+                if let Some(base_bytes) = json_number_after(&baseline_json, "\"artifact_bytes\":") {
+                    let _ = write!(
+                        json,
+                        ",\n  \"baseline_artifact_bytes\": {base_bytes:.0},\n  \
+                         \"artifact_bytes_vs_baseline\": {:.3}",
+                        artifact_bytes as f64 / base_bytes,
                     );
                 }
             }

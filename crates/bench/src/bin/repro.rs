@@ -1,22 +1,51 @@
-//! Regenerate every table and figure of the paper's evaluation section.
+//! Regenerate every table and figure of the paper's evaluation section,
+//! and exercise the train/serve process split on the synthetic fixture.
 //!
 //! ```text
 //! repro [--scale S] [--seed N] [targets…]
 //!
 //! targets: all | table1 … table9 | fig2 | fig4 | fig5 | fig6 | ablations
 //! default: all (at --scale 0.1)
+//!
+//! repro train [--scale S] [--seed N] [--threads T] [--site NAME|IDX] [--out PATH]
+//! repro serve --artifact PATH [--scale S] [--seed N] [--threads T]
+//!             [--site NAME|IDX] [--pages train|eval|all] [--verify]
 //! ```
+//!
+//! `train` builds the deterministic movie-vertical fixture, trains a
+//! [`SiteSession`] on the protocol's annotation half, and writes the
+//! frozen [`TrainedSite`] as a versioned artifact. `serve` — typically a
+//! *different process* — rebuilds the same fixture (same `--scale`/
+//! `--seed`), loads the artifact, and extracts from the chosen pages;
+//! `--verify` additionally re-runs the whole session in-process and
+//! asserts the served extractions are byte-identical.
 
+use ceres_core::session::{SiteSession, TrainedSite};
+use ceres_core::{CeresConfig, Extraction};
 use ceres_eval::experiments as exp;
+use ceres_eval::harness::{protocol_pages, EvalProtocol};
+use ceres_synth::swde::{movie_vertical, SwdeConfig, SwdeVertical};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("train") => return train_cmd(&args[1..]),
+        Some("serve") => return serve_cmd(&args[1..]),
+        _ => {}
+    }
     if args.iter().any(|a| a == "help" || a == "--help" || a == "-h") {
         println!(
             "repro [--scale S] [--seed N] [--threads T] [targets…]\n\
              targets: all | table1 table2 table3 table4 table5 table6 table7 table8 table9\n\
              \u{20}        | fig2 fig4 fig5 fig6 | ablations\n\
-             --threads 0 (default) = auto: CERES_THREADS env, then the machine"
+             --threads 0 (default) = auto: CERES_THREADS env, then the machine\n\
+             \n\
+             repro train [--scale S] [--seed N] [--threads T] [--site NAME|IDX] [--out PATH]\n\
+             \u{20}   train once on the fixture's annotation half, write a TrainedSite artifact\n\
+             repro serve --artifact PATH [--scale S] [--seed N] [--threads T]\n\
+             \u{20}       [--site NAME|IDX] [--pages train|eval|all] [--verify]\n\
+             \u{20}   load the artifact in this process and extract; --verify diffs against\n\
+             \u{20}   an in-process train+serve run (exit 1 on any divergence)"
         );
         return;
     }
@@ -86,4 +115,230 @@ fn main() {
         section("ABLATIONS", exp::ablations(&cfg));
     }
     eprintln!("# repro finished in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+// --- train / serve: the cross-process artifact lifecycle -----------------
+
+/// Flags shared by `train` and `serve` (fixture identity + runtime).
+struct ArtifactArgs {
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    site: String,
+    out: String,
+    artifact: Option<String>,
+    pages: String,
+    verify: bool,
+}
+
+impl Default for ArtifactArgs {
+    fn default() -> Self {
+        ArtifactArgs {
+            // The bench fixture scale (what CI's round-trip smoke uses).
+            scale: 0.05,
+            seed: 42,
+            threads: 0,
+            site: "0".to_string(),
+            out: "site.ceres".to_string(),
+            artifact: None,
+            pages: "eval".to_string(),
+            verify: false,
+        }
+    }
+}
+
+fn parse_artifact_args(cmd: &str, args: &[String]) -> ArtifactArgs {
+    // Each command only accepts its own flags — `repro train --verify`
+    // must fail loudly, not silently verify nothing.
+    let allowed: &[&str] = match cmd {
+        "train" => &["--scale", "--seed", "--threads", "--site", "--out"],
+        _ => &["--scale", "--seed", "--threads", "--site", "--artifact", "--pages", "--verify"],
+    };
+    let mut a = ArtifactArgs::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        if !allowed.contains(&flag) {
+            eprintln!("repro {cmd}: unknown flag {flag} (see `repro help`)");
+            std::process::exit(2);
+        }
+        let value = |a: &mut usize| -> String {
+            *a += 1;
+            args.get(*a).cloned().unwrap_or_else(|| {
+                eprintln!("repro {cmd}: flag {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        // Malformed numbers are rejected, not silently defaulted — a typo'd
+        // --scale would otherwise train a different fixture than asked for.
+        fn parse_or_die<T: std::str::FromStr>(cmd: &str, flag: &str, raw: &str) -> T {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("repro {cmd}: cannot parse {flag} value {raw:?}");
+                std::process::exit(2);
+            })
+        }
+        match flag {
+            "--scale" => a.scale = parse_or_die(cmd, flag, &value(&mut i)),
+            "--seed" => a.seed = parse_or_die(cmd, flag, &value(&mut i)),
+            "--threads" => a.threads = parse_or_die(cmd, flag, &value(&mut i)),
+            "--site" => a.site = value(&mut i),
+            "--out" => a.out = value(&mut i),
+            "--artifact" => a.artifact = Some(value(&mut i)),
+            "--pages" => a.pages = value(&mut i),
+            "--verify" => a.verify = true,
+            _ => unreachable!("flag was checked against the allowed list"),
+        }
+        i += 1;
+    }
+    a
+}
+
+/// Build the deterministic fixture and index the requested site.
+fn fixture_site(a: &ArtifactArgs) -> (SwdeVertical, usize) {
+    let (v, _) = movie_vertical(SwdeConfig { seed: a.seed, scale: a.scale });
+    let idx = match a.site.parse::<usize>() {
+        Ok(i) if i < v.sites.len() => i,
+        _ => match v.sites.iter().position(|s| s.name == a.site) {
+            Some(i) => i,
+            None => {
+                let names: Vec<&str> = v.sites.iter().map(|s| s.name.as_str()).collect();
+                eprintln!("repro: no site {:?} in the fixture (sites: {names:?})", a.site);
+                std::process::exit(2);
+            }
+        },
+    };
+    (v, idx)
+}
+
+fn train_cmd(args: &[String]) {
+    let a = parse_artifact_args("train", args);
+    let (v, site_idx) = fixture_site(&a);
+    let site = &v.sites[site_idx];
+    let (train_pages, _) = protocol_pages(site, EvalProtocol::SplitHalves);
+    let cfg = CeresConfig::new(a.seed).with_threads(a.threads);
+    eprintln!(
+        "# repro train: site={} pages={} scale={} seed={} threads={}",
+        site.name,
+        train_pages.len(),
+        a.scale,
+        a.seed,
+        ceres_runtime::Runtime::with_threads(cfg.threads).threads()
+    );
+
+    let t0 = std::time::Instant::now();
+    let mut session = SiteSession::builder(&v.kb).config(cfg).build();
+    session.ingest(train_pages);
+    let trained = session.finish_training();
+    let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = std::time::Instant::now();
+    let file = std::fs::File::create(&a.out).unwrap_or_else(|e| {
+        eprintln!("repro train: cannot create {}: {e}", a.out);
+        std::process::exit(1);
+    });
+    let mut sink = std::io::BufWriter::new(file);
+    if let Err(e) = trained.save(&mut sink) {
+        eprintln!("repro train: saving {} failed: {e}", a.out);
+        std::process::exit(1);
+    }
+    drop(sink);
+    let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let bytes = std::fs::metadata(&a.out).map(|m| m.len()).unwrap_or(0);
+
+    let stats = trained.stats();
+    println!(
+        "trained {} on {} pages: {} clusters, {} train examples → {} ({} bytes)",
+        site.name, stats.n_annotation_pages, stats.n_clusters, stats.n_train_examples, a.out, bytes
+    );
+    eprintln!("# train {train_ms:.1} ms, save {save_ms:.1} ms");
+}
+
+fn serve_cmd(args: &[String]) {
+    let a = parse_artifact_args("serve", args);
+    let Some(artifact_path) = a.artifact.as_deref() else {
+        eprintln!("repro serve: --artifact PATH is required");
+        std::process::exit(2);
+    };
+    let (v, site_idx) = fixture_site(&a);
+    let site = &v.sites[site_idx];
+    let (train_pages, eval_pages) = protocol_pages(site, EvalProtocol::SplitHalves);
+    let eval_pages = eval_pages.expect("split-halves protocol always has an eval half");
+    let pages: Vec<(String, String)> = match a.pages.as_str() {
+        "train" => train_pages.clone(),
+        "eval" => eval_pages.clone(),
+        "all" => train_pages.iter().chain(eval_pages.iter()).cloned().collect(),
+        other => {
+            eprintln!("repro serve: --pages must be train|eval|all, got {other:?}");
+            std::process::exit(2);
+        }
+    };
+
+    let t0 = std::time::Instant::now();
+    let file = std::fs::File::open(artifact_path).unwrap_or_else(|e| {
+        eprintln!("repro serve: cannot open {artifact_path}: {e}");
+        std::process::exit(1);
+    });
+    let rt = ceres_runtime::Runtime::with_threads(
+        CeresConfig::new(a.seed).with_threads(a.threads).threads,
+    );
+    let loaded = match TrainedSite::load_on(&v.kb, rt, std::io::BufReader::new(file)) {
+        Ok(site) => site,
+        Err(e) => {
+            eprintln!("repro serve: loading {artifact_path} failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t0 = std::time::Instant::now();
+    let extractions = loaded.extract_batch(&pages);
+    let extract_ms = t0.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "# repro serve: site={} artifact={artifact_path} pages={} ({}) \
+         load {load_ms:.1} ms, extract {extract_ms:.1} ms",
+        site.name,
+        pages.len(),
+        a.pages
+    );
+    print_extractions(&v, &extractions);
+
+    if a.verify {
+        // The single-process reference: train in *this* process on the
+        // same fixture, serve the same pages, demand byte-identity.
+        let cfg = CeresConfig::new(a.seed).with_threads(a.threads);
+        let mut session = SiteSession::builder(&v.kb).config(cfg).build();
+        session.ingest(train_pages);
+        let reference = session.finish_training().extract_batch(&pages);
+        if extractions == reference {
+            println!(
+                "verify: OK — {} extractions byte-identical to the in-process run",
+                extractions.len()
+            );
+        } else {
+            eprintln!(
+                "verify: MISMATCH — artifact served {} extractions, \
+                 in-process run produced {}",
+                extractions.len(),
+                reference.len()
+            );
+            for (i, (got, want)) in extractions.iter().zip(&reference).enumerate() {
+                if got != want {
+                    eprintln!("  first divergence at {i}: {got:?} != {want:?}");
+                    break;
+                }
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Deterministic extraction dump: one tab-separated line per triple.
+fn print_extractions(v: &SwdeVertical, extractions: &[Extraction]) {
+    for e in extractions {
+        let label = match e.label {
+            ceres_core::extract::ExtractLabel::Name => "NAME",
+            ceres_core::extract::ExtractLabel::Pred(p) => v.kb.ontology().pred_name(p),
+        };
+        println!("{}\t{}\t{}\t{}\t{:.6}", e.page_id, label, e.subject, e.object, e.confidence);
+    }
 }

@@ -3,6 +3,7 @@
 //! concrete examples given in the text wherever one is given.
 
 pub use ceres_ml::TrainConfig;
+use ceres_store::{Decode, Encode, Error as StoreError, Reader, Writer};
 
 /// Which Levenshtein distance drives the global XPath clustering
 /// (§3.2.2 uses the character-level distance; step-level is an ablation).
@@ -94,6 +95,35 @@ impl Default for FeatureConfig {
     }
 }
 
+impl Encode for FeatureConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.sibling_width);
+        w.put_usize(self.max_ancestor_levels);
+        w.put_f64(self.frequent_string_page_frac);
+        w.put_usize(self.max_frequent_strings);
+        w.put_usize(self.text_feature_levels);
+        w.put_usize(self.max_nearby_fields);
+        w.put_bool(self.enable_structural);
+        w.put_bool(self.enable_text);
+    }
+}
+
+impl Decode for FeatureConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<FeatureConfig, StoreError> {
+        const CTX: &str = "feature config";
+        Ok(FeatureConfig {
+            sibling_width: r.get_usize(CTX)?,
+            max_ancestor_levels: r.get_usize(CTX)?,
+            frequent_string_page_frac: r.get_f64(CTX)?,
+            max_frequent_strings: r.get_usize(CTX)?,
+            text_feature_levels: r.get_usize(CTX)?,
+            max_nearby_fields: r.get_usize(CTX)?,
+            enable_structural: r.get_bool(CTX)?,
+            enable_text: r.get_bool(CTX)?,
+        })
+    }
+}
+
 /// Extraction-time knobs (§4.3).
 #[derive(Debug, Clone)]
 pub struct ExtractConfig {
@@ -106,6 +136,20 @@ pub struct ExtractConfig {
 impl Default for ExtractConfig {
     fn default() -> Self {
         ExtractConfig { threshold: 0.5, name_threshold: 0.5 }
+    }
+}
+
+impl Encode for ExtractConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.put_f64(self.threshold);
+        w.put_f64(self.name_threshold);
+    }
+}
+
+impl Decode for ExtractConfig {
+    fn decode(r: &mut Reader<'_>) -> Result<ExtractConfig, StoreError> {
+        const CTX: &str = "extract config";
+        Ok(ExtractConfig { threshold: r.get_f64(CTX)?, name_threshold: r.get_f64(CTX)? })
     }
 }
 

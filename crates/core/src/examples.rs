@@ -13,6 +13,7 @@ use crate::page::PageView;
 use ceres_kb::PredId;
 use ceres_ml::{Dataset, SparseVec};
 use ceres_runtime::Runtime;
+use ceres_store::{Decode, Encode, Error as StoreError, Reader, Writer, PREALLOC_CAP};
 use ceres_text::{FxHashMap, FxHashSet};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -57,6 +58,39 @@ impl ClassMap {
 
     pub fn preds(&self) -> &[PredId] {
         &self.preds
+    }
+}
+
+impl Encode for ClassMap {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.preds.len());
+        for p in &self.preds {
+            w.put_varint(u64::from(p.0));
+        }
+    }
+}
+
+impl Decode for ClassMap {
+    fn decode(r: &mut Reader<'_>) -> Result<ClassMap, StoreError> {
+        const CTX: &str = "class map";
+        let len = r.get_usize(CTX)?;
+        let mut preds = Vec::with_capacity(len.min(PREALLOC_CAP));
+        for _ in 0..len {
+            let raw = r.get_varint(CTX)?;
+            let id = u16::try_from(raw).map_err(|_| StoreError::Invalid {
+                context: CTX,
+                detail: format!("predicate id {raw} overflows u16"),
+            })?;
+            preds.push(PredId(id));
+        }
+        // class_of binary-searches, so sortedness is load-bearing.
+        if !preds.windows(2).all(|w| w[0] < w[1]) {
+            return Err(StoreError::Invalid {
+                context: CTX,
+                detail: "predicate ids must be strictly increasing".to_string(),
+            });
+        }
+        Ok(ClassMap { preds })
     }
 }
 

@@ -37,6 +37,7 @@ use crate::config::FeatureConfig;
 use crate::page::PageView;
 use ceres_dom::NodeId;
 use ceres_ml::{FeatureDict, SparseVec};
+use ceres_store::{Decode, Encode, Error as StoreError, Reader, Writer};
 use ceres_text::{FxHashMap, FxHashSet};
 use std::fmt::Write as _;
 
@@ -389,6 +390,26 @@ impl FeatureSpace {
     }
 }
 
+/// Serializable parts: the dictionary, the frequent-string lexicon, and
+/// the config. `frequent_set` is derived state, rebuilt on decode.
+impl Encode for FeatureSpace {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.dict);
+        w.put_str_table(&self.frequent);
+        w.put(&self.cfg);
+    }
+}
+
+impl Decode for FeatureSpace {
+    fn decode(r: &mut Reader<'_>) -> Result<FeatureSpace, StoreError> {
+        let dict = FeatureDict::decode(r)?;
+        let frequent = r.get_str_table("frequent-string lexicon")?;
+        let cfg = FeatureConfig::decode(r)?;
+        let frequent_set = frequent.iter().cloned().collect();
+        Ok(FeatureSpace { dict, frequent, frequent_set, cfg })
+    }
+}
+
 /// The one true emitter: structural then text features, every name
 /// assembled in `buf` and streamed to `sink`.
 fn emit_names(
@@ -716,5 +737,76 @@ mod tests {
         let v = s2.features(&pv, pv.fields[1].node);
         let names: Vec<String> = v.iter().map(|(i, _)| s2.dict.name(i).to_string()).collect();
         assert!(names.iter().all(|n| n.starts_with("t:")), "{names:?}");
+    }
+
+    mod codec {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn roundtrip(space: &FeatureSpace) -> FeatureSpace {
+            let mut w = ceres_store::Writer::new();
+            space.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = ceres_store::Reader::new(&bytes);
+            let back = FeatureSpace::decode(&mut r).expect("decode");
+            assert!(r.is_empty(), "decode must consume the whole encoding");
+            back
+        }
+
+        proptest! {
+            #[test]
+            fn prop_feature_space_round_trips(
+                names in proptest::collection::vec("[a-z:=@]{1,12}", 0..48),
+                frequent in proptest::collection::vec(".{0,20}", 0..16),
+                // Drawn from 0..2 and compared to 1: the shim has no bool
+                // strategy.
+                frozen in 0u32..2,
+                enable_structural in 0u32..2,
+                enable_text in 0u32..2,
+                sibling_width in 0usize..9,
+                frac in 0.0f64..1.0,
+            ) {
+                let mut dict = FeatureDict::new();
+                for n in &names {
+                    dict.intern(n);
+                }
+                if frozen == 1 {
+                    dict.freeze();
+                }
+                let cfg = FeatureConfig {
+                    sibling_width,
+                    frequent_string_page_frac: frac,
+                    enable_structural: enable_structural == 1,
+                    enable_text: enable_text == 1,
+                    ..FeatureConfig::default()
+                };
+                let frequent_set: FxHashSet<String> = frequent.iter().cloned().collect();
+                let space = FeatureSpace { dict, frequent: frequent.clone(), frequent_set, cfg };
+
+                let back = roundtrip(&space);
+                prop_assert_eq!(back.dict.names(), space.dict.names());
+                prop_assert_eq!(back.dict.is_frozen(), space.dict.is_frozen());
+                prop_assert_eq!(&back.frequent, &space.frequent);
+                // Derived state is rebuilt, not stored: membership agrees.
+                for s in &frequent {
+                    prop_assert!(back.frequent_set.contains(s));
+                }
+                prop_assert_eq!(back.cfg.sibling_width, space.cfg.sibling_width);
+                prop_assert_eq!(back.cfg.enable_structural, space.cfg.enable_structural);
+                prop_assert_eq!(back.cfg.enable_text, space.cfg.enable_text);
+                prop_assert_eq!(
+                    back.cfg.frequent_string_page_frac.to_bits(),
+                    space.cfg.frequent_string_page_frac.to_bits()
+                );
+            }
+
+            #[test]
+            fn prop_feature_space_decode_of_random_bytes_never_panics(
+                raw in proptest::collection::vec(0u32..256, 0..96)
+            ) {
+                let bytes: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+                let _ = FeatureSpace::decode(&mut ceres_store::Reader::new(&bytes));
+            }
+        }
     }
 }

@@ -21,7 +21,10 @@
 //!   pipeline wraps: [`session::SiteSession`] ingests pages as they
 //!   arrive (parse overlaps the caller's fetch loop), trains once, and
 //!   freezes a thread-safe [`session::TrainedSite`] that extracts from
-//!   new pages indefinitely;
+//!   new pages indefinitely — and persists: [`session::TrainedSite::save`]
+//!   writes a versioned `ceres-store` artifact that
+//!   [`session::TrainedSite::load`] rebuilds in any other process,
+//!   byte-identical and panic-free on corrupted input;
 //! * [`baseline`] — CERES-BASELINE: the classic pairwise distant-supervision
 //!   assumption, with a memory budget that reproduces the paper's
 //!   out-of-memory failure on large KBs;

@@ -36,6 +36,7 @@ use crate::page::PageView;
 use crate::session::train_views_on;
 use ceres_kb::Kb;
 use ceres_runtime::Runtime;
+use ceres_store::{Decode, Encode, Error as StoreError, Reader, Writer};
 
 /// Topic decision for one annotation-half page (evaluation input for
 /// Table 7).
@@ -89,6 +90,79 @@ pub struct SiteRunStats {
     /// The pairwise baseline sets this when it exceeds its memory budget
     /// (reproducing the paper's out-of-memory failure).
     pub oom: bool,
+}
+
+impl Encode for TopicRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.page_id);
+        w.put(&self.topic);
+        w.put(&self.name_gt_id);
+        w.put_bool(self.survived);
+    }
+}
+
+impl Decode for TopicRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<TopicRecord, StoreError> {
+        Ok(TopicRecord {
+            page_id: r.get_str("topic record page id")?,
+            topic: r.get()?,
+            name_gt_id: r.get()?,
+            survived: r.get_bool("topic record survived flag")?,
+        })
+    }
+}
+
+impl Encode for AnnotationRecord {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str(&self.page_id);
+        w.put(&self.gt_id);
+        w.put_str(&self.pred);
+    }
+}
+
+impl Decode for AnnotationRecord {
+    fn decode(r: &mut Reader<'_>) -> Result<AnnotationRecord, StoreError> {
+        Ok(AnnotationRecord {
+            page_id: r.get_str("annotation record page id")?,
+            gt_id: r.get()?,
+            pred: r.get_str("annotation record predicate")?,
+        })
+    }
+}
+
+impl Encode for SiteRunStats {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.n_annotation_pages);
+        w.put_usize(self.n_extraction_pages);
+        w.put_usize(self.n_clusters);
+        w.put_usize(self.n_pages_with_topic);
+        w.put_usize(self.n_annotated_pages);
+        w.put_usize(self.n_annotations);
+        w.put_usize(self.n_train_examples);
+        w.put_usize(self.n_features);
+        w.put_usize(self.n_classes);
+        w.put_bool(self.trained);
+        w.put_bool(self.oom);
+    }
+}
+
+impl Decode for SiteRunStats {
+    fn decode(r: &mut Reader<'_>) -> Result<SiteRunStats, StoreError> {
+        const CTX: &str = "site run stats";
+        Ok(SiteRunStats {
+            n_annotation_pages: r.get_usize(CTX)?,
+            n_extraction_pages: r.get_usize(CTX)?,
+            n_clusters: r.get_usize(CTX)?,
+            n_pages_with_topic: r.get_usize(CTX)?,
+            n_annotated_pages: r.get_usize(CTX)?,
+            n_annotations: r.get_usize(CTX)?,
+            n_train_examples: r.get_usize(CTX)?,
+            n_features: r.get_usize(CTX)?,
+            n_classes: r.get_usize(CTX)?,
+            trained: r.get_bool(CTX)?,
+            oom: r.get_bool(CTX)?,
+        })
+    }
 }
 
 /// Everything a site run produces.

@@ -43,6 +43,10 @@ use crate::topic::identify_topics;
 use ceres_kb::Kb;
 use ceres_ml::LogReg;
 use ceres_runtime::{Runtime, StreamMap};
+use ceres_store::{
+    ArtifactReader, ArtifactWriter, Decode, Encode, Error as StoreError, Fnv64, Reader, Writer,
+};
+use std::io::{Read, Write};
 
 /// One cluster's frozen model: everything its extract tasks read.
 pub(crate) struct ClusterModel {
@@ -293,6 +297,84 @@ impl TrainedCore {
     }
 }
 
+impl Encode for ClusterModel {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.model);
+        w.put(&self.space);
+        w.put(&self.class_map);
+        w.put_usize(self.n_train_examples);
+        w.put_usize(self.n_features);
+        w.put_usize(self.n_classes);
+    }
+}
+
+impl Decode for ClusterModel {
+    fn decode(r: &mut Reader<'_>) -> Result<ClusterModel, StoreError> {
+        const CTX: &str = "cluster model";
+        Ok(ClusterModel {
+            model: r.get()?,
+            space: r.get()?,
+            class_map: r.get()?,
+            n_train_examples: r.get_usize(CTX)?,
+            n_features: r.get_usize(CTX)?,
+            n_classes: r.get_usize(CTX)?,
+        })
+    }
+}
+
+// --- The on-disk artifact format -----------------------------------------
+//
+// magic + format version, then checksummed sections in fixed order. The
+// section split is the error-message granularity: a flipped bit reports
+// *which* part of the artifact is damaged.
+
+/// File magic of a serialized [`TrainedSite`].
+pub const ARTIFACT_MAGIC: [u8; 8] = *b"CERES-TS";
+/// Newest artifact format this build reads and the version it writes.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+const SEC_KB: (u8, &str) = (1, "kb fingerprint");
+const SEC_CONFIG: (u8, &str) = (2, "extract config");
+const SEC_CLUSTERING: (u8, &str) = (3, "clustering");
+const SEC_PLANS: (u8, &str) = (4, "plans");
+const SEC_MODELS: (u8, &str) = (5, "models");
+const SEC_STATS: (u8, &str) = (6, "stats");
+const SEC_RECORDS: (u8, &str) = (7, "records");
+
+/// Identity of the KB a site was trained against: ontology shape (type
+/// and predicate names, subject types, multi-valued flags), every value's
+/// canonical name, and every triple. Serving against a *different* KB
+/// would silently produce garbage — predicate ids and value ids baked
+/// into the artifact would point at the wrong things — so
+/// [`TrainedSite::load`] refuses on mismatch. One streaming FNV-1a pass,
+/// linear in KB size, paid once per save/load.
+fn kb_fingerprint(kb: &Kb) -> u64 {
+    let mut h = Fnv64::new();
+    let o = kb.ontology();
+    h.write_u64(o.n_types() as u64);
+    for t in 0..o.n_types() {
+        h.write_str(o.type_name(ceres_kb::EntityTypeId(t as u16)));
+    }
+    h.write_u64(o.n_preds() as u64);
+    for p in o.pred_ids() {
+        let def = o.pred(p);
+        h.write_str(&def.name);
+        h.write_u64(u64::from(def.subject_type.0));
+        h.write_u64(u64::from(def.multi_valued));
+    }
+    h.write_u64(kb.n_values() as u64);
+    for v in 0..kb.n_values() {
+        h.write_str(kb.canonical(ceres_kb::ValueId(v as u32)));
+    }
+    h.write_u64(kb.n_triples() as u64);
+    for t in kb.triples() {
+        h.write_u64(u64::from(t.subject.0));
+        h.write_u64(u64::from(t.pred.0));
+        h.write_u64(u64::from(t.object.0));
+    }
+    h.finish()
+}
+
 /// Builds a [`SiteSession`]; obtained from [`SiteSession::builder`].
 pub struct SiteSessionBuilder<'kb> {
     kb: &'kb Kb,
@@ -513,6 +595,196 @@ impl<'kb> TrainedSite<'kb> {
     pub fn into_site_run(self, extractions: Vec<Extraction>, n_extraction_pages: usize) -> SiteRun {
         self.core.into_site_run(extractions, n_extraction_pages)
     }
+
+    /// Serialize this trained site into `sink` as a versioned, checksummed
+    /// artifact (see [`ARTIFACT_MAGIC`]/[`ARTIFACT_VERSION`]). Everything
+    /// the serve phase needs crosses the boundary — per-cluster models,
+    /// feature spaces, class maps, template signatures, extract config —
+    /// plus the training-side stats and records; the parsed training views
+    /// deliberately do **not** (a serving artifact re-parses nothing).
+    ///
+    /// A site loaded from these bytes extracts **byte-identically** to
+    /// `self` on any page, including `f64` confidences (floats are stored
+    /// as exact bit patterns).
+    pub fn save(&self, sink: &mut impl Write) -> Result<(), StoreError> {
+        let mut aw = ArtifactWriter::new(sink, ARTIFACT_MAGIC, ARTIFACT_VERSION)?;
+        aw.section(SEC_KB.0, |w| {
+            w.put_varint(kb_fingerprint(self.kb));
+            w.put_usize(self.kb.n_values());
+            w.put_usize(self.kb.n_triples());
+        })?;
+        aw.section(SEC_CONFIG.0, |w| w.put(&self.core.extract_cfg))?;
+        aw.section(SEC_CLUSTERING.0, |w| w.put(&self.core.clustering))?;
+        aw.section(SEC_PLANS.0, |w| {
+            w.put(&self.core.plans);
+            w.put(&self.core.plan_of_cluster);
+        })?;
+        aw.section(SEC_MODELS.0, |w| w.put(&self.core.models))?;
+        aw.section(SEC_STATS.0, |w| w.put(&self.core.stats))?;
+        aw.section(SEC_RECORDS.0, |w| {
+            w.put(&self.core.topic_records);
+            w.put(&self.core.annotation_records);
+        })?;
+        aw.finish()
+    }
+
+    /// [`TrainedSite::save`] into a fresh byte vector.
+    pub fn to_bytes(&self) -> Result<Vec<u8>, StoreError> {
+        let mut bytes = Vec::new();
+        self.save(&mut bytes)?;
+        Ok(bytes)
+    }
+
+    /// Load a trained site saved by [`TrainedSite::save`] — in this
+    /// process or any other. The serve runtime is resolved from the
+    /// environment ([`Runtime::from_env`]); use [`TrainedSite::load_on`]
+    /// to pin it.
+    ///
+    /// `kb` must be the knowledge base the site was trained against (the
+    /// artifact's predicate ids and template signatures only mean anything
+    /// relative to it); a fingerprint check refuses mismatches with a
+    /// descriptive error. Corrupted, truncated, or future-versioned bytes
+    /// fail with a typed [`StoreError`] — never a panic.
+    pub fn load(kb: &Kb, source: impl Read) -> Result<TrainedSite<'_>, StoreError> {
+        TrainedSite::load_on(kb, Runtime::from_env(), source)
+    }
+
+    /// [`TrainedSite::load`] serving on a caller-chosen [`Runtime`].
+    pub fn load_on(kb: &Kb, rt: Runtime, source: impl Read) -> Result<TrainedSite<'_>, StoreError> {
+        let mut ar = ArtifactReader::new(source, ARTIFACT_MAGIC, ARTIFACT_VERSION)?;
+
+        let payload = ar.section(SEC_KB.0, SEC_KB.1)?;
+        let mut r = Reader::new(&payload);
+        let fingerprint = r.get_varint(SEC_KB.1)?;
+        let n_values = r.get_usize(SEC_KB.1)?;
+        let n_triples = r.get_usize(SEC_KB.1)?;
+        r.finish(SEC_KB.1)?;
+        if fingerprint != kb_fingerprint(kb) {
+            return Err(StoreError::Invalid {
+                context: "kb fingerprint",
+                detail: format!(
+                    "artifact was trained against a different KB \
+                     ({n_values} values / {n_triples} triples at save time; \
+                      this KB has {} / {})",
+                    kb.n_values(),
+                    kb.n_triples()
+                ),
+            });
+        }
+
+        let payload = ar.section(SEC_CONFIG.0, SEC_CONFIG.1)?;
+        let mut r = Reader::new(&payload);
+        let extract_cfg: ExtractConfig = r.get()?;
+        r.finish(SEC_CONFIG.1)?;
+
+        let payload = ar.section(SEC_CLUSTERING.0, SEC_CLUSTERING.1)?;
+        let mut r = Reader::new(&payload);
+        let clustering: Clustering = r.get()?;
+        r.finish(SEC_CLUSTERING.1)?;
+
+        let payload = ar.section(SEC_PLANS.0, SEC_PLANS.1)?;
+        let mut r = Reader::new(&payload);
+        let plans: Vec<Vec<usize>> = r.get()?;
+        let plan_of_cluster: Vec<Option<usize>> = r.get()?;
+        r.finish(SEC_PLANS.1)?;
+
+        let payload = ar.section(SEC_MODELS.0, SEC_MODELS.1)?;
+        let mut r = Reader::new(&payload);
+        let models: Vec<Option<ClusterModel>> = r.get()?;
+        r.finish(SEC_MODELS.1)?;
+
+        let payload = ar.section(SEC_STATS.0, SEC_STATS.1)?;
+        let mut r = Reader::new(&payload);
+        let stats: SiteRunStats = r.get()?;
+        r.finish(SEC_STATS.1)?;
+
+        let payload = ar.section(SEC_RECORDS.0, SEC_RECORDS.1)?;
+        let mut r = Reader::new(&payload);
+        let topic_records: Vec<TopicRecord> = r.get()?;
+        let annotation_records: Vec<AnnotationRecord> = r.get()?;
+        r.finish(SEC_RECORDS.1)?;
+
+        // Cross-section consistency: every index the serve path follows
+        // (assign → plan_of_cluster → models) must stay in bounds, so a
+        // tampered artifact fails here instead of panicking mid-extract.
+        if plan_of_cluster.len() != clustering.n_clusters() {
+            return Err(StoreError::Invalid {
+                context: "plans",
+                detail: format!(
+                    "plan table covers {} clusters, clustering has {}",
+                    plan_of_cluster.len(),
+                    clustering.n_clusters()
+                ),
+            });
+        }
+        if models.len() != plans.len() {
+            return Err(StoreError::Invalid {
+                context: "models",
+                detail: format!("{} models for {} plans", models.len(), plans.len()),
+            });
+        }
+        if let Some(bad) = plan_of_cluster.iter().flatten().find(|&&pi| pi >= plans.len()) {
+            return Err(StoreError::Invalid {
+                context: "plans",
+                detail: format!("cluster maps to plan {bad} of {}", plans.len()),
+            });
+        }
+        // Predicate ids inside the models only mean anything relative to
+        // this KB's ontology — a checksum can be recomputed by a tamperer,
+        // so bound them here rather than panicking in `pred_name` later.
+        let n_preds = kb.ontology().n_preds();
+        for cm in models.iter().flatten() {
+            if let Some(bad) = cm.class_map.preds().iter().find(|p| usize::from(p.0) >= n_preds) {
+                return Err(StoreError::Invalid {
+                    context: "class map",
+                    detail: format!("predicate id {bad} out of range (KB has {n_preds})"),
+                });
+            }
+            // Training always sizes the model off the feature space and
+            // class map (`Dataset::new(class_map.n_classes(), dict.len())`),
+            // so inequality here means a tampered models section — which
+            // would otherwise serve silently wrong confidences (a feature
+            // index walking into the intercept slot), not an error.
+            if cm.space.dict.len() != cm.model.n_features() {
+                return Err(StoreError::Invalid {
+                    context: "cluster model",
+                    detail: format!(
+                        "feature dictionary has {} names but the model expects {} features",
+                        cm.space.dict.len(),
+                        cm.model.n_features()
+                    ),
+                });
+            }
+            if cm.class_map.n_classes() != cm.model.n_classes() {
+                return Err(StoreError::Invalid {
+                    context: "cluster model",
+                    detail: format!(
+                        "class map has {} classes but the model expects {}",
+                        cm.class_map.n_classes(),
+                        cm.model.n_classes()
+                    ),
+                });
+            }
+        }
+
+        Ok(TrainedSite {
+            kb,
+            rt,
+            core: TrainedCore {
+                clustering,
+                plans,
+                plan_of_cluster,
+                models,
+                stats,
+                topic_records,
+                annotation_records,
+                extract_cfg,
+            },
+            // The parsed training corpus never crosses the process
+            // boundary: extract_training_pages() on a loaded site is empty.
+            train_views: Vec::new(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -658,6 +930,152 @@ mod tests {
         assert!(trained.extract_training_pages().is_empty());
         // Serving unseen pages is unaffected by shedding the views.
         assert_eq!(trained.extract_page(&details[0].0, &details[0].1), before);
+    }
+
+    #[test]
+    fn saved_and_loaded_site_serves_identically() {
+        let (kb, details, reviews) = two_template_world();
+        let mut session = SiteSession::builder(&kb).config(CeresConfig::new(11)).build();
+        session.ingest(details.iter().cloned());
+        session.ingest(reviews.iter().cloned());
+        let trained = session.finish_training();
+
+        let bytes = trained.to_bytes().expect("save");
+        let loaded = TrainedSite::load(&kb, &bytes[..]).expect("load");
+
+        // Training-side state crossed the boundary…
+        assert_eq!(loaded.stats(), trained.stats());
+        assert_eq!(loaded.topic_records(), trained.topic_records());
+        assert_eq!(loaded.annotation_records(), trained.annotation_records());
+        // …the parsed corpus did not.
+        assert_eq!(loaded.n_training_pages(), 0);
+        assert!(loaded.extract_training_pages().is_empty());
+
+        // Serving is byte-identical, unseen pages and batches alike.
+        for (id, html) in details.iter().chain(reviews.iter()) {
+            assert_eq!(loaded.extract_page(id, html), trained.extract_page(id, html));
+        }
+        assert_eq!(loaded.extract_batch(&details), trained.extract_batch(&details));
+    }
+
+    #[test]
+    fn save_is_deterministic() {
+        let (kb, details, _) = two_template_world();
+        let mut session = SiteSession::builder(&kb).config(CeresConfig::new(11)).build();
+        session.ingest(details.iter().cloned());
+        let trained = session.finish_training();
+        assert_eq!(trained.to_bytes().unwrap(), trained.to_bytes().unwrap());
+    }
+
+    #[test]
+    fn load_rejects_the_wrong_kb() {
+        let (kb, details, _) = two_template_world();
+        let mut session = SiteSession::builder(&kb).config(CeresConfig::new(11)).build();
+        session.ingest(details.iter().cloned());
+        let bytes = session.finish_training().to_bytes().unwrap();
+
+        let other_kb = {
+            let mut o = Ontology::new();
+            let film = o.register_type("Film");
+            o.register_pred("somethingElse", film, false);
+            KbBuilder::new(o).build()
+        };
+        let Err(err) = TrainedSite::load(&other_kb, &bytes[..]) else {
+            panic!("mismatched KB must be refused")
+        };
+        assert!(err.to_string().contains("different KB"), "{err}");
+    }
+
+    #[test]
+    fn load_rejects_future_versions_and_corruption_without_panicking() {
+        let (kb, details, _) = two_template_world();
+        let mut session = SiteSession::builder(&kb).config(CeresConfig::new(11)).build();
+        session.ingest(details.iter().cloned());
+        let bytes = session.finish_training().to_bytes().unwrap();
+
+        // Bumped format version (byte 8, right after the magic).
+        let mut bumped = bytes.clone();
+        bumped[8] = (ARTIFACT_VERSION + 1) as u8;
+        let Err(err) = TrainedSite::load(&kb, &bumped[..]) else {
+            panic!("future version must be refused")
+        };
+        assert!(
+            matches!(err, ceres_store::Error::UnsupportedVersion { .. }),
+            "bumped version gave {err}"
+        );
+        assert!(err.to_string().contains("version"), "{err}");
+
+        // Wrong magic.
+        let mut not_ours = bytes.clone();
+        not_ours[0] = b'X';
+        let Err(err) = TrainedSite::load(&kb, &not_ours[..]) else {
+            panic!("wrong magic must be refused")
+        };
+        assert!(matches!(err, ceres_store::Error::BadMagic { .. }));
+
+        // Every truncation fails cleanly.
+        for cut in [0, 5, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(TrainedSite::load(&kb, &bytes[..cut]).is_err(), "cut {cut}");
+        }
+
+        // A flipped payload byte deep in the file trips a checksum.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x10;
+        assert!(TrainedSite::load(&kb, &corrupt[..]).is_err());
+    }
+
+    #[test]
+    fn tampered_artifact_with_valid_checksums_cannot_smuggle_foreign_pred_ids() {
+        // A tamperer can recompute FNV checksums, so section integrity
+        // alone cannot stop an out-of-range PredId from reaching
+        // `pred_name` (which would panic). Rewrite the models section
+        // with a fully re-framed artifact whose class map points past the
+        // KB's ontology and demand a typed refusal.
+        let (kb, details, _) = two_template_world();
+        let mut session = SiteSession::builder(&kb).config(CeresConfig::new(11)).build();
+        session.ingest(details.iter().cloned());
+        let trained = session.finish_training();
+        let bytes = trained.to_bytes().unwrap();
+
+        // Pull every section payload out of the valid artifact.
+        let mut ar = ArtifactReader::new(&bytes[..], ARTIFACT_MAGIC, ARTIFACT_VERSION).unwrap();
+        let sections =
+            [SEC_KB, SEC_CONFIG, SEC_CLUSTERING, SEC_PLANS, SEC_MODELS, SEC_STATS, SEC_RECORDS];
+        let mut payloads: Vec<Vec<u8>> = Vec::new();
+        for (tag, name) in sections {
+            payloads.push(ar.section(tag, name).unwrap());
+        }
+
+        // Decode the models, swap in a class map whose predicate id is
+        // far beyond this KB's ontology, and re-encode the section.
+        let mut models: Vec<Option<ClusterModel>> =
+            Reader::new(&payloads[4]).get().expect("decode models");
+        let cm = models
+            .iter_mut()
+            .flatten()
+            .next()
+            .expect("the fixture trains at least one cluster model");
+        let mut w = Writer::new();
+        w.put_usize(1);
+        w.put_varint(60_000); // PredId(60000): valid u16, foreign to the KB
+        cm.class_map = Reader::new(w.as_bytes()).get().expect("craft class map");
+        let mut w = Writer::new();
+        w.put(&models);
+        payloads[4] = w.into_bytes();
+
+        // Re-frame the whole artifact — checksums recomputed, all valid.
+        let mut tampered = Vec::new();
+        let mut aw = ArtifactWriter::new(&mut tampered, ARTIFACT_MAGIC, ARTIFACT_VERSION).unwrap();
+        for ((tag, _), payload) in sections.iter().zip(&payloads) {
+            aw.section(*tag, |w| w.put_bytes(payload)).unwrap();
+        }
+        aw.finish().unwrap();
+
+        let Err(err) = TrainedSite::load(&kb, &tampered[..]) else {
+            panic!("foreign predicate id must be refused at load time");
+        };
+        assert!(err.to_string().contains("predicate id"), "{err}");
     }
 
     #[test]

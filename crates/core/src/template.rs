@@ -22,6 +22,7 @@
 
 use crate::config::TemplateConfig;
 use crate::page::PageView;
+use ceres_store::{Decode, Encode, Error as StoreError, Reader, Writer, PREALLOC_CAP};
 use ceres_text::jaccard;
 
 /// A page's structural signature: sorted, deduplicated index-free paths.
@@ -88,6 +89,49 @@ impl Clustering {
             }
         }
         best.map(|(cluster, _)| cluster)
+    }
+}
+
+/// Serialized as all four parts — the clusters (membership lists), the
+/// representative signatures (what [`Clustering::assign`] consults), the
+/// enabled flag, and the similarity threshold — so a loaded clustering
+/// places unseen pages exactly as the training-process one does.
+impl Encode for Clustering {
+    fn encode(&self, w: &mut Writer) {
+        w.put(&self.clusters);
+        w.put_usize(self.reps.len());
+        for (sig, cluster) in &self.reps {
+            w.put_str_table(sig);
+            w.put_usize(*cluster);
+        }
+        w.put_bool(self.enabled);
+        w.put_f64(self.sim_threshold);
+    }
+}
+
+impl Decode for Clustering {
+    fn decode(r: &mut Reader<'_>) -> Result<Clustering, StoreError> {
+        const CTX: &str = "template clustering";
+        let clusters: Vec<Vec<usize>> = r.get()?;
+        let n_reps = r.get_usize(CTX)?;
+        let mut reps = Vec::with_capacity(n_reps.min(PREALLOC_CAP));
+        for _ in 0..n_reps {
+            let sig = r.get_str_table("template representative signature")?;
+            let cluster = r.get_usize(CTX)?;
+            if cluster >= clusters.len() {
+                return Err(StoreError::Invalid {
+                    context: CTX,
+                    detail: format!(
+                        "representative points at cluster {cluster} of {}",
+                        clusters.len()
+                    ),
+                });
+            }
+            reps.push((sig, cluster));
+        }
+        let enabled = r.get_bool(CTX)?;
+        let sim_threshold = r.get_f64(CTX)?;
+        Ok(Clustering { clusters, reps, enabled, sim_threshold })
     }
 }
 

@@ -9,12 +9,17 @@
 //! * [`sparse`] — feature dictionary + sorted sparse vectors;
 //! * [`logreg`] — the softmax classifier and its regularized objective;
 //! * [`lbfgs`] — limited-memory BFGS with backtracking Armijo line search;
-//! * [`sgd`] — a mini-batch SGD/momentum fallback used by the optimizer
-//!   ablation;
+//! * [`sgd`] — a full-batch gradient-descent/momentum fallback used by the
+//!   optimizer ablation;
 //! * [`cluster`] — single-linkage agglomerative clustering (via Kruskal
 //!   union-find, equivalent to repeated closest-pair merging) with
 //!   count-weighted items, used for the global-evidence step of relation
 //!   annotation (§3.2.2).
+//!
+//! The model-side types ([`SparseVec`], [`FeatureDict`], [`LogReg`]) all
+//! implement `ceres_store`'s `Encode`/`Decode`; the dictionary and model
+//! ride inside the persisted `TrainedSite` artifact, while `SparseVec`'s
+//! codec serves callers persisting feature vectors or datasets directly.
 
 pub mod cluster;
 pub mod lbfgs;

@@ -13,6 +13,7 @@
 use crate::lbfgs::{lbfgs_minimize, LbfgsConfig, LbfgsOutcome};
 use crate::sgd::{sgd_minimize, SgdConfig};
 use crate::sparse::SparseVec;
+use ceres_store::{Decode, Encode, Error as StoreError, Reader, Writer};
 
 /// A labeled training set.
 #[derive(Debug, Clone, Default)]
@@ -142,6 +143,38 @@ impl LogReg {
         self.n_features
     }
 
+    /// The raw class-major weight matrix (row stride `n_features + 1`,
+    /// intercept last) — the model's serializable part.
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Rebuild a model from its serialized parts, validating the shape
+    /// invariants every inference path indexes by.
+    pub fn from_parts(
+        w: Vec<f64>,
+        n_classes: usize,
+        n_features: usize,
+    ) -> Result<LogReg, StoreError> {
+        if n_classes < 2 {
+            return Err(StoreError::Invalid {
+                context: "logreg model",
+                detail: format!("n_classes {n_classes} < 2"),
+            });
+        }
+        let dim = n_classes.saturating_mul(n_features.saturating_add(1));
+        if w.len() != dim {
+            return Err(StoreError::Invalid {
+                context: "logreg model",
+                detail: format!(
+                    "weight vector has {} entries, expected {n_classes} × ({n_features} + 1)",
+                    w.len()
+                ),
+            });
+        }
+        Ok(LogReg { w, n_classes, n_features })
+    }
+
     #[inline]
     fn row(&self, k: usize) -> &[f64] {
         let stride = self.n_features + 1;
@@ -186,6 +219,24 @@ impl LogReg {
         let correct =
             data.examples.iter().zip(&data.labels).filter(|(x, &y)| self.predict(x).0 == y).count();
         correct as f64 / data.len() as f64
+    }
+}
+
+impl Encode for LogReg {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.n_classes);
+        w.put_usize(self.n_features);
+        w.put(&self.w);
+    }
+}
+
+impl Decode for LogReg {
+    fn decode(r: &mut Reader<'_>) -> Result<LogReg, StoreError> {
+        const CTX: &str = "logreg model";
+        let n_classes = r.get_usize(CTX)?;
+        let n_features = r.get_usize(CTX)?;
+        let w: Vec<f64> = r.get()?;
+        LogReg::from_parts(w, n_classes, n_features)
     }
 }
 
@@ -337,6 +388,38 @@ mod tests {
         softmax_in_place(&mut s);
         assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert!(s[1] > s[0] && s[0] > s[2]);
+    }
+
+    #[test]
+    fn trained_model_round_trips_bit_for_bit() {
+        let data = xor_free_dataset();
+        let (model, _) = LogReg::train(&data, &TrainConfig::default());
+        let mut w = ceres_store::Writer::new();
+        model.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = LogReg::decode(&mut ceres_store::Reader::new(&bytes)).expect("decode");
+        assert_eq!(back.n_classes(), model.n_classes());
+        assert_eq!(back.n_features(), model.n_features());
+        assert_eq!(back.weights(), model.weights());
+        // Identical weights ⇒ identical posteriors, bit for bit.
+        for x in &data.examples {
+            assert_eq!(back.predict_proba(x), model.predict_proba(x));
+        }
+    }
+
+    #[test]
+    fn model_decode_rejects_shape_lies() {
+        let data = xor_free_dataset();
+        let (model, _) = LogReg::train(&data, &TrainConfig::default());
+        let mut w = ceres_store::Writer::new();
+        model.encode(&mut w);
+        let mut bytes = w.into_bytes();
+        // n_classes is the first varint; bump it so the weight count no
+        // longer matches the declared shape.
+        bytes[0] += 1;
+        assert!(LogReg::decode(&mut ceres_store::Reader::new(&bytes)).is_err());
+        assert!(LogReg::from_parts(vec![0.0; 5], 2, 3).is_err());
+        assert!(LogReg::from_parts(vec![0.0; 8], 1, 3).is_err());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Full-batch gradient descent with momentum — the fallback optimizer for
-//! the L-BFGS-vs-SGD ablation (`repro ablate-optimizer`).
+//! the L-BFGS-vs-SGD ablation (`repro ablations`). Despite the module's
+//! historical `sgd` name there is no stochastic mini-batching here: every
+//! step evaluates the full objective.
 //!
 //! Deliberately simple: the point of the ablation is to show that the
 //! *model* (not the solver) carries CERES's accuracy, while L-BFGS reaches

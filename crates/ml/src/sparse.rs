@@ -1,6 +1,14 @@
 //! Sparse feature representation: a string-interning feature dictionary and
 //! sorted sparse vectors.
+//!
+//! Both types implement [`ceres_store::Encode`] / [`ceres_store::Decode`]:
+//! a [`FeatureDict`] (part of the persisted `TrainedSite` artifact)
+//! serializes as its name table plus the frozen flag (the name→id map is
+//! derived state, rebuilt on load), and a [`SparseVec`] serializes as
+//! delta-coded indices with exact `f32` bit patterns —
+//! `decode(encode(x)) == x`, byte for byte.
 
+use ceres_store::{Decode, Encode, Error as StoreError, Reader, Writer, PREALLOC_CAP};
 use ceres_text::FxHashMap;
 
 /// Interns feature names to dense `u32` ids.
@@ -57,6 +65,44 @@ impl FeatureDict {
 
     pub fn is_frozen(&self) -> bool {
         self.frozen
+    }
+
+    /// The interned names in id order (the dictionary's serializable
+    /// part; the map is derived).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Rebuild a dictionary from its serialized parts: the name table in
+    /// id order plus the frozen flag. Fails on duplicate names (the
+    /// name↔id mapping must stay a bijection).
+    pub fn from_names(names: Vec<String>, frozen: bool) -> Result<FeatureDict, StoreError> {
+        let mut map = FxHashMap::default();
+        map.reserve(names.len());
+        for (id, name) in names.iter().enumerate() {
+            if map.insert(name.clone(), id as u32).is_some() {
+                return Err(StoreError::Invalid {
+                    context: "feature dictionary",
+                    detail: format!("duplicate feature name {name:?}"),
+                });
+            }
+        }
+        Ok(FeatureDict { map, names, frozen })
+    }
+}
+
+impl Encode for FeatureDict {
+    fn encode(&self, w: &mut Writer) {
+        w.put_str_table(&self.names);
+        w.put_bool(self.frozen);
+    }
+}
+
+impl Decode for FeatureDict {
+    fn decode(r: &mut Reader<'_>) -> Result<FeatureDict, StoreError> {
+        let names = r.get_str_table("feature dictionary names")?;
+        let frozen = r.get_bool("feature dictionary frozen flag")?;
+        FeatureDict::from_names(names, frozen)
     }
 }
 
@@ -143,6 +189,51 @@ impl SparseVec {
     }
 }
 
+impl Encode for SparseVec {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.0.len());
+        let mut prev: Option<u32> = None;
+        for &(i, v) in &self.0 {
+            // Strictly increasing indices delta-code tightly: the first
+            // index raw, then (gap − 1) per successor.
+            match prev {
+                None => w.put_varint(u64::from(i)),
+                Some(p) => w.put_varint(u64::from(i - p - 1)),
+            }
+            prev = Some(i);
+            w.put_f32(v);
+        }
+    }
+}
+
+impl Decode for SparseVec {
+    fn decode(r: &mut Reader<'_>) -> Result<SparseVec, StoreError> {
+        const CTX: &str = "sparse vector";
+        let len = r.get_usize(CTX)?;
+        let mut out: Vec<(u32, f32)> = Vec::with_capacity(len.min(PREALLOC_CAP));
+        let mut prev: Option<u32> = None;
+        for _ in 0..len {
+            let delta = r.get_varint(CTX)?;
+            let idx = match prev {
+                None => Some(delta),
+                // p is u32 so p+1 can't overflow u64; the delta can.
+                Some(p) => (u64::from(p) + 1).checked_add(delta),
+            };
+            let idx =
+                idx.and_then(|i| u32::try_from(i).ok()).ok_or_else(|| StoreError::Invalid {
+                    context: CTX,
+                    detail: format!("feature index delta {delta} overflows u32"),
+                })?;
+            let v = r.get_f32(CTX)?;
+            out.push((idx, v));
+            prev = Some(idx);
+        }
+        // Delta coding makes indices strictly increasing by construction,
+        // so the decoded vector upholds SparseVec's invariant as-is.
+        Ok(SparseVec(out))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +298,95 @@ mod tests {
         let mut acc = vec![0.0; 3];
         v.add_scaled_into(&mut acc, 1.0);
         assert_eq!(acc, vec![0.0; 3]);
+    }
+
+    fn codec_roundtrip<T>(value: &T) -> T
+    where
+        T: ceres_store::Encode + ceres_store::Decode,
+    {
+        let mut w = ceres_store::Writer::new();
+        value.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ceres_store::Reader::new(&bytes);
+        let back = T::decode(&mut r).expect("decode");
+        assert!(r.is_empty(), "decode must consume the whole encoding");
+        back
+    }
+
+    #[test]
+    fn dict_round_trips_with_rebuilt_map() {
+        let mut d = FeatureDict::new();
+        d.intern("tag=div").unwrap();
+        d.intern("class=info").unwrap();
+        d.intern("žánr").unwrap();
+        d.freeze();
+        let back = codec_roundtrip(&d);
+        assert!(back.is_frozen());
+        assert_eq!(back.names(), d.names());
+        // The derived map works: lookups agree with the original.
+        assert_eq!(back.get("class=info"), d.get("class=info"));
+        assert_eq!(back.get("missing"), None);
+    }
+
+    #[test]
+    fn dict_with_duplicate_names_fails_to_decode() {
+        let mut w = ceres_store::Writer::new();
+        w.put_str_table(&["a".to_string(), "a".to_string()]);
+        w.put_bool(true);
+        let bytes = w.into_bytes();
+        let err = FeatureDict::decode(&mut ceres_store::Reader::new(&bytes)).unwrap_err();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn sparse_vec_decode_rejects_delta_overflow() {
+        // len=2, first entry idx=5, then a delta of u64::MAX: the running
+        // index must fail the checked add, not wrap into a decreasing index.
+        let mut w = ceres_store::Writer::new();
+        w.put_usize(2);
+        w.put_varint(5);
+        w.put_f32(1.0);
+        w.put_varint(u64::MAX);
+        w.put_f32(2.0);
+        let bytes = w.into_bytes();
+        let err = SparseVec::decode(&mut ceres_store::Reader::new(&bytes)).unwrap_err();
+        assert!(err.to_string().contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn sparse_vec_decode_rejects_truncation() {
+        let v = SparseVec::from_pairs(vec![(0, 1.0), (9, -2.5), (100, 0.25)]);
+        let mut w = ceres_store::Writer::new();
+        v.encode(&mut w);
+        let bytes = w.into_bytes();
+        assert_eq!(codec_roundtrip(&v), v);
+        for cut in 0..bytes.len() {
+            assert!(
+                SparseVec::decode(&mut ceres_store::Reader::new(&bytes[..cut])).is_err(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sparse_vec_round_trips(
+            pairs in proptest::collection::vec((0u32..100_000, -8.0f32..8.0), 0..128)
+        ) {
+            let v = SparseVec::from_pairs(pairs);
+            prop_assert_eq!(codec_roundtrip(&v), v);
+        }
+
+        #[test]
+        fn prop_sparse_vec_decode_of_random_bytes_never_panics(
+            // Cast from u32 so 0xff is reachable (the shim has no
+            // inclusive-range strategy).
+            raw in proptest::collection::vec(0u32..256, 0..64)
+        ) {
+            let bytes: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+            let _ = SparseVec::decode(&mut ceres_store::Reader::new(&bytes));
+            let _ = FeatureDict::decode(&mut ceres_store::Reader::new(&bytes));
+        }
     }
 
     proptest! {

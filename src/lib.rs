@@ -115,6 +115,7 @@ pub use ceres_fusion as fusion;
 pub use ceres_kb as kb;
 pub use ceres_ml as ml;
 pub use ceres_runtime as runtime;
+pub use ceres_store as store;
 pub use ceres_synth as synth;
 pub use ceres_text as text;
 
