@@ -23,6 +23,12 @@
 //! Built with `--features runtime-stats`, the pool's scheduling counters
 //! (jobs executed, helper joins, steal misses) are appended to the JSON
 //! and printed to stderr.
+//!
+//! The full-protocol run also records a per-stage wall-time profile
+//! (`stages_run_site`: Parse → Cluster → Annotate → Plan → Train →
+//! Extract, each with t1/tN ms and the tN/t1 speedup) plus `host_cores`,
+//! so a flat speedup on a small machine is distinguishable from a real
+//! scheduling regression.
 
 use ceres_core::page::PageView;
 use ceres_core::pipeline::{run_site_views, AnnotationMode, SiteRun};
@@ -206,6 +212,33 @@ fn main() {
         views_t1 / views_tn,
         stream_t1 / stream_tn,
     );
+    // Per-stage wall-time profile of the full-protocol run at both thread
+    // counts (the last iteration's profile — representative, not best-of).
+    // `host_cores` is recorded so a reader can tell whether a flat tN/t1
+    // is a scheduling problem or just a small machine.
+    let _ = write!(
+        json,
+        ",\n  \"host_cores\": {}",
+        std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get)
+    );
+    json.push_str(",\n  \"stages_run_site\": {");
+    eprintln!("# per-stage (run_site): stage t1_ms tN_ms tN/t1");
+    for (i, ((name, s1), (_, sn))) in
+        run_a.profile.stages().iter().zip(run_b.profile.stages().iter()).enumerate()
+    {
+        let speedup = if sn.ms > 0.0 { s1.ms / sn.ms } else { 0.0 };
+        let _ = write!(
+            json,
+            "{}\n    \"{name}\": {{\"t1_ms\": {:.2}, \"tN_ms\": {:.2}, \"speedup\": {speedup:.3}, \
+             \"tN_pool_jobs\": {}}}",
+            if i == 0 { "" } else { "," },
+            s1.ms,
+            sn.ms,
+            sn.pool_jobs,
+        );
+        eprintln!("#   {name:<9} {:>9.2} {:>9.2} {speedup:>6.3}", s1.ms, sn.ms);
+    }
+    json.push_str("\n  }");
     // Before→after trajectory against a previous run (the committed
     // record): < 1.0 means this build's single-thread path is faster.
     if let Some(path) = baseline_path.as_deref() {

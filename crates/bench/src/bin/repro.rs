@@ -33,6 +33,11 @@ fn main() {
         Some("serve") => return serve_cmd(&args[1..]),
         _ => {}
     }
+    // `--stats` anywhere switches to the per-stage profile report.
+    if args.iter().any(|a| a == "--stats") {
+        let rest: Vec<String> = args.iter().filter(|a| *a != "--stats").cloned().collect();
+        return stats_cmd(&rest);
+    }
     if args.iter().any(|a| a == "help" || a == "--help" || a == "-h") {
         println!(
             "repro [--scale S] [--seed N] [--threads T] [targets…]\n\
@@ -45,7 +50,10 @@ fn main() {
              repro serve --artifact PATH [--scale S] [--seed N] [--threads T]\n\
              \u{20}       [--site NAME|IDX] [--pages train|eval|all] [--verify]\n\
              \u{20}   load the artifact in this process and extract; --verify diffs against\n\
-             \u{20}   an in-process train+serve run (exit 1 on any divergence)"
+             \u{20}   an in-process train+serve run (exit 1 on any divergence)\n\
+             repro --stats [--scale S] [--seed N] [--threads T] [--site NAME|IDX]\n\
+             \u{20}   run one site end-to-end and print the per-stage wall-time profile\n\
+             \u{20}   (pool-job counts need a build with --features runtime-stats)"
         );
         return;
     }
@@ -152,6 +160,7 @@ fn parse_artifact_args(cmd: &str, args: &[String]) -> ArtifactArgs {
     // must fail loudly, not silently verify nothing.
     let allowed: &[&str] = match cmd {
         "train" => &["--scale", "--seed", "--threads", "--site", "--out"],
+        "stats" => &["--scale", "--seed", "--threads", "--site"],
         _ => &["--scale", "--seed", "--threads", "--site", "--artifact", "--pages", "--verify"],
     };
     let mut a = ArtifactArgs::default();
@@ -210,6 +219,55 @@ fn fixture_site(a: &ArtifactArgs) -> (SwdeVertical, usize) {
     (v, idx)
 }
 
+/// `repro --stats`: run one fixture site end-to-end (train on the
+/// protocol's annotation half, extract from the eval half) and print the
+/// per-stage wall-time profile — the profiling entry point the README's
+/// parallelism workflow starts from.
+fn stats_cmd(args: &[String]) {
+    let a = parse_artifact_args("stats", args);
+    let (v, site_idx) = fixture_site(&a);
+    let site = &v.sites[site_idx];
+    let (train_pages, eval_pages) = protocol_pages(site, EvalProtocol::SplitHalves);
+    let cfg = CeresConfig::new(a.seed).with_threads(a.threads);
+    let threads = ceres_runtime::Runtime::with_threads(cfg.threads).threads();
+    eprintln!(
+        "# repro --stats: site={} train_pages={} eval_pages={} scale={} seed={} threads={}",
+        site.name,
+        train_pages.len(),
+        eval_pages.as_ref().map_or(0, Vec::len),
+        a.scale,
+        a.seed,
+        threads
+    );
+
+    let run = ceres_core::pipeline::run_site(
+        &v.kb,
+        &train_pages,
+        eval_pages.as_deref(),
+        &cfg,
+        ceres_core::AnnotationMode::Full,
+    );
+
+    let profile = &run.profile;
+    let total = profile.total_ms().max(f64::EPSILON);
+    println!("stage      wall_ms      share  pool_jobs");
+    for (name, st) in profile.stages() {
+        println!("{name:<9} {:>10.2} {:>9.1}% {:>10}", st.ms, st.ms / total * 100.0, st.pool_jobs);
+    }
+    println!("total     {:>10.2}", profile.total_ms());
+    println!(
+        "{} clusters, {} train examples, {} extractions at threads={threads}",
+        run.stats.n_clusters,
+        run.stats.n_train_examples,
+        run.extractions.len()
+    );
+    if threads == 1 {
+        eprintln!("# threads=1 runs stages inline; pass --threads N>1 to see pool-job attribution");
+    } else if profile.stages().iter().all(|(_, st)| st.pool_jobs == 0) {
+        eprintln!("# pool_jobs are all 0: build with --features runtime-stats to count them");
+    }
+}
+
 fn train_cmd(args: &[String]) {
     let a = parse_artifact_args("train", args);
     let (v, site_idx) = fixture_site(&a);
@@ -243,7 +301,19 @@ fn train_cmd(args: &[String]) {
     }
     drop(sink);
     let save_ms = t0.elapsed().as_secs_f64() * 1e3;
-    let bytes = std::fs::metadata(&a.out).map(|m| m.len()).unwrap_or(0);
+    // Reporting "0 bytes" when the stat fails would be a lie about a file
+    // we just claimed to have written; the file vanishing (or turning
+    // unreadable) between write and stat is a hard error.
+    let bytes = match std::fs::metadata(&a.out) {
+        Ok(m) => m.len(),
+        Err(e) => {
+            eprintln!(
+                "repro train: artifact {} was written but cannot be stat'd afterwards: {e}",
+                a.out
+            );
+            std::process::exit(1);
+        }
+    };
 
     let stats = trained.stats();
     println!(
@@ -262,7 +332,18 @@ fn serve_cmd(args: &[String]) {
     let (v, site_idx) = fixture_site(&a);
     let site = &v.sites[site_idx];
     let (train_pages, eval_pages) = protocol_pages(site, EvalProtocol::SplitHalves);
-    let eval_pages = eval_pages.expect("split-halves protocol always has an eval half");
+    // A panic here would blame the protocol; the actual failure mode is a
+    // fixture site too small to split (e.g. a tiny --scale), which the
+    // operator can fix.
+    let Some(eval_pages) = eval_pages else {
+        eprintln!(
+            "repro serve: site {} has no eval half under the split-halves protocol \
+             ({} pages total) — grow --scale or pick a larger site",
+            site.name,
+            site.pages.len()
+        );
+        std::process::exit(1);
+    };
     let pages: Vec<(String, String)> = match a.pages.as_str() {
         "train" => train_pages.clone(),
         "eval" => eval_pages.clone(),
@@ -272,6 +353,17 @@ fn serve_cmd(args: &[String]) {
             std::process::exit(2);
         }
     };
+    if pages.is_empty() {
+        eprintln!(
+            "repro serve: --pages {} selected no pages on site {} \
+             ({} train / {} eval available) — nothing to extract from",
+            a.pages,
+            site.name,
+            train_pages.len(),
+            eval_pages.len()
+        );
+        std::process::exit(1);
+    }
 
     let t0 = std::time::Instant::now();
     let file = std::fs::File::open(artifact_path).unwrap_or_else(|e| {

@@ -159,7 +159,7 @@ pub fn run_baseline(
     run.stats.n_train_examples = data.len();
     run.stats.n_features = data.n_features;
     run.stats.n_classes = data.n_classes;
-    let (model, _) = LogReg::train(&data, &cfg.train);
+    let (model, _) = LogReg::train_on(&rt, &data, &cfg.train);
     space.freeze();
     run.stats.trained = true;
 

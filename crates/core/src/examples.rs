@@ -134,15 +134,45 @@ pub fn build_training_opts(
 /// that a task's arena amortizes its buffers, fine enough to fan out.
 const NAME_ROWS_PER_TASK: usize = 32;
 
+/// Interning shards: the dictionary-building pass splits the name space by
+/// the top 4 bits of each name's FxHash, mirroring the KB matcher's
+/// [`ceres_kb::MatchShards`] layout.
+const INTERN_SHARDS: usize = 16;
+
+/// Shard of a feature name: the top `log2(INTERN_SHARDS)` bits of its
+/// FxHash — the same "hash prefix" rule as [`ceres_kb::MatchShards`].
+#[inline]
+fn intern_shard(name: &str) -> usize {
+    use std::hash::BuildHasher;
+    (ceres_text::FxBuildHasher::default().hash_one(name) >> 60) as usize
+}
+
 /// [`build_training_opts`] with the feature pass split over `rt`.
 ///
 /// The dictionary is the training hot loop's `&mut` bottleneck: interning
 /// serializes every example. The split runs **name collection** — all the
 /// DOM walking and string assembly, which only needs `&FeatureSpace` — as
-/// a parallel pass producing packed [`NameArena`]s, then replays the rows
-/// **sequentially in row order** against the dictionary. Interning order is
-/// exactly what the fused loop produced, so feature ids, vectors, and the
-/// resulting dataset are byte-identical at every thread count.
+/// a parallel pass producing packed [`NameArena`]s, then builds the
+/// dictionary by **hash-prefix sharding** instead of a sequential replay:
+///
+/// 1. a parallel bucketing pass files every collected name (by flat arena
+///    index) under its shard — the top 4 bits of the name's FxHash,
+///    mirroring `MatchShards`;
+/// 2. a parallel pass over the 16 shards walks its buckets in arena order,
+///    deduplicating into one name list per shard — shard-local
+///    first-occurrence order;
+/// 3. the shard lists are appended to the dictionary in shard order (the
+///    deterministic index remap: shard 0's names, then shard 1's, …),
+///    touching the `&mut` dictionary only once per **unique** name instead
+///    of once per occurrence;
+/// 4. a parallel pass re-walks the rows building each example's
+///    [`SparseVec`] through read-only dictionary lookups.
+///
+/// Every stage's order is fixed by the data (never the thread count), so
+/// feature ids, vectors, and the resulting dataset are byte-identical at
+/// every thread count — pinned by `parallel_name_collection_is_thread_count_invariant`.
+/// A pre-populated dictionary keeps its ids (new names append after it);
+/// a frozen dictionary admits no new names, exactly like the fused loop.
 #[allow(clippy::too_many_arguments)]
 pub fn build_training_on(
     rt: &Runtime,
@@ -233,27 +263,71 @@ pub fn build_training_on(
         }
         arena
     });
-    // 2. sequential interning, replaying rows in order — the dictionary
-    //    grows exactly as the fused loop grew it.
-    let mut examples = Vec::with_capacity(rows.len());
-    let mut labels = Vec::with_capacity(rows.len());
-    let mut idx: Vec<u32> = Vec::with_capacity(64);
-    let mut row_iter = rows.iter();
-    for arena in &arenas {
-        for r in 0..arena.n_rows() {
-            let &(_, _, class) = row_iter.next().expect("one row per arena entry");
-            for name in arena.row(r) {
-                if let Some(id) = space.dict.intern(name) {
-                    idx.push(id);
+    // 2. parallel bucketing: file every name under its hash-prefix shard
+    //    (flat indexes into the owning arena, emission order preserved);
+    let buckets: Vec<Vec<Vec<u32>>> = rt.par_map(&arenas, |arena| {
+        let mut b: Vec<Vec<u32>> = vec![Vec::new(); INTERN_SHARDS];
+        for k in 0..arena.n_names() {
+            b[intern_shard(arena.name(k))].push(k as u32);
+        }
+        b
+    });
+    // 3. parallel shard dedup: shard s walks bucket s of every arena in
+    //    arena order, keeping first occurrences of names the dictionary
+    //    does not already know. Shard-local order is fixed by the data.
+    let base_dict = &space.dict;
+    let shard_ids: Vec<usize> = (0..INTERN_SHARDS).collect();
+    let shard_names: Vec<Vec<String>> = rt.par_map_chunked(&shard_ids, 1, |&s| {
+        let mut seen: FxHashSet<&str> = FxHashSet::default();
+        let mut names: Vec<String> = Vec::new();
+        for (arena, bucket) in arenas.iter().zip(&buckets) {
+            for &k in &bucket[s] {
+                let name = arena.name(k as usize);
+                if base_dict.get(name).is_none() && seen.insert(name) {
+                    names.push(name.to_string());
                 }
             }
-            examples.push(SparseVec::from_indices_buf(&mut idx));
-            labels.push(class);
+        }
+        names
+    });
+    // 4. sequential merge, once per unique name: append shard lists in
+    //    shard order — the deterministic index remap. A frozen dictionary
+    //    rejects the appends (intern returns None), matching the fused
+    //    loop's behavior of dropping unseen names.
+    for names in &shard_names {
+        for name in names {
+            space.dict.intern(name);
         }
     }
+    // 5. parallel vector build through read-only lookups, rows in order.
+    let dict = &space.dict;
+    let chunk_ids: Vec<usize> = (0..arenas.len()).collect();
+    let parts: Vec<(Vec<SparseVec>, Vec<u32>)> = rt.par_map_chunked(
+        &chunk_ids,
+        ceres_runtime::auto_chunk_coarse(chunk_ids.len(), rt.threads()),
+        |&ci| {
+            let arena = &arenas[ci];
+            let chunk = row_chunks[ci];
+            let mut idx: Vec<u32> = Vec::with_capacity(64);
+            let mut examples = Vec::with_capacity(arena.n_rows());
+            let mut labels = Vec::with_capacity(arena.n_rows());
+            for (r, &(_, _, class)) in chunk.iter().enumerate() {
+                for name in arena.row(r) {
+                    if let Some(id) = dict.get(name) {
+                        idx.push(id);
+                    }
+                }
+                examples.push(SparseVec::from_indices_buf(&mut idx));
+                labels.push(class);
+            }
+            (examples, labels)
+        },
+    );
     let mut data = Dataset::new(class_map.n_classes(), space.dict.len());
-    for (x, y) in examples.into_iter().zip(labels) {
-        data.push(x, y);
+    for (examples, labels) in parts {
+        for (x, y) in examples.into_iter().zip(labels) {
+            data.push(x, y);
+        }
     }
     data
 }

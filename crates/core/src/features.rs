@@ -125,6 +125,20 @@ impl NameArena {
         self.rows.len()
     }
 
+    /// Total names across all rows (the flat index space of
+    /// [`NameArena::name`]).
+    pub fn n_names(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// The `k`-th name in emission order, across row boundaries — the flat
+    /// view the sharded interning pass of
+    /// [`crate::examples::build_training_on`] buckets by hash prefix.
+    pub fn name(&self, k: usize) -> &str {
+        let start = if k == 0 { 0 } else { self.ends[k - 1] as usize };
+        &self.text[start..self.ends[k] as usize]
+    }
+
     /// Names of row `r`, in emission order.
     pub fn row(&self, r: usize) -> impl Iterator<Item = &str> + '_ {
         let lo = if r == 0 { 0 } else { self.rows[r - 1] as usize };

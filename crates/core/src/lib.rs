@@ -49,5 +49,5 @@ pub use config::{
     XPathDistance,
 };
 pub use extract::Extraction;
-pub use pipeline::{AnnotationMode, SiteRun, SiteRunStats};
+pub use pipeline::{AnnotationMode, SiteRun, SiteRunStats, StageProfile, StageTime};
 pub use session::{SiteSession, SiteSessionBuilder, TrainedSite};

@@ -165,6 +165,99 @@ impl Decode for SiteRunStats {
     }
 }
 
+/// One stage's slice of the per-run wall-time profile: elapsed time plus
+/// the number of jobs the worker pool executed during the stage (pool
+/// utilization; counted only with the `runtime-stats` feature, 0 without
+/// it, and process-global — concurrent sessions bleed into each other's
+/// counts, which is fine for the single-pipeline bench/repro use).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTime {
+    pub ms: f64,
+    pub pool_jobs: u64,
+}
+
+/// Per-stage wall-time profile of one site run: Parse → Cluster →
+/// {Topic ▸ Annotate} → Plan → Train → Extract.
+///
+/// Deliberately **not** part of [`SiteRunStats`]: stats are compared for
+/// byte-identity across thread counts (`tests/parallelism.rs`) and
+/// serialized into the `TrainedSite` artifact, while wall times differ
+/// run to run — so the profile lives *beside* the stats, outside both the
+/// equality contract and the codec. An artifact loaded from disk reports
+/// an all-zero profile (training happened in another process).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageProfile {
+    pub parse: StageTime,
+    pub cluster: StageTime,
+    pub annotate: StageTime,
+    pub plan: StageTime,
+    pub train: StageTime,
+    pub extract: StageTime,
+}
+
+impl StageTime {
+    /// Time `f`, attributing its wall clock and pool-job delta to one
+    /// stage — how callers outside this crate (e.g. the eval harness,
+    /// which runs extraction itself) fill a [`StageProfile`] slot.
+    pub fn measure<R>(f: impl FnOnce() -> R) -> (StageTime, R) {
+        let t = StageTimer::start();
+        let r = f();
+        (t.stop(), r)
+    }
+}
+
+impl StageProfile {
+    /// The stages in pipeline order, labeled — the iteration every report
+    /// (bench JSON, `repro --stats`) renders from.
+    pub fn stages(&self) -> [(&'static str, StageTime); 6] {
+        [
+            ("parse", self.parse),
+            ("cluster", self.cluster),
+            ("annotate", self.annotate),
+            ("plan", self.plan),
+            ("train", self.train),
+            ("extract", self.extract),
+        ]
+    }
+
+    /// Wall time across all stages (the profiled fraction of the run).
+    pub fn total_ms(&self) -> f64 {
+        self.stages().iter().map(|(_, t)| t.ms).sum()
+    }
+}
+
+/// Pool jobs executed so far (`runtime-stats` only; 0 without the feature).
+pub(crate) fn pool_jobs_now() -> u64 {
+    #[cfg(feature = "runtime-stats")]
+    {
+        ceres_runtime::pool_stats().jobs_executed
+    }
+    #[cfg(not(feature = "runtime-stats"))]
+    {
+        0
+    }
+}
+
+/// Scope timer filling one [`StageTime`]: wall clock plus the pool-job
+/// delta over the stage.
+pub(crate) struct StageTimer {
+    t0: std::time::Instant,
+    jobs0: u64,
+}
+
+impl StageTimer {
+    pub(crate) fn start() -> StageTimer {
+        StageTimer { t0: std::time::Instant::now(), jobs0: pool_jobs_now() }
+    }
+
+    pub(crate) fn stop(self) -> StageTime {
+        StageTime {
+            ms: self.t0.elapsed().as_secs_f64() * 1e3,
+            pool_jobs: pool_jobs_now().saturating_sub(self.jobs0),
+        }
+    }
+}
+
 /// Everything a site run produces.
 #[derive(Debug, Default)]
 pub struct SiteRun {
@@ -172,6 +265,9 @@ pub struct SiteRun {
     pub topic_records: Vec<TopicRecord>,
     pub annotation_records: Vec<AnnotationRecord>,
     pub stats: SiteRunStats,
+    /// Per-stage wall times of this run (not part of any equality or
+    /// serialization contract — see [`StageProfile`]).
+    pub profile: StageProfile,
 }
 
 /// Run the CERES pipeline on one website.
@@ -195,14 +291,21 @@ pub fn run_site(
     mode: AnnotationMode,
 ) -> SiteRun {
     let rt = Runtime::with_threads(cfg.threads);
+    let parse_t = StageTimer::start();
     let ann_views: Vec<PageView> =
         rt.par_map(annotation_pages, |(id, html)| PageView::build(id, html, kb));
+    let parse = parse_t.stop();
     let core = train_views_on(&rt, kb, &ann_views, cfg, mode);
+    let extract_t = StageTimer::start();
     let (extractions, n_ext) = match extraction_pages {
         Some(pages) => (core.extract_pages_on(&rt, kb, pages), pages.len()),
         None => (core.extract_members_on(&rt, &ann_views), ann_views.len()),
     };
-    core.into_site_run(extractions, n_ext)
+    let extract = extract_t.stop();
+    let mut run = core.into_site_run(extractions, n_ext);
+    run.profile.parse = parse;
+    run.profile.extract = extract;
+    run
 }
 
 /// [`run_site`] over pre-built [`PageView`]s (benchmarks parse once).
@@ -228,6 +331,7 @@ pub fn run_site_views_on(
     mode: AnnotationMode,
 ) -> SiteRun {
     let core = train_views_on(rt, kb, ann_views, cfg, mode);
+    let extract_t = StageTimer::start();
     let (extractions, n_ext) = match ext_views {
         // Unseen pages go through the template-assignment path, one task
         // per page, merged in page order.
@@ -237,7 +341,10 @@ pub fn run_site_views_on(
         // order — the classic batch layout).
         None => (core.extract_members_on(rt, ann_views), ann_views.len()),
     };
-    core.into_site_run(extractions, n_ext)
+    let extract = extract_t.stop();
+    let mut run = core.into_site_run(extractions, n_ext);
+    run.profile.extract = extract;
+    run
 }
 
 #[cfg(test)]

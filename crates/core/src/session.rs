@@ -37,7 +37,10 @@ use crate::examples::ClassMap;
 use crate::extract::{extract_page, Extraction};
 use crate::features::FeatureSpace;
 use crate::page::PageView;
-use crate::pipeline::{AnnotationRecord, SiteRun, SiteRunStats, TopicRecord};
+use crate::pipeline::{
+    pool_jobs_now, AnnotationRecord, SiteRun, SiteRunStats, StageProfile, StageTime, StageTimer,
+    TopicRecord,
+};
 use crate::template::{cluster_site, Clustering};
 use crate::topic::identify_topics;
 use ceres_kb::Kb;
@@ -73,6 +76,10 @@ pub(crate) struct TrainedCore {
     topic_records: Vec<TopicRecord>,
     annotation_records: Vec<AnnotationRecord>,
     extract_cfg: ExtractConfig,
+    /// Wall-time profile of the training stages that produced this core
+    /// (all-zero when the core was loaded from an artifact — see
+    /// [`StageProfile`]).
+    pub(crate) profile: StageProfile,
 }
 
 /// Run the training side of the pipeline — Cluster → {Topic ▸ Annotate} →
@@ -89,10 +96,12 @@ pub(crate) fn train_views_on(
     let mut stats = SiteRunStats { n_annotation_pages: views.len(), ..Default::default() };
     let mut topic_records = Vec::new();
     let mut annotation_records = Vec::new();
+    let mut profile = StageProfile::default();
 
     // --- Cluster stage: template clustering over the training pages
     // (site-wide, sequential). The representative signatures are kept so
     // unseen pages can be assigned to a cluster at serve time. ---
+    let stage_t = StageTimer::start();
     let refs: Vec<&PageView> = views.iter().collect();
     let clustering = cluster_site(&refs, &cfg.template);
     stats.n_clusters = clustering.n_clusters();
@@ -108,9 +117,11 @@ pub(crate) fn train_views_on(
     }
     let cluster_pages_of =
         |plan: &Vec<usize>| -> Vec<&PageView> { plan.iter().map(|&i| &views[i]).collect() };
+    profile.cluster = stage_t.stop();
 
     // --- {Topic ▸ Annotate} stage: Algorithms 1 and 2, one concurrent job
     // per cluster (no cross-cluster state) ---
+    let stage_t = StageTimer::start();
     struct ClusterAnnotations {
         topic_out: crate::topic::TopicOutcome,
         annotations: Vec<PageAnnotation>,
@@ -121,12 +132,14 @@ pub(crate) fn train_views_on(
         let annotations = annotate_relations(&pages, kb, &topic_out, &cfg.annotate, mode);
         ClusterAnnotations { topic_out, annotations }
     });
+    profile.annotate = stage_t.stop();
 
     // --- Plan stage: allocate Figure 5's annotated-pages budget across
     // clusters *before* training. Walking annotation counts in cluster
     // order reproduces exactly what consuming the budget inside a
     // sequential cluster loop produced, while leaving the Train jobs below
     // free of cross-cluster data flow.
+    let stage_t = StageTimer::start();
     let mut annotated_budget = cfg.max_annotated_pages.unwrap_or(usize::MAX);
     for ca in &mut annotated {
         let granted = ca.annotations.len().min(annotated_budget);
@@ -163,9 +176,11 @@ pub(crate) fn train_views_on(
         stats.n_annotated_pages += ca.annotations.len();
         stats.n_annotations += ca.annotations.iter().map(|a| a.labels.len()).sum::<usize>();
     }
+    profile.plan = stage_t.stop();
 
     // --- Train stage: one concurrent job per cluster; budgets are already
     // fixed, so jobs are fully independent ---
+    let stage_t = StageTimer::start();
     let cluster_ids: Vec<usize> = (0..plans.len()).collect();
     let models: Vec<Option<ClusterModel>> = rt.par_map(&cluster_ids, |&ci| {
         let ca = &annotated[ci];
@@ -195,7 +210,7 @@ pub(crate) fn train_views_on(
         if data.is_empty() {
             return None;
         }
-        let (model, _train_stats) = LogReg::train(&data, &cfg.train);
+        let (model, _train_stats) = LogReg::train_on(rt, &data, &cfg.train);
         space.freeze();
         Some(ClusterModel {
             model,
@@ -212,6 +227,7 @@ pub(crate) fn train_views_on(
         stats.n_classes = stats.n_classes.max(cm.n_classes);
         stats.trained = true;
     }
+    profile.train = stage_t.stop();
 
     TrainedCore {
         clustering,
@@ -222,6 +238,7 @@ pub(crate) fn train_views_on(
         topic_records,
         annotation_records,
         extract_cfg: cfg.extract.clone(),
+        profile,
     }
 }
 
@@ -293,6 +310,7 @@ impl TrainedCore {
             topic_records: self.topic_records,
             annotation_records: self.annotation_records,
             stats: self.stats,
+            profile: self.profile,
         }
     }
 }
@@ -420,6 +438,8 @@ impl<'kb> SiteSessionBuilder<'kb> {
             rt,
             stream: StreamMap::new(&rt, cap, parser),
             views: Vec::new(),
+            parse_ms: 0.0,
+            jobs_at_open: pool_jobs_now(),
         }
     }
 }
@@ -438,6 +458,14 @@ pub struct SiteSession<'kb> {
     rt: Runtime,
     stream: StreamMap<'kb, (String, String), PageView>,
     views: Vec<PageView>,
+    /// Time this session has spent blocked on parsing (inside `push_page`
+    /// and the final drain) — the streaming pipeline's visible parse cost;
+    /// parse work overlapped with the caller's fetch loop is free and
+    /// deliberately not charged here.
+    parse_ms: f64,
+    /// Pool-job counter at open, so the parse stage can report how many
+    /// pool jobs ingest dispatched (ingest fully precedes training).
+    jobs_at_open: u64,
 }
 
 impl<'kb> SiteSession<'kb> {
@@ -455,9 +483,11 @@ impl<'kb> SiteSession<'kb> {
     /// pool and this call returns as soon as the reorder buffer has room —
     /// fetch the next page while this one parses.
     pub fn push_page(&mut self, id: impl Into<String>, html: impl Into<String>) {
+        let t0 = std::time::Instant::now();
         if let Some(view) = self.stream.push((id.into(), html.into())) {
             self.views.push(view);
         }
+        self.parse_ms += t0.elapsed().as_secs_f64() * 1e3;
     }
 
     /// Ingest every page of an iterator (a convenience loop over
@@ -484,8 +514,15 @@ impl<'kb> SiteSession<'kb> {
     /// the template signatures that let the returned [`TrainedSite`]
     /// place pages it has never seen.
     pub fn finish_training(mut self) -> TrainedSite<'kb> {
+        let t0 = std::time::Instant::now();
         self.views.extend(self.stream.drain());
-        let core = train_views_on(&self.rt, self.kb, &self.views, &self.cfg, self.mode);
+        self.parse_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let parse = StageTime {
+            ms: self.parse_ms,
+            pool_jobs: pool_jobs_now().saturating_sub(self.jobs_at_open),
+        };
+        let mut core = train_views_on(&self.rt, self.kb, &self.views, &self.cfg, self.mode);
+        core.profile.parse = parse;
         TrainedSite { kb: self.kb, rt: self.rt, core, train_views: self.views }
     }
 }
@@ -568,6 +605,15 @@ impl<'kb> TrainedSite<'kb> {
     /// [`SiteRun`] is assembled by [`TrainedSite::into_site_run`]).
     pub fn stats(&self) -> &SiteRunStats {
         &self.core.stats
+    }
+
+    /// Per-stage wall times of the training run that produced this site
+    /// (`extract` is zero here — extraction happens after training; see
+    /// [`SiteRun::profile`]). All-zero on a site loaded from an artifact:
+    /// wall times are observations about a past process, not part of the
+    /// model, so they are never serialized.
+    pub fn profile(&self) -> &StageProfile {
+        &self.core.profile
     }
 
     /// Topic decisions recorded during training (Table 7 input).
@@ -779,6 +825,10 @@ impl<'kb> TrainedSite<'kb> {
                 topic_records,
                 annotation_records,
                 extract_cfg,
+                // Training ran in another process; its wall times did not
+                // cross the artifact boundary (deliberately — see
+                // `StageProfile`).
+                profile: StageProfile::default(),
             },
             // The parsed training corpus never crosses the process
             // boundary: extract_training_pages() on a loaded site is empty.

@@ -25,6 +25,30 @@ use crate::page::PageView;
 use ceres_store::{Decode, Encode, Error as StoreError, Reader, Writer, PREALLOC_CAP};
 use ceres_text::jaccard;
 
+/// Candidate step shared by the greedy pass and [`Clustering::assign`]:
+/// offer `(candidate, sim)` against the incumbent `best`.
+///
+/// The contract (previously implicit in a bare `sim > b` comparison):
+///
+/// * **NaN never competes.** [`jaccard`] itself never produces NaN, but the
+///   similarity threshold is config-supplied and a NaN on either side makes
+///   every float ordering false — the incumbent would silently freeze while
+///   looking like a legitimate "no better match". Non-numbers are rejected
+///   before any comparison happens.
+/// * **Ties keep the earliest candidate.** Candidates are offered in
+///   cluster-creation order and only a strictly better similarity displaces
+///   the incumbent, so an exact tie resolves to the earliest-created
+///   cluster. Oldest-wins keeps [`Clustering::assign`] stable as clusters
+///   are appended and makes both call sites agree on tie behavior.
+fn offer_candidate(best: &mut Option<(usize, f64)>, candidate: usize, sim: f64, threshold: f64) {
+    if sim.is_nan() || threshold.is_nan() {
+        return;
+    }
+    if sim >= threshold && best.is_none_or(|(_, b)| sim > b) {
+        *best = Some((candidate, sim));
+    }
+}
+
 /// A page's structural signature: sorted, deduplicated index-free paths.
 fn shingles(page: &PageView) -> Vec<String> {
     let mut v: Vec<String> = page
@@ -71,9 +95,10 @@ impl Clustering {
     /// (into [`Clustering::clusters`]) of the best-matching cluster, or
     /// `None` when no representative reaches the similarity threshold.
     ///
-    /// The comparison mirrors the greedy pass exactly — representatives
-    /// are consulted in creation order and only a strictly better
-    /// similarity displaces the incumbent — so a page identical to one
+    /// The comparison mirrors the greedy pass exactly (both go through
+    /// the same `offer_candidate` helper) — representatives are consulted in creation
+    /// order, exact similarity ties keep the earliest-created cluster, and
+    /// NaN similarities/thresholds never match — so a page identical to one
     /// seen at clustering time lands in the same cluster it would have
     /// joined.
     pub fn assign(&self, page: &PageView) -> Option<usize> {
@@ -84,9 +109,7 @@ impl Clustering {
         let mut best: Option<(usize, f64)> = None;
         for (rep, cluster) in &self.reps {
             let sim = jaccard(rep.as_slice(), sig.as_slice());
-            if sim >= self.sim_threshold && best.is_none_or(|(_, b)| sim > b) {
-                best = Some((*cluster, sim));
-            }
+            offer_candidate(&mut best, *cluster, sim, self.sim_threshold);
         }
         best.map(|(cluster, _)| cluster)
     }
@@ -156,9 +179,7 @@ pub fn cluster_site(pages: &[&PageView], cfg: &TemplateConfig) -> Clustering {
         let mut best: Option<(usize, f64)> = None;
         for (ci, &rep) in rep_pages.iter().enumerate() {
             let sim = jaccard(sigs[rep].as_slice(), sig.as_slice());
-            if sim >= cfg.sim_threshold && best.is_none_or(|(_, b)| sim > b) {
-                best = Some((ci, sim));
-            }
+            offer_candidate(&mut best, ci, sim, cfg.sim_threshold);
         }
         match best {
             Some((ci, _)) => clusters[ci].push(i),
@@ -319,6 +340,65 @@ mod tests {
             let ci = clustering.assign(p).expect("member lookalike must match");
             assert!(clustering.clusters[ci].contains(&i), "page {i} assigned to {ci}");
         }
+    }
+
+    #[test]
+    fn offer_candidate_ignores_nan_and_keeps_earliest_on_ties() {
+        // NaN similarity never displaces the incumbent (or seeds one).
+        let mut best = None;
+        offer_candidate(&mut best, 0, f64::NAN, 0.0);
+        assert_eq!(best, None);
+        offer_candidate(&mut best, 1, 0.5, 0.0);
+        offer_candidate(&mut best, 2, f64::NAN, 0.0);
+        assert_eq!(best, Some((1, 0.5)));
+
+        // NaN threshold matches nothing rather than everything/poisoning.
+        let mut best = None;
+        offer_candidate(&mut best, 0, 1.0, f64::NAN);
+        assert_eq!(best, None);
+
+        // Exact tie keeps the earliest candidate; strictly better displaces.
+        let mut best = None;
+        offer_candidate(&mut best, 0, 0.5, 0.2);
+        offer_candidate(&mut best, 1, 0.5, 0.2);
+        assert_eq!(best, Some((0, 0.5)));
+        offer_candidate(&mut best, 2, 0.75, 0.2);
+        assert_eq!(best, Some((2, 0.75)));
+
+        // Below-threshold candidates never enter.
+        offer_candidate(&mut best, 3, 0.1, 0.2);
+        assert_eq!(best, Some((2, 0.75)));
+    }
+
+    #[test]
+    fn assign_resolves_exact_ties_to_the_earliest_created_cluster() {
+        // Two representatives with identical signatures tie at sim = 1.0
+        // for a matching page; the earliest-created one must win.
+        let kb = empty_kb();
+        let page = pv("q", "<html><body><div>x</div></body></html>", &kb);
+        let sig = shingles(&page);
+        assert!(!sig.is_empty());
+        let clustering = Clustering {
+            clusters: vec![vec![0], vec![1]],
+            reps: vec![(sig.clone(), 0), (sig, 1)],
+            enabled: true,
+            sim_threshold: 0.5,
+        };
+        assert_eq!(clustering.assign(&page), Some(0));
+    }
+
+    #[test]
+    fn nan_threshold_rejects_all_pages_instead_of_poisoning_assign() {
+        let kb = empty_kb();
+        let page = pv("q", "<html><body><div>x</div></body></html>", &kb);
+        let sig = shingles(&page);
+        let clustering = Clustering {
+            clusters: vec![vec![0]],
+            reps: vec![(sig, 0)],
+            enabled: true,
+            sim_threshold: f64::NAN,
+        };
+        assert_eq!(clustering.assign(&page), None);
     }
 
     #[test]

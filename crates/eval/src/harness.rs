@@ -104,14 +104,16 @@ pub fn run_ceres_on_site(
     let mut session = SiteSession::builder(kb).config(cfg.clone()).mode(mode).build();
     session.ingest(train);
     let trained = session.finish_training();
-    let (extractions, n_ext) = match eval {
+    let (extract_t, (extractions, n_ext)) = ceres_core::StageTime::measure(|| match eval {
         Some(pages) => {
             let n = pages.len();
             (trained.extract_batch(&pages), n)
         }
         None => (trained.extract_training_pages(), trained.n_training_pages()),
-    };
-    trained.into_site_run(extractions, n_ext)
+    });
+    let mut run = trained.into_site_run(extractions, n_ext);
+    run.profile.extract = extract_t;
+    run
 }
 
 /// Run VERTEX++ with gold ("manual") labels on `n_annotated` training

@@ -13,6 +13,7 @@
 use crate::lbfgs::{lbfgs_minimize, LbfgsConfig, LbfgsOutcome};
 use crate::sgd::{sgd_minimize, SgdConfig};
 use crate::sparse::SparseVec;
+use ceres_runtime::{auto_chunk_coarse, Runtime};
 use ceres_store::{Decode, Encode, Error as StoreError, Reader, Writer};
 
 /// A labeled training set.
@@ -67,6 +68,14 @@ pub struct TrainConfig {
     /// SGD-only knobs.
     pub sgd_epochs: usize,
     pub sgd_lr: f64,
+    /// Mini-batch SGD warm-start epochs run before full-batch L-BFGS
+    /// (L-BFGS only; 0 = disabled, the default). The warm start uses
+    /// deterministic fixed-order batches of [`TrainConfig::warm_start_batch`]
+    /// examples at learning rate `sgd_lr / |batch|`, so it is byte-identical
+    /// at any thread count, like the rest of training.
+    pub warm_start_epochs: usize,
+    /// Mini-batch size for the warm start (clamped to `1..=n`).
+    pub warm_start_batch: usize,
 }
 
 impl Default for TrainConfig {
@@ -78,6 +87,8 @@ impl Default for TrainConfig {
             tol: 1e-5,
             sgd_epochs: 30,
             sgd_lr: 0.1,
+            warm_start_epochs: 0,
+            warm_start_batch: 256,
         }
     }
 }
@@ -102,14 +113,25 @@ pub struct LogReg {
 }
 
 impl LogReg {
-    /// Train on `data`. Panics on an empty dataset (a caller bug: CERES
-    /// always aborts a site earlier when annotation produced nothing).
+    /// [`LogReg::train_on`] on a sequential runtime. Output is
+    /// byte-identical to `train_on` at any thread count (the gradient's
+    /// block structure is fixed by the dataset size, not the runtime).
     pub fn train(data: &Dataset, config: &TrainConfig) -> (LogReg, TrainStats) {
+        Self::train_on(&Runtime::sequential(), data, config)
+    }
+
+    /// Train on `data`, running gradient accumulation on `rt`'s workers.
+    /// Panics on an empty dataset (a caller bug: CERES always aborts a
+    /// site earlier when annotation produced nothing).
+    pub fn train_on(rt: &Runtime, data: &Dataset, config: &TrainConfig) -> (LogReg, TrainStats) {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         assert!(data.n_classes >= 2, "need at least two classes");
         let dim = data.n_classes * (data.n_features + 1);
-        let x0 = vec![0.0; dim];
-        let objective = |w: &[f64], grad: &mut [f64]| loss_grad(data, config.c, w, grad);
+        let mut x0 = vec![0.0; dim];
+        if config.optimizer == Optimizer::Lbfgs && config.warm_start_epochs > 0 {
+            warm_start(rt, data, config, &mut x0);
+        }
+        let objective = |w: &[f64], grad: &mut [f64]| loss_grad_on(rt, data, config.c, w, grad);
 
         let (w, stats) = match config.optimizer {
             Optimizer::Lbfgs => {
@@ -253,19 +275,18 @@ pub fn softmax_in_place(scores: &mut [f64]) {
     }
 }
 
-/// Regularized negative log-likelihood and its gradient.
-///
-/// Exposed (crate-public) for the gradient-check tests.
-pub(crate) fn loss_grad(data: &Dataset, c: f64, w: &[f64], grad: &mut [f64]) -> f64 {
+/// Unregularized negative log-likelihood over `examples[lo..hi]`, with the
+/// gradient **accumulated** into `grad` (not zeroed) — the shared kernel of
+/// the serial path, the blocked parallel path, and the warm start.
+fn loss_grad_span(data: &Dataset, lo: usize, hi: usize, w: &[f64], grad: &mut [f64]) -> f64 {
     let k = data.n_classes;
     let d = data.n_features;
     let stride = d + 1;
     debug_assert_eq!(w.len(), k * stride);
-    grad.fill(0.0);
 
     let mut loss = 0.0;
     let mut scores = vec![0.0; k];
-    for (x, &y) in data.examples.iter().zip(&data.labels) {
+    for (x, &y) in data.examples[lo..hi].iter().zip(&data.labels[lo..hi]) {
         for (ki, s) in scores.iter_mut().enumerate() {
             let row = &w[ki * stride..(ki + 1) * stride];
             *s = x.dot(row) + row[d];
@@ -284,17 +305,152 @@ pub(crate) fn loss_grad(data: &Dataset, c: f64, w: &[f64], grad: &mut [f64]) -> 
             grow[d] += coeff; // intercept "feature" is the constant 1
         }
     }
+    loss
+}
 
-    // L2 penalty (1/2C)·‖W‖², skipping intercepts.
+/// Deterministic block structure for parallel gradient accumulation over
+/// `examples[lo..hi]`. Boundaries depend only on the span length — never
+/// the thread count — so the per-block partial sums, reduced in block-index
+/// order, give bit-identical loss and gradient at any thread count. The
+/// minimum block size keeps tiny datasets on the single-block (serial)
+/// path where per-block buffers would cost more than they save.
+const GRAD_TARGET_BLOCKS: usize = 32;
+const GRAD_MIN_BLOCK: usize = 64;
+
+fn grad_blocks(lo: usize, hi: usize) -> Vec<(usize, usize)> {
+    let n = hi - lo;
+    if n == 0 {
+        return Vec::new();
+    }
+    let block = n.div_ceil(GRAD_TARGET_BLOCKS).max(GRAD_MIN_BLOCK);
+    (0..n).step_by(block).map(|b| (lo + b, lo + (b + block).min(n))).collect()
+}
+
+/// Accumulate the span loss/gradient of `examples[lo..hi]` into `grad` on
+/// `rt`'s workers: each fixed block produces a partial (loss, gradient)
+/// reduced into `grad` sequentially in block order. One block short-circuits
+/// to the plain serial kernel — bit-identical, since folding a single
+/// zero-initialized partial into `grad` is the same additions in the same
+/// order.
+fn accumulate_span_on(
+    rt: &Runtime,
+    data: &Dataset,
+    lo: usize,
+    hi: usize,
+    w: &[f64],
+    grad: &mut [f64],
+) -> f64 {
+    let blocks = grad_blocks(lo, hi);
+    if blocks.len() <= 1 {
+        return loss_grad_span(data, lo, hi, w, grad);
+    }
+    let parts =
+        rt.par_map_chunked(&blocks, auto_chunk_coarse(blocks.len(), rt.threads()), |&(a, b)| {
+            let mut part = vec![0.0; w.len()];
+            let l = loss_grad_span(data, a, b, w, &mut part);
+            (l, part)
+        });
+    let mut loss = 0.0;
+    for (l, part) in &parts {
+        loss += l;
+        for (g, p) in grad.iter_mut().zip(part) {
+            *g += p;
+        }
+    }
+    loss
+}
+
+/// L2 penalty (1/2C)·‖W‖², skipping intercepts; returns the loss term and
+/// accumulates the gradient term.
+fn add_l2_penalty(data: &Dataset, c: f64, w: &[f64], grad: &mut [f64]) -> f64 {
+    let stride = data.n_features + 1;
     let lambda = 1.0 / c;
-    for ki in 0..k {
-        for j in 0..d {
+    let mut loss = 0.0;
+    for ki in 0..data.n_classes {
+        for j in 0..data.n_features {
             let v = w[ki * stride + j];
             loss += 0.5 * lambda * v * v;
             grad[ki * stride + j] += lambda * v;
         }
     }
     loss
+}
+
+/// Regularized negative log-likelihood and its gradient (serial).
+///
+/// Exposed (crate-public) for the gradient-check tests.
+#[cfg(test)]
+pub(crate) fn loss_grad(data: &Dataset, c: f64, w: &[f64], grad: &mut [f64]) -> f64 {
+    grad.fill(0.0);
+    let loss = loss_grad_span(data, 0, data.len(), w, grad);
+    loss + add_l2_penalty(data, c, w, grad)
+}
+
+/// [`loss_grad`] with gradient accumulation parallelized over `rt` — the
+/// L-BFGS inner loop. Bit-identical at any thread count (fixed blocks,
+/// block-order reduction); on a sequential runtime and a single block it is
+/// also bit-identical to the serial [`loss_grad`].
+pub(crate) fn loss_grad_on(
+    rt: &Runtime,
+    data: &Dataset,
+    c: f64,
+    w: &[f64],
+    grad: &mut [f64],
+) -> f64 {
+    grad.fill(0.0);
+    let loss = accumulate_span_on(rt, data, 0, data.len(), w, grad);
+    loss + add_l2_penalty(data, c, w, grad)
+}
+
+/// Mini-batch SGD warm start before full-batch L-BFGS: a few epochs of
+/// plain (momentum-free) mini-batch steps over deterministic fixed-order
+/// batches, each stepping on the batch-mean gradient plus the batch's
+/// share of the L2 penalty. Fixed batch boundaries + the blocked span
+/// accumulator keep it byte-identical at any thread count. An epoch that
+/// drives any weight non-finite is rewound and ends the warm start — the
+/// full-batch L-BFGS that follows is the robust phase.
+fn warm_start(rt: &Runtime, data: &Dataset, config: &TrainConfig, w: &mut [f64]) {
+    let n = data.len();
+    let batch = config.warm_start_batch.clamp(1, n);
+    let stride = data.n_features + 1;
+    let lambda = 1.0 / config.c;
+    let mut grad = vec![0.0; w.len()];
+    let mut prev = w.to_vec();
+    for _ in 0..config.warm_start_epochs {
+        prev.copy_from_slice(w);
+        for lo in (0..n).step_by(batch) {
+            let hi = (lo + batch).min(n);
+            grad.fill(0.0);
+            accumulate_span_on(rt, data, lo, hi, w, &mut grad);
+            let scale = (hi - lo) as f64 / n as f64;
+            for ki in 0..data.n_classes {
+                for j in 0..data.n_features {
+                    grad[ki * stride + j] += scale * lambda * w[ki * stride + j];
+                }
+            }
+            let step = config.sgd_lr / (hi - lo) as f64;
+            for (wi, g) in w.iter_mut().zip(&grad) {
+                *wi -= step * g;
+            }
+        }
+        if w.iter().any(|v| !v.is_finite()) {
+            w.copy_from_slice(&prev);
+            break;
+        }
+    }
+    // Accept the warm point only if it improved the full objective: a
+    // diverged-but-finite trajectory (an oversized learning rate walking
+    // the weights to ±1e300) must not poison the L-BFGS that follows. A
+    // NaN warm loss compares as not-improved and is rejected too.
+    grad.fill(0.0);
+    let warm_loss = loss_grad_on(rt, data, config.c, w, &mut grad);
+    prev.fill(0.0);
+    grad.fill(0.0);
+    let cold_loss = loss_grad_on(rt, data, config.c, &prev, &mut grad);
+    let improved = matches!(warm_loss.partial_cmp(&cold_loss), Some(std::cmp::Ordering::Less));
+    if !improved {
+        w.fill(0.0);
+    }
 }
 
 #[cfg(test)]
@@ -427,5 +583,119 @@ mod tests {
     fn empty_dataset_panics() {
         let data = Dataset::new(2, 1);
         let _ = LogReg::train(&data, &TrainConfig::default());
+    }
+
+    /// A dataset big enough to cross the multi-block threshold of
+    /// `grad_blocks` (> 2 × `GRAD_MIN_BLOCK` examples).
+    fn blocky_dataset() -> Dataset {
+        let mut data = Dataset::new(3, 6);
+        for i in 0..500usize {
+            let a = (i * 7 % 13) as f32 * 0.25 - 1.0;
+            let b = (i * 11 % 17) as f32 * 0.125;
+            let x =
+                SparseVec::from_pairs(vec![((i % 6) as u32, a), (((i + 2) % 6) as u32, b + 1.0)]);
+            data.push(x, (i % 3) as u32);
+        }
+        data
+    }
+
+    #[test]
+    fn blocked_gradient_is_bit_identical_at_every_thread_count() {
+        let data = blocky_dataset();
+        assert!(grad_blocks(0, data.len()).len() > 1, "fixture must exercise multiple blocks");
+        let dim = 3 * 7;
+        let w: Vec<f64> = (0..dim).map(|i| ((i * 5 % 9) as f64 - 4.0) * 0.05).collect();
+        let mut ref_grad = vec![0.0; dim];
+        let ref_loss = loss_grad_on(&Runtime::sequential(), &data, 1.0, &w, &mut ref_grad);
+        for threads in [2, 4, 8] {
+            let rt = Runtime::new(threads);
+            let mut grad = vec![0.0; dim];
+            let loss = loss_grad_on(&rt, &data, 1.0, &w, &mut grad);
+            assert_eq!(loss.to_bits(), ref_loss.to_bits(), "loss diverged at threads={threads}");
+            assert!(
+                grad.iter().zip(&ref_grad).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "gradient diverged at threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_gradient_matches_the_serial_kernel_numerically() {
+        // Block-order reduction reassociates float additions, so exact bit
+        // equality with the flat serial loop is not promised — but the
+        // values must agree to tight tolerance.
+        let data = blocky_dataset();
+        let dim = 3 * 7;
+        let w: Vec<f64> = (0..dim).map(|i| ((i * 5 % 9) as f64 - 4.0) * 0.05).collect();
+        let mut serial = vec![0.0; dim];
+        let ls = loss_grad(&data, 1.0, &w, &mut serial);
+        let mut blocked = vec![0.0; dim];
+        let lb = loss_grad_on(&Runtime::new(4), &data, 1.0, &w, &mut blocked);
+        assert!((ls - lb).abs() <= 1e-9 * ls.abs().max(1.0), "loss {ls} vs {lb}");
+        for (i, (a, b)) in serial.iter().zip(&blocked).enumerate() {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "grad[{i}]: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn train_on_is_thread_count_invariant() {
+        let data = blocky_dataset();
+        let cfg = TrainConfig::default();
+        let (reference, ref_stats) = LogReg::train(&data, &cfg);
+        for threads in [2, 8] {
+            let (model, stats) = LogReg::train_on(&Runtime::new(threads), &data, &cfg);
+            assert_eq!(model.weights(), reference.weights(), "weights diverged at {threads}");
+            assert_eq!(stats.iterations, ref_stats.iterations);
+            assert_eq!(stats.final_loss.to_bits(), ref_stats.final_loss.to_bits());
+        }
+        assert!(reference.accuracy(&data) > 0.5);
+    }
+
+    #[test]
+    fn warm_start_is_thread_count_invariant_and_still_learns() {
+        let data = blocky_dataset();
+        let cfg =
+            TrainConfig { warm_start_epochs: 3, warm_start_batch: 64, ..TrainConfig::default() };
+        let (reference, _) = LogReg::train(&data, &cfg);
+        for threads in [2, 8] {
+            let (model, _) = LogReg::train_on(&Runtime::new(threads), &data, &cfg);
+            assert_eq!(model.weights(), reference.weights(), "warm start diverged at {threads}");
+        }
+        // The warm start must not hurt the optimum the solver reaches.
+        let (cold, _) = LogReg::train(&data, &TrainConfig::default());
+        let acc = reference.accuracy(&data);
+        assert!(
+            acc >= cold.accuracy(&data) - 0.05,
+            "warm-started accuracy {acc} collapsed vs cold {}",
+            cold.accuracy(&data)
+        );
+    }
+
+    #[test]
+    fn warm_start_survives_a_divergent_learning_rate() {
+        let data = blocky_dataset();
+        let cfg = TrainConfig {
+            warm_start_epochs: 5,
+            warm_start_batch: 32,
+            sgd_lr: 1e6, // absurd on purpose
+            ..TrainConfig::default()
+        };
+        let (model, stats) = LogReg::train(&data, &cfg);
+        assert!(stats.final_loss.is_finite());
+        assert!(model.weights().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn grad_blocks_cover_the_span_exactly_once() {
+        for (lo, hi) in [(0, 0), (0, 1), (0, 63), (0, 64), (0, 129), (5, 505), (7, 4096)] {
+            let blocks = grad_blocks(lo, hi);
+            let mut expect = lo;
+            for &(a, b) in &blocks {
+                assert_eq!(a, expect, "gap before block ({a}, {b}) in span ({lo}, {hi})");
+                assert!(b > a);
+                expect = b;
+            }
+            assert_eq!(expect, hi, "span ({lo}, {hi}) not fully covered");
+        }
     }
 }

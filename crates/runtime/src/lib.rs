@@ -167,8 +167,10 @@ impl Runtime {
     /// A bounded, order-preserving streaming map (the runtime's *reorder
     /// buffer*): [`StreamMap::push`] hands items to the pool one at a
     /// time, at most `cap` are in flight at once, and results come back
-    /// in input order regardless of completion order. Use it to overlap a
-    /// producer loop (fetch, decompress, read) with per-item work the
+    /// in input order regardless of completion order. `cap = 0` is
+    /// clamped to 1 (a zero-capacity buffer could never accept a push);
+    /// the clamp is observable via [`StreamMap::cap`]. Use it to overlap
+    /// a producer loop (fetch, decompress, read) with per-item work the
     /// pool runs — see the [`stream`](crate::StreamMap) docs for the
     /// determinism contract.
     pub fn stream<'f, T, R>(
@@ -271,6 +273,20 @@ pub fn auto_chunk(n: usize, threads: usize) -> usize {
         return 1;
     }
     (n / (threads.max(1) * 8)).clamp(1, 64)
+}
+
+/// [`auto_chunk`] for **coarse** tasks — items that each carry substantial,
+/// possibly uneven work (a gradient block, an interning shard, a per-cluster
+/// training job). Claim traffic is negligible next to the per-item cost, so
+/// the tuning goes the other way: chunks stay tiny (≤ 4 items) to maximize
+/// load balance, reaching 1-item chunks as soon as there are fewer than
+/// ~32 items per worker. Like `auto_chunk`, the value never affects output,
+/// only scheduling granularity.
+pub fn auto_chunk_coarse(n: usize, threads: usize) -> usize {
+    if n == 0 {
+        return 1;
+    }
+    (n / (threads.max(1) * 32)).clamp(1, 4)
 }
 
 /// Snapshot of the pool's scheduling counters (the `runtime-stats`

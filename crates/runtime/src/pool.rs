@@ -349,3 +349,82 @@ impl Pool {
         }
     }
 }
+
+#[cfg(all(test, feature = "runtime-stats"))]
+mod tests {
+    use super::*;
+
+    /// Never called: the tests below race for claims but run no chunks.
+    unsafe fn unreachable_chunk(_: *const (), _: &Job, _: usize) {
+        unreachable!("claim-race tests never participate in a job");
+    }
+
+    fn job(next: usize, n_chunks: usize, helper_limit: usize) -> Job {
+        Job {
+            next: AtomicUsize::new(next),
+            n_chunks,
+            helpers: AtomicUsize::new(0),
+            helper_limit,
+            panic_slot: Mutex::new(None),
+            active: Mutex::new(0),
+            idle_cv: Condvar::new(),
+            run_chunk: unreachable_chunk,
+            ctx: std::ptr::null(),
+        }
+    }
+
+    /// The `pool_steal_misses` counter read 0 in every committed bench
+    /// record — true (a 2-thread run has one pool worker, so nobody ever
+    /// races it), but indistinguishable from the counter being dead code.
+    /// A scheduler-driven provocation is hopeless to pin down on an
+    /// arbitrary CI box (on a 1-core machine the losing window is a few
+    /// instructions wide; 10k contended stream pushes never hit it), so
+    /// these tests drive the worker's exact sequence —
+    /// `wants_help` → `try_help` → `note_help_attempt` (the
+    /// [`Pool::worker_loop`] body) — through both losing interleavings
+    /// directly, proving the counter moves whenever a worker loses.
+    ///
+    /// Counters are process-global and other tests in this binary also run
+    /// pool work, so every assertion is a monotonic `>=` on a before/after
+    /// delta, never an exact equality.
+    #[test]
+    fn losing_the_helper_slot_race_records_a_steal_miss() {
+        let j = job(0, 100, 1);
+        assert!(j.wants_help(), "both racers saw claimable work under the queue lock");
+
+        let joins0 = stats::HELPER_JOINS.load(Ordering::Relaxed);
+        let misses0 = stats::STEAL_MISSES.load(Ordering::Relaxed);
+
+        // Two workers woke for the same one-helper job; the slot admits one.
+        let first = j.try_help();
+        stats::note_help_attempt(first);
+        let second = j.try_help();
+        stats::note_help_attempt(second);
+
+        assert!(first, "the first racer wins the only helper slot");
+        assert!(!second, "the second racer must lose the slot race");
+        assert!(stats::HELPER_JOINS.load(Ordering::Relaxed) >= joins0 + 1);
+        assert!(
+            stats::STEAL_MISSES.load(Ordering::Relaxed) >= misses0 + 1,
+            "a lost helper-slot race must move the steal-miss counter"
+        );
+    }
+
+    #[test]
+    fn waking_for_an_exhausted_job_records_a_steal_miss() {
+        // The worker passed `wants_help` under the queue lock, then the
+        // caller (or another helper) claimed the last chunk before its
+        // `try_help` landed: `next` has reached `n_chunks`.
+        let j = job(1, 1, 1);
+        let misses0 = stats::STEAL_MISSES.load(Ordering::Relaxed);
+
+        let helped = j.try_help();
+        stats::note_help_attempt(helped);
+
+        assert!(!helped, "an exhausted job admits no helpers");
+        assert!(
+            stats::STEAL_MISSES.load(Ordering::Relaxed) >= misses0 + 1,
+            "waking for an exhausted job must move the steal-miss counter"
+        );
+    }
+}

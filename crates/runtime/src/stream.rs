@@ -256,6 +256,30 @@ mod tests {
     }
 
     #[test]
+    fn cap_zero_clamps_to_one_and_first_push_neither_deadlocks_nor_panics() {
+        // Regression: `cap = 0` must behave exactly like `cap = 1` — a
+        // zero-capacity buffer would otherwise have no slot for the first
+        // `push` to submit into. The clamp is part of the documented
+        // contract of `StreamMap::new` / `Runtime::stream`.
+        for threads in [1, 2, 4, 8] {
+            let rt = Runtime::new(threads);
+            let mut sm = rt.stream(0, |x: u64| slow_square(x));
+            assert_eq!(sm.cap(), 1, "threads={threads}: cap 0 must clamp to 1");
+            let items: Vec<u64> = (0..40).collect();
+            let expect: Vec<u64> = items.iter().map(|&x| slow_square(x)).collect();
+            let mut got = Vec::new();
+            for &x in &items {
+                if let Some(r) = sm.push(x) {
+                    got.push(r);
+                }
+                assert!(sm.in_flight() <= 1, "threads={threads}: buffer exceeded clamped cap");
+            }
+            got.extend(sm.finish());
+            assert_eq!(got, expect, "threads={threads}: cap-0 stream lost or reordered items");
+        }
+    }
+
+    #[test]
     fn empty_stream_finishes_empty() {
         let rt = Runtime::new(4);
         let sm = rt.stream(2, |x: u8| x);
