@@ -239,6 +239,26 @@ fn main() {
         eprintln!("#   {name:<9} {:>9.2} {:>9.2} {speedup:>6.3}", s1.ms, sn.ms);
     }
     json.push_str("\n  }");
+    // Train-path summary of the single-thread full-protocol run: stage
+    // wall time plus the duplicate-folding totals (examples in, unique
+    // rows walked, examples-per-unique-row ratio). CI's job summary and
+    // the report-only serial-train ratio read these.
+    let _ = write!(
+        json,
+        ",\n  \"train_ms\": {:.2},\n  \"train_examples\": {},\n  \
+         \"train_unique_rows\": {},\n  \"train_fold_ratio\": {:.3}",
+        run_a.profile.train.ms,
+        run_a.fold.n_examples,
+        run_a.fold.n_unique_rows,
+        run_a.fold.fold_ratio(),
+    );
+    eprintln!(
+        "# train: {:.2} ms t1, {} examples -> {} unique rows (fold ratio {:.3})",
+        run_a.profile.train.ms,
+        run_a.fold.n_examples,
+        run_a.fold.n_unique_rows,
+        run_a.fold.fold_ratio(),
+    );
     // Before→after trajectory against a previous run (the committed
     // record): < 1.0 means this build's single-thread path is faster.
     if let Some(path) = baseline_path.as_deref() {

@@ -261,6 +261,12 @@ fn stats_cmd(args: &[String]) {
         run.stats.n_train_examples,
         run.extractions.len()
     );
+    println!(
+        "train fold: {} examples -> {} unique rows (ratio {:.2}x)",
+        run.fold.n_examples,
+        run.fold.n_unique_rows,
+        run.fold.fold_ratio()
+    );
     if threads == 1 {
         eprintln!("# threads=1 runs stages inline; pass --threads N>1 to see pool-job attribution");
     } else if profile.stages().iter().all(|(_, st)| st.pool_jobs == 0) {

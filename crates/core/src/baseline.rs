@@ -159,11 +159,18 @@ pub fn run_baseline(
     run.stats.n_train_examples = data.len();
     run.stats.n_features = data.n_features;
     run.stats.n_classes = data.n_classes;
-    let (model, _) = LogReg::train_on(&rt, &data, &cfg.train);
+    let (model, train_stats) = LogReg::train_on(&rt, &data, &cfg.train);
+    run.fold = crate::pipeline::TrainFoldStats {
+        n_examples: train_stats.n_examples,
+        n_unique_rows: train_stats.n_unique_rows,
+    };
     space.freeze();
     run.stats.trained = true;
 
     // --- Pairwise extraction (budgeted) ---
+    // One score scratch for the whole loop: predictions over the O(n²)
+    // candidate pairs allocate nothing.
+    let mut scores = ceres_ml::ScoreScratch::new();
     let ext_refs: Vec<&PageView> = match &ext_views {
         Some(v) => v.iter().collect(),
         None => ann_views.iter().collect(),
@@ -194,7 +201,7 @@ pub fn run_baseline(
                     page.fields[fj].node,
                     &mut scratch,
                 );
-                let (class, p) = model.predict(&x);
+                let (class, p) = model.predict_into(&x, &mut scores);
                 if class == 0 || p < cfg.extract.threshold {
                     continue;
                 }

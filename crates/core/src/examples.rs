@@ -11,7 +11,7 @@ use crate::annotate::PageAnnotation;
 use crate::features::{FeatureSpace, NameArena, NameBuf};
 use crate::page::PageView;
 use ceres_kb::PredId;
-use ceres_ml::{Dataset, SparseVec};
+use ceres_ml::Dataset;
 use ceres_runtime::Runtime;
 use ceres_store::{Decode, Encode, Error as StoreError, Reader, Writer, PREALLOC_CAP};
 use ceres_text::{FxHashMap, FxHashSet};
@@ -165,8 +165,9 @@ fn intern_shard(name: &str) -> usize {
 ///    deterministic index remap: shard 0's names, then shard 1's, …),
 ///    touching the `&mut` dictionary only once per **unique** name instead
 ///    of once per occurrence;
-/// 4. a parallel pass re-walks the rows building each example's
-///    [`SparseVec`] through read-only dictionary lookups.
+/// 4. a parallel pass re-walks the rows streaming each example straight
+///    into a per-chunk CSR [`Dataset`] through read-only dictionary
+///    lookups; the chunks are concatenated in chunk order.
 ///
 /// Every stage's order is fixed by the data (never the thread count), so
 /// feature ids, vectors, and the resulting dataset are byte-identical at
@@ -299,35 +300,37 @@ pub fn build_training_on(
             space.dict.intern(name);
         }
     }
-    // 5. parallel vector build through read-only lookups, rows in order.
+    // 5. parallel CSR build through read-only lookups, rows in order: each
+    //    chunk streams its rows straight into a per-chunk `Dataset` (no
+    //    per-row SparseVec allocation), and the chunks are concatenated in
+    //    chunk order — the same rows, same order, same sorted/deduped
+    //    indices as the old per-example build.
     let dict = &space.dict;
+    let n_classes = class_map.n_classes();
+    let n_features = space.dict.len();
     let chunk_ids: Vec<usize> = (0..arenas.len()).collect();
-    let parts: Vec<(Vec<SparseVec>, Vec<u32>)> = rt.par_map_chunked(
+    let parts: Vec<Dataset> = rt.par_map_chunked(
         &chunk_ids,
         ceres_runtime::auto_chunk_coarse(chunk_ids.len(), rt.threads()),
         |&ci| {
             let arena = &arenas[ci];
             let chunk = row_chunks[ci];
             let mut idx: Vec<u32> = Vec::with_capacity(64);
-            let mut examples = Vec::with_capacity(arena.n_rows());
-            let mut labels = Vec::with_capacity(arena.n_rows());
+            let mut part = Dataset::new(n_classes, n_features);
             for (r, &(_, _, class)) in chunk.iter().enumerate() {
                 for name in arena.row(r) {
                     if let Some(id) = dict.get(name) {
                         idx.push(id);
                     }
                 }
-                examples.push(SparseVec::from_indices_buf(&mut idx));
-                labels.push(class);
+                part.push_indicators_buf(&mut idx, class);
             }
-            (examples, labels)
+            part
         },
     );
-    let mut data = Dataset::new(class_map.n_classes(), space.dict.len());
-    for (examples, labels) in parts {
-        for (x, y) in examples.into_iter().zip(labels) {
-            data.push(x, y);
-        }
+    let mut data = Dataset::new(n_classes, n_features);
+    for part in &parts {
+        data.append(part);
     }
     data
 }
@@ -397,14 +400,11 @@ mod tests {
         // Positives: 1 name + 3 cast. Negatives ≤ 3 × 4 = 12 but the two
         // "Unknown" <li>s are excluded (same list shape as positives), so
         // negatives come from the footer spans and h1 only.
-        let n_pos = data.labels.iter().filter(|&&y| y != CLASS_OTHER).count();
+        let n_pos = data.labels().iter().filter(|&&y| y != CLASS_OTHER).count();
         assert_eq!(n_pos, 4);
-        let negatives: Vec<&ceres_ml::SparseVec> = data
-            .examples
-            .iter()
-            .zip(&data.labels)
-            .filter(|(_, &y)| y == CLASS_OTHER)
-            .map(|(x, _)| x)
+        let negatives: Vec<ceres_ml::SparseVec> = (0..data.len())
+            .filter(|&r| data.labels()[r] == CLASS_OTHER)
+            .map(|r| data.sparse_row(r))
             .collect();
         assert!(!negatives.is_empty());
 
@@ -415,7 +415,7 @@ mod tests {
             if f.text.contains("Unknown") {
                 let x = space.features(page, page.fields[fi].node);
                 assert!(
-                    negatives.iter().all(|n| **n != x),
+                    negatives.iter().all(|n| *n != x),
                     "list sibling {fi} must not be a negative"
                 );
             }
@@ -430,8 +430,8 @@ mod tests {
         let pages = vec![&page];
         let mut space = FeatureSpace::new(&pages, FeatureConfig::default());
         let data = build_training(&pages, std::slice::from_ref(&ann), &mut space, &cm, 2, 1);
-        let n_pos = data.labels.iter().filter(|&&y| y != CLASS_OTHER).count();
-        let n_neg = data.labels.iter().filter(|&&y| y == CLASS_OTHER).count();
+        let n_pos = data.labels().iter().filter(|&&y| y != CLASS_OTHER).count();
+        let n_neg = data.labels().iter().filter(|&&y| y == CLASS_OTHER).count();
         assert!(n_neg <= 2 * n_pos);
     }
 
@@ -451,9 +451,8 @@ mod tests {
             let mut s = FeatureSpace::new(&pages, FeatureConfig::default());
             let d =
                 build_training_on(&rt, &pages, std::slice::from_ref(&ann), &mut s, &cm, 3, 9, true);
-            assert_eq!(d.labels, d_ref.labels, "threads={threads}");
-            assert_eq!(d.examples, d_ref.examples, "threads={threads}");
-            assert_eq!(d.n_features, d_ref.n_features, "threads={threads}");
+            // Dataset's PartialEq covers the CSR arrays, labels, and shape.
+            assert_eq!(d, d_ref, "threads={threads}");
             assert_eq!(s.dict.len(), s_ref.dict.len(), "threads={threads}");
         }
     }
@@ -468,7 +467,7 @@ mod tests {
         let d1 = build_training(&pages, std::slice::from_ref(&ann), &mut s1, &cm, 3, 9);
         let mut s2 = FeatureSpace::new(&pages, FeatureConfig::default());
         let d2 = build_training(&pages, &[ann], &mut s2, &cm, 3, 9);
-        assert_eq!(d1.labels, d2.labels);
-        assert_eq!(d1.len(), d2.len());
+        assert_eq!(d1.labels(), d2.labels());
+        assert_eq!(d1, d2);
     }
 }

@@ -46,19 +46,22 @@ pub fn extract_page(
         return out;
     }
     // One scratch for the whole page: every field's vectorization reuses
-    // the same name/index buffers (zero transient allocations per node).
+    // the same name/index buffers, and every prediction writes into the
+    // same score scratch (zero transient allocations per node). Posteriors
+    // land in one flat `n_fields × n_classes` buffer.
     let mut scratch = FeatureScratch::new();
-    let probs: Vec<Vec<f64>> = page
-        .fields
-        .iter()
-        .map(|f| model.predict_proba(&space.features_frozen_with(page, f.node, &mut scratch)))
-        .collect();
+    let mut scores = ceres_ml::ScoreScratch::new();
+    let k = model.n_classes();
+    let mut probs = vec![0.0f64; page.fields.len() * k];
+    for (fi, f) in page.fields.iter().enumerate() {
+        let x = space.features_frozen_with(page, f.node, &mut scratch);
+        probs[fi * k..(fi + 1) * k].copy_from_slice(model.predict_proba_into(&x, &mut scores));
+    }
+    let row = |fi: usize| &probs[fi * k..(fi + 1) * k];
 
     // Name node: the field with the highest NAME probability.
-    let (name_field, name_prob) = probs
-        .iter()
-        .enumerate()
-        .map(|(i, p)| (i, p[CLASS_NAME as usize]))
+    let (name_field, name_prob) = (0..page.fields.len())
+        .map(|i| (i, row(i)[CLASS_NAME as usize]))
         .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
         .expect("non-empty fields");
     let subject = if name_prob >= cfg.name_threshold {
@@ -80,7 +83,7 @@ pub fn extract_page(
         if fi == name_field && name_prob >= cfg.name_threshold {
             continue;
         }
-        let (class, p) = probs[fi]
+        let (class, p) = row(fi)
             .iter()
             .enumerate()
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())

@@ -226,6 +226,36 @@ impl StageProfile {
     }
 }
 
+/// Duplicate-row folding totals of the Train stage, summed over every
+/// per-cluster model: how many training examples went in and how many
+/// unique `(row, label)` rows the optimizer actually walked after folding
+/// (see `ceres_ml::logreg`).
+///
+/// Like [`StageProfile`], this is deliberately **not** part of
+/// [`SiteRunStats`]: it describes how training was *executed*, not what it
+/// produced, so it lives beside the stats — outside the byte-identity
+/// contract of `tests/parallelism.rs` and outside the `TrainedSite`
+/// artifact codec (a loaded artifact reports zeros; folding happened in
+/// the training process).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrainFoldStats {
+    /// Training examples handed to the per-cluster trainers, summed.
+    pub n_examples: usize,
+    /// Unique rows after duplicate folding, summed over clusters.
+    pub n_unique_rows: usize,
+}
+
+impl TrainFoldStats {
+    /// Examples per unique row (≥ 1.0); 1.0 when nothing trained.
+    pub fn fold_ratio(&self) -> f64 {
+        if self.n_unique_rows == 0 {
+            1.0
+        } else {
+            self.n_examples as f64 / self.n_unique_rows as f64
+        }
+    }
+}
+
 /// Pool jobs executed so far (`runtime-stats` only; 0 without the feature).
 pub(crate) fn pool_jobs_now() -> u64 {
     #[cfg(feature = "runtime-stats")]
@@ -268,6 +298,9 @@ pub struct SiteRun {
     /// Per-stage wall times of this run (not part of any equality or
     /// serialization contract — see [`StageProfile`]).
     pub profile: StageProfile,
+    /// Train-stage duplicate-folding totals (execution detail, outside the
+    /// equality and serialization contracts — see [`TrainFoldStats`]).
+    pub fold: TrainFoldStats,
 }
 
 /// Run the CERES pipeline on one website.

@@ -39,7 +39,7 @@ use crate::features::FeatureSpace;
 use crate::page::PageView;
 use crate::pipeline::{
     pool_jobs_now, AnnotationRecord, SiteRun, SiteRunStats, StageProfile, StageTime, StageTimer,
-    TopicRecord,
+    TopicRecord, TrainFoldStats,
 };
 use crate::template::{cluster_site, Clustering};
 use crate::topic::identify_topics;
@@ -80,6 +80,9 @@ pub(crate) struct TrainedCore {
     /// (all-zero when the core was loaded from an artifact — see
     /// [`StageProfile`]).
     pub(crate) profile: StageProfile,
+    /// Duplicate-folding totals of the Train stage, summed over clusters
+    /// (zeros when loaded from an artifact — see [`TrainFoldStats`]).
+    pub(crate) fold: TrainFoldStats,
 }
 
 /// Run the training side of the pipeline — Cluster → {Topic ▸ Annotate} →
@@ -182,14 +185,14 @@ pub(crate) fn train_views_on(
     // fixed, so jobs are fully independent ---
     let stage_t = StageTimer::start();
     let cluster_ids: Vec<usize> = (0..plans.len()).collect();
-    let models: Vec<Option<ClusterModel>> = rt.par_map(&cluster_ids, |&ci| {
+    let trained: Vec<(Option<ClusterModel>, TrainFoldStats)> = rt.par_map(&cluster_ids, |&ci| {
         let ca = &annotated[ci];
         if ca.annotations.len() < 2 {
-            return None;
+            return (None, TrainFoldStats::default());
         }
         let class_map = ClassMap::from_annotations(&ca.annotations);
         if class_map.preds().is_empty() {
-            return None;
+            return (None, TrainFoldStats::default());
         }
         let pages = cluster_pages_of(&plans[ci]);
         let mut space = FeatureSpace::new(&pages, cfg.features.clone());
@@ -208,19 +211,31 @@ pub(crate) fn train_views_on(
             cfg.list_exclusion,
         );
         if data.is_empty() {
-            return None;
+            return (None, TrainFoldStats::default());
         }
-        let (model, _train_stats) = LogReg::train_on(rt, &data, &cfg.train);
+        let (model, train_stats) = LogReg::train_on(rt, &data, &cfg.train);
         space.freeze();
-        Some(ClusterModel {
+        let fold = TrainFoldStats {
+            n_examples: train_stats.n_examples,
+            n_unique_rows: train_stats.n_unique_rows,
+        };
+        let cm = ClusterModel {
             model,
             space,
             class_map,
             n_train_examples: data.len(),
             n_features: data.n_features,
             n_classes: data.n_classes,
-        })
+        };
+        (Some(cm), fold)
     });
+    let mut fold = TrainFoldStats::default();
+    let mut models: Vec<Option<ClusterModel>> = Vec::with_capacity(trained.len());
+    for (cm, f) in trained {
+        fold.n_examples += f.n_examples;
+        fold.n_unique_rows += f.n_unique_rows;
+        models.push(cm);
+    }
     for cm in models.iter().flatten() {
         stats.n_train_examples += cm.n_train_examples;
         stats.n_features = stats.n_features.max(cm.n_features);
@@ -239,6 +254,7 @@ pub(crate) fn train_views_on(
         annotation_records,
         extract_cfg: cfg.extract.clone(),
         profile,
+        fold,
     }
 }
 
@@ -311,6 +327,7 @@ impl TrainedCore {
             annotation_records: self.annotation_records,
             stats: self.stats,
             profile: self.profile,
+            fold: self.fold,
         }
     }
 }
@@ -616,6 +633,14 @@ impl<'kb> TrainedSite<'kb> {
         &self.core.profile
     }
 
+    /// Duplicate-folding totals of the Train stage that produced this site
+    /// (summed over per-cluster models). Zeros on a site loaded from an
+    /// artifact: like wall times, folding counts describe a past training
+    /// process and are never serialized — see [`TrainFoldStats`].
+    pub fn fold_stats(&self) -> &TrainFoldStats {
+        &self.core.fold
+    }
+
     /// Topic decisions recorded during training (Table 7 input).
     pub fn topic_records(&self) -> &[TopicRecord] {
         &self.core.topic_records
@@ -825,10 +850,11 @@ impl<'kb> TrainedSite<'kb> {
                 topic_records,
                 annotation_records,
                 extract_cfg,
-                // Training ran in another process; its wall times did not
-                // cross the artifact boundary (deliberately — see
-                // `StageProfile`).
+                // Training ran in another process; its wall times and
+                // folding counts did not cross the artifact boundary
+                // (deliberately — see `StageProfile` / `TrainFoldStats`).
                 profile: StageProfile::default(),
+                fold: TrainFoldStats::default(),
             },
             // The parsed training corpus never crosses the process
             // boundary: extract_training_pages() on a loaded site is empty.

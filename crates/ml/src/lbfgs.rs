@@ -5,6 +5,12 @@
 //! over an `m`-deep history of (s, y) pairs, safeguarded by a backtracking
 //! Armijo line search, falling back to steepest descent whenever the
 //! curvature condition would be violated.
+//!
+//! The objective is an opaque `FnMut(&[f64], &mut [f64]) -> f64` and is
+//! evaluated once per iteration *plus* once per line-search probe — in
+//! CERES it is the duplicate-folded training objective
+//! (`ceres_ml::logreg`), which is why the caller keeps any scratch state
+//! (score buffers) inside the closure rather than allocating per call.
 
 /// L-BFGS hyperparameters.
 #[derive(Debug, Clone)]

@@ -7,7 +7,14 @@
 //! approved offline crate set, so both are implemented here from scratch:
 //!
 //! * [`sparse`] — feature dictionary + sorted sparse vectors;
-//! * [`logreg`] — the softmax classifier and its regularized objective;
+//! * [`logreg`] — the softmax classifier and its regularized objective.
+//!   Training sets live in a CSR-layout [`Dataset`]; duplicate
+//!   `(row, label)` pairs — ubiquitous on templated pages — are folded to
+//!   unique rows with integer multiplicities, and the optimizer minimizes
+//!   the multiplicity-weighted objective
+//!   `Σ_i c_i · −log Pr(y_i | x_i) + (1/2C)·‖W‖²` over the unique rows
+//!   (bit-identical to the per-example objective when nothing folds,
+//!   deterministic always);
 //! * [`lbfgs`] — limited-memory BFGS with backtracking Armijo line search;
 //! * [`sgd`] — a full-batch gradient-descent/momentum fallback used by the
 //!   optimizer ablation;
@@ -29,5 +36,7 @@ pub mod sparse;
 
 pub use cluster::{agglomerative_cluster, Clustering};
 pub use lbfgs::{LbfgsConfig, LbfgsOutcome};
-pub use logreg::{Dataset, LogReg, Optimizer, TrainConfig, TrainStats};
+pub use logreg::{
+    Dataset, FoldedDataset, LogReg, Optimizer, ScoreScratch, TrainConfig, TrainStats,
+};
 pub use sparse::{FeatureDict, SparseVec};

@@ -4,11 +4,25 @@
 //! > Pr(Y = k | X) = exp(β_k0 + β_kᵀ X) / (1 + Σ_i exp(β_i0 + β_iᵀ X))
 //!
 //! trained by minimizing the scikit-learn objective the authors used
-//! (`LogisticRegression(solver="lbfgs", penalty="l2", C=1)`):
+//! (`LogisticRegression(solver="lbfgs", penalty="l2", C=1)`), **folded over
+//! duplicate rows**: identical `(features, label)` pairs — ubiquitous on
+//! templated pages — are deduplicated into unique rows with an integer
+//! multiplicity `c_i` before optimization, and each unique row contributes
+//! `c_i` times its loss and gradient:
 //!
 //! ```text
-//! J(W) = Σ_i −log Pr(y_i | x_i)  +  (1 / 2C) · ‖W‖²      (intercepts unregularized)
+//! J(W) = Σ_i c_i · −log Pr(y_i | x_i)  +  (1 / 2C) · ‖W‖²   (intercepts unregularized)
 //! ```
+//!
+//! With all multiplicities 1 this is exactly the per-example objective
+//! (multiplying by 1.0 is an IEEE identity), and folding is deterministic
+//! (first-occurrence order), so training remains byte-identical at every
+//! thread count — only cheaper: each L-BFGS iteration and line-search probe
+//! walks the unique rows once instead of re-walking every duplicate.
+//!
+//! The training set is a [`Dataset`] in CSR layout (one contiguous
+//! `indices`/`values`/`row_offsets` triple), so the objective streams
+//! linear memory instead of chasing one heap allocation per example.
 
 use crate::lbfgs::{lbfgs_minimize, LbfgsConfig, LbfgsOutcome};
 use crate::sgd::{sgd_minimize, SgdConfig};
@@ -16,36 +30,203 @@ use crate::sparse::SparseVec;
 use ceres_runtime::{auto_chunk_coarse, Runtime};
 use ceres_store::{Decode, Encode, Error as StoreError, Reader, Writer};
 
-/// A labeled training set.
-#[derive(Debug, Clone, Default)]
+/// A labeled training set in CSR (compressed sparse row) layout.
+///
+/// Row `r`'s features are `indices[row_offsets[r]..row_offsets[r + 1]]`
+/// (strictly increasing) with matching `values`; its label is `labels[r]`.
+/// One contiguous triple replaces the former per-example `Vec<SparseVec>`
+/// (a heap allocation and pointer chase per row), so the training objective
+/// — which re-walks the whole set once per L-BFGS iteration *and* per
+/// line-search probe — streams linear memory. Iteration order over each
+/// row's `(index, value)` pairs is identical to the old layout, so every
+/// float operation happens in the same order and results are bit-identical
+/// (pinned by `prop_csr_loss_grad_matches_sparse_vec_reference`).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
-    pub examples: Vec<SparseVec>,
-    pub labels: Vec<u32>,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+    /// `len() + 1` offsets into `indices`/`values`; starts at 0.
+    row_offsets: Vec<usize>,
+    labels: Vec<u32>,
+    /// Number of target classes (fixed at construction).
     pub n_classes: usize,
+    /// Feature-space dimensionality (fixed at construction).
     pub n_features: usize,
 }
 
+impl Default for Dataset {
+    fn default() -> Self {
+        Dataset::new(0, 0)
+    }
+}
+
 impl Dataset {
+    /// An empty dataset over `n_classes` classes and `n_features` features.
     pub fn new(n_classes: usize, n_features: usize) -> Self {
-        Dataset { examples: Vec::new(), labels: Vec::new(), n_classes, n_features }
+        Dataset {
+            indices: Vec::new(),
+            values: Vec::new(),
+            row_offsets: vec![0],
+            labels: Vec::new(),
+            n_classes,
+            n_features,
+        }
     }
 
+    /// Append one example. The `SparseVec` invariant (strictly increasing
+    /// indices) carries straight into the CSR arrays.
     pub fn push(&mut self, x: SparseVec, y: u32) {
         debug_assert!((y as usize) < self.n_classes);
         if let Some(max) = x.max_index() {
             debug_assert!((max as usize) < self.n_features, "feature index out of range");
         }
-        self.examples.push(x);
+        for (i, v) in x.iter() {
+            self.indices.push(i);
+            self.values.push(v);
+        }
+        self.row_offsets.push(self.indices.len());
         self.labels.push(y);
     }
 
-    pub fn len(&self) -> usize {
-        self.examples.len()
+    /// Append one row directly from index/value slices (`idx` strictly
+    /// increasing, both slices equal length) — the allocation-free twin of
+    /// [`Dataset::push`] used by duplicate folding and the training-set
+    /// builder.
+    pub fn push_row(&mut self, idx: &[u32], vals: &[f32], y: u32) {
+        debug_assert_eq!(idx.len(), vals.len());
+        debug_assert!(idx.windows(2).all(|w| w[0] < w[1]), "indices must strictly increase");
+        debug_assert!((y as usize) < self.n_classes);
+        debug_assert!(
+            idx.last().is_none_or(|&i| (i as usize) < self.n_features),
+            "feature index out of range"
+        );
+        self.indices.extend_from_slice(idx);
+        self.values.extend_from_slice(vals);
+        self.row_offsets.push(self.indices.len());
+        self.labels.push(y);
     }
 
-    pub fn is_empty(&self) -> bool {
-        self.examples.is_empty()
+    /// Append a row of binary indicator features from a scratch index
+    /// buffer: sorts and dedups `buf` in place, streams it into the CSR
+    /// arrays with unit values, and clears `buf` (capacity retained) —
+    /// the `SparseVec::from_indices_buf` idiom without the intermediate
+    /// `SparseVec` allocation.
+    pub fn push_indicators_buf(&mut self, buf: &mut Vec<u32>, y: u32) {
+        buf.sort_unstable();
+        buf.dedup();
+        debug_assert!((y as usize) < self.n_classes);
+        debug_assert!(
+            buf.last().is_none_or(|&i| (i as usize) < self.n_features),
+            "feature index out of range"
+        );
+        self.indices.extend_from_slice(buf);
+        self.values.extend(std::iter::repeat_n(1.0f32, buf.len()));
+        self.row_offsets.push(self.indices.len());
+        self.labels.push(y);
+        buf.clear();
     }
+
+    /// Append every row of `other` (same shape) after this dataset's rows —
+    /// how the parallel training-set builder merges its per-chunk parts in
+    /// chunk order.
+    pub fn append(&mut self, other: &Dataset) {
+        assert_eq!(self.n_classes, other.n_classes, "class count mismatch");
+        assert_eq!(self.n_features, other.n_features, "feature count mismatch");
+        let base = self.indices.len();
+        self.indices.extend_from_slice(&other.indices);
+        self.values.extend_from_slice(&other.values);
+        self.labels.extend_from_slice(&other.labels);
+        self.row_offsets.extend(other.row_offsets[1..].iter().map(|o| base + o));
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Total stored (index, value) pairs across all rows.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// All labels, in row order.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Row `r` as (indices, values) slices into the CSR arrays.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[u32], &[f32]) {
+        let (lo, hi) = (self.row_offsets[r], self.row_offsets[r + 1]);
+        (&self.indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// Row `r` copied out as a [`SparseVec`] (allocates — tests and
+    /// diagnostics only; hot paths use [`Dataset::row`]).
+    pub fn sparse_row(&self, r: usize) -> SparseVec {
+        let (idx, vals) = self.row(r);
+        SparseVec::from_pairs(idx.iter().copied().zip(vals.iter().copied()).collect())
+    }
+
+    /// Fold duplicate `(features, label)` rows into unique rows with an
+    /// integer multiplicity. Unique rows keep **first-occurrence order**
+    /// (so the result is deterministic and independent of everything but
+    /// the input), and equality is bitwise on values — no float surprises.
+    ///
+    /// Highly templated sites produce many byte-identical training rows;
+    /// the optimizer then walks `counts.len()` rows per objective
+    /// evaluation instead of `self.len()`.
+    pub fn fold_duplicates(&self) -> FoldedDataset {
+        use std::hash::{BuildHasher, Hash, Hasher};
+        let mut by_hash: ceres_text::FxHashMap<u64, Vec<u32>> = ceres_text::FxHashMap::default();
+        by_hash.reserve(self.len());
+        let mut data = Dataset::new(self.n_classes, self.n_features);
+        let mut counts: Vec<u32> = Vec::new();
+        for r in 0..self.len() {
+            let (idx, vals) = self.row(r);
+            let y = self.labels[r];
+            let mut hasher = ceres_text::FxBuildHasher::default().build_hasher();
+            y.hash(&mut hasher);
+            idx.hash(&mut hasher);
+            for v in vals {
+                v.to_bits().hash(&mut hasher);
+            }
+            let bucket = by_hash.entry(hasher.finish()).or_default();
+            let found = bucket.iter().copied().find(|&u| {
+                let (ui, uv) = data.row(u as usize);
+                data.labels[u as usize] == y
+                    && ui == idx
+                    && uv.len() == vals.len()
+                    && uv.iter().zip(vals).all(|(a, b)| a.to_bits() == b.to_bits())
+            });
+            match found {
+                Some(u) => counts[u as usize] += 1,
+                None => {
+                    let u = data.len() as u32;
+                    data.push_row(idx, vals, y);
+                    counts.push(1);
+                    bucket.push(u);
+                }
+            }
+        }
+        FoldedDataset { data, counts }
+    }
+}
+
+/// Result of [`Dataset::fold_duplicates`]: the unique rows (first-occurrence
+/// order) and each row's multiplicity in the source dataset.
+#[derive(Debug, Clone)]
+pub struct FoldedDataset {
+    /// The unique rows.
+    pub data: Dataset,
+    /// `counts[r]` = how many source rows folded into unique row `r`
+    /// (always ≥ 1; `counts.iter().sum() == source.len()`).
+    pub counts: Vec<u32>,
 }
 
 /// Which optimizer trains the model (the paper uses LBFGS; SGD is kept for
@@ -71,8 +252,9 @@ pub struct TrainConfig {
     /// Mini-batch SGD warm-start epochs run before full-batch L-BFGS
     /// (L-BFGS only; 0 = disabled, the default). The warm start uses
     /// deterministic fixed-order batches of [`TrainConfig::warm_start_batch`]
-    /// examples at learning rate `sgd_lr / |batch|`, so it is byte-identical
-    /// at any thread count, like the rest of training.
+    /// unique rows, each stepping on the batch's multiplicity-weighted mean
+    /// gradient, so it is byte-identical at any thread count, like the rest
+    /// of training.
     pub warm_start_epochs: usize,
     /// Mini-batch size for the warm start (clamped to `1..=n`).
     pub warm_start_batch: usize,
@@ -99,6 +281,68 @@ pub struct TrainStats {
     pub iterations: usize,
     pub final_loss: f64,
     pub converged: bool,
+    /// Source examples handed to [`LogReg::train_on`].
+    pub n_examples: usize,
+    /// Unique rows after duplicate folding — what the optimizer actually
+    /// walked per objective evaluation.
+    pub n_unique_rows: usize,
+}
+
+impl TrainStats {
+    /// Duplicate-folding win: source examples per unique row (≥ 1.0).
+    pub fn fold_ratio(&self) -> f64 {
+        self.n_examples as f64 / self.n_unique_rows.max(1) as f64
+    }
+}
+
+/// Reusable per-example score buffer for the allocation-free scoring paths
+/// ([`LogReg::scores_into`], [`LogReg::predict_proba_into`],
+/// [`LogReg::predict_into`]). One scratch per serving loop replaces one
+/// `Vec<f64>` allocation per scored node — millions per site.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreScratch {
+    buf: Vec<f64>,
+}
+
+impl ScoreScratch {
+    /// An empty scratch (the first use sizes it).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The buffer, resized to `k` entries (zeroed).
+    fn resized(&mut self, k: usize) -> &mut [f64] {
+        self.buf.clear();
+        self.buf.resize(k, 0.0);
+        &mut self.buf
+    }
+}
+
+/// Dot product of a CSR row with a dense weight row — the same arithmetic,
+/// in the same order, as [`SparseVec::dot`], including its skip rule:
+/// indices outside `dense` (features interned after the weights were sized)
+/// contribute nothing.
+#[inline]
+fn dot_row(idx: &[u32], vals: &[f32], dense: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (&i, &v) in idx.iter().zip(vals) {
+        if let Some(w) = dense.get(i as usize) {
+            acc += f64::from(v) * *w;
+        }
+    }
+    acc
+}
+
+/// Argmax over a probability slice, replicating `Iterator::max_by`'s
+/// last-maximum tie behavior so `_into` predictions match the allocating
+/// originals exactly.
+fn top_class(probs: &[f64]) -> (u32, f64) {
+    let (k, p) = probs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+        .expect("at least two classes");
+    (k as u32, *p)
 }
 
 /// A trained softmax classifier.
@@ -121,19 +365,28 @@ impl LogReg {
     }
 
     /// Train on `data`, running gradient accumulation on `rt`'s workers.
-    /// Panics on an empty dataset (a caller bug: CERES always aborts a
-    /// site earlier when annotation produced nothing).
+    ///
+    /// Duplicate rows are folded first (see [`Dataset::fold_duplicates`]);
+    /// the optimizer then minimizes the multiplicity-weighted objective
+    /// over the unique rows — same minimizer, fewer row walks. Panics on an
+    /// empty dataset (a caller bug: CERES always aborts a site earlier when
+    /// annotation produced nothing).
     pub fn train_on(rt: &Runtime, data: &Dataset, config: &TrainConfig) -> (LogReg, TrainStats) {
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         assert!(data.n_classes >= 2, "need at least two classes");
+        let folded = data.fold_duplicates();
+        let (fdata, counts) = (&folded.data, &folded.counts[..]);
         let dim = data.n_classes * (data.n_features + 1);
         let mut x0 = vec![0.0; dim];
         if config.optimizer == Optimizer::Lbfgs && config.warm_start_epochs > 0 {
-            warm_start(rt, data, config, &mut x0);
+            warm_start(rt, fdata, counts, config, &mut x0);
         }
-        let objective = |w: &[f64], grad: &mut [f64]| loss_grad_on(rt, data, config.c, w, grad);
+        let mut scratch = ScoreScratch::new();
+        let objective = |w: &[f64], grad: &mut [f64]| {
+            loss_grad_folded_on(rt, fdata, counts, config.c, w, grad, &mut scratch)
+        };
 
-        let (w, stats) = match config.optimizer {
+        let (w, iterations, final_loss, converged) = match config.optimizer {
             Optimizer::Lbfgs => {
                 let cfg = LbfgsConfig {
                     max_iters: config.max_iters,
@@ -142,7 +395,7 @@ impl LogReg {
                 };
                 let LbfgsOutcome { x, f, iterations, converged } =
                     lbfgs_minimize(x0, objective, &cfg);
-                (x, TrainStats { iterations, final_loss: f, converged })
+                (x, iterations, f, converged)
             }
             Optimizer::Sgd => {
                 let cfg = SgdConfig {
@@ -151,8 +404,15 @@ impl LogReg {
                     ..SgdConfig::default()
                 };
                 let (x, f, iters) = sgd_minimize(x0, objective, &cfg);
-                (x, TrainStats { iterations: iters, final_loss: f, converged: true })
+                (x, iters, f, true)
             }
+        };
+        let stats = TrainStats {
+            iterations,
+            final_loss,
+            converged,
+            n_examples: data.len(),
+            n_unique_rows: fdata.len(),
         };
         (LogReg { w, n_classes: data.n_classes, n_features: data.n_features }, stats)
     }
@@ -203,16 +463,31 @@ impl LogReg {
         &self.w[k * stride..(k + 1) * stride]
     }
 
+    /// Write class log-odds for one example into `out` (length
+    /// `n_classes`) — the shared allocation-free kernel behind every
+    /// scoring path.
+    fn scores_write(&self, x: &SparseVec, out: &mut [f64]) {
+        for (ki, s) in out.iter_mut().enumerate() {
+            let row = self.row(ki);
+            // The dot sees only the feature slots: the intercept lives one
+            // past them, and a late-interned feature whose index is exactly
+            // `n_features` must be skipped, not alias the intercept.
+            *s = x.dot(&row[..self.n_features]) + row[self.n_features];
+        }
+    }
+
     /// Class log-odds (pre-softmax scores) for one example.
     pub fn scores(&self, x: &SparseVec) -> Vec<f64> {
-        (0..self.n_classes)
-            .map(|k| {
-                let row = self.row(k);
-                // Intercept is the last slot; SparseVec::dot ignores it
-                // because feature indices are < n_features.
-                x.dot(row) + row[self.n_features]
-            })
-            .collect()
+        let mut out = vec![0.0; self.n_classes];
+        self.scores_write(x, &mut out);
+        out
+    }
+
+    /// [`LogReg::scores`] into a reusable scratch — no allocation.
+    pub fn scores_into<'a>(&self, x: &SparseVec, scratch: &'a mut ScoreScratch) -> &'a [f64] {
+        let out = scratch.resized(self.n_classes);
+        self.scores_write(x, out);
+        out
     }
 
     /// Posterior distribution over classes for one example.
@@ -222,24 +497,48 @@ impl LogReg {
         scores
     }
 
-    /// Most probable class and its probability.
-    pub fn predict(&self, x: &SparseVec) -> (u32, f64) {
-        let probs = self.predict_proba(x);
-        let (k, p) = probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
-            .expect("at least two classes");
-        (k as u32, *p)
+    /// [`LogReg::predict_proba`] into a reusable scratch — no allocation.
+    pub fn predict_proba_into<'a>(
+        &self,
+        x: &SparseVec,
+        scratch: &'a mut ScoreScratch,
+    ) -> &'a [f64] {
+        let out = scratch.resized(self.n_classes);
+        self.scores_write(x, out);
+        softmax_in_place(out);
+        out
     }
 
-    /// Mean accuracy on a labeled dataset.
+    /// Most probable class and its probability.
+    pub fn predict(&self, x: &SparseVec) -> (u32, f64) {
+        top_class(&self.predict_proba(x))
+    }
+
+    /// [`LogReg::predict`] through a reusable scratch — no allocation.
+    pub fn predict_into(&self, x: &SparseVec, scratch: &mut ScoreScratch) -> (u32, f64) {
+        top_class(self.predict_proba_into(x, scratch))
+    }
+
+    /// Mean accuracy on a labeled dataset (CSR rows scored through one
+    /// scratch — no per-example allocations).
     pub fn accuracy(&self, data: &Dataset) -> f64 {
         if data.is_empty() {
             return 0.0;
         }
-        let correct =
-            data.examples.iter().zip(&data.labels).filter(|(x, &y)| self.predict(x).0 == y).count();
+        let mut scratch = ScoreScratch::new();
+        let mut correct = 0usize;
+        for r in 0..data.len() {
+            let (idx, vals) = data.row(r);
+            let out = scratch.resized(self.n_classes);
+            for (ki, s) in out.iter_mut().enumerate() {
+                let row = self.row(ki);
+                *s = dot_row(idx, vals, &row[..self.n_features]) + row[self.n_features];
+            }
+            softmax_in_place(out);
+            if top_class(out).0 == data.labels[r] {
+                correct += 1;
+            }
+        }
         correct as f64 / data.len() as f64
     }
 }
@@ -275,33 +574,56 @@ pub fn softmax_in_place(scores: &mut [f64]) {
     }
 }
 
-/// Unregularized negative log-likelihood over `examples[lo..hi]`, with the
-/// gradient **accumulated** into `grad` (not zeroed) — the shared kernel of
-/// the serial path, the blocked parallel path, and the warm start.
-fn loss_grad_span(data: &Dataset, lo: usize, hi: usize, w: &[f64], grad: &mut [f64]) -> f64 {
+/// Multiplicity-weighted unregularized negative log-likelihood over rows
+/// `lo..hi`, with the gradient **accumulated** into `grad` (not zeroed) —
+/// the shared kernel of the serial path, the blocked parallel path, and the
+/// warm start. Row `r` contributes `counts[r]` times its loss and gradient;
+/// with all counts 1 every operation is bit-identical to the unfolded
+/// per-example objective (`1.0 × x` and `x` are the same IEEE value).
+fn loss_grad_span(
+    data: &Dataset,
+    counts: &[u32],
+    lo: usize,
+    hi: usize,
+    w: &[f64],
+    grad: &mut [f64],
+    scratch: &mut ScoreScratch,
+) -> f64 {
     let k = data.n_classes;
     let d = data.n_features;
     let stride = d + 1;
     debug_assert_eq!(w.len(), k * stride);
+    debug_assert_eq!(counts.len(), data.len());
 
     let mut loss = 0.0;
-    let mut scores = vec![0.0; k];
-    for (x, &y) in data.examples[lo..hi].iter().zip(&data.labels[lo..hi]) {
+    let scores = scratch.resized(k);
+    // `r` indexes three parallel structures (rows, labels, counts), so a
+    // range loop is clearer than zipping iterators here.
+    #[allow(clippy::needless_range_loop)]
+    for r in lo..hi {
+        let (idx, vals) = data.row(r);
+        let y = data.labels[r] as usize;
+        let c = f64::from(counts[r]);
         for (ki, s) in scores.iter_mut().enumerate() {
             let row = &w[ki * stride..(ki + 1) * stride];
-            *s = x.dot(row) + row[d];
+            *s = dot_row(idx, vals, &row[..d]) + row[d];
         }
         // log-sum-exp for the normalizer.
         let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let lse = max + scores.iter().map(|s| (s - max).exp()).sum::<f64>().ln();
-        loss += lse - scores[y as usize];
+        loss += c * (lse - scores[y]);
 
-        for ki in 0..k {
-            let p = (scores[ki] - lse).exp();
-            let indicator = f64::from(ki as u32 == y);
-            let coeff = p - indicator;
+        for (ki, s) in scores.iter().enumerate() {
+            let p = (s - lse).exp();
+            let indicator = f64::from(ki == y);
+            let coeff = c * (p - indicator);
             let grow = &mut grad[ki * stride..(ki + 1) * stride];
-            x.add_scaled_into(&mut grow[..d], coeff);
+            let features = &mut grow[..d];
+            for (&i, &v) in idx.iter().zip(vals) {
+                if let Some(g) = features.get_mut(i as usize) {
+                    *g += coeff * f64::from(v);
+                }
+            }
             grow[d] += coeff; // intercept "feature" is the constant 1
         }
     }
@@ -309,8 +631,8 @@ fn loss_grad_span(data: &Dataset, lo: usize, hi: usize, w: &[f64], grad: &mut [f
 }
 
 /// Deterministic block structure for parallel gradient accumulation over
-/// `examples[lo..hi]`. Boundaries depend only on the span length — never
-/// the thread count — so the per-block partial sums, reduced in block-index
+/// rows `lo..hi`. Boundaries depend only on the span length — never the
+/// thread count — so the per-block partial sums, reduced in block-index
 /// order, give bit-identical loss and gradient at any thread count. The
 /// minimum block size keeps tiny datasets on the single-block (serial)
 /// path where per-block buffers would cost more than they save.
@@ -326,28 +648,32 @@ fn grad_blocks(lo: usize, hi: usize) -> Vec<(usize, usize)> {
     (0..n).step_by(block).map(|b| (lo + b, lo + (b + block).min(n))).collect()
 }
 
-/// Accumulate the span loss/gradient of `examples[lo..hi]` into `grad` on
-/// `rt`'s workers: each fixed block produces a partial (loss, gradient)
-/// reduced into `grad` sequentially in block order. One block short-circuits
-/// to the plain serial kernel — bit-identical, since folding a single
+/// Accumulate the span loss/gradient of rows `lo..hi` into `grad` on `rt`'s
+/// workers: each fixed block produces a partial (loss, gradient) reduced
+/// into `grad` sequentially in block order. One block short-circuits to the
+/// plain serial kernel — bit-identical, since folding a single
 /// zero-initialized partial into `grad` is the same additions in the same
 /// order.
+#[allow(clippy::too_many_arguments)]
 fn accumulate_span_on(
     rt: &Runtime,
     data: &Dataset,
+    counts: &[u32],
     lo: usize,
     hi: usize,
     w: &[f64],
     grad: &mut [f64],
+    scratch: &mut ScoreScratch,
 ) -> f64 {
     let blocks = grad_blocks(lo, hi);
     if blocks.len() <= 1 {
-        return loss_grad_span(data, lo, hi, w, grad);
+        return loss_grad_span(data, counts, lo, hi, w, grad, scratch);
     }
     let parts =
         rt.par_map_chunked(&blocks, auto_chunk_coarse(blocks.len(), rt.threads()), |&(a, b)| {
             let mut part = vec![0.0; w.len()];
-            let l = loss_grad_span(data, a, b, w, &mut part);
+            let mut scratch = ScoreScratch::new();
+            let l = loss_grad_span(data, counts, a, b, w, &mut part, &mut scratch);
             (l, part)
         });
     let mut loss = 0.0;
@@ -376,20 +702,39 @@ fn add_l2_penalty(data: &Dataset, c: f64, w: &[f64], grad: &mut [f64]) -> f64 {
     loss
 }
 
-/// Regularized negative log-likelihood and its gradient (serial).
-///
-/// Exposed (crate-public) for the gradient-check tests.
-#[cfg(test)]
-pub(crate) fn loss_grad(data: &Dataset, c: f64, w: &[f64], grad: &mut [f64]) -> f64 {
+/// The regularized, multiplicity-weighted objective and its gradient, with
+/// gradient accumulation parallelized over `rt` — the L-BFGS inner loop.
+/// Bit-identical at any thread count (fixed blocks, block-order reduction).
+#[allow(clippy::too_many_arguments)]
+fn loss_grad_folded_on(
+    rt: &Runtime,
+    data: &Dataset,
+    counts: &[u32],
+    c: f64,
+    w: &[f64],
+    grad: &mut [f64],
+    scratch: &mut ScoreScratch,
+) -> f64 {
     grad.fill(0.0);
-    let loss = loss_grad_span(data, 0, data.len(), w, grad);
+    let loss = accumulate_span_on(rt, data, counts, 0, data.len(), w, grad, scratch);
     loss + add_l2_penalty(data, c, w, grad)
 }
 
-/// [`loss_grad`] with gradient accumulation parallelized over `rt` — the
-/// L-BFGS inner loop. Bit-identical at any thread count (fixed blocks,
-/// block-order reduction); on a sequential runtime and a single block it is
-/// also bit-identical to the serial [`loss_grad`].
+/// Regularized per-example (all multiplicities 1) negative log-likelihood
+/// and gradient, serial — the reference the gradient-check and CSR
+/// bit-identity tests pin against.
+#[cfg(test)]
+pub(crate) fn loss_grad(data: &Dataset, c: f64, w: &[f64], grad: &mut [f64]) -> f64 {
+    grad.fill(0.0);
+    let ones = vec![1u32; data.len()];
+    let mut scratch = ScoreScratch::new();
+    let loss = loss_grad_span(data, &ones, 0, data.len(), w, grad, &mut scratch);
+    loss + add_l2_penalty(data, c, w, grad)
+}
+
+/// [`loss_grad`] with gradient accumulation parallelized over `rt` (all
+/// multiplicities 1) — kept for the thread-invariance pins.
+#[cfg(test)]
 pub(crate) fn loss_grad_on(
     rt: &Runtime,
     data: &Dataset,
@@ -397,38 +742,51 @@ pub(crate) fn loss_grad_on(
     w: &[f64],
     grad: &mut [f64],
 ) -> f64 {
-    grad.fill(0.0);
-    let loss = accumulate_span_on(rt, data, 0, data.len(), w, grad);
-    loss + add_l2_penalty(data, c, w, grad)
+    let ones = vec![1u32; data.len()];
+    let mut scratch = ScoreScratch::new();
+    loss_grad_folded_on(rt, data, &ones, c, w, grad, &mut scratch)
 }
 
 /// Mini-batch SGD warm start before full-batch L-BFGS: a few epochs of
 /// plain (momentum-free) mini-batch steps over deterministic fixed-order
-/// batches, each stepping on the batch-mean gradient plus the batch's
-/// share of the L2 penalty. Fixed batch boundaries + the blocked span
-/// accumulator keep it byte-identical at any thread count. An epoch that
-/// drives any weight non-finite is rewound and ends the warm start — the
-/// full-batch L-BFGS that follows is the robust phase.
-fn warm_start(rt: &Runtime, data: &Dataset, config: &TrainConfig, w: &mut [f64]) {
+/// batches of **unique rows**, each stepping on the batch's
+/// multiplicity-weighted mean gradient plus the batch's share (by
+/// multiplicity mass) of the L2 penalty. Fixed batch boundaries + the
+/// blocked span accumulator keep it byte-identical at any thread count;
+/// on an unfolded dataset (all counts 1) the arithmetic reduces exactly to
+/// the historical per-example warm start. An epoch that drives any weight
+/// non-finite is rewound and ends the warm start — the full-batch L-BFGS
+/// that follows is the robust phase.
+fn warm_start(rt: &Runtime, data: &Dataset, counts: &[u32], config: &TrainConfig, w: &mut [f64]) {
     let n = data.len();
     let batch = config.warm_start_batch.clamp(1, n);
     let stride = data.n_features + 1;
     let lambda = 1.0 / config.c;
+    // Batch boundaries and multiplicity masses are fixed up front: with all
+    // counts 1, `mass` is exactly the old `(hi - lo)` example count.
+    let batches: Vec<(usize, usize, f64)> = (0..n)
+        .step_by(batch)
+        .map(|lo| {
+            let hi = (lo + batch).min(n);
+            (lo, hi, counts[lo..hi].iter().map(|&c| f64::from(c)).sum())
+        })
+        .collect();
+    let total: f64 = counts.iter().map(|&c| f64::from(c)).sum();
     let mut grad = vec![0.0; w.len()];
+    let mut scratch = ScoreScratch::new();
     let mut prev = w.to_vec();
     for _ in 0..config.warm_start_epochs {
         prev.copy_from_slice(w);
-        for lo in (0..n).step_by(batch) {
-            let hi = (lo + batch).min(n);
+        for &(lo, hi, mass) in &batches {
             grad.fill(0.0);
-            accumulate_span_on(rt, data, lo, hi, w, &mut grad);
-            let scale = (hi - lo) as f64 / n as f64;
+            accumulate_span_on(rt, data, counts, lo, hi, w, &mut grad, &mut scratch);
+            let scale = mass / total;
             for ki in 0..data.n_classes {
                 for j in 0..data.n_features {
                     grad[ki * stride + j] += scale * lambda * w[ki * stride + j];
                 }
             }
-            let step = config.sgd_lr / (hi - lo) as f64;
+            let step = config.sgd_lr / mass;
             for (wi, g) in w.iter_mut().zip(&grad) {
                 *wi -= step * g;
             }
@@ -442,11 +800,9 @@ fn warm_start(rt: &Runtime, data: &Dataset, config: &TrainConfig, w: &mut [f64])
     // diverged-but-finite trajectory (an oversized learning rate walking
     // the weights to ±1e300) must not poison the L-BFGS that follows. A
     // NaN warm loss compares as not-improved and is rejected too.
-    grad.fill(0.0);
-    let warm_loss = loss_grad_on(rt, data, config.c, w, &mut grad);
+    let warm_loss = loss_grad_folded_on(rt, data, counts, config.c, w, &mut grad, &mut scratch);
     prev.fill(0.0);
-    grad.fill(0.0);
-    let cold_loss = loss_grad_on(rt, data, config.c, &prev, &mut grad);
+    let cold_loss = loss_grad_folded_on(rt, data, counts, config.c, &prev, &mut grad, &mut scratch);
     let improved = matches!(warm_loss.partial_cmp(&cold_loss), Some(std::cmp::Ordering::Less));
     if !improved {
         w.fill(0.0);
@@ -456,6 +812,7 @@ fn warm_start(rt: &Runtime, data: &Dataset, config: &TrainConfig, w: &mut [f64])
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn xor_free_dataset() -> Dataset {
         // Three linearly separable classes on two indicator features.
@@ -474,17 +831,35 @@ mod tests {
         let (model, stats) = LogReg::train(&data, &TrainConfig::default());
         assert!(stats.final_loss.is_finite());
         assert!(model.accuracy(&data) > 0.99, "accuracy {}", model.accuracy(&data));
+        // xor_free_dataset repeats three rows 20 times each.
+        assert_eq!(stats.n_examples, 60);
+        assert_eq!(stats.n_unique_rows, 3);
+        assert!((stats.fold_ratio() - 20.0).abs() < 1e-12);
     }
 
     #[test]
     fn probabilities_sum_to_one() {
         let data = xor_free_dataset();
         let (model, _) = LogReg::train(&data, &TrainConfig::default());
-        for x in &data.examples {
-            let p = model.predict_proba(x);
+        for r in 0..data.len() {
+            let x = data.sparse_row(r);
+            let p = model.predict_proba(&x);
             let sum: f64 = p.iter().sum();
             assert!((sum - 1.0).abs() < 1e-9);
             assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_paths_bit_for_bit() {
+        let data = xor_free_dataset();
+        let (model, _) = LogReg::train(&data, &TrainConfig::default());
+        let mut scratch = ScoreScratch::new();
+        for r in 0..data.len() {
+            let x = data.sparse_row(r);
+            assert_eq!(model.scores(&x), model.scores_into(&x, &mut scratch));
+            assert_eq!(model.predict_proba(&x), model.predict_proba_into(&x, &mut scratch));
+            assert_eq!(model.predict(&x), model.predict_into(&x, &mut scratch));
         }
     }
 
@@ -539,6 +914,49 @@ mod tests {
     }
 
     #[test]
+    fn folded_gradient_matches_finite_differences() {
+        // Same check against the multiplicity-weighted objective: duplicate
+        // a few rows, fold, and difference the folded loss.
+        let mut data = Dataset::new(3, 4);
+        for _ in 0..3 {
+            data.push(SparseVec::from_pairs(vec![(0, 1.0), (3, 0.5)]), 0);
+        }
+        data.push(SparseVec::from_pairs(vec![(1, 2.0)]), 1);
+        data.push(SparseVec::from_pairs(vec![(1, 2.0)]), 1);
+        data.push(SparseVec::from_pairs(vec![(2, 1.0), (1, -1.0)]), 2);
+        let folded = data.fold_duplicates();
+        assert_eq!(folded.data.len(), 3);
+        assert_eq!(folded.counts, vec![3, 2, 1]);
+
+        let dim = 3 * 5;
+        let w: Vec<f64> = (0..dim).map(|i| ((i * 7 % 11) as f64 - 5.0) * 0.1).collect();
+        let rt = Runtime::sequential();
+        let mut scratch = ScoreScratch::new();
+        let eval = |w: &[f64], grad: &mut [f64], scratch: &mut ScoreScratch| {
+            loss_grad_folded_on(&rt, &folded.data, &folded.counts, 1.0, w, grad, scratch)
+        };
+        let mut grad = vec![0.0; dim];
+        let f0 = eval(&w, &mut grad, &mut scratch);
+        assert!(f0.is_finite());
+        let eps = 1e-6;
+        let mut sink = vec![0.0; dim];
+        for i in 0..dim {
+            let mut wp = w.clone();
+            wp[i] += eps;
+            let fp = eval(&wp, &mut sink, &mut scratch);
+            let mut wm = w.clone();
+            wm[i] -= eps;
+            let fm = eval(&wm, &mut sink, &mut scratch);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - grad[i]).abs() < 1e-4,
+                "folded grad mismatch at {i}: numeric {numeric} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
     fn softmax_is_stable_for_large_scores() {
         let mut s = vec![1000.0, 1001.0, 999.0];
         softmax_in_place(&mut s);
@@ -558,8 +976,9 @@ mod tests {
         assert_eq!(back.n_features(), model.n_features());
         assert_eq!(back.weights(), model.weights());
         // Identical weights ⇒ identical posteriors, bit for bit.
-        for x in &data.examples {
-            assert_eq!(back.predict_proba(x), model.predict_proba(x));
+        for r in 0..data.len() {
+            let x = data.sparse_row(r);
+            assert_eq!(back.predict_proba(&x), model.predict_proba(&x));
         }
     }
 
@@ -585,6 +1004,117 @@ mod tests {
         let _ = LogReg::train(&data, &TrainConfig::default());
     }
 
+    #[test]
+    fn csr_layout_round_trips_rows() {
+        let rows = [
+            SparseVec::from_pairs(vec![(0, 1.0), (5, -2.5)]),
+            SparseVec::new(),
+            SparseVec::from_pairs(vec![(3, 0.25)]),
+        ];
+        let mut data = Dataset::new(2, 6);
+        for (r, x) in rows.iter().enumerate() {
+            data.push(x.clone(), (r % 2) as u32);
+        }
+        assert_eq!(data.len(), 3);
+        assert_eq!(data.nnz(), 3);
+        assert_eq!(data.labels(), &[0, 1, 0]);
+        for (r, x) in rows.iter().enumerate() {
+            assert_eq!(&data.sparse_row(r), x, "row {r}");
+        }
+        // Empty rows stay addressable.
+        assert_eq!(data.row(1), (&[][..], &[][..]));
+    }
+
+    #[test]
+    fn append_concatenates_in_order() {
+        let mut a = Dataset::new(2, 4);
+        a.push(SparseVec::from_pairs(vec![(0, 1.0)]), 0);
+        let mut b = Dataset::new(2, 4);
+        b.push(SparseVec::from_pairs(vec![(1, 2.0), (3, 3.0)]), 1);
+        b.push(SparseVec::new(), 0);
+        let mut whole = Dataset::new(2, 4);
+        whole.push(SparseVec::from_pairs(vec![(0, 1.0)]), 0);
+        whole.push(SparseVec::from_pairs(vec![(1, 2.0), (3, 3.0)]), 1);
+        whole.push(SparseVec::new(), 0);
+        a.append(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn push_indicators_buf_matches_sparse_vec_push() {
+        let mut via_buf = Dataset::new(2, 10);
+        let mut buf = vec![5, 1, 5, 2];
+        via_buf.push_indicators_buf(&mut buf, 1);
+        assert!(buf.is_empty(), "buffer must be drained for reuse");
+        let mut via_push = Dataset::new(2, 10);
+        via_push.push(SparseVec::from_indices(vec![5, 1, 5, 2]), 1);
+        assert_eq!(via_buf, via_push);
+    }
+
+    #[test]
+    fn fold_keeps_first_occurrence_order_and_masses() {
+        let mut data = Dataset::new(2, 4);
+        let a = SparseVec::from_pairs(vec![(0, 1.0)]);
+        let b = SparseVec::from_pairs(vec![(1, 1.0)]);
+        // Interleaved duplicates; (a, 1) differs from (a, 0) by label only.
+        for x in [&a, &b, &a, &a, &b] {
+            data.push(x.clone(), 0);
+        }
+        data.push(a.clone(), 1);
+        let folded = data.fold_duplicates();
+        assert_eq!(folded.data.len(), 3);
+        assert_eq!(folded.counts, vec![3, 2, 1]);
+        assert_eq!(folded.data.sparse_row(0), a);
+        assert_eq!(folded.data.sparse_row(1), b);
+        assert_eq!(folded.data.sparse_row(2), a);
+        assert_eq!(folded.data.labels(), &[0, 0, 1]);
+        assert_eq!(folded.counts.iter().sum::<u32>() as usize, data.len());
+        // Determinism: folding again gives the identical structure.
+        let again = data.fold_duplicates();
+        assert_eq!(again.data, folded.data);
+        assert_eq!(again.counts, folded.counts);
+        // Values are compared bitwise: 1.0 vs -1.0 at the same index must
+        // not fold together.
+        let mut signs = Dataset::new(2, 2);
+        signs.push(SparseVec::from_pairs(vec![(0, 1.0)]), 0);
+        signs.push(SparseVec::from_pairs(vec![(0, -1.0)]), 0);
+        assert_eq!(signs.fold_duplicates().data.len(), 2);
+    }
+
+    #[test]
+    fn folded_objective_equals_unfolded_objective() {
+        // The folded loss/gradient must equal the plain per-example
+        // objective numerically (folding reorders float additions, so
+        // tight-tolerance, not bitwise).
+        let mut data = Dataset::new(3, 5);
+        for i in 0..120usize {
+            let x =
+                SparseVec::from_pairs(vec![((i % 4) as u32, 1.0), (4, (i % 3) as f32 * 0.5 - 0.5)]);
+            data.push(x, (i % 3) as u32);
+        }
+        let folded = data.fold_duplicates();
+        assert!(folded.data.len() < data.len(), "fixture must actually fold");
+        let dim = 3 * 6;
+        let w: Vec<f64> = (0..dim).map(|i| ((i * 3 % 7) as f64 - 3.0) * 0.1).collect();
+        let mut g_ref = vec![0.0; dim];
+        let l_ref = loss_grad(&data, 1.0, &w, &mut g_ref);
+        let mut g_fold = vec![0.0; dim];
+        let mut scratch = ScoreScratch::new();
+        let l_fold = loss_grad_folded_on(
+            &Runtime::sequential(),
+            &folded.data,
+            &folded.counts,
+            1.0,
+            &w,
+            &mut g_fold,
+            &mut scratch,
+        );
+        assert!((l_ref - l_fold).abs() <= 1e-9 * l_ref.abs().max(1.0), "{l_ref} vs {l_fold}");
+        for (i, (a, b)) in g_ref.iter().zip(&g_fold).enumerate() {
+            assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0), "grad[{i}]: {a} vs {b}");
+        }
+    }
+
     /// A dataset big enough to cross the multi-block threshold of
     /// `grad_blocks` (> 2 × `GRAD_MIN_BLOCK` examples).
     fn blocky_dataset() -> Dataset {
@@ -595,6 +1125,20 @@ mod tests {
             let x =
                 SparseVec::from_pairs(vec![((i % 6) as u32, a), (((i + 2) % 6) as u32, b + 1.0)]);
             data.push(x, (i % 3) as u32);
+        }
+        data
+    }
+
+    /// `blocky_dataset` with heavy duplication: every row repeated enough
+    /// that the folded row count still crosses the multi-block threshold.
+    fn duplicated_blocky_dataset() -> Dataset {
+        let base = blocky_dataset();
+        let mut data = Dataset::new(base.n_classes, base.n_features);
+        for r in 0..base.len() {
+            for _ in 0..1 + (r % 3) {
+                let (idx, vals) = base.row(r);
+                data.push_row(idx, vals, base.labels()[r]);
+            }
         }
         data
     }
@@ -652,6 +1196,29 @@ mod tests {
     }
 
     #[test]
+    fn folded_training_is_thread_count_invariant() {
+        // Duplicate-heavy data: folding must engage, shrink the walked row
+        // count, and stay byte-identical at threads {1, 2, 8}.
+        let data = duplicated_blocky_dataset();
+        let cfg = TrainConfig::default();
+        let (reference, ref_stats) = LogReg::train(&data, &cfg);
+        assert_eq!(ref_stats.n_examples, data.len());
+        assert_eq!(ref_stats.n_unique_rows, blocky_dataset().len());
+        assert!(ref_stats.fold_ratio() > 1.5, "fold ratio {}", ref_stats.fold_ratio());
+        assert!(
+            grad_blocks(0, ref_stats.n_unique_rows).len() > 1,
+            "folded fixture must still exercise multiple blocks"
+        );
+        for threads in [1, 2, 8] {
+            let (model, stats) = LogReg::train_on(&Runtime::new(threads), &data, &cfg);
+            assert_eq!(model.weights(), reference.weights(), "weights diverged at {threads}");
+            assert_eq!(stats.iterations, ref_stats.iterations);
+            assert_eq!(stats.final_loss.to_bits(), ref_stats.final_loss.to_bits());
+            assert_eq!(stats.n_unique_rows, ref_stats.n_unique_rows);
+        }
+    }
+
+    #[test]
     fn warm_start_is_thread_count_invariant_and_still_learns() {
         let data = blocky_dataset();
         let cfg =
@@ -696,6 +1263,120 @@ mod tests {
                 expect = b;
             }
             assert_eq!(expect, hi, "span ({lo}, {hi}) not fully covered");
+        }
+    }
+
+    /// The pre-CSR objective, verbatim: per-example `Vec<SparseVec>` rows,
+    /// `SparseVec::dot` / `add_scaled_into` kernels, serial loop, L2 tail.
+    /// The CSR path must reproduce it bit for bit.
+    fn reference_loss_grad(
+        examples: &[SparseVec],
+        labels: &[u32],
+        k: usize,
+        d: usize,
+        c: f64,
+        w: &[f64],
+        grad: &mut [f64],
+    ) -> f64 {
+        let stride = d + 1;
+        grad.fill(0.0);
+        let mut loss = 0.0;
+        let mut scores = vec![0.0; k];
+        for (x, &y) in examples.iter().zip(labels) {
+            for (ki, s) in scores.iter_mut().enumerate() {
+                let row = &w[ki * stride..(ki + 1) * stride];
+                *s = x.dot(row) + row[d];
+            }
+            let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let lse = max + scores.iter().map(|s| (s - max).exp()).sum::<f64>().ln();
+            loss += lse - scores[y as usize];
+            for ki in 0..k {
+                let p = (scores[ki] - lse).exp();
+                let indicator = f64::from(ki as u32 == y);
+                let coeff = p - indicator;
+                let grow = &mut grad[ki * stride..(ki + 1) * stride];
+                x.add_scaled_into(&mut grow[..d], coeff);
+                grow[d] += coeff;
+            }
+        }
+        // Penalty accumulated apart and added once — as `add_l2_penalty`
+        // always did.
+        let lambda = 1.0 / c;
+        let mut penalty = 0.0;
+        for ki in 0..k {
+            for j in 0..d {
+                let v = w[ki * stride + j];
+                penalty += 0.5 * lambda * v * v;
+                grad[ki * stride + j] += lambda * v;
+            }
+        }
+        loss + penalty
+    }
+
+    proptest! {
+        /// CSR streaming changes the memory layout, never the arithmetic:
+        /// loss and every gradient component must match the per-example
+        /// `Vec<SparseVec>` reference to the bit.
+        #[test]
+        fn prop_csr_loss_grad_matches_sparse_vec_reference(
+            raw in proptest::collection::vec(
+                (proptest::collection::vec((0u32..12, -2.0f32..2.0), 0..6), 0u32..3),
+                1..40,
+            ),
+            wseed in 0u32..1000,
+        ) {
+            let (k, d) = (3usize, 12usize);
+            let examples: Vec<SparseVec> =
+                raw.iter().map(|(pairs, _)| SparseVec::from_pairs(pairs.clone())).collect();
+            let labels: Vec<u32> = raw.iter().map(|&(_, y)| y).collect();
+            let mut data = Dataset::new(k, d);
+            for (x, &y) in examples.iter().zip(&labels) {
+                data.push(x.clone(), y);
+            }
+            let dim = k * (d + 1);
+            let w: Vec<f64> = (0..dim)
+                .map(|i| (((i as u32).wrapping_mul(31).wrapping_add(wseed) % 17) as f64 - 8.0) * 0.07)
+                .collect();
+            let mut g_ref = vec![0.0; dim];
+            let l_ref = reference_loss_grad(&examples, &labels, k, d, 1.0, &w, &mut g_ref);
+            let mut g_csr = vec![0.0; dim];
+            let l_csr = loss_grad(&data, 1.0, &w, &mut g_csr);
+            prop_assert_eq!(l_csr.to_bits(), l_ref.to_bits());
+            for (i, (a, b)) in g_csr.iter().zip(&g_ref).enumerate() {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "grad[{}] diverged", i);
+            }
+        }
+
+        /// Folding is deterministic and lossless: first-occurrence order,
+        /// multiplicities summing to the source length, and every unique
+        /// row bit-equal to its first source occurrence.
+        #[test]
+        fn prop_fold_is_deterministic_and_lossless(
+            raw in proptest::collection::vec(
+                (proptest::collection::vec(0u32..6, 0..4), 0u32..2),
+                1..60,
+            ),
+        ) {
+            let mut data = Dataset::new(2, 6);
+            for (idx, y) in &raw {
+                data.push(SparseVec::from_indices(idx.clone()), *y);
+            }
+            let folded = data.fold_duplicates();
+            prop_assert_eq!(folded.counts.len(), folded.data.len());
+            prop_assert_eq!(folded.counts.iter().map(|&c| c as usize).sum::<usize>(), data.len());
+            let again = data.fold_duplicates();
+            prop_assert_eq!(&again.data, &folded.data);
+            prop_assert_eq!(again.counts, folded.counts.clone());
+            // Each source row must appear among the unique rows.
+            for r in 0..data.len() {
+                let x = data.sparse_row(r);
+                let y = data.labels()[r];
+                prop_assert!(
+                    (0..folded.data.len()).any(|u| folded.data.labels()[u] == y
+                        && folded.data.sparse_row(u) == x),
+                    "source row {} lost by folding", r
+                );
+            }
         }
     }
 }

@@ -5,7 +5,10 @@
 //!
 //! Deliberately simple: the point of the ablation is to show that the
 //! *model* (not the solver) carries CERES's accuracy, while L-BFGS reaches
-//! the optimum in far fewer objective evaluations.
+//! the optimum in far fewer objective evaluations. Like the L-BFGS path it
+//! sees the objective only through the `FnMut(&[f64], &mut [f64]) -> f64`
+//! callback, so it minimizes the same duplicate-folded objective and walks
+//! unique rows, not raw examples, per epoch.
 
 /// Gradient-descent hyperparameters.
 #[derive(Debug, Clone)]

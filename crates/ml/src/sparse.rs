@@ -162,11 +162,23 @@ impl SparseVec {
     }
 
     /// Dot product with a dense weight row.
+    ///
+    /// Out-of-range indices are **skipped, deliberately**: a model's weight
+    /// row is sized from the [`FeatureDict`] at the moment it was frozen
+    /// for training, but featurization of *unseen* pages interns against a
+    /// live dictionary, so a vector can legitimately carry indices the
+    /// model has no weight for. A feature the model never saw during
+    /// training has a learned weight of exactly "absent" — contributing
+    /// nothing is the statistically correct treatment, equivalent to a
+    /// zero weight. Training-time vectors are range-checked upstream
+    /// (`Dataset::push` debug-asserts `max_index < n_features`), so the
+    /// skip only ever fires for late-interned serving features. Pinned by
+    /// `late_interned_features_do_not_change_predictions` in the crate's
+    /// integration tests.
     #[inline]
     pub fn dot(&self, dense: &[f64]) -> f64 {
         let mut acc = 0.0;
         for &(i, v) in &self.0 {
-            // Features interned after the weights were sized are ignored.
             if let Some(w) = dense.get(i as usize) {
                 acc += f64::from(v) * *w;
             }
@@ -175,6 +187,11 @@ impl SparseVec {
     }
 
     /// `dense[i] += scale * v` for every stored (i, v).
+    ///
+    /// Skips out-of-range indices for the same frozen-dictionary reason as
+    /// [`SparseVec::dot`]: an accumulator sized to the trained weight row
+    /// has no slot for features interned after the freeze, and a gradient
+    /// contribution for a weight that doesn't exist is meaningless.
     #[inline]
     pub fn add_scaled_into(&self, dense: &mut [f64], scale: f64) {
         for &(i, v) in &self.0 {

@@ -1,7 +1,9 @@
 //! Unit tests for the ML substrate: logistic regression on a separable toy
 //! problem, sparse/dense dot-product agreement, clustering determinism.
 
-use ceres_ml::{agglomerative_cluster, Dataset, LogReg, Optimizer, SparseVec, TrainConfig};
+use ceres_ml::{
+    agglomerative_cluster, Dataset, LogReg, Optimizer, ScoreScratch, SparseVec, TrainConfig,
+};
 
 /// Three linearly separable classes, each keyed by a disjoint feature block.
 fn separable_dataset() -> Dataset {
@@ -67,6 +69,39 @@ fn sparse_dot_matches_dense() {
     );
     // Empty vector dots to zero against anything.
     assert_eq!(SparseVec::new().dot(&w), 0.0);
+}
+
+/// Pins the intended skip semantics of `SparseVec::dot` /
+/// `add_scaled_into` for late-interned features: a feature interned into a
+/// live dictionary *after* a model's weights were sized (so its index is ≥
+/// the model's `n_features`) must contribute nothing to any scoring path —
+/// not shift probabilities, not alias another weight slot, not panic.
+#[test]
+fn late_interned_features_do_not_change_predictions() {
+    let data = separable_dataset();
+    let (model, _) = LogReg::train(&data, &TrainConfig::default());
+    assert_eq!(model.n_features(), 9);
+
+    let seen = SparseVec::from_indices(vec![0, 1]);
+    // Same vector plus features a live dictionary interned after training
+    // froze the weight shape — including index 9, one past the last real
+    // feature (the slot a careless kernel would alias to the intercept).
+    let with_late = SparseVec::from_pairs(vec![(0, 1.0), (1, 1.0), (9, 1.0), (40, 2.5)]);
+
+    assert_eq!(model.scores(&seen), model.scores(&with_late));
+    assert_eq!(model.predict_proba(&seen), model.predict_proba(&with_late));
+    assert_eq!(model.predict(&seen), model.predict(&with_late));
+    let mut scratch = ScoreScratch::new();
+    assert_eq!(model.predict(&seen), model.predict_into(&with_late, &mut scratch));
+
+    // The raw kernels skip too: dot ignores the out-of-range pair, and
+    // add_scaled_into leaves an accumulator sized to the weight row alone.
+    let w = [1.0, 2.0, 3.0];
+    let v = SparseVec::from_pairs(vec![(1, 1.0), (3, 100.0)]);
+    assert_eq!(v.dot(&w), 2.0);
+    let mut acc = vec![0.0; 3];
+    v.add_scaled_into(&mut acc, 1.0);
+    assert_eq!(acc, vec![0.0, 1.0, 0.0]);
 }
 
 #[test]
