@@ -9,7 +9,7 @@
 //!
 //! repro train [--scale S] [--seed N] [--threads T] [--site NAME|IDX] [--out PATH]
 //! repro serve --artifact PATH [--scale S] [--seed N] [--threads T]
-//!             [--site NAME|IDX] [--pages train|eval|all] [--verify]
+//!             [--site NAME|IDX] [--pages train|eval|all] [--verify | --fault-inject]
 //! ```
 //!
 //! `train` builds the deterministic movie-vertical fixture, trains a
@@ -19,6 +19,17 @@
 //! `--seed`), loads the artifact, and extracts from the chosen pages;
 //! `--verify` additionally re-runs the whole session in-process and
 //! asserts the served extractions are byte-identical.
+//!
+//! `--fault-inject` swaps the serve phase for the fault-isolation smoke:
+//! the selected pages are armed with a seeded
+//! [`FaultPlan`](ceres_synth::hostile::FaultPlan), the hostile corpus and
+//! a mid-crawl template redesign are appended, and everything is served
+//! through the outcome-typed [`TrainedSite::try_extract_batch`]. The run
+//! prints quarantine counts by reason plus the drift watchdog's verdict
+//! and exits non-zero unless every fault was contained, every expected
+//! guard fired, and the watchdog flagged the redesign. Injected panics
+//! only detonate in builds with `--features fault-inject`; without the
+//! feature the same corpus must quarantine 0 panics.
 
 use ceres_core::session::{SiteSession, TrainedSite};
 use ceres_core::{CeresConfig, Extraction};
@@ -48,9 +59,12 @@ fn main() {
              repro train [--scale S] [--seed N] [--threads T] [--site NAME|IDX] [--out PATH]\n\
              \u{20}   train once on the fixture's annotation half, write a TrainedSite artifact\n\
              repro serve --artifact PATH [--scale S] [--seed N] [--threads T]\n\
-             \u{20}       [--site NAME|IDX] [--pages train|eval|all] [--verify]\n\
+             \u{20}       [--site NAME|IDX] [--pages train|eval|all] [--verify | --fault-inject]\n\
              \u{20}   load the artifact in this process and extract; --verify diffs against\n\
-             \u{20}   an in-process train+serve run (exit 1 on any divergence)\n\
+             \u{20}   an in-process train+serve run (exit 1 on any divergence);\n\
+             \u{20}   --fault-inject serves a poisoned stream through the outcome-typed\n\
+             \u{20}   path and exits 1 unless every fault is contained and quarantined\n\
+             \u{20}   (injected panics need a build with --features fault-inject)\n\
              repro --stats [--scale S] [--seed N] [--threads T] [--site NAME|IDX]\n\
              \u{20}   run one site end-to-end and print the per-stage wall-time profile\n\
              \u{20}   (pool-job counts need a build with --features runtime-stats)"
@@ -137,6 +151,7 @@ struct ArtifactArgs {
     artifact: Option<String>,
     pages: String,
     verify: bool,
+    fault_inject: bool,
 }
 
 impl Default for ArtifactArgs {
@@ -151,6 +166,7 @@ impl Default for ArtifactArgs {
             artifact: None,
             pages: "eval".to_string(),
             verify: false,
+            fault_inject: false,
         }
     }
 }
@@ -161,7 +177,16 @@ fn parse_artifact_args(cmd: &str, args: &[String]) -> ArtifactArgs {
     let allowed: &[&str] = match cmd {
         "train" => &["--scale", "--seed", "--threads", "--site", "--out"],
         "stats" => &["--scale", "--seed", "--threads", "--site"],
-        _ => &["--scale", "--seed", "--threads", "--site", "--artifact", "--pages", "--verify"],
+        _ => &[
+            "--scale",
+            "--seed",
+            "--threads",
+            "--site",
+            "--artifact",
+            "--pages",
+            "--verify",
+            "--fault-inject",
+        ],
     };
     let mut a = ArtifactArgs::default();
     let mut i = 0;
@@ -195,6 +220,7 @@ fn parse_artifact_args(cmd: &str, args: &[String]) -> ArtifactArgs {
             "--artifact" => a.artifact = Some(value(&mut i)),
             "--pages" => a.pages = value(&mut i),
             "--verify" => a.verify = true,
+            "--fault-inject" => a.fault_inject = true,
             _ => unreachable!("flag was checked against the allowed list"),
         }
         i += 1;
@@ -335,6 +361,13 @@ fn serve_cmd(args: &[String]) {
         eprintln!("repro serve: --artifact PATH is required");
         std::process::exit(2);
     };
+    if a.verify && a.fault_inject {
+        eprintln!(
+            "repro serve: --verify and --fault-inject are mutually exclusive \
+             (the poisoned stream has no fail-fast reference run)"
+        );
+        std::process::exit(2);
+    }
     let (v, site_idx) = fixture_site(&a);
     let site = &v.sites[site_idx];
     let (train_pages, eval_pages) = protocol_pages(site, EvalProtocol::SplitHalves);
@@ -379,7 +412,7 @@ fn serve_cmd(args: &[String]) {
     let rt = ceres_runtime::Runtime::with_threads(
         CeresConfig::new(a.seed).with_threads(a.threads).threads,
     );
-    let loaded = match TrainedSite::load_on(&v.kb, rt, std::io::BufReader::new(file)) {
+    let mut loaded = match TrainedSite::load_on(&v.kb, rt, std::io::BufReader::new(file)) {
         Ok(site) => site,
         Err(e) => {
             eprintln!("repro serve: loading {artifact_path} failed: {e}");
@@ -387,6 +420,16 @@ fn serve_cmd(args: &[String]) {
         }
     };
     let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if a.fault_inject {
+        eprintln!(
+            "# repro serve --fault-inject: site={} artifact={artifact_path} \
+             base_pages={} ({}) load {load_ms:.1} ms",
+            site.name,
+            pages.len(),
+            a.pages
+        );
+        return fault_inject_serve(&a, &mut loaded, &pages);
+    }
 
     let t0 = std::time::Instant::now();
     let extractions = loaded.extract_batch(&pages);
@@ -428,6 +471,130 @@ fn serve_cmd(args: &[String]) {
             std::process::exit(1);
         }
     }
+}
+
+/// `repro serve --fault-inject`: serve a deliberately poisoned stream —
+/// the fixture pages armed with a seeded [`ceres_synth::hostile::FaultPlan`], the hostile
+/// corpus, and a trailing mid-crawl template redesign — through the
+/// outcome-typed path, then assert containment:
+///
+/// * the process reaches this line at all (no abort);
+/// * every injected panic (builds with `--features fault-inject`) lands as
+///   a `panicked` quarantine in exactly its own slot — and without the
+///   feature, zero pages report `panicked`;
+/// * the corpus's guard violations quarantine under their expected
+///   reasons;
+/// * the drift watchdog flags the redesign.
+///
+/// Exit 0 with a final `fault-inject: OK` line, or exit 1 with the first
+/// violated invariant — CI greps the counters out of stdout.
+fn fault_inject_serve(a: &ArtifactArgs, loaded: &mut TrainedSite, pages: &[(String, String)]) {
+    use ceres_core::session::{ExtractOutcome, PageError};
+    use ceres_synth::hostile;
+
+    let fail = |msg: String| {
+        eprintln!("fault-inject: FAIL — {msg}");
+        std::process::exit(1);
+    };
+
+    // Arm ~1 in 8 of the fixture pages with the panic marker.
+    let mut serve_pages = pages.to_vec();
+    let plan = hostile::FaultPlan::new(a.seed, serve_pages.len(), (serve_pages.len() / 8).max(1));
+    plan.arm_pages(&mut serve_pages);
+    let n_fixture = serve_pages.len();
+    // The ingest pathologies, served cold…
+    let corpus = hostile::hostile_corpus(a.seed);
+    serve_pages.extend(corpus.iter().map(|p| (p.id.clone(), p.html.clone())));
+    // …and a site redesign at the end of the stream: drift-watchdog food.
+    serve_pages.extend((0..12).map(hostile::drifted_page));
+
+    // Tighten the drift window so the 12-page redesign is judgeable at
+    // smoke scale (a loaded site starts from DriftConfig::default()).
+    loaded.set_drift(ceres_core::DriftConfig {
+        window: 16,
+        min_samples: 8,
+        max_unassigned_rate: 0.5,
+    });
+
+    // Contained panics still run the global panic hook; without this the
+    // smoke's stderr is one full backtrace per injected fault. The
+    // outcomes carry every payload, so the hook adds nothing here.
+    let quiet = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let t0 = std::time::Instant::now();
+    let outcomes = loaded.try_extract_batch(&serve_pages);
+    let serve_ms = t0.elapsed().as_secs_f64() * 1e3;
+    std::panic::set_hook(quiet);
+    let mut watchdog = loaded.drift_watchdog();
+    let signal = watchdog.observe_batch(&outcomes);
+
+    if outcomes.len() != serve_pages.len() {
+        fail(format!("{} pages in, {} outcomes out", serve_pages.len(), outcomes.len()));
+    }
+    let mut ok = 0usize;
+    let mut unassigned = 0usize;
+    let mut extractions = 0usize;
+    let mut by_reason: Vec<(&str, usize)> = PageError::KINDS.iter().map(|k| (*k, 0)).collect();
+    for outcome in &outcomes {
+        match outcome {
+            ExtractOutcome::Ok(ex) => {
+                ok += 1;
+                extractions += ex.len();
+            }
+            ExtractOutcome::Unassigned { .. } => unassigned += 1,
+            ExtractOutcome::Failed(e) => {
+                if let Some(slot) = by_reason.iter_mut().find(|(k, _)| *k == e.kind()) {
+                    slot.1 += 1;
+                }
+            }
+        }
+    }
+    let quarantined: usize = by_reason.iter().map(|(_, n)| n).sum();
+    let panicked = by_reason.iter().find(|(k, _)| *k == "panicked").map_or(0, |(_, n)| *n);
+
+    // Every poisoned slot — and only poisoned slots — detonates when the
+    // hook is compiled in; without it the marker must be inert.
+    let injected = if cfg!(feature = "fault-inject") { plan.n_poisoned() } else { 0 };
+    for i in 0..n_fixture {
+        let blown = matches!(&outcomes[i], ExtractOutcome::Failed(PageError::Panicked { .. }));
+        let expected = cfg!(feature = "fault-inject") && plan.is_poisoned(i);
+        if blown != expected {
+            fail(format!(
+                "page {} ({}) {} — expected the opposite",
+                i,
+                serve_pages[i].0,
+                if blown { "panicked" } else { "did not panic" }
+            ));
+        }
+    }
+    if panicked != injected {
+        fail(format!("{injected} panics injected but {panicked} contained"));
+    }
+    // The corpus's guard violations must quarantine under their slugs.
+    for want in ["oversized", "parse-depth", "empty-dom"] {
+        if !by_reason.iter().any(|(k, n)| *k == want && *n >= 1) {
+            fail(format!("no page quarantined as {want}"));
+        }
+    }
+    if !signal.retrain_suggested() {
+        fail(format!("redesign tail did not trip the drift watchdog ({signal:?})"));
+    }
+
+    println!(
+        "fault-inject: pages={} ok={ok} unassigned={unassigned} quarantined={quarantined}",
+        serve_pages.len()
+    );
+    let reasons = by_reason.iter().map(|(k, n)| format!("{k}={n}")).collect::<Vec<_>>().join(" ");
+    println!("fault-inject: quarantine {reasons}");
+    println!("fault-inject: injected={injected} contained={panicked}");
+    println!(
+        "fault-inject: drift retrain_suggested={} window_rate={:.2}",
+        signal.retrain_suggested(),
+        watchdog.window_unassigned_rate()
+    );
+    println!("fault-inject: extractions={extractions}");
+    eprintln!("# fault-inject: served {} pages in {serve_ms:.1} ms", serve_pages.len());
+    println!("fault-inject: OK");
 }
 
 /// Deterministic extraction dump: one tab-separated line per triple.

@@ -169,6 +169,55 @@ impl Default for TemplateConfig {
     }
 }
 
+/// Ingest/serve page guards: the structural limits a page must respect
+/// before the fault-isolating paths ([`crate::session::SiteSession::try_push_page`],
+/// [`crate::session::TrainedSite::try_extract_batch`]) will feed it to the
+/// pipeline. Violations quarantine the page with a typed
+/// [`crate::session::PageError`] instead of letting hostile markup consume
+/// unbounded memory or stack. The legacy fail-fast paths (`push_page`,
+/// `extract_batch`) apply no guards — their behavior is unchanged.
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// Pre-parse cap on a page's HTML byte length
+    /// ([`crate::session::PageError::OversizedPage`] beyond it). Real
+    /// CommonCrawl captures are overwhelmingly under a megabyte; hostile
+    /// multi-megabyte attribute blobs are not worth parsing.
+    pub max_page_bytes: usize,
+    /// Post-parse cap on DOM nesting depth
+    /// ([`crate::session::PageError::ParseDepthExceeded`] beyond it).
+    /// The tolerant parser accepts absurd nesting without erroring; the
+    /// recursive consumers downstream should never see it.
+    pub max_dom_depth: usize,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig { max_page_bytes: 1 << 20, max_dom_depth: 128 }
+    }
+}
+
+/// Drift-watchdog knobs (see [`crate::session::DriftWatchdog`]): when the
+/// fraction of recently served pages that matched **no trained template**
+/// crosses `max_unassigned_rate` over a rolling `window`, the watchdog
+/// flips [`crate::session::DriftSignal::RetrainSuggested`] — the serve-side
+/// hook for detecting a mid-crawl site redesign.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Rolling-window length, in observed pages.
+    pub window: usize,
+    /// Observations required before the watchdog may fire (a cold window
+    /// of two pages should not suggest retraining).
+    pub min_samples: usize,
+    /// Unassigned fraction of the window at which the signal flips.
+    pub max_unassigned_rate: f64,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig { window: 64, min_samples: 16, max_unassigned_rate: 0.5 }
+    }
+}
+
 /// Everything the site pipeline needs.
 #[derive(Debug, Clone)]
 pub struct CeresConfig {
@@ -199,6 +248,11 @@ pub struct CeresConfig {
     /// byte-identical for every value; the cap only bounds memory and
     /// overlap during ingest.
     pub ingest_ahead: Option<usize>,
+    /// Page guards for the fault-isolating ingest/serve paths (the
+    /// fail-fast paths ignore them).
+    pub guards: GuardConfig,
+    /// Serve-side drift-watchdog thresholds.
+    pub drift: DriftConfig,
 }
 
 impl Default for CeresConfig {
@@ -216,6 +270,8 @@ impl Default for CeresConfig {
             max_annotated_pages: None,
             threads: None,
             ingest_ahead: None,
+            guards: GuardConfig::default(),
+            drift: DriftConfig::default(),
         }
     }
 }

@@ -32,6 +32,22 @@ pub struct Extraction {
     pub confidence: f64,
 }
 
+/// Argmax comparator that ranks NaN below every real number. The serve
+/// path runs on whatever a loaded artifact computes; a poisoned posterior
+/// must lose the argmax, not panic it (the old `partial_cmp().unwrap()`
+/// aborted the page). Deliberately not `f64::total_cmp`: that orders
+/// `-0.0 < 0.0`, which would flip the index tiebreak two equal-probability
+/// fields rely on.
+#[inline]
+fn nan_lowest(a: f64, b: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    a.partial_cmp(&b).unwrap_or_else(|| match (a.is_nan(), b.is_nan()) {
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        _ => Ordering::Equal,
+    })
+}
+
 /// Run extraction over one page. The feature space must be frozen — it is
 /// only read (`&FeatureSpace`), so concurrent extraction tasks share it.
 pub fn extract_page(
@@ -62,7 +78,7 @@ pub fn extract_page(
     // Name node: the field with the highest NAME probability.
     let (name_field, name_prob) = (0..page.fields.len())
         .map(|i| (i, row(i)[CLASS_NAME as usize]))
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)))
+        .max_by(|a, b| nan_lowest(a.1, b.1).then(b.0.cmp(&a.0)))
         .expect("non-empty fields");
     let subject = if name_prob >= cfg.name_threshold {
         let f = &page.fields[name_field];
@@ -86,7 +102,7 @@ pub fn extract_page(
         let (class, p) = row(fi)
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| nan_lowest(*a.1, *b.1))
             .map(|(c, &p)| (c as u32, p))
             .expect("classes");
         if class == CLASS_OTHER || class == CLASS_NAME || p < cfg.threshold {
@@ -220,5 +236,20 @@ mod tests {
         assert!(dir.confidence >= 0.5);
         // The footer junk is not extracted.
         assert!(ex.iter().all(|e| !e.object.starts_with('c')));
+    }
+
+    #[test]
+    fn nan_loses_every_argmax_and_zero_signs_stay_equal() {
+        use std::cmp::Ordering;
+        assert_eq!(nan_lowest(f64::NAN, 0.0), Ordering::Less);
+        assert_eq!(nan_lowest(0.0, f64::NAN), Ordering::Greater);
+        assert_eq!(nan_lowest(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(nan_lowest(1.0, 2.0), Ordering::Less);
+        // Unlike `total_cmp`: the index tiebreak decides, not the zero sign.
+        assert_eq!(nan_lowest(-0.0, 0.0), Ordering::Equal);
+        // A poisoned posterior row still argmaxes to a real entry.
+        let probs = [f64::NAN, 0.3, f64::NAN, 0.1];
+        let best = probs.iter().enumerate().max_by(|a, b| nan_lowest(*a.1, *b.1)).map(|(i, _)| i);
+        assert_eq!(best, Some(1));
     }
 }

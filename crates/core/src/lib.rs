@@ -45,9 +45,12 @@ pub mod topic;
 pub mod vertex;
 
 pub use config::{
-    AnnotateConfig, CeresConfig, ExtractConfig, FeatureConfig, TemplateConfig, TopicConfig,
-    XPathDistance,
+    AnnotateConfig, CeresConfig, DriftConfig, ExtractConfig, FeatureConfig, GuardConfig,
+    TemplateConfig, TopicConfig, XPathDistance,
 };
 pub use extract::Extraction;
 pub use pipeline::{AnnotationMode, SiteRun, SiteRunStats, StageProfile, StageTime};
-pub use session::{SiteSession, SiteSessionBuilder, TrainedSite};
+pub use session::{
+    DriftSignal, DriftWatchdog, ExtractOutcome, PageError, SessionHealth, SiteSession,
+    SiteSessionBuilder, TrainedSite,
+};

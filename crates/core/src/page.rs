@@ -5,6 +5,8 @@
 //! expensive per-field facts — normalized text, KB matches, XPath — exactly
 //! once.
 
+use crate::config::GuardConfig;
+use crate::session::PageError;
 use ceres_dom::{parse_html, Document, NodeId, XPath};
 use ceres_kb::{Kb, ValueId};
 use ceres_text::{normalize, FxHashMap};
@@ -62,6 +64,42 @@ impl PageView {
         }
         let (enter, exit) = euler_intervals(&doc);
         PageView { page_id: page_id.to_string(), doc, fields, field_by_node, enter, exit }
+    }
+
+    /// Guarded [`PageView::build`] for the fault-isolated ingest/serve
+    /// paths: applies `guards`' pre-parse size cap and post-parse
+    /// structure checks, returning a typed [`PageError`] instead of
+    /// feeding a hostile page downstream. [`PageView::build`] itself stays
+    /// infallible and guard-free (the fail-fast paths are unchanged).
+    ///
+    /// With the test-only `fault-inject` feature, a page whose HTML
+    /// contains [`crate::session::FAULT_PANIC_MARKER`] panics here —
+    /// the hook seeded fault plans use to prove panic containment.
+    pub fn try_build(
+        page_id: &str,
+        html: &str,
+        kb: &Kb,
+        guards: &GuardConfig,
+    ) -> Result<PageView, PageError> {
+        #[cfg(feature = "fault-inject")]
+        if html.contains(crate::session::FAULT_PANIC_MARKER) {
+            panic!("injected fault: page {page_id}");
+        }
+        if html.len() > guards.max_page_bytes {
+            return Err(PageError::OversizedPage {
+                bytes: html.len(),
+                limit: guards.max_page_bytes,
+            });
+        }
+        let view = PageView::build(page_id, html, kb);
+        let depth = view.doc.max_depth();
+        if depth > guards.max_dom_depth {
+            return Err(PageError::ParseDepthExceeded { depth, limit: guards.max_dom_depth });
+        }
+        if view.fields.is_empty() {
+            return Err(PageError::EmptyDom);
+        }
+        Ok(view)
     }
 
     /// Index of the field at `node`, if it is a text field.
@@ -197,5 +235,84 @@ mod tests {
         let pv = PageView::build("empty", "", &kb);
         assert!(pv.fields.is_empty());
         assert!(pv.page_value_set().is_empty());
+    }
+
+    #[test]
+    fn try_build_types_each_guard_violation() {
+        let kb = kb();
+        let guards = GuardConfig { max_page_bytes: 128, max_dom_depth: 4 };
+        let over = "x".repeat(129);
+        assert!(matches!(
+            PageView::try_build("big", &over, &kb, &guards),
+            Err(PageError::OversizedPage { bytes: 129, limit: 128 })
+        ));
+        let deep = format!("{}t{}", "<div>".repeat(6), "</div>".repeat(6));
+        assert!(matches!(
+            PageView::try_build("deep", &deep, &kb, &guards),
+            Err(PageError::ParseDepthExceeded { limit: 4, .. })
+        ));
+        assert!(matches!(
+            PageView::try_build("hollow", "<div></div>", &kb, &guards),
+            Err(PageError::EmptyDom)
+        ));
+        let ok = PageView::try_build("fine", "<p>Spike Lee</p>", &kb, &guards).unwrap();
+        assert_eq!(ok.fields.len(), 1);
+    }
+
+    mod hostile_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+
+            /// Arbitrary input — byte soup, stray brackets, anything — is
+            /// either built or refused with a typed [`PageError`]; neither
+            /// path panics and the arena stays consistent.
+            #[test]
+            fn build_and_try_build_survive_arbitrary_input(s in ".*") {
+                let kb = kb();
+                let pv = PageView::build("fuzz", &s, &kb);
+                pv.doc.check_consistency().unwrap();
+                let guards = GuardConfig::default();
+                match PageView::try_build("fuzz", &s, &kb, &guards) {
+                    Ok(view) => {
+                        view.doc.check_consistency().unwrap();
+                        prop_assert!(!view.fields.is_empty());
+                        prop_assert!(view.doc.max_depth() <= guards.max_dom_depth);
+                        prop_assert!(s.len() <= guards.max_page_bytes);
+                    }
+                    Err(e) => prop_assert!(PageError::KINDS.contains(&e.kind())),
+                }
+            }
+
+            /// Under adversarially tight guards every outcome is still a
+            /// typed refusal or a view that satisfies both limits.
+            #[test]
+            fn tight_guards_always_hold_on_taggy_input(
+                s in "(<(div|p|b)>|</(div|p|b)>|[a-z &;<>]{0,6}){0,30}",
+                max_bytes in 8usize..200,
+                max_depth in 1usize..8,
+            ) {
+                let kb = kb();
+                let guards = GuardConfig { max_page_bytes: max_bytes, max_dom_depth: max_depth };
+                match PageView::try_build("fuzz", &s, &kb, &guards) {
+                    Ok(view) => {
+                        prop_assert!(s.len() <= max_bytes);
+                        prop_assert!(view.doc.max_depth() <= max_depth);
+                        prop_assert!(!view.fields.is_empty());
+                    }
+                    Err(PageError::OversizedPage { bytes, limit }) => {
+                        prop_assert_eq!(bytes, s.len());
+                        prop_assert!(bytes > limit);
+                    }
+                    Err(PageError::ParseDepthExceeded { depth, limit }) => {
+                        prop_assert!(depth > limit);
+                    }
+                    Err(PageError::EmptyDom) => {}
+                    Err(other) => prop_assert!(false, "unexpected {other:?}"),
+                }
+            }
+        }
     }
 }

@@ -301,6 +301,12 @@ pub struct SiteRun {
     /// Train-stage duplicate-folding totals (execution detail, outside the
     /// equality and serialization contracts — see [`TrainFoldStats`]).
     pub fold: TrainFoldStats,
+    /// Ingest/serve health ledger (quarantine, assign-confidence). Like
+    /// `profile` and `fold` it lives beside the stats, outside both the
+    /// equality contract and the artifact codec — the batch entry points
+    /// ingest pre-vetted fixtures and leave it empty; session-built runs
+    /// carry the session's ledger (see [`crate::session::SessionHealth`]).
+    pub health: crate::session::SessionHealth,
 }
 
 /// Run the CERES pipeline on one website.

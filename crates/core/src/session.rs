@@ -30,9 +30,34 @@
 //! [`run_site`](crate::pipeline::run_site) and friends are thin wrappers
 //! over this module (one engine, proven byte-identical by the equivalence
 //! suite in `tests/session.rs`).
+//!
+//! ## Fault isolation
+//!
+//! Real crawls contain poison: truncated markup, multi-megabyte attribute
+//! blobs, absurd nesting, duplicate captures. The fail-fast paths above
+//! (`push_page`, `extract_batch`) treat a panic as a bug and abort the
+//! run; the **fault-isolated** siblings treat bad pages as data:
+//!
+//! * [`SiteSession::try_push_page`] / [`SiteSession::try_ingest`] vet each
+//!   page against [`GuardConfig`] and
+//!   **quarantine** violators with a typed [`PageError`] instead of
+//!   feeding them to training — including pages whose parse *panics*.
+//! * [`TrainedSite::try_extract_batch`] returns one [`ExtractOutcome`]
+//!   per page, so serve callers distinguish "no facts" (`Ok(vec![])`)
+//!   from "no template" ([`ExtractOutcome::Unassigned`]) from "page blew
+//!   up" ([`ExtractOutcome::Failed`]).
+//! * [`SessionHealth`] is the ledger: pages ok, quarantined-by-reason,
+//!   and rolling assign-confidence stats. Like
+//!   [`StageProfile`] it lives **beside**
+//!   [`SiteRunStats`] — outside the equality contract and the artifact
+//!   codec (a loaded site reports an empty ledger).
+//! * [`DriftWatchdog`] watches the serve path's template-assignment
+//!   outcomes and flips [`DriftSignal::RetrainSuggested`] when the
+//!   unassigned rate over a rolling window crosses the configured
+//!   threshold — the retrain trigger a mid-crawl site redesign needs.
 
 use crate::annotate::{annotate_relations, AnnotationMode, PageAnnotation};
-use crate::config::{CeresConfig, ExtractConfig};
+use crate::config::{CeresConfig, DriftConfig, ExtractConfig, GuardConfig};
 use crate::examples::ClassMap;
 use crate::extract::{extract_page, Extraction};
 use crate::features::FeatureSpace;
@@ -50,6 +75,328 @@ use ceres_store::{
     ArtifactReader, ArtifactWriter, Decode, Encode, Error as StoreError, Fnv64, Reader, Writer,
 };
 use std::io::{Read, Write};
+
+// --- Fault isolation: the error taxonomy, health ledger, and watchdog ----
+
+/// Why a page was quarantined by the fault-isolated ingest/serve paths
+/// instead of being fed to the pipeline. Every variant carries enough to
+/// explain the refusal in a log line; [`PageError::kind`] gives the stable
+/// slug used for counting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageError {
+    /// The raw HTML exceeded [`GuardConfig::max_page_bytes`] — refused
+    /// before parsing (a multi-megabyte attribute blob is not worth the
+    /// allocation).
+    OversizedPage { bytes: usize, limit: usize },
+    /// The page parsed to a DOM with no text fields at all: nothing to
+    /// match, train on, or extract from.
+    EmptyDom,
+    /// The parsed DOM nests deeper than [`GuardConfig::max_dom_depth`]
+    /// (the tolerant parser accepts any nesting; downstream consumers
+    /// should not have to).
+    ParseDepthExceeded { depth: usize, limit: usize },
+    /// A page with this id was already ingested in the same session.
+    DuplicateId { id: String },
+    /// The parse/match pipeline panicked on this page; the panic was
+    /// contained and its message captured.
+    Panicked { message: String },
+}
+
+impl PageError {
+    /// Stable one-word slug per variant (quarantine counters, CLI output).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PageError::OversizedPage { .. } => "oversized",
+            PageError::EmptyDom => "empty-dom",
+            PageError::ParseDepthExceeded { .. } => "parse-depth",
+            PageError::DuplicateId { .. } => "duplicate-id",
+            PageError::Panicked { .. } => "panicked",
+        }
+    }
+
+    /// Every slug [`PageError::kind`] can produce, in taxonomy order.
+    pub const KINDS: [&'static str; 5] =
+        ["oversized", "empty-dom", "parse-depth", "duplicate-id", "panicked"];
+}
+
+impl std::fmt::Display for PageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PageError::OversizedPage { bytes, limit } => {
+                write!(f, "page is {bytes} bytes (guard limit {limit})")
+            }
+            PageError::EmptyDom => write!(f, "page parsed to a DOM with no text fields"),
+            PageError::ParseDepthExceeded { depth, limit } => {
+                write!(f, "DOM nests {depth} deep (guard limit {limit})")
+            }
+            PageError::DuplicateId { id } => {
+                write!(f, "page id {id:?} was already ingested in this session")
+            }
+            PageError::Panicked { message } => write!(f, "page processing panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for PageError {}
+
+/// Marker honored by the test-only `fault-inject` feature: when a page's
+/// HTML contains this string, the guarded build paths panic instead of
+/// parsing — letting seeded fault plans prove panic containment
+/// end-to-end. Without the feature the marker is inert (generators embed
+/// it in an HTML comment, which the parser skips), so the same corpus is
+/// valid input for clean builds.
+pub const FAULT_PANIC_MARKER: &str = "ceres:fault=panic";
+
+/// Ingest/serve health report: what the fault-isolated paths accepted,
+/// what they quarantined and why, and (after
+/// [`SessionHealth::absorb_watchdog`]) the serve path's rolling
+/// assign-confidence stats.
+///
+/// Deliberately carried **beside** [`SiteRunStats`] — outside the equality
+/// contract the thread-invariance suites compare and outside the artifact
+/// codec (like [`StageProfile`]): the
+/// ledger describes one process's ingest history, not the trained model,
+/// so a [`TrainedSite`] loaded from disk reports an empty ledger.
+#[derive(Debug, Clone, Default)]
+pub struct SessionHealth {
+    /// Pages that survived ingest vetting and reached training.
+    pub pages_ok: usize,
+    /// Quarantined pages in discovery order: `(page id, why)`.
+    pub quarantine: Vec<(String, PageError)>,
+    /// Serve-path pages observed by an absorbed [`DriftWatchdog`].
+    pub assign_observed: usize,
+    /// …of which matched no trained template.
+    pub assign_unassigned: usize,
+    /// Sum of the near-miss similarities of unassigned pages (mean via
+    /// [`SessionHealth::mean_near_miss_sim`]).
+    pub assign_near_sim_sum: f64,
+}
+
+impl SessionHealth {
+    /// Number of quarantined pages.
+    pub fn pages_quarantined(&self) -> usize {
+        self.quarantine.len()
+    }
+
+    /// Quarantine counts per [`PageError::kind`] slug, in taxonomy order
+    /// (zero-count kinds included, so output columns are stable).
+    pub fn quarantined_by_reason(&self) -> [(&'static str, usize); 5] {
+        let mut out = [("", 0usize); 5];
+        for (slot, kind) in out.iter_mut().zip(PageError::KINDS) {
+            *slot = (kind, self.quarantine.iter().filter(|(_, e)| e.kind() == kind).count());
+        }
+        out
+    }
+
+    /// Fraction of observed serve pages that matched no trained template
+    /// (0 when nothing was observed).
+    pub fn unassigned_rate(&self) -> f64 {
+        if self.assign_observed == 0 {
+            0.0
+        } else {
+            self.assign_unassigned as f64 / self.assign_observed as f64
+        }
+    }
+
+    /// Mean best-similarity of the unassigned pages — how close the
+    /// nearest template was on the misses (0 when there were none).
+    pub fn mean_near_miss_sim(&self) -> f64 {
+        if self.assign_unassigned == 0 {
+            0.0
+        } else {
+            self.assign_near_sim_sum / self.assign_unassigned as f64
+        }
+    }
+
+    /// Fold a watchdog's lifetime counters into this report (serve-side
+    /// assign-confidence stats accumulate in the caller-owned
+    /// [`DriftWatchdog`]; this merges them for one combined report).
+    pub fn absorb_watchdog(&mut self, watchdog: &DriftWatchdog) {
+        self.assign_observed += watchdog.observed();
+        self.assign_unassigned += watchdog.unassigned_total();
+        self.assign_near_sim_sum += watchdog.near_sim_sum();
+    }
+
+    fn note_quarantined(&mut self, id: String, why: PageError) {
+        self.quarantine.push((id, why));
+    }
+}
+
+/// What the [`DriftWatchdog`] currently advises.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftSignal {
+    /// The unassigned rate is below the configured threshold (or the
+    /// window has too few samples to judge).
+    Healthy,
+    /// Over the last `window` observed pages, `unassigned_rate` matched no
+    /// trained template — the site has likely drifted away from its
+    /// training templates; retraining is suggested.
+    RetrainSuggested { unassigned_rate: f64, window: usize },
+}
+
+impl DriftSignal {
+    pub fn retrain_suggested(&self) -> bool {
+        matches!(self, DriftSignal::RetrainSuggested { .. })
+    }
+}
+
+/// Serve-path template-drift watchdog: a rolling window over
+/// [`ExtractOutcome`]s (or raw assignment observations) that flips
+/// [`DriftSignal::RetrainSuggested`] when the fraction of pages matching
+/// no trained template crosses [`DriftConfig::max_unassigned_rate`].
+///
+/// The watchdog is **caller-owned** — [`TrainedSite`] stays immutable and
+/// thread-shareable; each serving loop feeds its own watchdog from the
+/// outcomes it receives ([`DriftWatchdog::observe_batch`]) and reacts to
+/// the returned signal. [`ExtractOutcome::Failed`] pages are quarantine
+/// material, not drift evidence, and are not counted.
+#[derive(Debug, Clone)]
+pub struct DriftWatchdog {
+    cfg: DriftConfig,
+    /// Rolling window of "matched no template" flags, oldest first.
+    window: std::collections::VecDeque<bool>,
+    unassigned_in_window: usize,
+    observed: usize,
+    unassigned_total: usize,
+    near_sim_sum: f64,
+}
+
+impl DriftWatchdog {
+    /// A watchdog with `cfg`'s thresholds (window and `min_samples` are
+    /// clamped to ≥ 1).
+    pub fn new(cfg: DriftConfig) -> DriftWatchdog {
+        let cfg =
+            DriftConfig { window: cfg.window.max(1), min_samples: cfg.min_samples.max(1), ..cfg };
+        DriftWatchdog {
+            window: std::collections::VecDeque::with_capacity(cfg.window),
+            cfg,
+            unassigned_in_window: 0,
+            observed: 0,
+            unassigned_total: 0,
+            near_sim_sum: 0.0,
+        }
+    }
+
+    /// Record one raw assignment observation: did the page match a trained
+    /// template, and (for misses) how close the nearest template was.
+    /// Returns the signal after the observation.
+    pub fn observe(&mut self, unassigned: bool, near_sim: Option<f64>) -> DriftSignal {
+        if self.window.len() == self.cfg.window && self.window.pop_front() == Some(true) {
+            self.unassigned_in_window -= 1;
+        }
+        self.window.push_back(unassigned);
+        self.observed += 1;
+        if unassigned {
+            self.unassigned_in_window += 1;
+            self.unassigned_total += 1;
+            if let Some(sim) = near_sim {
+                if !sim.is_nan() {
+                    self.near_sim_sum += sim;
+                }
+            }
+        }
+        self.signal()
+    }
+
+    /// Record one serve outcome ([`ExtractOutcome::Failed`] is ignored —
+    /// quarantine, not drift). Returns the signal afterwards.
+    pub fn observe_outcome(&mut self, outcome: &ExtractOutcome) -> DriftSignal {
+        match outcome {
+            ExtractOutcome::Ok(_) => self.observe(false, None),
+            ExtractOutcome::Unassigned { best_sim } => self.observe(true, Some(*best_sim)),
+            ExtractOutcome::Failed(_) => self.signal(),
+        }
+    }
+
+    /// [`DriftWatchdog::observe_outcome`] over a whole batch; returns the
+    /// signal after the last outcome.
+    pub fn observe_batch(&mut self, outcomes: &[ExtractOutcome]) -> DriftSignal {
+        for outcome in outcomes {
+            self.observe_outcome(outcome);
+        }
+        self.signal()
+    }
+
+    /// The current advice, judged over the rolling window. Never fires
+    /// before [`DriftConfig::min_samples`] observations are in the window,
+    /// and never fires on a NaN threshold.
+    pub fn signal(&self) -> DriftSignal {
+        let n = self.window.len();
+        if n >= self.cfg.min_samples {
+            let rate = self.unassigned_in_window as f64 / n as f64;
+            if rate >= self.cfg.max_unassigned_rate {
+                return DriftSignal::RetrainSuggested { unassigned_rate: rate, window: n };
+            }
+        }
+        DriftSignal::Healthy
+    }
+
+    /// Unassigned fraction of the current window (0 when empty).
+    pub fn window_unassigned_rate(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.unassigned_in_window as f64 / self.window.len() as f64
+        }
+    }
+
+    /// Lifetime pages observed (not just the window).
+    pub fn observed(&self) -> usize {
+        self.observed
+    }
+
+    /// Lifetime pages that matched no trained template.
+    pub fn unassigned_total(&self) -> usize {
+        self.unassigned_total
+    }
+
+    /// Lifetime sum of near-miss similarities (see [`SessionHealth`]).
+    pub fn near_sim_sum(&self) -> f64 {
+        self.near_sim_sum
+    }
+}
+
+/// Per-page result of the outcome-typed serve path
+/// ([`TrainedSite::try_extract_page`] / [`TrainedSite::try_extract_batch`]):
+/// distinguishes "extracted (possibly zero) facts" from "matched no
+/// trained template" from "the page itself was refused or blew up".
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExtractOutcome {
+    /// The page matched a trained template; these are its extractions
+    /// (possibly empty — a matching page can simply contain no facts).
+    /// Byte-identical to what [`TrainedSite::extract_batch`] would have
+    /// contributed for this page.
+    Ok(Vec<Extraction>),
+    /// The page matched no *trained* template (nothing reached the
+    /// similarity threshold, or the matched cluster trained no model);
+    /// `best_sim` is the closest any template representative came — the
+    /// drift watchdog's evidence.
+    Unassigned { best_sim: f64 },
+    /// The page was refused by a guard or its processing panicked.
+    Failed(PageError),
+}
+
+impl ExtractOutcome {
+    /// The extractions, when the page was served (`None` otherwise).
+    pub fn extractions(&self) -> Option<&[Extraction]> {
+        match self {
+            ExtractOutcome::Ok(ex) => Some(ex),
+            _ => None,
+        }
+    }
+}
+
+/// Render a caught panic payload (string payloads verbatim, anything else
+/// a placeholder — same contract as `ceres_runtime::JobFault::message`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// One cluster's frozen model: everything its extract tasks read.
 pub(crate) struct ClusterModel {
@@ -275,6 +622,30 @@ impl TrainedCore {
         }
     }
 
+    /// Outcome-typed [`TrainedCore::extract_one`]: the same assignment
+    /// walk, but "matched no trained template" is reported as
+    /// [`ExtractOutcome::Unassigned`] with the near-miss similarity
+    /// instead of being flattened into an empty extraction list. Index
+    /// walks use `get` so even a hostile artifact that slipped past load
+    /// validation degrades to `Unassigned`, never a panic.
+    pub(crate) fn try_extract_one(&self, view: &PageView) -> ExtractOutcome {
+        let scored = self.clustering.assign_scored(view);
+        let model = scored
+            .cluster
+            .and_then(|ci| self.plan_of_cluster.get(ci).copied().flatten())
+            .and_then(|pi| self.models.get(pi).and_then(|m| m.as_ref()));
+        match model {
+            Some(cm) => ExtractOutcome::Ok(extract_page(
+                view,
+                &cm.model,
+                &cm.space,
+                &cm.class_map,
+                &self.extract_cfg,
+            )),
+            None => ExtractOutcome::Unassigned { best_sim: scored.best_sim },
+        }
+    }
+
     /// Extract from unseen pre-parsed views (assignment path), one task
     /// per page, results merged in page order.
     pub(crate) fn extract_views_on(&self, rt: &Runtime, views: &[PageView]) -> Vec<Extraction> {
@@ -301,15 +672,18 @@ impl TrainedCore {
     /// re-assignment — one task per (cluster, page), merged in cluster
     /// order then page order, exactly as the batch pipeline always has.
     pub(crate) fn extract_members_on(&self, rt: &Runtime, views: &[PageView]) -> Vec<Extraction> {
-        let tasks: Vec<(usize, &PageView)> = self
+        // Each task carries its cluster's model directly: untrained
+        // clusters are filtered out while the task is built, so the hot
+        // closure below holds a `&ClusterModel` by construction instead of
+        // re-deriving (and `expect`ing) it per page.
+        let tasks: Vec<(&ClusterModel, &PageView)> = self
             .plans
             .iter()
-            .enumerate()
-            .filter(|&(pi, _)| self.models[pi].is_some())
-            .flat_map(|(pi, plan)| plan.iter().map(move |&i| (pi, &views[i])))
+            .zip(&self.models)
+            .filter_map(|(plan, model)| model.as_ref().map(|cm| (plan, cm)))
+            .flat_map(|(plan, cm)| plan.iter().map(move |&i| (cm, &views[i])))
             .collect();
-        let extracted: Vec<Vec<Extraction>> = rt.par_map(&tasks, |&(pi, page)| {
-            let cm = self.models[pi].as_ref().expect("tasks exist only for trained clusters");
+        let extracted: Vec<Vec<Extraction>> = rt.par_map(&tasks, |&(cm, page)| {
             extract_page(page, &cm.model, &cm.space, &cm.class_map, &self.extract_cfg)
         });
         extracted.into_iter().flatten().collect()
@@ -328,6 +702,7 @@ impl TrainedCore {
             stats: self.stats,
             profile: self.profile,
             fold: self.fold,
+            health: SessionHealth::default(),
         }
     }
 }
@@ -447,7 +822,26 @@ impl<'kb> SiteSessionBuilder<'kb> {
             .or(self.cfg.ingest_ahead)
             .unwrap_or_else(|| (rt.threads() * 2).max(1));
         let kb = self.kb;
-        let parser = move |(id, html): (String, String)| PageView::build(&id, &html, kb);
+        let guards = self.cfg.guards.clone();
+        // One stream serves both ingest flavors. Unguarded items (legacy
+        // `push_page`) parse exactly as before — no guards, and a parse
+        // panic re-raises fail-fast on the popping thread. Guarded items
+        // (`try_push_page`) are vetted, with panics contained into a
+        // typed quarantine entry instead of unwinding the session.
+        let parser = move |(id, html, guarded): IngestItem| -> IngestResult {
+            if !guarded {
+                return Ok(PageView::build(&id, &html, kb));
+            }
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                PageView::try_build(&id, &html, kb, &guards)
+            })) {
+                Ok(Ok(view)) => Ok(view),
+                Ok(Err(why)) => Err((id, why)),
+                Err(payload) => {
+                    Err((id, PageError::Panicked { message: panic_message(payload.as_ref()) }))
+                }
+            }
+        };
         SiteSession {
             kb,
             cfg: self.cfg,
@@ -455,11 +849,18 @@ impl<'kb> SiteSessionBuilder<'kb> {
             rt,
             stream: StreamMap::new(&rt, cap, parser),
             views: Vec::new(),
+            health: SessionHealth::default(),
+            seen_ids: std::collections::HashSet::new(),
             parse_ms: 0.0,
             jobs_at_open: pool_jobs_now(),
         }
     }
 }
+
+/// `(page id, html, guarded)` — what the session's ingest stream parses.
+type IngestItem = (String, String, bool);
+/// Parsed view, or `(page id, why)` for a guarded page that was refused.
+type IngestResult = Result<PageView, (String, PageError)>;
 
 /// The ingest/train phase of the streaming pipeline: pages are pushed in
 /// as they arrive (parsing overlaps the caller's fetch loop), then
@@ -473,8 +874,14 @@ pub struct SiteSession<'kb> {
     cfg: CeresConfig,
     mode: AnnotationMode,
     rt: Runtime,
-    stream: StreamMap<'kb, (String, String), PageView>,
+    stream: StreamMap<'kb, IngestItem, IngestResult>,
     views: Vec<PageView>,
+    /// Quarantine ledger of the fault-isolated ingest path (`pages_ok` is
+    /// finalized by `finish_training`).
+    health: SessionHealth,
+    /// Ids ingested so far (both paths record; only `try_push_page`
+    /// rejects duplicates).
+    seen_ids: std::collections::HashSet<String>,
     /// Time this session has spent blocked on parsing (inside `push_page`
     /// and the final drain) — the streaming pipeline's visible parse cost;
     /// parse work overlapped with the caller's fetch loop is free and
@@ -499,12 +906,65 @@ impl<'kb> SiteSession<'kb> {
     /// Ingest one `(page id, html)` pair. Parsing is handed to the worker
     /// pool and this call returns as soon as the reorder buffer has room —
     /// fetch the next page while this one parses.
+    ///
+    /// This is the **fail-fast** path: no guards, no quarantine, and a
+    /// parse panic unwinds out of the session (it signals a bug, not a bad
+    /// page). Use [`SiteSession::try_push_page`] for hostile input.
     pub fn push_page(&mut self, id: impl Into<String>, html: impl Into<String>) {
+        let id = id.into();
+        self.seen_ids.insert(id.clone());
+        self.push_item((id, html.into(), false));
+    }
+
+    /// Fault-isolated [`SiteSession::push_page`]: vet the page against the
+    /// session's [`GuardConfig`] and **quarantine** it on violation
+    /// instead of feeding it to training.
+    ///
+    /// Synchronously checkable refusals (duplicate id, oversized HTML)
+    /// are returned here *and* recorded in the ledger; parse-dependent
+    /// ones (empty DOM, excessive depth, a contained parse panic) are
+    /// discovered when the page's parse job completes and appear only in
+    /// [`SiteSession::health`]. `Ok(())` therefore means "accepted for
+    /// parsing", not "will reach training".
+    pub fn try_push_page(
+        &mut self,
+        id: impl Into<String>,
+        html: impl Into<String>,
+    ) -> Result<(), PageError> {
+        let id = id.into();
+        let html = html.into();
+        if self.seen_ids.contains(&id) {
+            let why = PageError::DuplicateId { id: id.clone() };
+            self.health.note_quarantined(id, why.clone());
+            return Err(why);
+        }
+        if html.len() > self.cfg.guards.max_page_bytes {
+            let why = PageError::OversizedPage {
+                bytes: html.len(),
+                limit: self.cfg.guards.max_page_bytes,
+            };
+            self.seen_ids.insert(id.clone());
+            self.health.note_quarantined(id, why.clone());
+            return Err(why);
+        }
+        self.seen_ids.insert(id.clone());
+        self.push_item((id, html, true));
+        Ok(())
+    }
+
+    fn push_item(&mut self, item: IngestItem) {
         let t0 = std::time::Instant::now();
-        if let Some(view) = self.stream.push((id.into(), html.into())) {
-            self.views.push(view);
+        if let Some(result) = self.stream.push(item) {
+            self.absorb(result);
         }
         self.parse_ms += t0.elapsed().as_secs_f64() * 1e3;
+    }
+
+    fn absorb(&mut self, result: IngestResult) {
+        match result {
+            Ok(view) => self.views.push(view),
+            Err((id, why)) => self.health.note_quarantined(id, why),
+        }
     }
 
     /// Ingest every page of an iterator (a convenience loop over
@@ -514,6 +974,23 @@ impl<'kb> SiteSession<'kb> {
         for (id, html) in pages {
             self.push_page(id, html);
         }
+    }
+
+    /// Fault-isolated [`SiteSession::ingest`]: every page goes through
+    /// [`SiteSession::try_push_page`]; bad pages are quarantined (see
+    /// [`SiteSession::health`]) and ingest continues — one poison page
+    /// never aborts a crawl.
+    pub fn try_ingest(&mut self, pages: impl IntoIterator<Item = (String, String)>) {
+        for (id, html) in pages {
+            let _ = self.try_push_page(id, html);
+        }
+    }
+
+    /// The session's health ledger so far. `pages_ok` stays 0 until
+    /// [`SiteSession::finish_training`] (pages still in flight can yet be
+    /// quarantined); the quarantine entries are live.
+    pub fn health(&self) -> &SessionHealth {
+        &self.health
     }
 
     /// Pages ingested so far (parsed or still in flight).
@@ -532,7 +1009,10 @@ impl<'kb> SiteSession<'kb> {
     /// place pages it has never seen.
     pub fn finish_training(mut self) -> TrainedSite<'kb> {
         let t0 = std::time::Instant::now();
-        self.views.extend(self.stream.drain());
+        let drained = self.stream.drain();
+        for result in drained {
+            self.absorb(result);
+        }
         self.parse_ms += t0.elapsed().as_secs_f64() * 1e3;
         let parse = StageTime {
             ms: self.parse_ms,
@@ -540,7 +1020,16 @@ impl<'kb> SiteSession<'kb> {
         };
         let mut core = train_views_on(&self.rt, self.kb, &self.views, &self.cfg, self.mode);
         core.profile.parse = parse;
-        TrainedSite { kb: self.kb, rt: self.rt, core, train_views: self.views }
+        self.health.pages_ok = self.views.len();
+        TrainedSite {
+            kb: self.kb,
+            rt: self.rt,
+            core,
+            train_views: self.views,
+            health: self.health,
+            guards: self.cfg.guards,
+            drift: self.cfg.drift,
+        }
     }
 }
 
@@ -554,6 +1043,16 @@ pub struct TrainedSite<'kb> {
     rt: Runtime,
     core: TrainedCore,
     train_views: Vec<PageView>,
+    /// Ingest-side health ledger, carried beside the stats — outside the
+    /// equality contract and the artifact codec (empty after `load`).
+    health: SessionHealth,
+    /// Guards the fault-isolated serve path applies (defaults after
+    /// `load`; see [`TrainedSite::set_guards`]). Not serialized: limits
+    /// describe the serving process, not the trained model.
+    guards: GuardConfig,
+    /// Drift thresholds [`TrainedSite::drift_watchdog`] hands out
+    /// (defaults after `load`). Not serialized, same reason.
+    drift: DriftConfig,
 }
 
 impl<'kb> TrainedSite<'kb> {
@@ -579,6 +1078,90 @@ impl<'kb> TrainedSite<'kb> {
     /// [`TrainedSite::extract_batch`] over pre-built views.
     pub fn extract_views(&self, views: &[PageView]) -> Vec<Extraction> {
         self.core.extract_views_on(&self.rt, views)
+    }
+
+    /// Outcome-typed [`TrainedSite::extract_page`]: vet the page against
+    /// this site's [`GuardConfig`], contain any panic, and report what
+    /// happened per page instead of flattening everything into "no
+    /// extractions". See [`ExtractOutcome`].
+    pub fn try_extract_page(&self, id: &str, html: &str) -> ExtractOutcome {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.vet_and_extract(id, html)
+        })) {
+            Ok(outcome) => outcome,
+            Err(payload) => ExtractOutcome::Failed(PageError::Panicked {
+                message: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// Outcome-typed [`TrainedSite::extract_batch`]: one
+    /// [`ExtractOutcome`] per input page, in input order, at every thread
+    /// count. Runs on the runtime's panic-isolated map, so one poison page
+    /// becomes [`ExtractOutcome::Failed`]`(`[`PageError::Panicked`]`)` in
+    /// its slot while every other page is still served; on clean input the
+    /// `Ok` outcomes concatenate to exactly what
+    /// [`TrainedSite::extract_batch`] returns.
+    ///
+    /// Feed the returned outcomes to a [`DriftWatchdog`] to watch for
+    /// template drift.
+    pub fn try_extract_batch(&self, pages: &[(String, String)]) -> Vec<ExtractOutcome> {
+        self.rt
+            .par_map_isolated(pages, |(id, html)| self.vet_and_extract(id, html))
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(outcome) => outcome,
+                Err(fault) => ExtractOutcome::Failed(PageError::Panicked {
+                    message: fault.message().to_string(),
+                }),
+            })
+            .collect()
+    }
+
+    fn vet_and_extract(&self, id: &str, html: &str) -> ExtractOutcome {
+        match PageView::try_build(id, html, self.kb, &self.guards) {
+            Ok(view) => self.core.try_extract_one(&view),
+            Err(why) => ExtractOutcome::Failed(why),
+        }
+    }
+
+    /// The ingest-side health ledger of the session that trained this
+    /// site (empty on a site loaded from an artifact — health describes a
+    /// process, not the model, and never crosses the codec). Serve-side
+    /// assign stats merge in via [`SessionHealth::absorb_watchdog`] on
+    /// [`TrainedSite::health_mut`].
+    pub fn health(&self) -> &SessionHealth {
+        &self.health
+    }
+
+    /// Mutable access to the health ledger (merging watchdog stats,
+    /// resetting between reporting windows).
+    pub fn health_mut(&mut self) -> &mut SessionHealth {
+        &mut self.health
+    }
+
+    /// A fresh [`DriftWatchdog`] configured with this site's
+    /// [`DriftConfig`] — one per serving loop; the site itself stays
+    /// immutable and thread-shareable.
+    pub fn drift_watchdog(&self) -> DriftWatchdog {
+        DriftWatchdog::new(self.drift.clone())
+    }
+
+    /// The guards [`TrainedSite::try_extract_batch`] applies.
+    pub fn guards(&self) -> &GuardConfig {
+        &self.guards
+    }
+
+    /// Override the serve-path guards (e.g. after [`TrainedSite::load`],
+    /// which starts from [`GuardConfig::default`] — guard limits are an
+    /// operational choice and deliberately not part of the artifact).
+    pub fn set_guards(&mut self, guards: GuardConfig) {
+        self.guards = guards;
+    }
+
+    /// Override the drift thresholds [`TrainedSite::drift_watchdog`] uses.
+    pub fn set_drift(&mut self, drift: DriftConfig) {
+        self.drift = drift;
     }
 
     /// Extract from the training pages themselves (the CommonCrawl
@@ -662,9 +1245,13 @@ impl<'kb> TrainedSite<'kb> {
     }
 
     /// Assemble a batch-style [`SiteRun`] from this site's training
-    /// records plus `extractions` produced by the serve phase.
+    /// records plus `extractions` produced by the serve phase. The run
+    /// carries this site's ingest/serve health ledger beside the stats.
     pub fn into_site_run(self, extractions: Vec<Extraction>, n_extraction_pages: usize) -> SiteRun {
-        self.core.into_site_run(extractions, n_extraction_pages)
+        let health = self.health.clone();
+        let mut run = self.core.into_site_run(extractions, n_extraction_pages);
+        run.health = health;
+        run
     }
 
     /// Serialize this trained site into `sink` as a versioned, checksummed
@@ -859,6 +1446,12 @@ impl<'kb> TrainedSite<'kb> {
             // The parsed training corpus never crosses the process
             // boundary: extract_training_pages() on a loaded site is empty.
             train_views: Vec::new(),
+            // Health describes the training process, guards and drift
+            // thresholds the serving process; none are model state, so
+            // none cross the artifact boundary (like StageProfile).
+            health: SessionHealth::default(),
+            guards: GuardConfig::default(),
+            drift: DriftConfig::default(),
         })
     }
 }
@@ -1165,5 +1758,216 @@ mod tests {
             "<html><body><form><p>a</p><p>b</p><p>c</p><p>d</p><p>e</p></form></body></html>",
         );
         assert!(ex.is_empty(), "unmatched template must yield nothing: {ex:?}");
+    }
+
+    // --- Fault isolation -------------------------------------------------
+
+    #[test]
+    fn try_push_page_refuses_duplicates_and_oversized_synchronously() {
+        let (kb, _, _) = two_template_world();
+        let mut cfg = CeresConfig::new(11);
+        cfg.guards.max_page_bytes = 256;
+        let mut session = SiteSession::builder(&kb).config(cfg).build();
+
+        assert!(session.try_push_page("a", "<p>Director Person 0</p>").is_ok());
+        assert_eq!(
+            session.try_push_page("a", "<p>again</p>"),
+            Err(PageError::DuplicateId { id: "a".into() })
+        );
+        let over = session.try_push_page("b", format!("<p>{}</p>", "x".repeat(300)));
+        assert!(
+            matches!(over, Err(PageError::OversizedPage { bytes, limit: 256 }) if bytes > 256),
+            "{over:?}"
+        );
+        // Oversized ids are recorded too: re-pushing "b" is a duplicate.
+        assert_eq!(
+            session.try_push_page("b", "<p>tiny</p>"),
+            Err(PageError::DuplicateId { id: "b".into() })
+        );
+
+        let by = session.health().quarantined_by_reason();
+        assert_eq!(by.iter().find(|(k, _)| *k == "duplicate-id").unwrap().1, 2);
+        assert_eq!(by.iter().find(|(k, _)| *k == "oversized").unwrap().1, 1);
+        assert_eq!(session.health().pages_quarantined(), 3);
+    }
+
+    #[test]
+    fn parse_dependent_faults_quarantine_at_pop_without_aborting_training() {
+        let (kb, details, _) = two_template_world();
+        let mut cfg = CeresConfig::new(11);
+        cfg.guards.max_dom_depth = 8;
+        let mut session = SiteSession::builder(&kb).config(cfg).build();
+        session.try_ingest(details.iter().cloned());
+        // Both violations only reveal themselves after parsing, so the
+        // push succeeds and the quarantine happens at pop.
+        let deep = format!("{}deep{}", "<div>".repeat(20), "</div>".repeat(20));
+        assert!(session.try_push_page("deep", deep).is_ok());
+        assert!(session.try_push_page("blank", "").is_ok());
+
+        let trained = session.finish_training();
+        let health = trained.health();
+        assert_eq!(health.pages_ok, details.len());
+        assert_eq!(health.pages_quarantined(), 2);
+        let by = health.quarantined_by_reason();
+        assert_eq!(by.iter().find(|(k, _)| *k == "parse-depth").unwrap().1, 1);
+        assert_eq!(by.iter().find(|(k, _)| *k == "empty-dom").unwrap().1, 1);
+        assert!(trained.stats().trained, "survivors must still train");
+    }
+
+    #[test]
+    fn quarantine_leaves_surviving_pages_byte_identical_to_a_clean_run() {
+        let (kb, details, reviews) = two_template_world();
+        let train = |poison: bool| {
+            let mut session = SiteSession::builder(&kb).config(CeresConfig::new(11)).build();
+            for (i, (id, html)) in details.iter().chain(reviews.iter()).enumerate() {
+                assert!(session.try_push_page(id.clone(), html.clone()).is_ok());
+                if poison && i % 3 == 0 {
+                    assert!(session.try_push_page(format!("poison-{i}"), "").is_ok());
+                }
+            }
+            session.finish_training()
+        };
+        let clean = train(false);
+        let poisoned = train(true);
+        assert_eq!(poisoned.health().pages_ok, details.len() + reviews.len());
+        assert_eq!(poisoned.health().pages_quarantined(), 6);
+
+        let pages: Vec<(String, String)> =
+            (0..4).map(|i| (format!("s-{i}"), details[i].1.clone())).collect();
+        assert_eq!(poisoned.extract_batch(&pages), clean.extract_batch(&pages));
+    }
+
+    #[test]
+    fn try_extract_batch_types_outcomes_and_flattens_to_the_fail_fast_batch() {
+        let (kb, details, reviews) = two_template_world();
+        for threads in [1usize, 2, 8] {
+            let mut cfg = CeresConfig::new(11);
+            cfg.threads = Some(threads);
+            let mut session = SiteSession::builder(&kb).config(cfg).build();
+            session.ingest(details.iter().cloned());
+            session.ingest(reviews.iter().cloned());
+            let mut trained = session.finish_training();
+
+            // On clean input the Ok outcomes concatenate to exactly the
+            // fail-fast batch, at every thread count.
+            let pages: Vec<(String, String)> =
+                (0..8).map(|i| (format!("s-{i}"), details[i].1.clone())).collect();
+            let outcomes = trained.try_extract_batch(&pages);
+            assert_eq!(outcomes.len(), pages.len());
+            let flattened: Vec<Extraction> =
+                outcomes.iter().filter_map(|o| o.extractions()).flatten().cloned().collect();
+            assert_eq!(flattened, trained.extract_batch(&pages), "threads={threads}");
+
+            // A template-less page is typed, not silently empty.
+            let alien = (
+                "alien".to_string(),
+                "<html><body><p>nothing like this site</p></body></html>".to_string(),
+            );
+            match &trained.try_extract_batch(std::slice::from_ref(&alien))[0] {
+                ExtractOutcome::Unassigned { best_sim } => {
+                    assert!((0.0..1.0).contains(best_sim), "best_sim={best_sim}")
+                }
+                other => panic!("expected Unassigned, got {other:?}"),
+            }
+
+            // A guard violation fails in its own slot; neighbors still serve.
+            trained.set_guards(GuardConfig { max_page_bytes: 4096, ..GuardConfig::default() });
+            let mixed =
+                vec![pages[0].clone(), ("huge".to_string(), "y".repeat(8192)), pages[1].clone()];
+            let out = trained.try_extract_batch(&mixed);
+            assert!(
+                matches!(out[1], ExtractOutcome::Failed(PageError::OversizedPage { .. })),
+                "{:?}",
+                out[1]
+            );
+            assert!(matches!(out[0], ExtractOutcome::Ok(_)));
+            assert!(matches!(out[2], ExtractOutcome::Ok(_)));
+        }
+    }
+
+    #[test]
+    fn drift_watchdog_fires_on_sustained_unassigned_rate_and_recovers() {
+        let cfg = DriftConfig { window: 8, min_samples: 4, max_unassigned_rate: 0.5 };
+        let mut dog = DriftWatchdog::new(cfg);
+        // Below min_samples nothing fires, however bad the evidence.
+        for _ in 0..3 {
+            assert_eq!(dog.observe(true, Some(0.4)), DriftSignal::Healthy);
+        }
+        // Fourth straight miss: the window is judgeable and fully missed.
+        match dog.observe(true, Some(0.4)) {
+            DriftSignal::RetrainSuggested { unassigned_rate, window } => {
+                assert_eq!(unassigned_rate, 1.0);
+                assert_eq!(window, 4);
+            }
+            DriftSignal::Healthy => panic!("watchdog must fire at 4/4 unassigned"),
+        }
+        // A healthy stretch rolls the misses out of the window.
+        for _ in 0..8 {
+            dog.observe(false, None);
+        }
+        assert_eq!(dog.signal(), DriftSignal::Healthy);
+        assert_eq!(dog.window_unassigned_rate(), 0.0);
+        // Lifetime counters survive the rollover.
+        assert_eq!(dog.observed(), 12);
+        assert_eq!(dog.unassigned_total(), 4);
+        assert!((dog.near_sim_sum() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drift_watchdog_counts_outcomes_but_not_failures() {
+        let cfg = DriftConfig { window: 4, min_samples: 2, max_unassigned_rate: 0.5 };
+        let mut dog = DriftWatchdog::new(cfg);
+        let outcomes = vec![
+            ExtractOutcome::Ok(Vec::new()),
+            ExtractOutcome::Failed(PageError::EmptyDom),
+            ExtractOutcome::Unassigned { best_sim: 0.25 },
+            ExtractOutcome::Unassigned { best_sim: 0.35 },
+        ];
+        // Failed is quarantine material, not drift evidence: 2 of the 3
+        // counted pages missed, over the 0.5 threshold.
+        assert!(dog.observe_batch(&outcomes).retrain_suggested());
+        assert_eq!(dog.observed(), 3);
+        assert_eq!(dog.unassigned_total(), 2);
+        assert!((dog.near_sim_sum() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn session_health_absorbs_watchdog_stats_and_reports_rates() {
+        let mut dog = DriftWatchdog::new(DriftConfig::default());
+        dog.observe(false, None);
+        dog.observe(true, Some(0.5));
+        dog.observe(true, Some(0.3));
+        let mut health = SessionHealth::default();
+        health.absorb_watchdog(&dog);
+        assert_eq!(health.assign_observed, 3);
+        assert_eq!(health.assign_unassigned, 2);
+        assert!((health.unassigned_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((health.mean_near_miss_sim() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn site_run_carries_the_session_health_ledger() {
+        let (kb, details, _) = two_template_world();
+        let mut session = SiteSession::builder(&kb).config(CeresConfig::new(11)).build();
+        session.try_ingest(details.iter().cloned());
+        assert!(session.try_push_page("blank", "").is_ok());
+        let trained = session.finish_training();
+        let run = trained.into_site_run(Vec::new(), 0);
+        assert_eq!(run.health.pages_ok, details.len());
+        assert_eq!(run.health.pages_quarantined(), 1);
+    }
+
+    #[test]
+    fn health_never_crosses_the_artifact_boundary() {
+        let (kb, details, _) = two_template_world();
+        let mut session = SiteSession::builder(&kb).config(CeresConfig::new(11)).build();
+        session.try_ingest(details.iter().cloned());
+        assert!(session.try_push_page("blank", "").is_ok());
+        let trained = session.finish_training();
+        assert_eq!(trained.health().pages_quarantined(), 1);
+        let bytes = trained.to_bytes().expect("save");
+        let loaded = TrainedSite::load(&kb, &bytes[..]).expect("load");
+        assert_eq!(loaded.health().pages_ok, 0);
+        assert_eq!(loaded.health().pages_quarantined(), 0);
     }
 }

@@ -86,6 +86,22 @@ pub struct Clustering {
     sim_threshold: f64,
 }
 
+/// The scored result of [`Clustering::assign_scored`]: where a page was
+/// placed (if anywhere) plus the best similarity observed — even when it
+/// fell short of the threshold. The below-threshold similarity is what the
+/// serve path's drift watchdog and `ExtractOutcome::Unassigned { best_sim }`
+/// report: "how close was the nearest template" distinguishes a page that
+/// *almost* matched (template drift) from one that matched nothing at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Assignment {
+    /// Index into [`Clustering::clusters`] of the best-matching cluster,
+    /// or `None` when no representative reached the similarity threshold.
+    pub cluster: Option<usize>,
+    /// Best (NaN-free) similarity seen against any representative,
+    /// threshold or not; `0.0` when there are no representatives.
+    pub best_sim: f64,
+}
+
 impl Clustering {
     pub fn n_clusters(&self) -> usize {
         self.clusters.len()
@@ -102,16 +118,30 @@ impl Clustering {
     /// seen at clustering time lands in the same cluster it would have
     /// joined.
     pub fn assign(&self, page: &PageView) -> Option<usize> {
+        self.assign_scored(page).cluster
+    }
+
+    /// [`Clustering::assign`] with the similarity evidence kept: the chosen
+    /// cluster (same decision, same tie/NaN rules — `assign` delegates
+    /// here) plus the best similarity observed against *any* representative,
+    /// including ones below the threshold. Disabled clustering assigns
+    /// everything to the single cluster at similarity `1.0`.
+    pub fn assign_scored(&self, page: &PageView) -> Assignment {
         if !self.enabled {
-            return (!self.clusters.is_empty()).then_some(0);
+            let cluster = (!self.clusters.is_empty()).then_some(0);
+            return Assignment { cluster, best_sim: if cluster.is_some() { 1.0 } else { 0.0 } };
         }
         let sig = shingles(page);
         let mut best: Option<(usize, f64)> = None;
+        let mut best_sim = 0.0f64;
         for (rep, cluster) in &self.reps {
             let sim = jaccard(rep.as_slice(), sig.as_slice());
+            if !sim.is_nan() && sim > best_sim {
+                best_sim = sim;
+            }
             offer_candidate(&mut best, *cluster, sim, self.sim_threshold);
         }
-        best.map(|(cluster, _)| cluster)
+        Assignment { cluster: best.map(|(cluster, _)| cluster), best_sim }
     }
 }
 
@@ -399,6 +429,48 @@ mod tests {
             sim_threshold: f64::NAN,
         };
         assert_eq!(clustering.assign(&page), None);
+    }
+
+    #[test]
+    fn assign_scored_reports_below_threshold_similarity() {
+        let kb = empty_kb();
+        let detail = |t: &str| {
+            format!(
+                "<html><body><h1>{t}</h1><div class=i><span>a</span><span>b</span></div></body></html>"
+            )
+        };
+        let pages: Vec<PageView> =
+            (0..3).map(|i| pv(&format!("d{i}"), &detail("x"), &kb)).collect();
+        let refs: Vec<&PageView> = pages.iter().collect();
+        let clustering = cluster_site(&refs, &TemplateConfig::default());
+
+        // A member lookalike: assigned, and the score agrees with assign().
+        let member = pv("d9", &detail("nine"), &kb);
+        let scored = clustering.assign_scored(&member);
+        assert_eq!(scored.cluster, clustering.assign(&member));
+        assert!(scored.cluster.is_some());
+        assert!((scored.best_sim - 1.0).abs() < 1e-12, "identical shingles: {scored:?}");
+
+        // A drifted page shares *some* structure: unassigned, but the
+        // near-miss similarity is visible instead of being flattened to
+        // `None` (what the drift watchdog consumes).
+        let drifted = pv(
+            "x",
+            "<html><body><h1>t</h1><form><p>q</p><p>r</p><p>s</p><p>u</p><p>v</p><p>w</p></form></body></html>",
+            &kb,
+        );
+        let scored = clustering.assign_scored(&drifted);
+        assert_eq!(scored.cluster, None);
+        assert!(scored.best_sim > 0.0 && scored.best_sim < 1.0, "{scored:?}");
+
+        // No representatives at all → similarity floor, not NaN.
+        let empty = Clustering {
+            clusters: Vec::new(),
+            reps: Vec::new(),
+            enabled: true,
+            sim_threshold: 0.35,
+        };
+        assert_eq!(empty.assign_scored(&member), Assignment { cluster: None, best_sim: 0.0 });
     }
 
     #[test]

@@ -158,6 +158,21 @@ impl Document {
         self.ancestors(id).count()
     }
 
+    /// Deepest node depth in the document (0 when only the root exists).
+    /// One forward pass: nodes are arena-appended parent-before-child, so
+    /// every parent's depth is known by the time its children are visited.
+    pub fn max_depth(&self) -> usize {
+        let mut depth = vec![0u32; self.nodes.len()];
+        let mut max = 0u32;
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(p) = node.parent {
+                depth[i] = depth[p.index()] + 1;
+                max = max.max(depth[i]);
+            }
+        }
+        max as usize
+    }
+
     /// True if `ancestor` is a proper ancestor of `id`.
     pub fn is_ancestor(&self, ancestor: NodeId, id: NodeId) -> bool {
         self.ancestors(id).any(|a| a == ancestor)

@@ -404,6 +404,17 @@ mod tests {
         assert_eq!(doc.deep_text(root_div), "a b c d");
     }
 
+    #[test]
+    fn max_depth_counts_the_deepest_chain() {
+        assert_eq!(parse_html("").max_depth(), 0);
+        // <div> at 1, its text child at 2; the 30-deep spine wins over
+        // the shallow sibling.
+        assert_eq!(parse_html("<div>t</div>").max_depth(), 2);
+        let deep = format!("{}bottom{}", "<div>".repeat(30), "</div>".repeat(30));
+        let doc = parse_html(&format!("<p>shallow</p>{deep}"));
+        assert_eq!(doc.max_depth(), 31); // 30 divs + the text node
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -442,6 +453,17 @@ mod tests {
                 let p = doc.xpath(f);
                 prop_assert_eq!(doc.resolve_xpath(&p), Some(f));
             }
+        }
+
+        #[test]
+        fn max_depth_agrees_with_the_per_node_walk(
+            s in "(<(div|span|ul|li)>|</(div|span|ul|li)>|[a-z]{0,4}){0,30}"
+        ) {
+            // The one-pass `max_depth` (the serve guards' depth check) must
+            // equal the brute-force maximum of the ancestor-walk `depth`.
+            let doc = parse_html(&s);
+            let brute = doc.all_nodes().map(|n| doc.depth(n)).max().unwrap_or(0);
+            prop_assert_eq!(doc.max_depth(), brute);
         }
     }
 }

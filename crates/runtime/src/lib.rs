@@ -28,6 +28,20 @@
 //! fallible stages prefer [`Runtime::try_par_map`], which returns the
 //! lowest-indexed `Err` instead of unwinding.
 //!
+//! ## Fault isolation
+//!
+//! The fail-fast contract above is right for pure pipeline stages, where a
+//! panic means a bug and the whole run is suspect. Ingest and serve paths
+//! face the opposite regime: one poisoned page must not take down the
+//! batch. [`Runtime::par_map_isolated`] and
+//! [`Runtime::try_par_map_isolated`] wrap every item invocation in
+//! [`std::panic::catch_unwind`], so a panicking item yields a typed
+//! [`JobFault`] *in its slot* while every other item still runs and
+//! returns its result. Outcomes come back in item order (same indexed
+//! merge), so fault ordering is deterministic — scanning the returned
+//! vector finds the lowest-indexed fault first at any thread count — and
+//! fault-free inputs produce byte-identical results to [`Runtime::par_map`].
+//!
 //! ## The worker pool
 //!
 //! Parallel calls execute on a process-wide pool that is created lazily
@@ -58,6 +72,61 @@ mod pool;
 mod stream;
 
 pub use stream::StreamMap;
+
+/// A contained panic from one item of an isolated parallel map
+/// ([`Runtime::par_map_isolated`] / [`Runtime::try_par_map_isolated`]).
+///
+/// Carries the index of the item whose closure panicked and the raw panic
+/// payload, exactly as `catch_unwind` delivered it. Because isolated maps
+/// return outcomes in item order, faults are deterministically ordered:
+/// the first `Err` found when scanning the result vector is the
+/// lowest-indexed fault at any thread count.
+pub struct JobFault {
+    /// Index of the item whose invocation panicked.
+    pub index: usize,
+    /// The raw panic payload (what `panic!` carried).
+    pub payload: Box<dyn std::any::Any + Send>,
+}
+
+impl JobFault {
+    /// The panic message, when the payload is a string (the overwhelmingly
+    /// common case: `panic!("…")` carries `String` or `&'static str`).
+    /// Non-string payloads yield a fixed placeholder.
+    pub fn message(&self) -> &str {
+        if let Some(s) = self.payload.downcast_ref::<&'static str>() {
+            s
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s
+        } else {
+            "<non-string panic payload>"
+        }
+    }
+}
+
+impl std::fmt::Debug for JobFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobFault")
+            .field("index", &self.index)
+            .field("message", &self.message())
+            .finish()
+    }
+}
+
+impl std::fmt::Display for JobFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "item {} panicked: {}", self.index, self.message())
+    }
+}
+
+/// Why one item of [`Runtime::try_par_map_isolated`] failed: the closure
+/// returned `Err`, or it panicked and the panic was contained.
+#[derive(Debug)]
+pub enum IsolatedError<E> {
+    /// The closure returned this error.
+    Err(E),
+    /// The closure panicked; the payload was contained as a [`JobFault`].
+    Panic(JobFault),
+}
 
 /// Environment variable consulted when no programmatic thread count is
 /// given. `0`, empty, or unparsable values fall through to the machine's
@@ -162,6 +231,62 @@ impl Runtime {
         // The indexed merge makes `collect` see errors in item order, so
         // the first one it stops at is the lowest-indexed failure.
         self.par_map(items, f).into_iter().collect()
+    }
+
+    /// Panic-isolated [`Runtime::par_map`]: every item is attempted, and an
+    /// item whose closure panics yields `Err(`[`JobFault`]`)` in its slot
+    /// instead of unwinding the whole call. Outcomes come back in item
+    /// order, so fault ordering is deterministic (the lowest-indexed fault
+    /// is found first when scanning), and on fault-free input the unwrapped
+    /// results are byte-identical to `par_map` at any thread count.
+    ///
+    /// The pool itself is untouched by contained panics: the unwind is
+    /// caught *inside* the item closure, below the pool's own fail-fast
+    /// panic plumbing, so no job poisoning occurs and later calls see a
+    /// clean pool.
+    pub fn par_map_isolated<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, JobFault>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        // AssertUnwindSafe: `f` is `&F + Sync` and items are `&T`; a caught
+        // unwind cannot leave either in a broken state visible elsewhere
+        // (the same assertion the pool's per-item catch makes).
+        let caught =
+            self.par_map(items, |item| panic::catch_unwind(panic::AssertUnwindSafe(|| f(item))));
+        caught
+            .into_iter()
+            .enumerate()
+            .map(|(index, r)| r.map_err(|payload| JobFault { index, payload }))
+            .collect()
+    }
+
+    /// Panic-isolated [`Runtime::try_par_map`]: every item is attempted;
+    /// an item's `Err(e)` comes back as [`IsolatedError::Err`] in its slot
+    /// and a contained panic as [`IsolatedError::Panic`]. Outcomes are in
+    /// item order (deterministic fault ordering, lowest index first when
+    /// scanning); fault-free, `Err`-free input is byte-identical to the
+    /// unwrapped `try_par_map` result at any thread count.
+    pub fn try_par_map_isolated<T, R, E, F>(
+        &self,
+        items: &[T],
+        f: F,
+    ) -> Vec<Result<R, IsolatedError<E>>>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&T) -> Result<R, E> + Sync,
+    {
+        self.par_map_isolated(items, f)
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(Ok(r)) => Ok(r),
+                Ok(Err(e)) => Err(IsolatedError::Err(e)),
+                Err(fault) => Err(IsolatedError::Panic(fault)),
+            })
+            .collect()
     }
 
     /// A bounded, order-preserving streaming map (the runtime's *reorder
@@ -529,6 +654,107 @@ mod tests {
             Some(v) => std::env::set_var(THREADS_ENV, v),
             None => std::env::remove_var(THREADS_ENV),
         }
+    }
+
+    #[test]
+    fn isolated_map_contains_panics_per_item() {
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 2, 8] {
+            let rt = Runtime::new(threads);
+            let out = rt.par_map_isolated(&items, |&x| {
+                if x % 13 == 5 {
+                    panic!("poison {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len(), "threads={threads}");
+            for (i, slot) in out.iter().enumerate() {
+                if i % 13 == 5 {
+                    let fault = slot.as_ref().expect_err("poisoned item must fault");
+                    assert_eq!(fault.index, i, "threads={threads}");
+                    assert_eq!(fault.message(), format!("poison {i}"), "threads={threads}");
+                } else {
+                    assert_eq!(*slot.as_ref().expect("clean item must succeed"), i * 2);
+                }
+            }
+            // Deterministic fault ordering: scanning finds index 5 first.
+            let first = out.iter().find_map(|s| s.as_ref().err()).expect("faults exist");
+            assert_eq!(first.index, 5, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn isolated_map_is_byte_identical_on_fault_free_input() {
+        let items: Vec<u64> = (0..211u64).map(|i| i.wrapping_mul(48271)).collect();
+        let f = |&x: &u64| format!("{:x}~{}", x.rotate_right(9), x % 17);
+        let plain = Runtime::sequential().par_map(&items, f);
+        for threads in [1, 2, 8] {
+            let isolated: Vec<String> = Runtime::new(threads)
+                .par_map_isolated(&items, f)
+                .into_iter()
+                .map(|r| r.expect("fault-free input"))
+                .collect();
+            assert_eq!(isolated, plain, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn isolated_map_leaves_the_pool_clean_for_later_jobs() {
+        let items: Vec<usize> = (0..32).collect();
+        let rt = Runtime::new(4);
+        let all_faults = rt.par_map_isolated(&items, |&x| -> usize { panic!("die {x}") });
+        assert!(all_faults.iter().all(|r| r.is_err()));
+        // Every index carries its own fault (no job-level poisoning).
+        for (i, r) in all_faults.iter().enumerate() {
+            assert_eq!(r.as_ref().unwrap_err().index, i);
+        }
+        let expect: Vec<usize> = items.iter().map(|&x| x + 1).collect();
+        assert_eq!(rt.par_map(&items, |&x| x + 1), expect);
+    }
+
+    #[test]
+    fn try_isolated_map_separates_errors_from_panics() {
+        let items: Vec<usize> = (0..40).collect();
+        for threads in [1, 2, 8] {
+            let out: Vec<Result<usize, IsolatedError<String>>> = Runtime::new(threads)
+                .try_par_map_isolated(&items, |&x| {
+                    if x % 10 == 3 {
+                        Err(format!("reject {x}"))
+                    } else if x % 10 == 7 {
+                        panic!("explode {x}");
+                    } else {
+                        Ok(x + 100)
+                    }
+                });
+            for (i, slot) in out.iter().enumerate() {
+                match (i % 10, slot) {
+                    (3, Err(IsolatedError::Err(e))) => assert_eq!(e, &format!("reject {i}")),
+                    (7, Err(IsolatedError::Panic(fault))) => {
+                        assert_eq!(fault.index, i);
+                        assert_eq!(fault.message(), format!("explode {i}"));
+                    }
+                    (_, Ok(v)) => assert_eq!(*v, i + 100),
+                    other => panic!("unexpected slot {i}: {other:?} (threads={threads})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn job_fault_formats_usefully() {
+        let fault = Runtime::sequential()
+            .par_map_isolated(&[0u8], |_| -> u8 { panic!("static message") })
+            .remove(0)
+            .expect_err("must fault");
+        assert_eq!(fault.message(), "static message");
+        assert_eq!(format!("{fault}"), "item 0 panicked: static message");
+        assert!(format!("{fault:?}").contains("static message"));
+        // Non-string payloads degrade to a placeholder, never a panic.
+        let odd = Runtime::sequential()
+            .par_map_isolated(&[0u8], |_| -> u8 { std::panic::panic_any(42usize) })
+            .remove(0)
+            .expect_err("must fault");
+        assert_eq!(odd.message(), "<non-string panic payload>");
     }
 
     #[test]

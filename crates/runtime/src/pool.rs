@@ -158,6 +158,13 @@ impl Job {
     }
 
     /// Poison further claims, then record the lowest-indexed panic.
+    ///
+    /// This is the pool's **fail-fast** containment layer: one panic
+    /// abandons the job's remaining chunks and re-raises on the caller.
+    /// The **isolating** layer ([`crate::Runtime::par_map_isolated`])
+    /// catches unwinds inside the item closure, *below* this one, so a
+    /// contained fault never reaches `record_panic` and the job runs to
+    /// completion with per-item [`crate::JobFault`]s instead.
     pub(crate) fn record_panic(&self, item: usize, payload: Box<dyn Any + Send>) {
         self.next.fetch_max(self.n_chunks, Ordering::SeqCst);
         let mut slot = self.panic_slot.lock().unwrap();

@@ -34,8 +34,18 @@
 //! fallback, with the same order guarantee (results just surface with a
 //! different cadence than under a saturated parallel buffer).
 //!
+//! ## Fault semantics
+//!
 //! A panic inside `f` is re-raised on the thread that pops the panicked
-//! item (the submitting thread), never on a pool worker.
+//! item (the submitting thread), never on a pool worker. The unwinding
+//! pop consumes the poisoned slot and nothing else: every other in-flight
+//! item still completes and drains in input order from the **same** map,
+//! a later `push`/`drain` keeps working, and `Drop` finishes outstanding
+//! jobs (panics swallowed) so a poisoned map neither deadlocks nor leaks.
+//! One caveat: results a single `drain` call had already collected when
+//! the unwind hit are discarded with that call's stack — pop results one
+//! at a time via a bounded `push` loop when every pre-panic result
+//! matters. (Pinned by `one_poisoned_item_neither_deadlocks_nor_leaks`.)
 
 use crate::pool::{self, Job};
 use crate::Runtime;
@@ -328,6 +338,31 @@ mod tests {
         let rt2 = Runtime::new(4);
         let mut ok = rt2.stream(2, |x: u64| x + 1);
         assert_eq!(ok.push(41).or_else(|| ok.finish().pop()), Some(42));
+    }
+
+    #[test]
+    fn one_poisoned_item_neither_deadlocks_nor_leaks() {
+        // The "Fault semantics" contract: the unwinding pop consumes only
+        // the poisoned slot. The survivors behind it are still in flight
+        // on the *same* map afterwards — not leaked — and drain in input
+        // order; the map stays usable.
+        let rt = Runtime::new(4);
+        let mut sm = rt.stream(8, |x: u64| {
+            if x == 3 {
+                panic!("poison at {x}");
+            }
+            x * 10
+        });
+        for x in 0..6u64 {
+            assert_eq!(sm.push(x), None, "cap 8 must not pop during these pushes");
+        }
+        let first = panic::catch_unwind(AssertUnwindSafe(|| sm.drain()));
+        assert!(first.is_err(), "the poisoned item's panic surfaces on the draining thread");
+        // Items 0..3 were consumed by the unwound drain call (its local
+        // results vec is gone with its stack); 4 and 5 survive in flight.
+        assert_eq!(sm.in_flight(), 2);
+        assert_eq!(sm.drain(), vec![40, 50]);
+        assert!(sm.finish().is_empty());
     }
 
     #[test]

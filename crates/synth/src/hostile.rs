@@ -1,0 +1,302 @@
+//! Hostile-input fixtures: a deterministic poison-page corpus and seeded
+//! fault plans for proving panic containment end-to-end.
+//!
+//! Real crawls contain pages that violate every politeness assumption:
+//! markup truncated mid-tag by a dropped connection, absurd nesting,
+//! multi-megabyte attribute blobs, duplicate captures of the same URL, and
+//! mid-crawl template redesigns. This module renders those pathologies
+//! deterministically — same seed, same corpus, byte for byte — so the
+//! fault-isolated ingest/serve paths (`ceres-core`'s `try_push_page` /
+//! `try_extract_batch`) can be tested and benchmarked against input that
+//! never changes under a fixed seed.
+
+use crate::rng::{derive_rng, sample_distinct};
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Panic marker honored by `ceres-core`'s test-only `fault-inject`
+/// feature. Duplicated from `ceres_core::session::FAULT_PANIC_MARKER`
+/// (this crate deliberately does not depend on `ceres-core`); the
+/// workspace suite `tests/fault_isolation.rs` pins the two constants
+/// equal.
+pub const FAULT_PANIC_MARKER: &str = "ceres:fault=panic";
+
+/// What a guarded ingest running **default guards** must do with a
+/// hostile page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expect {
+    /// Tolerated: parses (possibly to nonsense) and reaches training.
+    Survives,
+    /// Quarantined under this `PageError::kind()` slug.
+    Quarantined(&'static str),
+}
+
+/// One hostile page plus its expected fate under default guards.
+#[derive(Debug, Clone)]
+pub struct HostilePage {
+    pub id: String,
+    pub html: String,
+    pub expect: Expect,
+}
+
+/// A plausible detail page cut off mid-markup at a seeded offset (the
+/// fetch died). The cut always lands after the `<h1>` text so the page
+/// keeps at least one text field — the tolerant parser must survive it
+/// and a guarded ingest must let it through.
+pub fn truncated_page(seed: u64, i: usize) -> String {
+    let mut rng = derive_rng(seed, &format!("truncated-{i}"));
+    let full = format!(
+        "<html><body><h1>Item {i}</h1>\
+         <div class=info><span class=label>Maker:</span> <span class=val>Maker {i}</span></div>\
+         <ul><li>part a</li><li>part b</li><li>part c</li></ul>\
+         <div class=footer><span>terms</span><span>contact</span></div></body></html>"
+    );
+    let keep_from = full.find("</h1>").expect("fixture has an h1") + "</h1>".len();
+    let cut = rng.gen_range(keep_from..full.len());
+    full[..cut].to_string()
+}
+
+/// `depth` nested `<div>`s around one text node — past any sane layout,
+/// and past `GuardConfig::max_dom_depth` when `depth` exceeds it.
+pub fn deep_nesting_page(depth: usize) -> String {
+    format!("{}bottom{}", "<div>".repeat(depth), "</div>".repeat(depth))
+}
+
+/// A page whose single attribute carries `bytes` of payload (tracking
+/// blobs, inlined state dumps). Exceeds `GuardConfig::max_page_bytes`
+/// when `bytes` does.
+pub fn huge_attribute_page(bytes: usize) -> String {
+    format!(
+        "<html><body><div data-blob=\"{}\"><p>payload</p></div></body></html>",
+        "A".repeat(bytes)
+    )
+}
+
+/// Markup that parses to a DOM with no text fields at all.
+pub fn blank_page() -> String {
+    "<html><body><div><div></div></div></body></html>".to_string()
+}
+
+/// `len` seeded codepoints of raw noise (controls, punctuation, stray `<`
+/// and `>`, non-ASCII) — not HTML by any stretch; the parser must
+/// tolerate it anyway.
+pub fn byte_soup(seed: u64, len: usize) -> String {
+    let mut rng = derive_rng(seed, "byte-soup");
+    (0..len).map(|_| char::from_u32(rng.gen_range(1..=0x24F)).unwrap_or('?')).collect()
+}
+
+/// A serve-phase page from a "site redesign": a card-grid layout sharing
+/// no tag structure with the detail templates the fixtures train on, so a
+/// trained site reports it unassigned — the drift watchdog's food.
+pub fn drifted_page(i: usize) -> (String, String) {
+    let cards: String = (0..6)
+        .map(|j| {
+            format!(
+                "<article class=card><h3>Card {i}-{j}</h3>\
+                 <p>blurb {j}</p><button>open</button></article>"
+            )
+        })
+        .collect();
+    let html = format!(
+        "<html><body><nav><a>home</a><a>discover</a><a>account</a></nav>\
+         <main><section class=hero><h2>Fresh look {i}</h2><p>redesigned</p></section>\
+         <section class=grid>{cards}</section></main>\
+         <aside><p>promo one</p><p>promo two</p></aside></body></html>"
+    );
+    (format!("redesign-{i}"), html)
+}
+
+/// The deterministic poison corpus: every ingest pathology with its
+/// expected fate under default guards, in a fixed order (the duplicate
+/// pair relies on it: first capture survives, the re-crawl is refused).
+pub fn hostile_corpus(seed: u64) -> Vec<HostilePage> {
+    let mut pages: Vec<HostilePage> = (0..4)
+        .map(|i| HostilePage {
+            id: format!("truncated-{i}"),
+            html: truncated_page(seed, i),
+            expect: Expect::Survives,
+        })
+        .collect();
+    pages.push(HostilePage {
+        id: "deep-200".into(),
+        html: deep_nesting_page(200),
+        expect: Expect::Quarantined("parse-depth"),
+    });
+    pages.push(HostilePage {
+        id: "huge-attr".into(),
+        html: huge_attribute_page(2 * 1024 * 1024),
+        expect: Expect::Quarantined("oversized"),
+    });
+    pages.push(HostilePage {
+        id: "blank".into(),
+        html: blank_page(),
+        expect: Expect::Quarantined("empty-dom"),
+    });
+    // Raw soup alone can parse to zero text fields (everything swallowed
+    // by an unterminated tag), which would make its fate seed-dependent;
+    // the `<p>` frame pins at least one text field, so "survives" holds
+    // for every seed. Pure soup is the proptest suite's job.
+    pages.push(HostilePage {
+        id: "soup".into(),
+        html: format!("<p>soup header</p>{}", byte_soup(seed, 4096)),
+        expect: Expect::Survives,
+    });
+    pages.push(HostilePage {
+        id: "dup".into(),
+        html: "<html><body><p>original capture</p></body></html>".into(),
+        expect: Expect::Survives,
+    });
+    pages.push(HostilePage {
+        id: "dup".into(),
+        html: "<html><body><p>re-crawled capture</p></body></html>".into(),
+        expect: Expect::Quarantined("duplicate-id"),
+    });
+    pages
+}
+
+/// A seeded plan of which page indices of a crawl are poisoned with
+/// [`FAULT_PANIC_MARKER`]. The marker rides in an HTML comment, which the
+/// parser skips — an armed crawl is valid input for clean builds and only
+/// detonates under `ceres-core`'s test-only `fault-inject` feature.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    poisoned: BTreeSet<usize>,
+    n_pages: usize,
+}
+
+impl FaultPlan {
+    /// Pick `n_faults` distinct indices of `0..n_pages` to poison
+    /// (seed-deterministic; all of them when `n_faults >= n_pages`).
+    pub fn new(seed: u64, n_pages: usize, n_faults: usize) -> FaultPlan {
+        let mut rng = derive_rng(seed, "fault-plan");
+        let poisoned = sample_distinct(&mut rng, n_pages, n_faults).into_iter().collect();
+        FaultPlan { poisoned, n_pages }
+    }
+
+    /// Number of pages the plan covers.
+    pub fn n_pages(&self) -> usize {
+        self.n_pages
+    }
+
+    /// Number of poisoned indices.
+    pub fn n_poisoned(&self) -> usize {
+        self.poisoned.len()
+    }
+
+    /// Whether page `index` is slated to panic.
+    pub fn is_poisoned(&self, index: usize) -> bool {
+        self.poisoned.contains(&index)
+    }
+
+    /// Poisoned indices in ascending order.
+    pub fn poisoned_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.poisoned.iter().copied()
+    }
+
+    /// Arm one page: poisoned indices get the marker comment prepended,
+    /// everything else passes through untouched.
+    pub fn arm(&self, index: usize, html: &str) -> String {
+        if self.is_poisoned(index) {
+            format!("<!--{FAULT_PANIC_MARKER}-->{html}")
+        } else {
+            html.to_string()
+        }
+    }
+
+    /// Arm a whole crawl in place (page `i` is armed iff `is_poisoned(i)`).
+    pub fn arm_pages(&self, pages: &mut [(String, String)]) {
+        for (i, (_, html)) in pages.iter_mut().enumerate() {
+            if self.is_poisoned(i) {
+                *html = format!("<!--{FAULT_PANIC_MARKER}-->{html}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceres_dom::parse_html;
+
+    #[test]
+    fn corpus_is_deterministic_and_parser_tolerates_every_page() {
+        let a = hostile_corpus(9);
+        let b = hostile_corpus(9);
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            assert_eq!(pa.id, pb.id);
+            assert_eq!(pa.html, pb.html);
+            assert_eq!(pa.expect, pb.expect);
+            // The tolerant parser must never panic on poison, only the
+            // guards decide its fate.
+            let doc = parse_html(&pa.html);
+            doc.check_consistency().expect("consistent arena");
+        }
+        // Every quarantine reason the corpus claims to exercise is there.
+        for slug in ["parse-depth", "oversized", "empty-dom", "duplicate-id"] {
+            assert!(
+                a.iter().any(|p| p.expect == Expect::Quarantined(slug)),
+                "corpus misses {slug}"
+            );
+        }
+        assert!(a.iter().any(|p| p.expect == Expect::Survives));
+    }
+
+    #[test]
+    fn truncated_pages_keep_their_headline_text() {
+        for i in 0..4 {
+            let html = truncated_page(3, i);
+            assert!(html.contains(&format!("Item {i}")), "{html}");
+            let doc = parse_html(&html);
+            doc.check_consistency().expect("consistent arena");
+        }
+    }
+
+    #[test]
+    fn fault_plan_is_seed_deterministic_and_exact() {
+        let p1 = FaultPlan::new(7, 40, 5);
+        let p2 = FaultPlan::new(7, 40, 5);
+        let p3 = FaultPlan::new(8, 40, 5);
+        assert_eq!(
+            p1.poisoned_indices().collect::<Vec<_>>(),
+            p2.poisoned_indices().collect::<Vec<_>>()
+        );
+        assert_ne!(
+            p1.poisoned_indices().collect::<Vec<_>>(),
+            p3.poisoned_indices().collect::<Vec<_>>()
+        );
+        assert_eq!(p1.n_poisoned(), 5);
+        assert!(p1.poisoned_indices().all(|i| i < 40));
+        // Over-asking poisons everything.
+        assert_eq!(FaultPlan::new(7, 3, 10).n_poisoned(), 3);
+    }
+
+    #[test]
+    fn armed_pages_carry_the_marker_in_a_comment_the_parser_skips() {
+        let plan = FaultPlan::new(11, 10, 3);
+        let mut pages: Vec<(String, String)> = (0..10)
+            .map(|i| (format!("p-{i}"), format!("<html><body><p>page {i}</p></body></html>")))
+            .collect();
+        let clean = pages.clone();
+        plan.arm_pages(&mut pages);
+        for (i, (id, html)) in pages.iter().enumerate() {
+            assert_eq!(id, &clean[i].0);
+            assert_eq!(html.contains(FAULT_PANIC_MARKER), plan.is_poisoned(i));
+            assert_eq!(plan.arm(i, &clean[i].1), *html);
+            // The marker hides in a comment: the parsed DOM text is
+            // unchanged, so a clean (no fault-inject) build treats armed
+            // and unarmed crawls identically.
+            let doc = parse_html(html);
+            doc.check_consistency().expect("consistent arena");
+            assert!(!doc.deep_text(doc.root()).contains(FAULT_PANIC_MARKER));
+        }
+    }
+
+    #[test]
+    fn drifted_pages_are_deterministic() {
+        assert_eq!(drifted_page(4), drifted_page(4));
+        let (id, html) = drifted_page(4);
+        assert_eq!(id, "redesign-4");
+        parse_html(&html).check_consistency().expect("consistent arena");
+    }
+}

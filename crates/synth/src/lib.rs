@@ -24,6 +24,7 @@
 
 pub mod commoncrawl;
 pub mod dataset;
+pub mod hostile;
 pub mod html;
 pub mod imdb;
 pub mod movie_pages;

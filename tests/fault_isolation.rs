@@ -1,0 +1,251 @@
+//! Fault isolation end-to-end: the deterministic poison corpus through
+//! `SiteSession` → `finish_training` → `try_extract_batch` without ever
+//! aborting. Bad pages are quarantined with the right `PageError`, good
+//! pages are byte-identical to a clean run at 1, 2, and 8 threads, and
+//! the drift watchdog fires on a mid-crawl template-drift tail.
+//!
+//! The seeded-panic half (real `panic!`s detonated by the test-only
+//! `fault-inject` feature) is gated behind that feature:
+//! `cargo test --features fault-inject --test fault_isolation`. CI's
+//! fault smoke exercises the same hook through `repro serve
+//! --fault-inject`.
+
+use ceres::core::{DriftConfig, ExtractOutcome, PageError, SiteSession};
+use ceres::prelude::*;
+use ceres::synth::hostile::{self, hostile_corpus, Expect, FaultPlan};
+use ceres::synth::swde::{movie_vertical, SwdeConfig};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn fixture() -> (ceres::synth::swde::SwdeVertical, Vec<(String, String)>) {
+    let (v, _) = movie_vertical(SwdeConfig { seed: 77, scale: 0.02 });
+    let pages = v.sites[0].pages.iter().map(|p| (p.id.clone(), p.html.clone())).collect();
+    (v, pages)
+}
+
+fn cfg_at(threads: usize) -> CeresConfig {
+    let mut cfg = CeresConfig::new(77);
+    cfg.threads = Some(threads);
+    cfg
+}
+
+/// The marker `ceres-synth` bakes into armed pages and the marker
+/// `ceres-core`'s fault hook detonates on are separate constants (synth
+/// deliberately does not depend on core); they must never drift apart.
+#[test]
+fn fault_markers_agree_across_crates() {
+    assert_eq!(hostile::FAULT_PANIC_MARKER, ceres::core::session::FAULT_PANIC_MARKER);
+}
+
+/// Every corpus page meets the fate its `Expect` claims, in one guarded
+/// ingest session, and training still completes on the survivors.
+#[test]
+fn hostile_corpus_fates_match_their_expectations() {
+    let (v, clean) = fixture();
+    let kb = &v.kb;
+    let corpus = hostile_corpus(42);
+    let mut session = SiteSession::builder(kb).config(cfg_at(2)).build();
+    session.ingest(clean.iter().cloned());
+    session.try_ingest(corpus.iter().map(|p| (p.id.clone(), p.html.clone())));
+    let trained = session.finish_training();
+    let health = trained.health();
+
+    // Exactly the pages the corpus expects quarantined, under exactly the
+    // expected reasons — compared as multisets because the duplicate-id
+    // pair shares one page id (first capture survives, re-crawl refused).
+    let mut got: Vec<(&str, &'static str)> =
+        health.quarantine.iter().map(|(id, e)| (id.as_str(), e.kind())).collect();
+    let mut expected: Vec<(&str, &'static str)> = corpus
+        .iter()
+        .filter_map(|p| match p.expect {
+            Expect::Quarantined(slug) => Some((p.id.as_str(), slug)),
+            Expect::Survives => None,
+        })
+        .collect();
+    got.sort_unstable();
+    expected.sort_unstable();
+    assert_eq!(got, expected);
+    let survivors = corpus.iter().filter(|p| p.expect == Expect::Survives).count();
+    assert_eq!(health.pages_ok, clean.len() + survivors);
+    assert!(trained.stats().trained, "training must complete despite the poison");
+}
+
+/// Poisoning part of the crawl must not perturb what the survivors
+/// produce: a session fed (good + poison) serves the eval pages
+/// byte-identically to a session fed only the good pages — at every
+/// thread count, and identically across thread counts.
+#[test]
+fn survivors_are_byte_identical_to_a_clean_run_at_every_thread_count() {
+    let (v, clean) = fixture();
+    let kb = &v.kb;
+    let (train, eval) = clean.split_at(clean.len() / 2);
+    let corpus = hostile_corpus(7);
+
+    let mut reference: Option<Vec<Extraction>> = None;
+    for threads in THREAD_COUNTS {
+        let mut poisoned = SiteSession::builder(kb).config(cfg_at(threads)).build();
+        poisoned.try_ingest(train.iter().cloned());
+        poisoned.try_ingest(corpus.iter().filter_map(|p| match p.expect {
+            Expect::Quarantined(_) => Some((p.id.clone(), p.html.clone())),
+            Expect::Survives => None,
+        }));
+        let poisoned = poisoned.finish_training();
+        assert!(poisoned.health().pages_quarantined() > 0);
+
+        let mut pristine = SiteSession::builder(kb).config(cfg_at(threads)).build();
+        pristine.ingest(train.iter().cloned());
+        let pristine = pristine.finish_training();
+        assert_eq!(pristine.health().pages_quarantined(), 0);
+
+        let got = poisoned.extract_batch(eval);
+        assert_eq!(got, pristine.extract_batch(eval), "threads={threads}");
+        match &reference {
+            None => reference = Some(got),
+            Some(r) => assert_eq!(&got, r, "threads={threads} diverged from threads=1"),
+        }
+    }
+}
+
+/// The serve path types every outcome and the `Ok`s flatten to the
+/// fail-fast batch; a hostile tail quarantines without disturbing the
+/// clean slots around it.
+#[test]
+fn try_extract_batch_isolates_hostile_pages_in_their_own_slots() {
+    let (v, clean) = fixture();
+    let kb = &v.kb;
+    let (train, eval) = clean.split_at(clean.len() / 2);
+    let mut session = SiteSession::builder(kb).config(cfg_at(2)).build();
+    session.ingest(train.iter().cloned());
+    let trained = session.finish_training();
+
+    let mut served: Vec<(String, String)> = eval.to_vec();
+    let poison_at = served.len();
+    served.push(("blank".into(), hostile::blank_page()));
+    served.extend(eval.iter().cloned().map(|(id, html)| (format!("again-{id}"), html)));
+
+    let outcomes = trained.try_extract_batch(&served);
+    assert_eq!(outcomes.len(), served.len());
+    assert!(matches!(&outcomes[poison_at], ExtractOutcome::Failed(PageError::EmptyDom)));
+    let flattened: Vec<Extraction> =
+        outcomes.iter().filter_map(|o| o.extractions()).flatten().cloned().collect();
+    let mut clean_only = served.clone();
+    clean_only.remove(poison_at);
+    assert_eq!(flattened, trained.extract_batch(&clean_only));
+}
+
+/// A mid-crawl redesign: healthy fixture pages keep the watchdog quiet,
+/// then the drifted tail pushes the rolling unassigned rate over the
+/// threshold and the signal fires.
+#[test]
+fn drift_watchdog_fires_on_a_template_drift_tail() {
+    let (v, clean) = fixture();
+    let kb = &v.kb;
+    let (train, eval) = clean.split_at(clean.len() / 2);
+    let mut session = SiteSession::builder(kb).config(cfg_at(1)).build();
+    session.ingest(train.iter().cloned());
+    let mut trained = session.finish_training();
+    trained.set_drift(DriftConfig { window: 8, min_samples: 4, max_unassigned_rate: 0.5 });
+
+    let mut dog = trained.drift_watchdog();
+    for outcome in trained.try_extract_batch(eval) {
+        assert!(
+            !dog.observe_outcome(&outcome).retrain_suggested(),
+            "healthy pages must not trip the watchdog"
+        );
+    }
+    let drifted: Vec<(String, String)> = (0..8).map(hostile::drifted_page).collect();
+    let signal = dog.observe_batch(&trained.try_extract_batch(&drifted));
+    assert!(signal.retrain_suggested(), "redesign tail must fire the watchdog: {signal:?}");
+
+    // The watchdog's evidence folds into the site's health ledger.
+    trained.health_mut().absorb_watchdog(&dog);
+    assert!(trained.health().assign_unassigned >= 8);
+}
+
+/// Armed pages are inert without the `fault-inject` feature: the marker
+/// hides in an HTML comment, so a clean build serves an armed crawl
+/// byte-identically to the unarmed one.
+#[cfg(not(feature = "fault-inject"))]
+#[test]
+fn armed_pages_are_inert_on_clean_builds() {
+    let (v, clean) = fixture();
+    let kb = &v.kb;
+    let (train, eval) = clean.split_at(clean.len() / 2);
+    let mut session = SiteSession::builder(kb).config(cfg_at(2)).build();
+    session.ingest(train.iter().cloned());
+    let trained = session.finish_training();
+
+    let mut armed: Vec<(String, String)> = eval.to_vec();
+    FaultPlan::new(5, armed.len(), 4).arm_pages(&mut armed);
+    assert_eq!(trained.extract_batch(&armed), trained.extract_batch(eval));
+}
+
+/// The real thing: seeded panics inside per-page work, contained to
+/// their slots at every thread count, during both ingest and serve.
+#[cfg(feature = "fault-inject")]
+mod injected {
+    use super::*;
+
+    #[test]
+    fn seeded_panics_are_contained_per_slot_at_every_thread_count() {
+        let (v, clean) = fixture();
+        let kb = &v.kb;
+        let (train, eval) = clean.split_at(clean.len() / 2);
+        let plan = FaultPlan::new(13, eval.len(), 3);
+        let mut armed: Vec<(String, String)> = eval.to_vec();
+        plan.arm_pages(&mut armed);
+
+        // Panics unwind through the containment layer by design; silence
+        // the default hook's per-panic backtrace for the whole module run.
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        for threads in THREAD_COUNTS {
+            let mut session = SiteSession::builder(kb).config(cfg_at(threads)).build();
+            session.ingest(train.iter().cloned());
+            let trained = session.finish_training();
+
+            let outcomes = trained.try_extract_batch(&armed);
+            let clean_outcomes = trained.try_extract_batch(eval);
+            assert_eq!(outcomes.len(), armed.len());
+            for (i, outcome) in outcomes.iter().enumerate() {
+                if plan.is_poisoned(i) {
+                    match outcome {
+                        ExtractOutcome::Failed(PageError::Panicked { message }) => {
+                            assert!(message.contains("injected fault"), "{message}");
+                        }
+                        other => panic!("slot {i} should have panicked, got {other:?}"),
+                    }
+                } else {
+                    assert_eq!(outcome, &clean_outcomes[i], "threads={threads} slot={i}");
+                }
+            }
+        }
+        std::panic::set_hook(hook);
+    }
+
+    #[test]
+    fn ingest_quarantines_panicking_pages_and_trains_the_rest() {
+        let (v, clean) = fixture();
+        let kb = &v.kb;
+        let plan = FaultPlan::new(29, clean.len(), 4);
+        let mut armed = clean.clone();
+        plan.arm_pages(&mut armed);
+
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut session = SiteSession::builder(kb).config(cfg_at(2)).build();
+        session.try_ingest(armed.iter().cloned());
+        let trained = session.finish_training();
+        std::panic::set_hook(hook);
+
+        let health = trained.health();
+        let by: Vec<(&'static str, usize)> = health.quarantined_by_reason().to_vec();
+        assert_eq!(
+            by.iter().find(|(k, _)| *k == "panicked").map(|(_, n)| *n),
+            Some(plan.n_poisoned())
+        );
+        assert_eq!(health.pages_ok, clean.len() - plan.n_poisoned());
+        assert!(trained.stats().trained);
+    }
+}
