@@ -10,6 +10,7 @@ use crate::page::PageView;
 use ceres_kb::PredId;
 use ceres_ml::LogReg;
 use ceres_runtime::Runtime;
+use ceres_text::nan_lowest;
 
 /// What an extraction asserts.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,21 +33,11 @@ pub struct Extraction {
     pub confidence: f64,
 }
 
-/// Argmax comparator that ranks NaN below every real number. The serve
-/// path runs on whatever a loaded artifact computes; a poisoned posterior
-/// must lose the argmax, not panic it (the old `partial_cmp().unwrap()`
-/// aborted the page). Deliberately not `f64::total_cmp`: that orders
-/// `-0.0 < 0.0`, which would flip the index tiebreak two equal-probability
-/// fields rely on.
-#[inline]
-fn nan_lowest(a: f64, b: f64) -> std::cmp::Ordering {
-    use std::cmp::Ordering;
-    a.partial_cmp(&b).unwrap_or_else(|| match (a.is_nan(), b.is_nan()) {
-        (true, false) => Ordering::Less,
-        (false, true) => Ordering::Greater,
-        _ => Ordering::Equal,
-    })
-}
+// The serve path runs on whatever a loaded artifact computes; a poisoned
+// posterior must *lose* every argmax below, not panic it — hence
+// `ceres_text::nan_lowest` (NaN below every real, `-0.0 == 0.0` so the
+// index tiebreak stays in charge) rather than `partial_cmp().unwrap()` or
+// `f64::total_cmp`.
 
 /// Run extraction over one page. The feature space must be frozen — it is
 /// only read (`&FeatureSpace`), so concurrent extraction tasks share it.
@@ -75,11 +66,16 @@ pub fn extract_page(
     }
     let row = |fi: usize| &probs[fi * k..(fi + 1) * k];
 
-    // Name node: the field with the highest NAME probability.
-    let (name_field, name_prob) = (0..page.fields.len())
+    // Name node: the field with the highest NAME probability. `max_by` is
+    // `None` only on an empty iterator, and the empty-fields case already
+    // returned above — but the serve path takes the total branch rather
+    // than asserting it.
+    let Some((name_field, name_prob)) = (0..page.fields.len())
         .map(|i| (i, row(i)[CLASS_NAME as usize]))
         .max_by(|a, b| nan_lowest(a.1, b.1).then(b.0.cmp(&a.0)))
-        .expect("non-empty fields");
+    else {
+        return out;
+    };
     let subject = if name_prob >= cfg.name_threshold {
         let f = &page.fields[name_field];
         out.push(Extraction {
@@ -99,12 +95,16 @@ pub fn extract_page(
         if fi == name_field && name_prob >= cfg.name_threshold {
             continue;
         }
-        let (class, p) = row(fi)
+        // A model always has ≥ 2 classes, so the row is never empty; if it
+        // somehow were, skipping the field beats panicking the page.
+        let Some((class, p)) = row(fi)
             .iter()
             .enumerate()
             .max_by(|a, b| nan_lowest(*a.1, *b.1))
             .map(|(c, &p)| (c as u32, p))
-            .expect("classes");
+        else {
+            continue;
+        };
         if class == CLASS_OTHER || class == CLASS_NAME || p < cfg.threshold {
             continue;
         }

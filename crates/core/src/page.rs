@@ -83,6 +83,7 @@ impl PageView {
     ) -> Result<PageView, PageError> {
         #[cfg(feature = "fault-inject")]
         if html.contains(crate::session::FAULT_PANIC_MARKER) {
+            // lint: allow(CL003) reason="test-only fault-inject feature: this panic IS the seeded fault the containment suite detonates to prove isolation"
             panic!("injected fault: page {page_id}");
         }
         if html.len() > guards.max_page_bytes {

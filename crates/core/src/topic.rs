@@ -13,7 +13,7 @@ use crate::config::TopicConfig;
 use crate::page::PageView;
 use ceres_dom::XPath;
 use ceres_kb::{Kb, ValueId};
-use ceres_text::{jaccard, FxHashMap};
+use ceres_text::{jaccard, nan_lowest, FxHashMap};
 
 /// Outcome of topic identification over one page cluster.
 #[derive(Debug)]
@@ -47,10 +47,13 @@ pub fn identify_topics(pages: &[&PageView], kb: &Kb, cfg: &TopicConfig) -> Topic
                 p.insert(v, score);
             }
         }
-        let best = p
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
-            .map(|(&v, _)| v);
+        // Jaccard scores are finite by construction, but the argmax uses
+        // the total comparator anyway: ties fall to the ValueId, so hash
+        // iteration order never decides, and a NaN (if one ever appeared)
+        // would lose rather than panic.
+        // lint: allow(CL001) reason="max_by with a total comparator and full ValueId tiebreak picks the same entry under any iteration order"
+        let best = p.iter().max_by(|a, b| nan_lowest(*a.1, *b.1).then(b.0.cmp(a.0)));
+        let best = best.map(|(&v, _)| v);
         scores.push(p);
         candidates.push(best);
     }
@@ -73,7 +76,7 @@ pub fn identify_topics(pages: &[&PageView], kb: &Kb, cfg: &TopicConfig) -> Topic
                     *cand = scores[i]
                         .iter()
                         .filter(|(v, _)| !over_claimed.contains(v))
-                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap().then(b.0.cmp(a.0)))
+                        .max_by(|a, b| nan_lowest(*a.1, *b.1).then(b.0.cmp(a.0)))
                         .map(|(&v, _)| v);
                 }
             }
@@ -113,7 +116,7 @@ pub fn identify_topics(pages: &[&PageView], kb: &Kb, cfg: &TopicConfig) -> Topic
                 .matches
                 .iter()
                 .filter_map(|v| scores[i].get(v).map(|&s| (*v, s)))
-                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(b.0.cmp(&a.0)));
+                .max_by(|a, b| nan_lowest(a.1, b.1).then(b.0.cmp(&a.0)));
             if let Some((v, _)) = best {
                 chosen = Some((v, fi));
             }

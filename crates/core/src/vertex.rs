@@ -57,6 +57,7 @@ pub fn learn_rules(examples: &[LabeledPage<'_>]) -> Vec<VertexRule> {
     }
 
     let mut rules: Vec<VertexRule> = Vec::new();
+    // lint: allow(CL001) reason="each group's members vec is built in example order, and the rules pushed here are fully re-sorted by (label, template) before return, so group iteration order cannot reach the output"
     for ((label_key, _shape), members) in groups {
         let template = members[0].0.clone();
         let mut wildcards: Vec<usize> = Vec::new();

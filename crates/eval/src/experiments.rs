@@ -451,6 +451,7 @@ pub fn table6(_e: &ExpConfig, imdb: &ImdbOutcome) -> String {
             let per_pred =
                 score_annotations(&imdb.data.kb, &gold, &ann_ids, &run.annotation_records);
             let mut total = Prf::default();
+            // lint: allow(CL001) reason="Prf::add sums integer tp/fp/fn counts, which is commutative — any visit order produces identical totals"
             for p in per_pred.values() {
                 total.add(*p);
             }

@@ -16,7 +16,7 @@
 //! redundancy, not independent evidence).
 
 use ceres_core::extract::{ExtractLabel, Extraction};
-use ceres_text::{normalize, FxHashMap};
+use ceres_text::{nan_lowest, normalize, FxHashMap};
 
 /// An extraction tagged with its source site.
 #[derive(Debug, Clone)]
@@ -143,10 +143,13 @@ pub fn fuse(
             sites: a.sites.len(),
         });
     }
+    // Belief descending; `nan_lowest` keeps the comparator total (a NaN
+    // belief — impossible today, the noisy-OR clamps its inputs — would
+    // sink to the bottom instead of scrambling the sort), and the
+    // (subject, pred, object) key is unique, so the order never depends on
+    // the accumulator map's iteration order.
     out.sort_by(|a, b| {
-        b.belief
-            .partial_cmp(&a.belief)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        nan_lowest(b.belief, a.belief)
             .then(a.subject.cmp(&b.subject))
             .then(a.pred.cmp(&b.pred))
             .then(a.object.cmp(&b.object))

@@ -162,8 +162,13 @@ impl KbBuilder {
         // appears as the object of a large fraction of all triples.
         let threshold = ((triples.len() as f64) * config.stop_value_fraction).ceil() as usize;
         let threshold = threshold.max(config.stop_value_min_count);
-        let stop_values: FxHashSet<ValueId> =
-            object_counts.iter().filter(|&(_, &c)| c >= threshold).map(|(&v, _)| v).collect();
+        let mut stop_values = FxHashSet::default();
+        // lint: allow(CL001) reason="builds a membership-only FxHashSet; stop_values is only ever probed with contains(), so iteration order never surfaces"
+        for (&v, &c) in object_counts.iter() {
+            if c >= threshold {
+                stop_values.insert(v);
+            }
+        }
 
         // Topic disqualification (§3.1.1 step 1), precomputed per value:
         // the check runs once per (page, candidate) in topic scoring, and
@@ -331,9 +336,13 @@ impl Kb {
         self.pair_index.get(&(s, o)).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// Subjects that have at least one triple.
-    pub fn subjects(&self) -> impl Iterator<Item = ValueId> + '_ {
-        self.by_subject.keys().copied()
+    /// Subjects that have at least one triple, in ascending id order (the
+    /// index map's own iteration order is insertion-history-dependent and
+    /// must never reach a caller).
+    pub fn subjects(&self) -> Vec<ValueId> {
+        let mut out: Vec<ValueId> = self.by_subject.keys().copied().collect();
+        out.sort_unstable();
+        out
     }
 
     /// Match a raw page string against the KB: exact normalized match first,
@@ -425,7 +434,14 @@ impl Kb {
             }
         }
         let mut types: Vec<TypeStats> = per_type.into_values().collect();
-        types.sort_by_key(|t| std::cmp::Reverse(t.instances));
+        // Tie-break by name: `sort_by_key` is stable, so without it two
+        // types with equal instance counts would keep `per_type`'s hash-map
+        // iteration order — FxHash is deterministic per build but the order
+        // still shifts whenever an unrelated insertion changes the table,
+        // which silently reshuffled Table 2 rows.
+        types.sort_by(|a, b| {
+            b.instances.cmp(&a.instances).then_with(|| a.type_name.cmp(&b.type_name))
+        });
         KbStats { n_triples: self.triples.len(), n_values: self.values.len(), types }
     }
 }
@@ -550,6 +566,28 @@ mod tests {
         let person_row = stats.types.iter().find(|t| t.type_name == "Person").unwrap();
         assert_eq!(person_row.instances, 1);
         assert_eq!(person_row.predicates, 0);
+    }
+
+    /// Regression (surfaced by ceres-lint CL001): `stats()` sorted only by
+    /// instance count, so equal-count types kept the `per_type` hash map's
+    /// iteration order and Table 2's tied rows could reshuffle between
+    /// builds. Tied rows must come out name-sorted.
+    #[test]
+    fn stats_tie_order_is_name_sorted_not_hash_order() {
+        let mut o = Ontology::new();
+        // Registration order deliberately not alphabetical.
+        let types: Vec<EntityTypeId> =
+            ["Zebra", "Mango", "Apple", "Kiwi"].iter().map(|n| o.register_type(n)).collect();
+        let mut b = KbBuilder::new(o);
+        for (i, &ty) in types.iter().enumerate() {
+            // Every type gets exactly 2 instances: all rows tie.
+            b.entity(ty, &format!("{i} one"));
+            b.entity(ty, &format!("{i} two"));
+        }
+        let stats = b.build().stats();
+        let names: Vec<&str> = stats.types.iter().map(|t| t.type_name.as_str()).collect();
+        assert_eq!(names, ["Apple", "Kiwi", "Mango", "Zebra"]);
+        assert!(stats.types.iter().all(|t| t.instances == 2));
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! The ratchet baseline: committed per-(file, rule) violation counts.
+//!
+//! The gate is monotone — a count may only go down. Violations inside the
+//! baseline budget are reported but don't fail the run; anything beyond it
+//! does. When a file's count drops below its budget the run reports the
+//! improvement so the baseline can be rewritten tighter (never looser).
+//!
+//! The format is a flat JSON object `{"path|RULE": count, …}`, parsed and
+//! written by hand (the crate has zero dependencies, and the grammar here
+//! is a single object of string→integer).
+
+use std::collections::BTreeMap;
+
+/// `(relative path, rule code)` → allowed count.
+pub type Baseline = BTreeMap<(String, String), usize>;
+
+/// Parse the baseline format. Returns `Err` with a human-readable message
+/// on anything that is not a flat `{"file|RULE": usize}` object.
+pub fn parse(src: &str) -> Result<Baseline, String> {
+    let mut out = Baseline::new();
+    let s = src.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| "baseline must be a JSON object".to_string())?
+        .trim();
+    if inner.is_empty() {
+        return Ok(out);
+    }
+    for entry in split_top_level(inner) {
+        let (key, val) =
+            entry.rsplit_once(':').ok_or_else(|| format!("bad baseline entry `{entry}`"))?;
+        let key = key.trim();
+        let key = key
+            .strip_prefix('"')
+            .and_then(|k| k.strip_suffix('"'))
+            .ok_or_else(|| format!("baseline key must be a string: `{key}`"))?;
+        let (file, rule) = key
+            .rsplit_once('|')
+            .ok_or_else(|| format!("baseline key must be `path|RULE`: `{key}`"))?;
+        let count: usize = val
+            .trim()
+            .parse()
+            .map_err(|_| format!("baseline count must be an integer: `{val}`"))?;
+        out.insert((file.to_string(), rule.to_string()), count);
+    }
+    Ok(out)
+}
+
+/// Render a baseline in the committed format (sorted, one entry per line).
+pub fn render(b: &Baseline) -> String {
+    if b.is_empty() {
+        return "{}\n".to_string();
+    }
+    let mut s = String::from("{\n");
+    let mut first = true;
+    for ((file, rule), count) in b {
+        if !first {
+            s.push_str(",\n");
+        }
+        first = false;
+        s.push_str(&format!("  \"{file}|{rule}\": {count}"));
+    }
+    s.push_str("\n}\n");
+    s
+}
+
+/// Split `"k": v, "k": v` on commas outside string quotes. Keys are plain
+/// paths and rule codes — no escapes to worry about.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let mut in_str = false;
+    for (i, c) in s.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            ',' if !in_str => {
+                out.push(s[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let last = s[start..].trim();
+    if !last.is_empty() {
+        out.push(last);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_object_round_trips() {
+        let b = parse("{}").unwrap();
+        assert!(b.is_empty());
+        assert_eq!(render(&b), "{}\n");
+    }
+
+    #[test]
+    fn entries_round_trip_sorted() {
+        let mut b = Baseline::new();
+        b.insert(("crates/a/src/x.rs".into(), "CL001".into()), 3);
+        b.insert(("crates/b/src/y.rs".into(), "CL003".into()), 1);
+        let rendered = render(&b);
+        assert_eq!(parse(&rendered).unwrap(), b);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(parse("[]").is_err());
+        assert!(parse("{\"no-pipe\": 1}").is_err());
+        assert!(parse("{\"a|CL001\": \"x\"}").is_err());
+    }
+}

@@ -1,0 +1,331 @@
+//! A minimal Rust source scanner.
+//!
+//! The rules in this crate are line-oriented string checks, which are only
+//! sound if comments and literal contents can never masquerade as code (or
+//! vice versa). This module does the one lexical job that requires real
+//! state: splitting a source file into per-line *code text* (literal
+//! contents blanked, comments removed) and *comment text* (everything
+//! behind `//`, `///`, `//!`, or inside `/* */`, including nesting). It
+//! also classifies lines as test code so rules can skip them.
+//!
+//! It is deliberately not a full lexer — no token spans, no keywords — just
+//! enough to be exact about the comment/string/char-literal boundaries that
+//! trip up naive `grep`-style linting.
+
+/// One source line, split into code and comment channels.
+#[derive(Debug, Default, Clone)]
+pub struct Line {
+    /// Source text with comments removed and the *contents* of string and
+    /// char literals blanked (the delimiting quotes remain).
+    pub code: String,
+    /// Concatenated comment text on this line (without `//` / `/*`).
+    pub comment: String,
+}
+
+/// Split `src` into lines of code/comment channels.
+pub fn scan(src: &str) -> Vec<Line> {
+    let b: Vec<char> = src.chars().collect();
+    let mut lines = Vec::new();
+    let mut cur = Line::default();
+    let mut i = 0usize;
+
+    // Helper closures capture nothing mutable; state lives in locals.
+    enum Mode {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let mut mode = Mode::Code;
+
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            if let Mode::LineComment = mode {
+                mode = Mode::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                let next = b.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    mode = Mode::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if (c == 'r' || c == 'b') && !prev_is_ident(&b, i) {
+                    // Possible raw/byte string prefix: r"", r#""#, b"", br"".
+                    if let Some((hashes, consumed, raw)) = string_prefix(&b, i) {
+                        cur.code.push('"');
+                        mode = if raw { Mode::RawStr(hashes) } else { Mode::Str };
+                        i += consumed;
+                    } else {
+                        cur.code.push(c);
+                        i += 1;
+                    }
+                } else if c == '\'' {
+                    i += char_or_lifetime(&b, i, &mut cur.code);
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            Mode::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                let next = b.get(i + 1).copied();
+                if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    mode = if depth == 1 { Mode::Code } else { Mode::BlockComment(depth - 1) };
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // Skip the escaped char (blanked) — but an escaped
+                    // newline (string continuation) still ends the line.
+                    if b.get(i + 1) == Some(&'\n') {
+                        lines.push(std::mem::take(&mut cur));
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    i += 1; // blanked
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' && closes_raw(&b, i, hashes) {
+                    cur.code.push('"');
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1; // blanked
+                }
+            }
+        }
+    }
+    lines.push(cur);
+    lines
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && (b[i - 1].is_alphanumeric() || b[i - 1] == '_')
+}
+
+/// At `b[i] == 'r' | 'b'`, detect a raw/byte string prefix. Returns
+/// `(hash_count, chars_to_consume_incl_opening_quote, is_raw)`.
+fn string_prefix(b: &[char], i: usize) -> Option<(u32, usize, bool)> {
+    let mut j = i;
+    let mut raw = false;
+    if b[j] == 'b' {
+        j += 1;
+        if b.get(j) == Some(&'r') {
+            raw = true;
+            j += 1;
+        }
+    } else {
+        raw = true;
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    if raw {
+        while b.get(j) == Some(&'#') {
+            hashes += 1;
+            j += 1;
+        }
+        if hashes > 0 && b.get(j) != Some(&'"') {
+            return None; // `r#ident` raw identifier, not a string
+        }
+    }
+    if b.get(j) == Some(&'"') {
+        Some((hashes, j + 1 - i, raw))
+    } else {
+        None
+    }
+}
+
+fn closes_raw(b: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| b.get(i + k) == Some(&'#'))
+}
+
+/// At `b[i] == '\''`: consume a char literal (blanking its contents) or a
+/// lone lifetime tick. Returns chars consumed; pushes kept chars to `code`.
+fn char_or_lifetime(b: &[char], i: usize, code: &mut String) -> usize {
+    match b.get(i + 1) {
+        Some('\\') => {
+            // Escaped char literal: scan to the closing quote.
+            let mut j = i + 2;
+            while j < b.len() && b[j] != '\'' {
+                j += if b[j] == '\\' { 2 } else { 1 };
+            }
+            code.push('\'');
+            code.push('\'');
+            j.saturating_sub(i) + 1
+        }
+        Some(_) if b.get(i + 2) == Some(&'\'') => {
+            // 'x' — single-char literal.
+            code.push('\'');
+            code.push('\'');
+            3
+        }
+        _ => {
+            // Lifetime (`'a`) or label (`'outer:`): keep the tick, let the
+            // identifier flow through as code.
+            code.push('\'');
+            1
+        }
+    }
+}
+
+/// Mark lines that belong to test code: a `#[cfg(test)]` (also nested, as
+/// in `#[cfg(all(test, feature = "…"))]`) or `#[test]` attribute arms a
+/// region that begins at the next `{` (unless a `;` lands first — an
+/// attribute on a braceless item) and ends when brace depth returns to its
+/// starting level.
+pub fn test_mask(lines: &[Line]) -> Vec<bool> {
+    let mut mask = vec![false; lines.len()];
+    let mut depth = 0i32;
+    let mut armed = false;
+    let mut region_floor: Option<i32> = None;
+    for (li, line) in lines.iter().enumerate() {
+        if region_floor.is_none() && (is_test_cfg(&line.code) || line.code.contains("#[test]")) {
+            armed = true;
+        }
+        let mut in_test = region_floor.is_some();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if armed && region_floor.is_none() {
+                        region_floor = Some(depth);
+                        armed = false;
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(floor) = region_floor {
+                        if depth <= floor {
+                            region_floor = None;
+                            in_test = true; // closing line still counts
+                        }
+                    }
+                }
+                ';' if armed && region_floor.is_none() => {
+                    armed = false; // `#[cfg(test)] use …;` — no region
+                }
+                _ => {}
+            }
+        }
+        mask[li] = in_test || armed || region_floor.is_some();
+    }
+    mask
+}
+
+/// Does this (blanked) code line carry a `cfg` attribute that compiles the
+/// item only for tests? Matches a bare `test` predicate anywhere inside the
+/// `cfg(...)` — `cfg(test)`, `cfg(all(test, feature = "x"))` — but not a
+/// negated one (`cfg(not(test))` marks *non*-test code).
+fn is_test_cfg(code: &str) -> bool {
+    let Some(at) = code.find("cfg(") else {
+        return false;
+    };
+    let inner = &code[at + 4..];
+    for (j, _) in inner.match_indices("test") {
+        // `test` must be a whole predicate word, not part of an ident.
+        let before = inner[..j].chars().next_back();
+        let after = inner[j + 4..].chars().next();
+        let word = !matches!(before, Some(c) if c.is_alphanumeric() || c == '_')
+            && !matches!(after, Some(c) if c.is_alphanumeric() || c == '_');
+        if word && !inner[..j].trim_end().ends_with("not(") {
+            return true;
+        }
+    }
+    false
+}
+
+/// Tokenize one line of blanked code into identifier and punctuation
+/// tokens. String/char literals appear as `""` / `''` punctuation pairs.
+pub fn tokens(code: &str) -> Vec<Tok<'_>> {
+    let mut out = Vec::new();
+    let bytes = code.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_alphabetic() || c == '_' || !c.is_ascii() {
+            let start = i;
+            while i < bytes.len() {
+                let d = bytes[i] as char;
+                if d.is_ascii_alphanumeric() || d == '_' || !d.is_ascii() {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            out.push(Tok::Ident(&code[start..i]));
+        } else if c.is_ascii_digit() {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric()
+                    || bytes[i] == b'_'
+                    || bytes[i] == b'.')
+            {
+                // Numeric literal (incl. floats, suffixes); swallow so
+                // `1.0` never yields a `.` punctuation token.
+                if bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && !(bytes[i + 1] as char).is_ascii_digit()
+                {
+                    break;
+                }
+                i += 1;
+            }
+            out.push(Tok::Num);
+        } else if c.is_whitespace() {
+            i += 1;
+        } else {
+            out.push(Tok::Punct(c));
+            i += 1;
+        }
+    }
+    out
+}
+
+/// A code token: identifier text, a number, or one punctuation char.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tok<'a> {
+    Ident(&'a str),
+    Num,
+    Punct(char),
+}
+
+impl<'a> Tok<'a> {
+    pub fn ident(&self) -> Option<&'a str> {
+        match self {
+            Tok::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn is(&self, ch: char) -> bool {
+        matches!(self, Tok::Punct(c) if *c == ch)
+    }
+}

@@ -1,0 +1,220 @@
+//! # ceres-lint
+//!
+//! A zero-dependency invariant checker for the CERES workspace. The repo
+//! has two load-bearing contracts that ordinary tests only sample:
+//! *determinism* (byte-identical output at any thread count) and
+//! *panic-freedom on the serve path* (PR 8's fault-isolation work). This
+//! crate enforces the code patterns behind both — plus float discipline and
+//! unsafe hygiene — as stable coded diagnostics over a hand-rolled lexer
+//! (no syn, no proc-macro: the same no-deps ethos as `ceres-store`).
+//!
+//! See [`rules`] for the rule table, [`pragma`] for the suppression syntax,
+//! and [`baseline`] for the ratchet format. The binary (`cargo run -p
+//! ceres-lint`) walks the workspace, applies the committed baseline, and
+//! exits non-zero on any unbaselined violation — the CI gate.
+
+pub mod baseline;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+
+use baseline::Baseline;
+use rules::Violation;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// One reported diagnostic, with its baseline disposition.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// `/`-separated path relative to the lint root.
+    pub file: String,
+    pub violation: Violation,
+    /// Inside the committed ratchet budget: reported, but not a failure.
+    pub baselined: bool,
+}
+
+/// A `(file, rule)` pair whose count dropped below its baseline budget —
+/// the ratchet can (and should) be rewritten tighter.
+#[derive(Debug, Clone)]
+pub struct Improvement {
+    pub file: String,
+    pub rule: String,
+    pub baselined: usize,
+    pub current: usize,
+}
+
+/// Result of linting a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub improvements: Vec<Improvement>,
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Violations beyond the baseline budget — what fails the gate.
+    pub fn unbaselined(&self) -> usize {
+        self.findings.iter().filter(|f| !f.baselined).count()
+    }
+
+    /// Current counts in baseline form (for `--write-baseline`).
+    pub fn to_baseline(&self) -> Baseline {
+        let mut b = Baseline::new();
+        for f in &self.findings {
+            *b.entry((f.file.clone(), f.violation.rule.to_string())).or_insert(0) += 1;
+        }
+        b
+    }
+}
+
+/// Walk `root` for `.rs` files (sorted, deterministic), lint each, and
+/// apply `baseline`. Directories named `target`, `vendor`, `fixtures`, or
+/// starting with `.` are skipped — fixture trees are linted by pointing
+/// `--root` *at* them, never through them.
+pub fn lint_tree(root: &Path, baseline: &Baseline) -> std::io::Result<Report> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    // Group per (file, rule) so the first `budget` hits are baselined.
+    for path in &files {
+        let src = std::fs::read_to_string(path)?;
+        let rel = rel_path(root, path);
+        let violations = rules::run_file(&rel, &src);
+        report.files_scanned += 1;
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for v in violations {
+            let seen = counts.entry(v.rule).or_insert(0);
+            *seen += 1;
+            let budget = baseline.get(&(rel.clone(), v.rule.to_string())).copied().unwrap_or(0);
+            report.findings.push(Finding {
+                file: rel.clone(),
+                baselined: *seen <= budget,
+                violation: v,
+            });
+        }
+        for ((bf, rule), &budget) in baseline.iter() {
+            if bf == &rel {
+                let current = counts.get(rule.as_str()).copied().unwrap_or(0);
+                if current < budget {
+                    report.improvements.push(Improvement {
+                        file: rel.clone(),
+                        rule: rule.clone(),
+                        baselined: budget,
+                        current,
+                    });
+                }
+            }
+        }
+    }
+    Ok(report)
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let parts: Vec<String> =
+        rel.components().map(|c| c.as_os_str().to_string_lossy().into_owned()).collect();
+    parts.join("/")
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        std::fs::read_dir(dir)?.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if path.is_dir() {
+            if name.starts_with('.') || name == "target" || name == "vendor" || name == "fixtures" {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Render the report as JSON (machine channel for the CI gate).
+pub fn to_json(report: &Report) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    s.push_str(&format!("  \"total\": {},\n", report.findings.len()));
+    s.push_str(&format!("  \"unbaselined\": {},\n", report.unbaselined()));
+    s.push_str("  \"violations\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"baselined\": {}, \"message\": \"{}\"}}",
+            esc(&f.file),
+            f.violation.line,
+            f.violation.rule,
+            f.baselined,
+            esc(&f.violation.message)
+        ));
+    }
+    if !report.findings.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("],\n  \"improvements\": [");
+    for (i, im) in report.improvements.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!(
+            "\n    {{\"file\": \"{}\", \"rule\": \"{}\", \"baselined\": {}, \"current\": {}}}",
+            esc(&im.file),
+            im.rule,
+            im.baselined,
+            im.current
+        ));
+    }
+    if !report.improvements.is_empty() {
+        s.push_str("\n  ");
+    }
+    s.push_str("]\n}\n");
+    s
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the report for humans.
+pub fn to_human(report: &Report) -> String {
+    let mut s = String::new();
+    for f in &report.findings {
+        let tag = if f.baselined { " [baselined]" } else { "" };
+        s.push_str(&format!(
+            "{}:{} {}{} — {}\n",
+            f.file, f.violation.line, f.violation.rule, tag, f.violation.message
+        ));
+    }
+    for im in &report.improvements {
+        s.push_str(&format!(
+            "note: {}|{} improved {} -> {}; tighten the baseline (--write-baseline)\n",
+            im.file, im.rule, im.baselined, im.current
+        ));
+    }
+    s.push_str(&format!(
+        "{} files scanned, {} violations ({} unbaselined)\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.unbaselined()
+    ));
+    s
+}

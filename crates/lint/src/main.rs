@@ -1,0 +1,98 @@
+//! CLI for the invariant checker.
+//!
+//! ```text
+//! ceres-lint [--root PATH] [--json] [--baseline PATH] [--write-baseline PATH]
+//! ```
+//!
+//! Exit codes: `0` clean (or fully baselined), `1` unbaselined violations
+//! or malformed pragmas, `2` usage / I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    baseline: Option<PathBuf>,
+    write_baseline: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args =
+        Args { root: PathBuf::from("."), json: false, baseline: None, write_baseline: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => args.root = next_path(&mut it, "--root")?,
+            "--json" => args.json = true,
+            "--baseline" => args.baseline = Some(next_path(&mut it, "--baseline")?),
+            "--write-baseline" => {
+                args.write_baseline = Some(next_path(&mut it, "--write-baseline")?)
+            }
+            "--help" | "-h" => {
+                return Err("usage: ceres-lint [--root PATH] [--json] [--baseline PATH] \
+                            [--write-baseline PATH]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn next_path(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<PathBuf, String> {
+    it.next().map(PathBuf::from).ok_or_else(|| format!("{flag} needs a value"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match &args.baseline {
+        None => ceres_lint::baseline::Baseline::new(),
+        Some(path) => {
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("cannot read baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match ceres_lint::baseline::parse(&src) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("bad baseline {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    let report = match ceres_lint::lint_tree(&args.root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("lint walk failed under {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &args.write_baseline {
+        let rendered = ceres_lint::baseline::render(&report.to_baseline());
+        if let Err(e) = std::fs::write(path, rendered) {
+            eprintln!("cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if args.json {
+        print!("{}", ceres_lint::to_json(&report));
+    } else {
+        print!("{}", ceres_lint::to_human(&report));
+    }
+    if report.unbaselined() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,62 @@
+//! `// lint: allow(CLxxx) reason="…"` pragma parsing.
+//!
+//! A pragma suppresses one rule on one line: its own line when it trails
+//! code, otherwise the next line that carries code. The `reason` string is
+//! mandatory and must be non-empty — a suppression without a written
+//! justification is itself a violation (`CL000`), because the whole point
+//! of the pragma is to leave the argument in the file.
+
+use crate::rules::RULE_CODES;
+
+/// A successfully parsed pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pragma {
+    /// 0-based line the pragma comment sits on.
+    pub line: usize,
+    pub code: String,
+    pub reason: String,
+}
+
+/// Outcome of scanning one comment for a pragma.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PragmaScan {
+    None,
+    Ok(Pragma),
+    /// The comment says `lint:` but does not parse — reported as CL000
+    /// with the given explanation.
+    Malformed(String),
+}
+
+/// Scan one line's comment text for a pragma. Only a comment that *starts*
+/// with `lint:` is a pragma — prose that merely mentions the syntax (like
+/// this crate's own docs) is not.
+pub fn scan_comment(line: usize, comment: &str) -> PragmaScan {
+    let Some(rest) = comment.trim_start().strip_prefix("lint:") else {
+        return PragmaScan::None;
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix("allow(") else {
+        return PragmaScan::Malformed("expected `allow(CLxxx)` after `lint:`".to_string());
+    };
+    let Some(close) = rest.find(')') else {
+        return PragmaScan::Malformed("unclosed `allow(`".to_string());
+    };
+    let code = rest[..close].trim().to_string();
+    if !RULE_CODES.contains(&code.as_str()) {
+        return PragmaScan::Malformed(format!("unknown rule code `{code}`"));
+    }
+    let after = rest[close + 1..].trim_start();
+    let Some(after) = after.strip_prefix("reason=\"") else {
+        return PragmaScan::Malformed(
+            "missing `reason=\"…\"` — every suppression needs a written justification".to_string(),
+        );
+    };
+    let Some(end) = after.find('"') else {
+        return PragmaScan::Malformed("unterminated reason string".to_string());
+    };
+    let reason = after[..end].trim();
+    if reason.is_empty() {
+        return PragmaScan::Malformed("empty reason — write the actual justification".to_string());
+    }
+    PragmaScan::Ok(Pragma { line, code, reason: reason.to_string() })
+}

@@ -1,0 +1,8 @@
+//! Fixture: one seeded serve-path violation. The CI smoke test points
+//! `ceres-lint --root` at this tree and asserts the gate exits 1, proving
+//! the binary still fails on a real violation (a gate that always passes
+//! is indistinguishable from a working one). Never compiled.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,5 @@
+//! Fixture: a violation-free file. Never compiled.
+
+pub fn add(a: u32, b: u32) -> u32 {
+    a.wrapping_add(b)
+}

@@ -1,0 +1,8 @@
+//! Fixture: a serve-path module (matches the `crates/core/src/extract.rs`
+//! suffix) carrying exactly two CL003 violations. Never compiled.
+
+pub fn first_two(xs: &[u32]) -> (u32, u32) {
+    let a = xs.first().copied().unwrap();
+    let b = xs.get(1).copied().unwrap();
+    (a, b)
+}

@@ -1,0 +1,6 @@
+//! Fixture: lives in a `vendor/` dir, which the walker must skip — the
+//! violation below must never be reported. Never compiled.
+
+pub fn bad(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}

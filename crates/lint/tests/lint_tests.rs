@@ -1,0 +1,406 @@
+//! Integration tests for ceres-lint: one positive and one negative case
+//! per rule (inline sources through [`ceres_lint::rules::run_file`]),
+//! pragma parsing, baseline-ratchet semantics over the committed fixture
+//! tree, and a self-run over the workspace that keeps the repo
+//! clean-or-baselined from inside `cargo test`.
+
+use ceres_lint::baseline::{self, Baseline};
+use ceres_lint::pragma::{scan_comment, PragmaScan};
+use ceres_lint::rules::run_file;
+use ceres_lint::{lexer, lint_tree, to_json};
+use std::path::Path;
+
+/// Lint `src` as if it lived at `rel`, reduced to `(line, rule)` pairs.
+fn lint(rel: &str, src: &str) -> Vec<(usize, &'static str)> {
+    run_file(rel, src).into_iter().map(|v| (v.line, v.rule)).collect()
+}
+
+// --- CL001: hash iteration order ---
+
+#[test]
+fn cl001_flags_hash_iteration_feeding_order() {
+    let src = r#"
+use rustc_hash::FxHashMap;
+
+pub fn keys_in_hash_order(m: &FxHashMap<u32, u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for k in m.keys() {
+        out.push(*k);
+    }
+    out
+}
+"#;
+    assert_eq!(lint("crates/kb/src/x.rs", src), vec![(6, "CL001")]);
+}
+
+#[test]
+fn cl001_accepts_collect_then_sort_and_order_free_chains() {
+    let src = r#"
+use rustc_hash::FxHashMap;
+
+pub fn keys_sorted(m: &FxHashMap<u32, u32>) -> Vec<u32> {
+    let mut out: Vec<u32> = m.keys().copied().collect();
+    out.sort_unstable();
+    out
+}
+
+pub fn total(m: &FxHashMap<u32, u32>) -> u64 {
+    m.values().map(|&v| v as u64).sum()
+}
+"#;
+    assert_eq!(lint("crates/kb/src/x.rs", src), vec![]);
+}
+
+#[test]
+fn cl001_ignores_non_hash_receivers() {
+    let src = r#"
+pub fn fine(v: &Vec<u32>) -> Vec<u32> {
+    let mut out = Vec::new();
+    for k in v.iter() {
+        out.push(*k);
+    }
+    out
+}
+"#;
+    assert_eq!(lint("crates/kb/src/x.rs", src), vec![]);
+}
+
+// --- CL002: wall-clock in equality-contract modules ---
+
+#[test]
+fn cl002_flags_instant_now_in_equality_modules() {
+    let src = r#"
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+"#;
+    assert_eq!(lint("crates/kb/src/time_leak.rs", src), vec![(3, "CL002")]);
+}
+
+#[test]
+fn cl002_exempts_the_bench_harness() {
+    let src = r#"
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}
+"#;
+    assert_eq!(lint("crates/bench/src/main.rs", src), vec![]);
+}
+
+// --- CL003: panic family on the serve path ---
+
+#[test]
+fn cl003_flags_unwrap_on_serve_path_only() {
+    let src = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#;
+    assert_eq!(lint("crates/core/src/extract.rs", src), vec![(3, "CL003")]);
+    // The same code off the serve path is not CL003's business.
+    assert_eq!(lint("crates/kb/src/x.rs", src), vec![]);
+}
+
+#[test]
+fn cl003_skips_test_code_including_nested_cfg() {
+    let src = r#"
+pub fn safe() -> u32 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert_eq!(Some(1).unwrap(), 1);
+    }
+}
+
+#[cfg(all(test, feature = "runtime-stats"))]
+mod stat_tests {
+    pub fn helper(v: Option<u32>) -> u32 {
+        v.unwrap()
+    }
+}
+"#;
+    assert_eq!(lint("crates/core/src/extract.rs", src), vec![]);
+}
+
+#[test]
+fn cl003_still_applies_under_cfg_not_test() {
+    let src = r#"
+#[cfg(not(test))]
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+"#;
+    assert_eq!(lint("crates/core/src/extract.rs", src), vec![(4, "CL003")]);
+}
+
+// --- CL004: slice indexing in totality modules ---
+
+#[test]
+fn cl004_flags_indexing_in_totality_modules_only() {
+    let src = r#"
+pub fn first(buf: &[u8]) -> u8 {
+    buf[0]
+}
+"#;
+    assert_eq!(lint("crates/store/src/lib.rs", src), vec![(3, "CL004")]);
+    assert_eq!(lint("crates/kb/src/x.rs", src), vec![]);
+}
+
+#[test]
+fn cl004_ignores_attributes_macros_and_array_types() {
+    let src = r#"
+#[derive(Debug)]
+pub struct X {
+    pub a: [u8; 4],
+}
+
+pub fn make() -> Vec<u8> {
+    vec![1, 2, 3]
+}
+"#;
+    assert_eq!(lint("crates/store/src/types.rs", src), vec![]);
+}
+
+// --- CL005: partial_cmp ---
+
+#[test]
+fn cl005_flags_partial_cmp_everywhere() {
+    let src = r#"
+pub fn cmp(a: f64, b: f64) -> bool {
+    a.partial_cmp(&b).is_some()
+}
+"#;
+    assert_eq!(lint("crates/kb/src/x.rs", src), vec![(3, "CL005")]);
+}
+
+#[test]
+fn cl005_accepts_total_cmp() {
+    let src = r#"
+pub fn cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+"#;
+    assert_eq!(lint("crates/kb/src/x.rs", src), vec![]);
+}
+
+// --- CL006: unsafe hygiene ---
+
+#[test]
+fn cl006_flags_uncommented_unsafe_even_in_tests() {
+    let src = r#"
+pub fn read(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let x = 5u32;
+        let _ = unsafe { *(&x as *const u32) };
+    }
+}
+"#;
+    assert_eq!(lint("crates/kb/src/x.rs", src), vec![(3, "CL006"), (11, "CL006")]);
+}
+
+#[test]
+fn cl006_accepts_safety_comments_and_doc_sections() {
+    let src = r#"
+pub fn read(p: *const u32) -> u32 {
+    // SAFETY: callers pass a pointer derived from a live reference.
+    unsafe { *p }
+}
+
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn read_raw(p: *const u32) -> u32 {
+    unsafe { *p }
+}
+"#;
+    assert_eq!(lint("crates/kb/src/x.rs", src), vec![]);
+}
+
+// --- CL000 / CL007 / suppression ---
+
+#[test]
+fn pragma_suppresses_on_its_own_line_and_trailing() {
+    let above = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    // lint: allow(CL003) reason="x is always Some by construction"
+    x.unwrap()
+}
+"#;
+    let trailing = r#"
+pub fn f(x: Option<u32>) -> u32 {
+    x.unwrap() // lint: allow(CL003) reason="x is always Some by construction"
+}
+"#;
+    assert_eq!(lint("crates/core/src/extract.rs", above), vec![]);
+    assert_eq!(lint("crates/core/src/extract.rs", trailing), vec![]);
+}
+
+#[test]
+fn cl000_flags_malformed_pragmas() {
+    let missing_reason = "// lint: allow(CL003)\nfn f() {}\n";
+    let unknown_code = "// lint: allow(CL999) reason=\"x\"\nfn f() {}\n";
+    let empty_reason = "// lint: allow(CL003) reason=\"\"\nfn f() {}\n";
+    for src in [missing_reason, unknown_code, empty_reason] {
+        assert_eq!(lint("crates/kb/src/x.rs", src), vec![(1, "CL000")], "src: {src}");
+    }
+}
+
+#[test]
+fn cl007_flags_pragmas_that_suppress_nothing() {
+    let src = r#"
+pub fn f() -> u32 {
+    // lint: allow(CL005) reason="nothing here actually violates CL005"
+    42
+}
+"#;
+    assert_eq!(lint("crates/kb/src/x.rs", src), vec![(3, "CL007")]);
+}
+
+#[test]
+fn pragma_parser_accepts_and_rejects() {
+    match scan_comment(0, r#" lint: allow(CL003) reason="proven non-empty above""#) {
+        PragmaScan::Ok(p) => {
+            assert_eq!(p.code, "CL003");
+            assert_eq!(p.reason, "proven non-empty above");
+        }
+        other => panic!("expected Ok, got {other:?}"),
+    }
+    // Prose that merely mentions the syntax is not a pragma.
+    assert_eq!(scan_comment(0, " use a `lint: allow(...)` pragma here"), PragmaScan::None);
+    assert!(matches!(scan_comment(0, " lint: allow(CL003)"), PragmaScan::Malformed(_)));
+    assert!(matches!(scan_comment(0, " lint: deny(CL003)"), PragmaScan::Malformed(_)));
+}
+
+// --- Lexer edge cases the rules lean on ---
+
+#[test]
+fn lexer_blanks_literals_and_strips_comments() {
+    let lines = lexer::scan(r#"let s = "x.unwrap()"; // .expect( in comment"#);
+    assert_eq!(lines[0].code, r#"let s = ""; "#);
+    assert_eq!(lines[0].comment, " .expect( in comment");
+}
+
+#[test]
+fn lexer_handles_raw_strings_and_nested_block_comments() {
+    let lines = lexer::scan("let s = r#\"a \" b\"#;\n/* outer /* inner */ still */ code()\n");
+    assert_eq!(lines[0].code, "let s = \"\";");
+    assert!(lines[1].code.contains("code()"));
+    assert!(lines[1].comment.contains("inner"));
+}
+
+// --- Baseline ratchet semantics over the committed fixture tree ---
+
+fn fixture_root(name: &str) -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn tree_baseline(count: usize) -> Baseline {
+    let mut b = Baseline::new();
+    b.insert(("crates/core/src/extract.rs".to_string(), "CL003".to_string()), count);
+    b
+}
+
+#[test]
+fn fixture_tree_walker_skips_vendor_and_target() {
+    let report = lint_tree(&fixture_root("tree"), &Baseline::new()).expect("fixture tree lints");
+    // extract.rs + clean.rs scanned; vendor/ and target/ never visited.
+    assert_eq!(report.files_scanned, 2);
+    let got: Vec<(&str, &str)> =
+        report.findings.iter().map(|f| (f.file.as_str(), f.violation.rule)).collect();
+    assert_eq!(
+        got,
+        vec![("crates/core/src/extract.rs", "CL003"), ("crates/core/src/extract.rs", "CL003")]
+    );
+    assert_eq!(report.unbaselined(), 2);
+}
+
+#[test]
+fn baseline_budget_absorbs_first_n_violations() {
+    let report = lint_tree(&fixture_root("tree"), &tree_baseline(1)).expect("fixture tree lints");
+    let baselined: Vec<bool> = report.findings.iter().map(|f| f.baselined).collect();
+    assert_eq!(baselined, vec![true, false], "first hit baselined, second fails the gate");
+    assert_eq!(report.unbaselined(), 1);
+}
+
+#[test]
+fn exact_baseline_passes_and_reports_no_improvement() {
+    let report = lint_tree(&fixture_root("tree"), &tree_baseline(2)).expect("fixture tree lints");
+    assert_eq!(report.unbaselined(), 0);
+    assert!(report.improvements.is_empty());
+}
+
+#[test]
+fn loose_baseline_reports_the_ratchet_improvement() {
+    let report = lint_tree(&fixture_root("tree"), &tree_baseline(3)).expect("fixture tree lints");
+    assert_eq!(report.unbaselined(), 0);
+    assert_eq!(report.improvements.len(), 1);
+    assert_eq!(report.improvements[0].baselined, 3);
+    assert_eq!(report.improvements[0].current, 2);
+}
+
+#[test]
+fn seeded_fixture_fails_the_gate() {
+    // The same tree the CI smoke drives the binary over: it must carry
+    // exactly one live violation, or the smoke proves nothing.
+    let report = lint_tree(&fixture_root("seeded"), &Baseline::new()).expect("seeded tree lints");
+    assert_eq!(report.unbaselined(), 1);
+    assert_eq!(report.findings[0].violation.rule, "CL003");
+}
+
+#[test]
+fn json_output_carries_the_gate_fields() {
+    let report = lint_tree(&fixture_root("seeded"), &Baseline::new()).expect("seeded tree lints");
+    let json = to_json(&report);
+    assert!(json.contains("\"unbaselined\": 1"));
+    assert!(json.contains("\"rule\": \"CL003\""));
+    assert!(json.contains("\"file\": \"crates/core/src/extract.rs\""));
+}
+
+#[test]
+fn report_to_baseline_round_trips_through_the_committed_format() {
+    let report = lint_tree(&fixture_root("tree"), &Baseline::new()).expect("fixture tree lints");
+    let b = report.to_baseline();
+    assert_eq!(baseline::parse(&baseline::render(&b)).expect("round trip"), b);
+    assert_eq!(b.get(&("crates/core/src/extract.rs".into(), "CL003".into())), Some(&2));
+}
+
+// --- The gate itself, from inside `cargo test` ---
+
+#[test]
+fn workspace_is_clean_or_baselined() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline_src = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .unwrap_or_else(|_| "{}".to_string());
+    let baseline = baseline::parse(&baseline_src).expect("committed baseline parses");
+    let report = lint_tree(&root, &baseline).expect("workspace lints");
+    let offenders: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| !f.baselined)
+        .map(|f| {
+            format!(
+                "  {}:{} {} — {}",
+                f.file, f.violation.line, f.violation.rule, f.violation.message
+            )
+        })
+        .collect();
+    assert!(
+        offenders.is_empty(),
+        "unbaselined lint violations (fix, or pragma with a written reason):\n{}",
+        offenders.join("\n")
+    );
+    assert!(
+        report.files_scanned > 50,
+        "walker found only {} files — wrong root?",
+        report.files_scanned
+    );
+}

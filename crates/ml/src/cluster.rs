@@ -96,12 +96,13 @@ where
             edges.push((dist(&items[i], &items[j]), i as u32, j as u32));
         }
     }
-    edges.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.1.cmp(&b.1))
-            .then(a.2.cmp(&b.2))
-    });
+    // `nan_greatest` (not `partial_cmp().unwrap_or(Equal)`, which is
+    // intransitive and lets `sort_by` panic or scramble on NaN): `dist` is
+    // caller-supplied, and a NaN distance must sort *after* every real edge
+    // so the two items merge last — the clustering analogue of "NaN
+    // similarities never match".
+    edges
+        .sort_by(|a, b| ceres_text::nan_greatest(a.0, b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
 
     let mut uf = UnionFind::new(n);
     for &(_, i, j) in &edges {
@@ -192,6 +193,23 @@ mod tests {
         let c = agglomerative_cluster(&items, &[1; 5], 2, d1);
         assert_eq!(c.assignment[0], c.assignment[3]);
         assert_ne!(c.assignment[0], c.assignment[4]);
+    }
+
+    /// Regression: a NaN distance must neither panic the sort (Rust ≥ 1.81
+    /// `sort_by` checks comparator totality, and the previous
+    /// `partial_cmp().unwrap_or(Equal)` was intransitive with NaN mixed in)
+    /// nor win a merge — NaN edges sort last, so real edges decide first.
+    #[test]
+    fn nan_distances_sort_last_and_never_panic() {
+        let items = [0.0, 0.5, f64::NAN, 10.0];
+        let nan_poisoned = |a: &f64, b: &f64| (a - b).abs(); // NaN vs anything -> NaN
+        let c = agglomerative_cluster(&items, &[1; 4], 2, nan_poisoned);
+        assert_eq!(c.n_clusters, 2);
+        // The only all-real edge is 0–1 (plus 0–3/1–3); the NaN item only
+        // ever joins via NaN edges, which come last: 0 and 1 merge first.
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        let d = agglomerative_cluster(&items, &[1; 4], 2, nan_poisoned);
+        assert_eq!(c.assignment, d.assignment, "NaN ordering must be stable");
     }
 
     #[test]

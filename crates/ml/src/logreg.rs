@@ -340,7 +340,8 @@ fn top_class(probs: &[f64]) -> (u32, f64) {
     let (k, p) = probs
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+        .max_by(|a, b| ceres_text::nan_lowest(*a.1, *b.1))
+        // lint: allow(CL003) reason="probs is a predict_proba row; LogReg::n_classes >= 2 is a construction invariant, so the slice is never empty"
         .expect("at least two classes");
     (k as u32, *p)
 }
@@ -803,7 +804,7 @@ fn warm_start(rt: &Runtime, data: &Dataset, counts: &[u32], config: &TrainConfig
     let warm_loss = loss_grad_folded_on(rt, data, counts, config.c, w, &mut grad, &mut scratch);
     prev.fill(0.0);
     let cold_loss = loss_grad_folded_on(rt, data, counts, config.c, &prev, &mut grad, &mut scratch);
-    let improved = matches!(warm_loss.partial_cmp(&cold_loss), Some(std::cmp::Ordering::Less));
+    let improved = warm_loss < cold_loss;
     if !improved {
         w.fill(0.0);
     }

@@ -66,6 +66,8 @@
 //! variable, then [`std::thread::available_parallelism`]. `0` or an
 //! unparsable value means "not set" at either level.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::panic;
 
 mod pool;

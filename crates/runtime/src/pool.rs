@@ -42,7 +42,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Upper bound on pool workers, a guard against absurd `CERES_THREADS`
 /// values; the pool grows to `threads - 1` as runtimes request capacity.
@@ -74,6 +74,16 @@ pub(crate) mod stats {
     }
 }
 
+/// Poison-tolerant lock, used for every mutex in this module. The critical
+/// sections here are tiny integer-and-pointer regions that cannot panic, so
+/// a poisoned mutex can only mean a panic *elsewhere* unwound past a guard;
+/// the protected state (monotonic counters, a panic slot, the job queue) is
+/// still coherent, and continuing is strictly better than converting
+/// someone else's fault into a second panic on the serve path.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// Type-erased view of one `par_map_chunked` call, valid only while the
 /// submitting caller is inside [`run`].
 struct JobCtx<T, R, F> {
@@ -102,29 +112,34 @@ pub(crate) struct Job {
     active: Mutex<usize>,
     idle_cv: Condvar,
     /// Monomorphized chunk runner + its stack context.
+    // SAFETY: the `unsafe fn` pointer is only invoked between a successful
+    // chunk claim and the participant-count decrement (module-level
+    // protocol), which is exactly the contract its pointee requires.
     run_chunk: unsafe fn(*const (), &Job, usize),
     ctx: *const (),
 }
 
-// Safety: `ctx` and the pointers inside it are only dereferenced under the
+// SAFETY: `ctx` and the pointers inside it are only dereferenced under the
 // claim protocol documented at module level; the pointee types are
 // constrained by `run` to `T: Sync`, `R: Send`, `F: Sync`.
 unsafe impl Send for Job {}
+// SAFETY: same argument as `Send` above — shared access never touches
+// `ctx` outside the claim protocol.
 unsafe impl Sync for Job {}
 
 impl Job {
     /// Claim and run chunks until none remain. Never blocks.
     fn participate(&self) {
-        *self.active.lock().unwrap() += 1;
+        *lock(&self.active) += 1;
         loop {
             let c = self.next.fetch_add(1, Ordering::SeqCst);
             if c >= self.n_chunks {
                 break;
             }
-            // Safety: successful claim; see the module-level argument.
+            // SAFETY: successful claim; see the module-level argument.
             unsafe { (self.run_chunk)(self.ctx, self, c) };
         }
-        let mut active = self.active.lock().unwrap();
+        let mut active = lock(&self.active);
         *active -= 1;
         if *active == 0 {
             self.idle_cv.notify_all();
@@ -133,9 +148,9 @@ impl Job {
 
     /// Block until every participant has left the job.
     fn wait_idle(&self) {
-        let mut active = self.active.lock().unwrap();
+        let mut active = lock(&self.active);
         while *active > 0 {
-            active = self.idle_cv.wait(active).unwrap();
+            active = self.idle_cv.wait(active).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
@@ -167,7 +182,7 @@ impl Job {
     /// completion with per-item [`crate::JobFault`]s instead.
     pub(crate) fn record_panic(&self, item: usize, payload: Box<dyn Any + Send>) {
         self.next.fetch_max(self.n_chunks, Ordering::SeqCst);
-        let mut slot = self.panic_slot.lock().unwrap();
+        let mut slot = lock(&self.panic_slot);
         match &*slot {
             Some((j, _)) if *j <= item => {}
             _ => *slot = Some((item, payload)),
@@ -178,23 +193,30 @@ impl Job {
 /// Run chunk `c` of the job: `f` over `items[c*chunk .. min(+chunk, n)]`,
 /// results written to the per-index slots.
 ///
-/// Safety: caller holds a successful claim on `c`, and the submitting
-/// thread is still inside [`run`] (guaranteed by the claim protocol).
+/// # Safety
+/// Caller holds a successful claim on `c`, and the submitting thread is
+/// still inside [`run`] (guaranteed by the claim protocol).
 unsafe fn run_chunk<T, R, F>(ctx: *const (), job: &Job, c: usize)
 where
     T: Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    // SAFETY: the submitting thread is still inside `run` (this fn's
+    // contract), so `ctx` points at its live stack-allocated `JobCtx`, and
+    // the `items`/`f` pointers inside it borrow arguments of that same
+    // still-active `run` call.
     let ctx = unsafe { &*(ctx as *const JobCtx<T, R, F>) };
+    // SAFETY: `items`/`n` came verbatim from a `&[T]` in `run`.
     let items = unsafe { std::slice::from_raw_parts(ctx.items, ctx.n) };
+    // SAFETY: `f` borrows `run`'s `&F` argument, live for the same reason.
     let f = unsafe { &*ctx.f };
     let start = c * ctx.chunk;
     let end = (start + ctx.chunk).min(ctx.n);
     for (i, item) in items[start..end].iter().enumerate() {
         let i = start + i;
         match panic::catch_unwind(AssertUnwindSafe(|| f(item))) {
-            // Safety: each index belongs to exactly one claimed chunk.
+            // SAFETY: each index belongs to exactly one claimed chunk.
             Ok(r) => unsafe { *ctx.slots.add(i) = Some(r) },
             Err(payload) => {
                 job.record_panic(i, payload);
@@ -243,17 +265,22 @@ where
     pool.retire(&job);
     job.wait_idle();
 
-    if let Some((_, payload)) = job.panic_slot.lock().unwrap().take() {
+    if let Some((_, payload)) = lock(&job.panic_slot).take() {
         panic::resume_unwind(payload);
     }
+    // lint: allow(CL003) reason="chunks partition 0..n and wait_idle returned with no recorded panic, so every slot was written exactly once; an empty slot here is a broken claim protocol, not a recoverable state"
     slots.into_iter().map(|r| r.expect("every index was claimed exactly once")).collect()
 }
 
 /// Submit a one-chunk job (a single streamed item) to the pool and return
-/// its header. The caller must eventually call [`finish_stream_job`] on the
-/// returned header — and keep `ctx` alive until it does — or the pool's
-/// workers could dereference a dangling context.
-pub(crate) fn submit_stream_job(
+/// its header.
+///
+/// # Safety
+/// The caller must eventually call [`finish_stream_job`] on the returned
+/// header — and keep `ctx` alive (upholding `run_chunk`'s own contract)
+/// until it does — or the pool's workers could dereference a dangling
+/// context.
+pub(crate) unsafe fn submit_stream_job(
     threads: usize,
     run_chunk: unsafe fn(*const (), &Job, usize),
     ctx: *const (),
@@ -287,7 +314,7 @@ pub(crate) fn finish_stream_job(job: &Arc<Job>) -> Option<Box<dyn Any + Send>> {
     job.participate();
     Pool::global().retire(job);
     job.wait_idle();
-    job.panic_slot.lock().unwrap().take().map(|(_, payload)| payload)
+    lock(&job.panic_slot).take().map(|(_, payload)| payload)
 }
 
 /// The process-wide pool: a queue of in-flight jobs plus parked workers.
@@ -308,27 +335,32 @@ impl Pool {
     }
 
     /// Grow the pool to at least `want` workers (capped, never shrunk).
+    /// Spawn failure (thread exhaustion) is not fatal: the pool keeps the
+    /// workers it has, and jobs still complete because the submitting
+    /// caller always participates in its own job.
     fn ensure_workers(&'static self, want: usize) {
         let want = want.min(MAX_POOL_WORKERS);
-        let mut n = self.n_workers.lock().unwrap();
+        let mut n = lock(&self.n_workers);
         while *n < want {
-            *n += 1;
-            std::thread::Builder::new()
-                .name(format!("ceres-pool-{n}"))
-                .spawn(move || self.worker_loop())
-                .expect("spawn ceres-runtime pool worker");
+            let spawned = std::thread::Builder::new()
+                .name(format!("ceres-pool-{}", *n + 1))
+                .spawn(move || self.worker_loop());
+            match spawned {
+                Ok(_) => *n += 1,
+                Err(_) => break,
+            }
         }
     }
 
     fn submit(&self, job: Arc<Job>) {
-        self.queue.lock().unwrap().push_back(job);
+        lock(&self.queue).push_back(job);
         self.work_cv.notify_all();
     }
 
     /// Remove a finished job from the queue (late helpers already holding
     /// the `Arc` fail their claims harmlessly).
     fn retire(&self, job: &Arc<Job>) {
-        let mut q = self.queue.lock().unwrap();
+        let mut q = lock(&self.queue);
         if let Some(pos) = q.iter().position(|j| Arc::ptr_eq(j, job)) {
             q.remove(pos);
         }
@@ -337,12 +369,12 @@ impl Pool {
     fn worker_loop(&self) {
         loop {
             let job = {
-                let mut q = self.queue.lock().unwrap();
+                let mut q = lock(&self.queue);
                 loop {
                     if let Some(j) = q.iter().find(|j| j.wants_help()).cloned() {
                         break j;
                     }
-                    q = self.work_cv.wait(q).unwrap();
+                    q = self.work_cv.wait(q).unwrap_or_else(PoisonError::into_inner);
                 }
             };
             let helped = job.try_help();
@@ -362,6 +394,10 @@ mod tests {
     use super::*;
 
     /// Never called: the tests below race for claims but run no chunks.
+    ///
+    /// # Safety
+    /// Trivially safe — it dereferences nothing (and aborts the test run
+    /// if a claim race ever reaches it).
     unsafe fn unreachable_chunk(_: *const (), _: &Job, _: usize) {
         unreachable!("claim-race tests never participate in a job");
     }

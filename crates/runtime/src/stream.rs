@@ -74,14 +74,25 @@ struct ItemCtx<T, R> {
 /// Run the single chunk of an item job: take the item, apply `f`, store
 /// the result (or record the panic).
 ///
-/// Safety: the caller holds the successful claim on chunk 0, so this is
-/// the only dereference of `ctx` for this item, and the popping thread's
+/// # Safety
+/// The caller holds the successful claim on chunk 0, so this is the only
+/// dereference of `ctx` for this item, and the popping thread's
 /// `wait_idle` orders it before the context is freed.
 unsafe fn run_item<T, R>(ctx: *const (), job: &Job, _chunk: usize) {
+    // SAFETY: `ctx` points at the boxed `ItemCtx` kept alive by the
+    // `InFlight` entry until `finish_stream_job` returns, which the claim
+    // this fn runs under happens-before.
     let ctx = unsafe { &*(ctx as *const ItemCtx<T, R>) };
+    // SAFETY: `f` borrows the StreamMap's boxed closure, which outlives
+    // every job submitted through it (pop/drain/Drop finish jobs first).
     let f = unsafe { &*ctx.f };
-    let item = unsafe { (*ctx.item.get()).take() }.expect("item job claimed exactly once");
+    // SAFETY: holding the chunk-0 claim makes this the only access to the
+    // `UnsafeCell`s for this item.
+    let item = unsafe { (*ctx.item.get()).take() };
+    // lint: allow(CL003) reason="the item slot is filled at submit and emptied only here, under the unique chunk-0 claim — an empty slot means the claim protocol double-ran a chunk"
+    let item = item.expect("item job claimed exactly once");
     match panic::catch_unwind(AssertUnwindSafe(move || f(item))) {
+        // SAFETY: same unique claim as the `item` read above.
         Ok(r) => unsafe { *ctx.result.get() = Some(r) },
         Err(payload) => job.record_panic(0, payload),
     }
@@ -107,7 +118,7 @@ pub struct StreamMap<'f, T: Send + 'static, R: Send + 'static> {
     _borrow: PhantomData<&'f ()>,
 }
 
-// Safety: moving a StreamMap moves the VecDeque and the Boxes, never the
+// SAFETY: moving a StreamMap moves the VecDeque and the Boxes, never the
 // heap blocks the in-flight jobs point at (ItemCtx and the closure are
 // both boxed). Items and results cross threads (`T: Send`, `R: Send`) and
 // the closure is shared (`Sync`) and movable (`Send`).
@@ -166,9 +177,10 @@ impl<'f, T: Send + 'static, R: Send + 'static> StreamMap<'f, T, R> {
     }
 
     fn submit(&mut self, item: T) {
-        // Erase the closure's 'f lifetime for storage in ItemCtx: every
-        // job is finished (and its ctx dropped) before `self.f` can drop,
-        // because pop_oldest/drain/Drop all run finish_stream_job first.
+        // SAFETY: erases the closure's 'f lifetime for storage in ItemCtx;
+        // every job is finished (and its ctx dropped) before `self.f` can
+        // drop, because pop_oldest/drain/Drop all run finish_stream_job
+        // first, so the pointer is never dereferenced after 'f ends.
         let f: *const (dyn Fn(T) -> R + Sync) = unsafe {
             std::mem::transmute::<&(dyn Fn(T) -> R + Sync), &'static (dyn Fn(T) -> R + Sync)>(
                 &*self.f,
@@ -179,19 +191,29 @@ impl<'f, T: Send + 'static, R: Send + 'static> StreamMap<'f, T, R> {
             result: UnsafeCell::new(None),
             f,
         });
-        let job =
-            pool::submit_stream_job(self.threads, run_item::<T, R>, &*ctx as *const _ as *const ());
+        // SAFETY: `ctx` is boxed into the InFlight entry below and freed
+        // only after pop_oldest/drain/Drop call finish_stream_job on this
+        // job, satisfying submit_stream_job's keep-alive contract.
+        let job = unsafe {
+            pool::submit_stream_job(self.threads, run_item::<T, R>, &*ctx as *const _ as *const ())
+        };
         self.inflight.push_back(InFlight { job, ctx });
     }
 
     /// Complete the oldest in-flight item and return its result,
     /// re-raising its panic if the closure panicked.
     fn pop_oldest(&mut self) -> R {
+        // lint: allow(CL003) reason="both callers prove non-emptiness first: push only pops at in_flight >= cap >= 1, drain loops while !is_empty"
         let inf = self.inflight.pop_front().expect("pop_oldest on an empty buffer");
         if let Some(payload) = pool::finish_stream_job(&inf.job) {
             panic::resume_unwind(payload);
         }
-        unsafe { (*inf.ctx.result.get()).take() }.expect("one claimant wrote the result")
+        // SAFETY: finish_stream_job waited out every participant, so the
+        // claimant's write to the result cell happens-before this read and
+        // no other access can be live.
+        let result = unsafe { (*inf.ctx.result.get()).take() };
+        // lint: allow(CL003) reason="finish_stream_job returned no panic payload, so the item's single claimant completed f and stored the result"
+        result.expect("one claimant wrote the result")
     }
 }
 

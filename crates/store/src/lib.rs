@@ -294,6 +294,7 @@ impl<'a> Reader<'a> {
         if self.remaining() < n {
             return Err(Error::UnexpectedEof { context });
         }
+        // lint: allow(CL004) reason="bounds proof: the remaining() guard above ensures pos + n <= buf.len(), so the range is in-bounds"
         let slice = &self.buf[self.pos..self.pos + n];
         self.pos += n;
         Ok(slice)
@@ -320,6 +321,7 @@ impl<'a> Reader<'a> {
                 return Ok(v);
             }
         }
+        // lint: allow(CL003) reason="on the final iteration the byte is capped at 0x01, whose continuation bit is clear, so the loop always returns before falling through"
         unreachable!("loop returns on the capped final byte")
     }
 
@@ -346,11 +348,13 @@ impl<'a> Reader<'a> {
 
     pub fn get_f64(&mut self, context: &'static str) -> Result<f64> {
         let bytes = self.take(8, context)?;
+        // lint: allow(CL003) reason="take(8) returned Ok, so the slice is exactly 8 bytes and the array conversion cannot fail"
         Ok(f64::from_bits(u64::from_le_bytes(bytes.try_into().expect("8 bytes"))))
     }
 
     pub fn get_f32(&mut self, context: &'static str) -> Result<f32> {
         let bytes = self.take(4, context)?;
+        // lint: allow(CL003) reason="take(4) returned Ok, so the slice is exactly 4 bytes and the array conversion cannot fail"
         Ok(f32::from_bits(u32::from_le_bytes(bytes.try_into().expect("4 bytes"))))
     }
 
@@ -652,8 +656,10 @@ impl<R: Read> ArtifactReader<R> {
     pub fn section(&mut self, tag: u8, name: &'static str) -> Result<Vec<u8>> {
         let mut tag_byte = [0u8; 1];
         read_exact(&mut self.source, &mut tag_byte, name)?;
-        if tag_byte[0] != tag {
-            return Err(Error::WrongSection { expected: name, found_tag: tag_byte[0] });
+        // lint: allow(CL004) reason="index 0 into a [u8; 1] fixed array is compile-time in-bounds"
+        let found_tag = tag_byte[0];
+        if found_tag != tag {
+            return Err(Error::WrongSection { expected: name, found_tag });
         }
         let len = read_varint(&mut self.source, name)?;
         let len = usize::try_from(len).map_err(|_| Error::Invalid {
@@ -667,10 +673,12 @@ impl<R: Read> ArtifactReader<R> {
         let mut chunk = [0u8; 1 << 12];
         while payload.len() < len {
             let want = (len - payload.len()).min(chunk.len());
+            // lint: allow(CL004) reason="bounds proof: want is min-clamped to chunk.len(), so the range is in-bounds"
             let got = self.source.read(&mut chunk[..want])?;
             if got == 0 {
                 return Err(Error::UnexpectedEof { context: name });
             }
+            // lint: allow(CL004) reason="bounds proof: the Read contract caps got at the passed buffer's length, which is at most chunk.len()"
             payload.extend_from_slice(&chunk[..got]);
         }
         let mut checksum = [0u8; 8];
@@ -697,6 +705,7 @@ fn read_varint(source: &mut impl Read, context: &'static str) -> Result<u64> {
     for i in 0..MAX_VARINT_BYTES {
         let mut byte = [0u8; 1];
         read_exact(source, &mut byte, context)?;
+        // lint: allow(CL004) reason="index 0 into a [u8; 1] fixed array is compile-time in-bounds"
         let byte = byte[0];
         if i == MAX_VARINT_BYTES - 1 && byte > 0x01 {
             return Err(Error::Invalid { context, detail: "varint overflows 64 bits".to_string() });
@@ -706,6 +715,7 @@ fn read_varint(source: &mut impl Read, context: &'static str) -> Result<u64> {
             return Ok(v);
         }
     }
+    // lint: allow(CL003) reason="on the final iteration the byte is capped at 0x01, whose continuation bit is clear, so the loop always returns before falling through"
     unreachable!("loop returns on the capped final byte")
 }
 

@@ -1,0 +1,107 @@
+//! Total-order float comparators for sorts and argmaxes.
+//!
+//! `f64::partial_cmp` is not a total order: any comparison involving NaN
+//! returns `None`, so `partial_cmp().unwrap()` panics on the first poisoned
+//! value and `partial_cmp().unwrap_or(Equal)` silently builds an
+//! *intransitive* comparator (NaN compares `Equal` to everything while real
+//! numbers still order among themselves), which `slice::sort_by` may detect
+//! and panic on, or resolve into an unspecified — and therefore
+//! nondeterministic-by-construction — order.
+//!
+//! These two comparators are the workspace-blessed replacements (enforced
+//! by `ceres-lint` rule `CL005`). Both are total, both treat all NaNs as
+//! one value, and both deliberately differ from [`f64::total_cmp`] in
+//! keeping `-0.0 == 0.0`: several argmax sites tie-break equal
+//! probabilities by field index, and `total_cmp`'s `-0.0 < 0.0` would flip
+//! that tiebreak based on the sign of a zero.
+
+use std::cmp::Ordering;
+
+/// Total-order comparator that ranks NaN **below** every real number.
+///
+/// Use for "best wins" sites — argmaxes and descending sorts — where a
+/// poisoned score must *lose*: `max_by(|a, b| nan_lowest(*a, *b))` never
+/// selects a NaN while any real candidate exists.
+#[inline]
+pub fn nan_lowest(a: f64, b: f64) -> Ordering {
+    // lint: allow(CL005) reason="this is the blessed definition site the rule points everyone at"
+    a.partial_cmp(&b).unwrap_or_else(|| match (a.is_nan(), b.is_nan()) {
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        _ => Ordering::Equal,
+    })
+}
+
+/// Total-order comparator that ranks NaN **above** every real number.
+///
+/// Use for "smallest wins" sites — ascending distance sorts and argmins —
+/// where a poisoned distance must come *last*: sorting edges with
+/// `sort_by(|a, b| nan_greatest(a.d, b.d))` pushes NaN edges to the end so
+/// they are considered after every real edge (or never, when the consumer
+/// stops early).
+#[inline]
+pub fn nan_greatest(a: f64, b: f64) -> Ordering {
+    // lint: allow(CL005) reason="this is the blessed definition site the rule points everyone at"
+    a.partial_cmp(&b).unwrap_or_else(|| match (a.is_nan(), b.is_nan()) {
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        _ => Ordering::Equal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nan_lowest_ranks_nan_below_reals() {
+        assert_eq!(nan_lowest(f64::NAN, 0.0), Ordering::Less);
+        assert_eq!(nan_lowest(0.0, f64::NAN), Ordering::Greater);
+        assert_eq!(nan_lowest(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(nan_lowest(f64::NAN, f64::NEG_INFINITY), Ordering::Less);
+        assert_eq!(nan_lowest(1.0, 2.0), Ordering::Less);
+        assert_eq!(nan_lowest(-0.0, 0.0), Ordering::Equal); // unlike total_cmp
+    }
+
+    #[test]
+    fn nan_greatest_ranks_nan_above_reals() {
+        assert_eq!(nan_greatest(f64::NAN, 0.0), Ordering::Greater);
+        assert_eq!(nan_greatest(0.0, f64::NAN), Ordering::Less);
+        assert_eq!(nan_greatest(f64::NAN, f64::NAN), Ordering::Equal);
+        assert_eq!(nan_greatest(f64::NAN, f64::INFINITY), Ordering::Greater);
+        assert_eq!(nan_greatest(1.0, 2.0), Ordering::Less);
+        assert_eq!(nan_greatest(-0.0, 0.0), Ordering::Equal);
+    }
+
+    /// Both comparators must be genuine total orders (transitive, total,
+    /// antisymmetric) over a value set including NaN and signed zeros —
+    /// the property `partial_cmp().unwrap_or(Equal)` lacks.
+    #[test]
+    fn comparators_are_total_orders() {
+        let vals = [f64::NAN, f64::NEG_INFINITY, -1.0, -0.0, 0.0, 1.0, f64::INFINITY, f64::NAN];
+        for cmp in [nan_lowest, nan_greatest] {
+            for &a in &vals {
+                for &b in &vals {
+                    assert_eq!(cmp(a, b), cmp(b, a).reverse());
+                    for &c in &vals {
+                        if cmp(a, b) != Ordering::Greater && cmp(b, c) != Ordering::Greater {
+                            assert_ne!(cmp(a, c), Ordering::Greater, "{a} {b} {c}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorting_with_nans_is_deterministic_and_total() {
+        let mut v = [2.0, f64::NAN, 1.0, f64::NAN, 0.5];
+        v.sort_by(|a, b| nan_greatest(*a, *b));
+        assert_eq!(&v[..3], &[0.5, 1.0, 2.0]);
+        assert!(v[3].is_nan() && v[4].is_nan());
+        let mut w = [2.0, f64::NAN, 1.0, f64::NAN, 0.5];
+        w.sort_by(|a, b| nan_lowest(*a, *b));
+        assert!(w[0].is_nan() && w[1].is_nan());
+        assert_eq!(&w[2..], &[0.5, 1.0, 2.0]);
+    }
+}

@@ -14,12 +14,18 @@
 //!   slower and, more importantly for a reproduction, the std `RandomState`
 //!   is *seeded per process*, which would make iteration order — and thus any
 //!   code that accidentally depends on it — nondeterministic between runs.
+//! * [`nan_lowest`] / [`nan_greatest`] — total-order float comparators for
+//!   every score sort and argmax in the workspace (`partial_cmp().unwrap()`
+//!   panics on NaN; `unwrap_or(Equal)` is intransitive — both are banned by
+//!   `ceres-lint` rule CL005).
 
 pub mod distance;
+pub mod float;
 pub mod hash;
 pub mod normalize;
 
 pub use distance::{jaccard, jaccard_counts, levenshtein, levenshtein_slices};
+pub use float::{nan_greatest, nan_lowest};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use normalize::{
     normalize, normalize_into, token_sort_key, token_sort_key_normalized, tokenize,
