@@ -1,0 +1,92 @@
+//! Criterion benches for the batched, memoized KB match path: per-field
+//! `match_norm` vs shard-grouped `match_batch` (raw and with unique-text
+//! folding), and a read-through `MatchCache` cold vs warm.
+
+use ceres_kb::MatchCache;
+use ceres_synth::movie_pages::{render_film_page, MoviePathology, MovieRenderCtx};
+use ceres_synth::movie_world::{KbBias, MovieWorld, MovieWorldConfig};
+use ceres_synth::rng::derive_rng;
+use ceres_synth::SiteStyle;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+/// Normalized text fields of `n` rendered film pages plus the KB they
+/// were rendered from — the exact inputs `PageView::build` feeds the
+/// matcher.
+fn sample_norms(n: usize) -> (ceres_kb::Kb, Vec<String>) {
+    let world = MovieWorld::generate(MovieWorldConfig {
+        seed: 1,
+        n_people: 400,
+        n_films: n.max(60),
+        n_series: 4,
+        title_collision_share: 0.02,
+    });
+    let kb = world.build_kb(&KbBias::default()).kb;
+    let mut rng = derive_rng(1, "bench-match");
+    let style = SiteStyle::random(&mut rng, "en", "bb");
+    let pathology = MoviePathology::default();
+    let ctx =
+        MovieRenderCtx { world: &world, style: &style, site_name: "bench", pathology: &pathology };
+    let norms: Vec<String> = (0..n)
+        .map(|i| render_film_page(&ctx, i, &mut rng).html)
+        .flat_map(|html| {
+            let doc = ceres_dom::parse_html(&html);
+            doc.text_fields()
+                .into_iter()
+                .map(|f| ceres_text::normalize(&doc.own_text(f)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    (kb, norms)
+}
+
+fn bench_match_path(c: &mut Criterion) {
+    let (kb, norms) = sample_norms(40);
+    let mut g = c.benchmark_group("match");
+    g.throughput(Throughput::Elements(norms.len() as u64));
+
+    // One matcher probe per field, in field order — the pre-PR-10 shape.
+    g.bench_function("per_field", |b| {
+        b.iter(|| {
+            for n in &norms {
+                black_box(kb.match_norm(n));
+            }
+        })
+    });
+
+    // One shard-grouped sweep over the same fields.
+    g.bench_function("batch", |b| b.iter(|| black_box(kb.match_batch(&norms))));
+
+    // What the views path actually runs: fold duplicates, batch the
+    // unique texts, scatter back to field order.
+    g.bench_function("batch_folded", |b| {
+        b.iter(|| {
+            let fold = ceres_text::fold_unique(&norms);
+            let matched = kb.match_batch(&fold.uniq);
+            let out: Vec<&[ceres_kb::ValueId]> =
+                fold.slots.iter().map(|&s| matched[s as usize]).collect();
+            black_box(out)
+        })
+    });
+
+    // Cache cold: a fresh cache per iteration pays one miss per unique
+    // text — the first page batch of an ingest chunk.
+    g.bench_function("cache_cold", |b| {
+        b.iter(|| {
+            let mut cache = MatchCache::new(&kb, 1 << 12);
+            black_box(cache.match_batch(&norms))
+        })
+    });
+
+    // Cache warm: every probe hits — the steady state of an ingest chunk
+    // full of template-sharing pages.
+    g.bench_function("cache_warm", |b| {
+        let mut cache = MatchCache::new(&kb, 1 << 12);
+        let _ = cache.match_batch(&norms);
+        b.iter(|| black_box(cache.match_batch(&norms)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_match_path);
+criterion_main!(benches);

@@ -156,6 +156,35 @@ fn main() {
     let (train, _) = protocol_pages(site, EvalProtocol::WholeSite);
     let views: Vec<PageView> =
         train.iter().map(|(id, html)| PageView::build(id, html, &v.kb)).collect();
+    // Match-path summary: how far unique-text folding collapses the
+    // site's field texts before they reach the KB matcher, and (with
+    // `runtime-stats`) the hit rate of one ingest-sized MatchCache warmed
+    // across the whole site's pages.
+    let all_norms: Vec<&str> =
+        views.iter().flat_map(|view| view.fields.iter().map(|f| f.norm.as_str())).collect();
+    let match_total_texts = all_norms.len();
+    let match_unique_texts = ceres_text::fold_unique(&all_norms).uniq.len();
+    let match_fold_ratio = match_total_texts as f64 / (match_unique_texts as f64).max(1.0);
+    eprintln!(
+        "# match path: {match_total_texts} field texts -> {match_unique_texts} unique \
+         (fold ratio {match_fold_ratio:.3})"
+    );
+    #[cfg(feature = "runtime-stats")]
+    let match_cache_hit_rate = {
+        let mut cache = ceres_kb::MatchCache::new(&v.kb, 1 << 12);
+        for (id, html) in &train {
+            let _ = PageView::build_with_cache(id, html, &v.kb, &mut cache);
+        }
+        let stats = cache.stats();
+        eprintln!(
+            "# match cache: {} hits / {} misses (hit rate {:.3})",
+            stats.hits,
+            stats.misses,
+            stats.hit_rate()
+        );
+        stats.hit_rate()
+    };
+
     let (views_t1, run_c) =
         time_ms(|| run_site_views(&v.kb, &views, None, &cfg_at(1), AnnotationMode::Full));
     let (views_tn, run_d) = time_ms(|| {
@@ -318,6 +347,15 @@ fn main() {
         run_a.fold.n_unique_rows,
         run_a.fold.fold_ratio(),
     );
+    // KB match-path summary (the views-path folding + cache from PR 10).
+    let _ = write!(
+        json,
+        ",\n  \"match_total_texts\": {match_total_texts},\n  \
+         \"match_unique_texts\": {match_unique_texts},\n  \
+         \"match_fold_ratio\": {match_fold_ratio:.3}"
+    );
+    #[cfg(feature = "runtime-stats")]
+    let _ = write!(json, ",\n  \"match_cache_hit_rate\": {match_cache_hit_rate:.3}");
     // Before→after trajectory against a previous run (the committed
     // record): < 1.0 means this build's single-thread path is faster.
     if let Some(path) = baseline_path.as_deref() {

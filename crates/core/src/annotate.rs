@@ -15,6 +15,12 @@
 //!
 //! The CERES-TOPIC baseline replaces all of this with "annotate every
 //! mention with every applicable predicate".
+//!
+//! All KB string matching this stage consumes (`FieldInfo::matches`, via
+//! [`PageView::mentions_of`](crate::page::PageView)) was resolved by the
+//! batched, unique-text-folded match path in
+//! [`PageView::build`](crate::page::PageView::build) — annotation itself
+//! never calls the matcher, so it rides the batch API by construction.
 
 use crate::config::{AnnotateConfig, XPathDistance};
 use crate::page::PageView;

@@ -8,8 +8,8 @@
 use crate::config::GuardConfig;
 use crate::session::PageError;
 use ceres_dom::{parse_html, Document, NodeId, XPath};
-use ceres_kb::{Kb, ValueId};
-use ceres_text::{normalize, FxHashMap};
+use ceres_kb::{Kb, MatchCache, ValueId};
+use ceres_text::{fold_unique, normalize, FxHashMap};
 
 /// One text field of a page.
 #[derive(Debug, Clone)]
@@ -47,20 +47,73 @@ pub struct PageView {
 impl PageView {
     /// Parse `html` and match every text field against `kb`.
     pub fn build(page_id: &str, html: &str, kb: &Kb) -> PageView {
+        PageView::build_inner(page_id, html, kb, None)
+    }
+
+    /// [`PageView::build`] matching through a shared [`MatchCache`] — the
+    /// streaming ingest path hands each parse micro-batch one cache so
+    /// field strings repeated *across* a batch's pages resolve once.
+    /// Byte-identical to [`PageView::build`] (the cache is read-through
+    /// over the immutable KB index; it can only change timing).
+    pub fn build_with_cache(
+        page_id: &str,
+        html: &str,
+        kb: &Kb,
+        cache: &mut MatchCache<'_>,
+    ) -> PageView {
+        PageView::build_inner(page_id, html, kb, Some(cache))
+    }
+
+    /// Shared core of the build paths. Matching is batched: every field is
+    /// normalized, identical normalized strings are folded to one lookup
+    /// ([`fold_unique`] — template pages repeat labels and shared values
+    /// heavily), the distinct strings go through one shard-grouped
+    /// [`Kb::match_batch`] call (optionally memoized by `cache`), and the
+    /// answers fan back out per field. `match_batch(uniq)[slot[i]]` is
+    /// exactly `match_norm(norm[i])`, so the produced `FieldInfo`s are
+    /// byte-identical to the old per-field loop (pinned in
+    /// `tests/match_path.rs`).
+    fn build_inner(
+        page_id: &str,
+        html: &str,
+        kb: &Kb,
+        cache: Option<&mut MatchCache<'_>>,
+    ) -> PageView {
         let doc = parse_html(html);
-        let mut fields = Vec::new();
-        let mut field_by_node = FxHashMap::default();
-        for node in doc.text_fields() {
+        let nodes = doc.text_fields();
+        let mut texts = Vec::with_capacity(nodes.len());
+        let mut norms = Vec::with_capacity(nodes.len());
+        for &node in &nodes {
             let text = doc.own_text(node);
-            // Normalize once; `match_norm` consumes the canonical form
+            // Normalize once; `match_batch` consumes the canonical form
             // directly (the old `match_text(&text)` re-normalized `text`
             // internally — every field was normalized twice).
-            let norm = normalize(&text);
-            let matches = kb.match_norm(&norm).to_vec();
+            norms.push(normalize(&text));
+            texts.push(text);
+        }
+        let (matched, slots): (Vec<&[ValueId]>, Vec<u32>) = {
+            let fold = fold_unique(&norms);
+            let matched = match cache {
+                Some(cache) => cache.match_batch(&fold.uniq),
+                None => kb.match_batch(&fold.uniq),
+            };
+            (matched, fold.slots)
+        };
+        let mut fields = Vec::with_capacity(nodes.len());
+        let mut field_by_node = FxHashMap::default();
+        for (i, node) in nodes.into_iter().enumerate() {
+            let matches = matched[slots[i] as usize].to_vec();
             let gt_id = doc.node(node).attr("data-gt").and_then(|v| v.parse().ok());
             let xpath = doc.xpath(node);
             field_by_node.insert(node, fields.len());
-            fields.push(FieldInfo { node, text, norm, matches, xpath, gt_id });
+            fields.push(FieldInfo {
+                node,
+                text: std::mem::take(&mut texts[i]),
+                norm: std::mem::take(&mut norms[i]),
+                matches,
+                xpath,
+                gt_id,
+            });
         }
         let (enter, exit) = euler_intervals(&doc);
         PageView { page_id: page_id.to_string(), doc, fields, field_by_node, enter, exit }
@@ -81,6 +134,28 @@ impl PageView {
         kb: &Kb,
         guards: &GuardConfig,
     ) -> Result<PageView, PageError> {
+        PageView::try_build_inner(page_id, html, kb, guards, None)
+    }
+
+    /// [`PageView::try_build`] matching through a shared [`MatchCache`]
+    /// (see [`PageView::build_with_cache`] — same contract, guarded path).
+    pub fn try_build_with_cache(
+        page_id: &str,
+        html: &str,
+        kb: &Kb,
+        guards: &GuardConfig,
+        cache: &mut MatchCache<'_>,
+    ) -> Result<PageView, PageError> {
+        PageView::try_build_inner(page_id, html, kb, guards, Some(cache))
+    }
+
+    fn try_build_inner(
+        page_id: &str,
+        html: &str,
+        kb: &Kb,
+        guards: &GuardConfig,
+        cache: Option<&mut MatchCache<'_>>,
+    ) -> Result<PageView, PageError> {
         #[cfg(feature = "fault-inject")]
         if html.contains(crate::session::FAULT_PANIC_MARKER) {
             // lint: allow(CL003) reason="test-only fault-inject feature: this panic IS the seeded fault the containment suite detonates to prove isolation"
@@ -92,7 +167,7 @@ impl PageView {
                 limit: guards.max_page_bytes,
             });
         }
-        let view = PageView::build(page_id, html, kb);
+        let view = PageView::build_inner(page_id, html, kb, cache);
         let depth = view.doc.max_depth();
         if depth > guards.max_dom_depth {
             return Err(PageError::ParseDepthExceeded { depth, limit: guards.max_dom_depth });

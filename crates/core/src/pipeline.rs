@@ -33,9 +33,9 @@ pub use crate::annotate::AnnotationMode;
 use crate::config::CeresConfig;
 use crate::extract::Extraction;
 use crate::page::PageView;
-use crate::session::train_views_on;
-use ceres_kb::Kb;
-use ceres_runtime::Runtime;
+use crate::session::{train_views_on, INGEST_MATCH_CACHE_CAP};
+use ceres_kb::{Kb, MatchCache};
+use ceres_runtime::{auto_chunk, Runtime};
 use ceres_store::{Decode, Encode, Error as StoreError, Reader, Writer};
 
 /// Topic decision for one annotation-half page (evaluation input for
@@ -332,8 +332,24 @@ pub fn run_site(
 ) -> SiteRun {
     let rt = Runtime::with_threads(cfg.threads);
     let parse_t = StageTimer::start();
-    let ann_views: Vec<PageView> =
-        rt.par_map(annotation_pages, |(id, html)| PageView::build(id, html, kb));
+    // Parse in page chunks, one shared read-through MatchCache per chunk:
+    // template pages repeat field strings, so the chunk's KB lookups fold
+    // to one per distinct string. Chunk-major order + in-order flatten
+    // keep the output byte-identical to per-page building (the cache
+    // cannot change a match result), at every thread count.
+    let chunk = auto_chunk(annotation_pages.len(), rt.threads());
+    let page_chunks: Vec<&[(String, String)]> = annotation_pages.chunks(chunk.max(1)).collect();
+    let ann_views: Vec<PageView> = rt
+        .par_map_chunked(&page_chunks, 1, |pages| {
+            let mut cache = MatchCache::new(kb, INGEST_MATCH_CACHE_CAP);
+            pages
+                .iter()
+                .map(|(id, html)| PageView::build_with_cache(id, html, kb, &mut cache))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
     let parse = parse_t.stop();
     let core = train_views_on(&rt, kb, &ann_views, cfg, mode);
     let extract_t = StageTimer::start();

@@ -14,11 +14,13 @@
 //!   buffer)                     signatures)                no re-training, ever)
 //! ```
 //!
-//! * **Ingest** — [`SiteSession::push_page`] hands each page to the
-//!   runtime's bounded reorder buffer ([`ceres_runtime::StreamMap`]):
-//!   parsing runs on pool workers while the caller fetches/decompresses
-//!   the next page, and parsed views surface in input order, so the
-//!   session is byte-identical to batch parsing at every thread count.
+//! * **Ingest** — [`SiteSession::push_page`] collects pages into small
+//!   parse micro-batches and hands each batch to the runtime's bounded
+//!   reorder buffer ([`ceres_runtime::StreamMap`]): parsing runs on pool
+//!   workers (one job and one shared KB [`MatchCache`] per batch) while
+//!   the caller fetches/decompresses the next page, and parsed views
+//!   surface in input order, so the session is byte-identical to batch
+//!   parsing at every thread count and batch size.
 //! * **Train** — [`SiteSession::finish_training`] runs the training-side
 //!   stages once and freezes everything extraction needs: per-cluster
 //!   `(LogReg, FeatureSpace, ClassMap)` triples plus the template
@@ -68,9 +70,9 @@ use crate::pipeline::{
 };
 use crate::template::{cluster_site, Clustering};
 use crate::topic::identify_topics;
-use ceres_kb::Kb;
+use ceres_kb::{Kb, MatchCache};
 use ceres_ml::LogReg;
-use ceres_runtime::{Runtime, StreamMap};
+use ceres_runtime::{auto_chunk_coarse, Runtime, StreamMap};
 use ceres_store::{
     ArtifactReader, ArtifactWriter, Decode, Encode, Error as StoreError, Fnv64, Reader, Writer,
 };
@@ -806,8 +808,9 @@ impl<'kb> SiteSessionBuilder<'kb> {
         self
     }
 
-    /// Cap on pages being parsed concurrently during ingest (the reorder
-    /// buffer's in-flight limit). Overrides [`CeresConfig::ingest_ahead`];
+    /// Cap on parse micro-batches in flight during ingest (the reorder
+    /// buffer's in-flight limit; each batch holds up to a few pages — see
+    /// [`SiteSession::push_page`]). Overrides [`CeresConfig::ingest_ahead`];
     /// the default is twice the worker-thread count.
     pub fn ingest_ahead(mut self, cap: usize) -> Self {
         self.ingest_ahead = Some(cap);
@@ -823,31 +826,55 @@ impl<'kb> SiteSessionBuilder<'kb> {
             .unwrap_or_else(|| (rt.threads() * 2).max(1));
         let kb = self.kb;
         let guards = self.cfg.guards.clone();
-        // One stream serves both ingest flavors. Unguarded items (legacy
-        // `push_page`) parse exactly as before — no guards, and a parse
-        // panic re-raises fail-fast on the popping thread. Guarded items
-        // (`try_push_page`) are vetted, with panics contained into a
-        // typed quarantine entry instead of unwinding the session.
-        let parser = move |(id, html, guarded): IngestItem| -> IngestResult {
-            if !guarded {
-                return Ok(PageView::build(&id, &html, kb));
-            }
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                PageView::try_build(&id, &html, kb, &guards)
-            })) {
-                Ok(Ok(view)) => Ok(view),
-                Ok(Err(why)) => Err((id, why)),
-                Err(payload) => {
-                    Err((id, PageError::Panicked { message: panic_message(payload.as_ref()) }))
-                }
-            }
+        // One stream serves both ingest flavors. Each item is a parse
+        // micro-batch sharing one read-through MatchCache (field strings
+        // repeat heavily across a template site's pages), so one pool job
+        // amortizes its dispatch over several pages — the fix for parse's
+        // one-job-per-page parallel regression on low-core hosts.
+        // Unguarded pages (legacy `push_page`) parse exactly as before —
+        // no guards, and a parse panic re-raises fail-fast on the popping
+        // thread. Guarded pages (`try_push_page`) are vetted, with panics
+        // contained into a typed quarantine entry instead of unwinding the
+        // session. A contained panic can only fire before matching (guard
+        // checks, the parse itself, the injected fault marker), so the
+        // shared cache is never caught mid-mutation — and being
+        // read-through over the immutable KB, it cannot change any result
+        // either way.
+        let parser = move |batch: IngestBatch| -> IngestBatchResult {
+            let mut cache = MatchCache::new(kb, INGEST_MATCH_CACHE_CAP);
+            batch
+                .into_iter()
+                .map(|(id, html, guarded)| {
+                    if !guarded {
+                        return Ok(PageView::build_with_cache(&id, &html, kb, &mut cache));
+                    }
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        PageView::try_build_with_cache(&id, &html, kb, &guards, &mut cache)
+                    })) {
+                        Ok(Ok(view)) => Ok(view),
+                        Ok(Err(why)) => Err((id, why)),
+                        Err(payload) => Err((
+                            id,
+                            PageError::Panicked { message: panic_message(payload.as_ref()) },
+                        )),
+                    }
+                })
+                .collect()
         };
         SiteSession {
             kb,
             cfg: self.cfg,
             mode: self.mode,
+            // The coarse autotuner's asymptote: a stream has no known item
+            // count, so size batches as auto_chunk_coarse sizes chunks for
+            // an unbounded input. Batch size never affects output (the
+            // stream preserves input order and the cache is read-through),
+            // only job granularity.
+            batch_size: auto_chunk_coarse(usize::MAX, rt.threads()),
             rt,
             stream: StreamMap::new(&rt, cap, parser),
+            pending: Vec::new(),
+            in_flight_pages: 0,
             views: Vec::new(),
             health: SessionHealth::default(),
             seen_ids: std::collections::HashSet::new(),
@@ -857,10 +884,21 @@ impl<'kb> SiteSessionBuilder<'kb> {
     }
 }
 
-/// `(page id, html, guarded)` — what the session's ingest stream parses.
+/// `(page id, html, guarded)` — one page of an ingest micro-batch.
 type IngestItem = (String, String, bool);
+/// A parse micro-batch: the unit handed to the worker pool (one pool job
+/// and one shared [`MatchCache`] per batch).
+type IngestBatch = Vec<IngestItem>;
 /// Parsed view, or `(page id, why)` for a guarded page that was refused.
 type IngestResult = Result<PageView, (String, PageError)>;
+/// Per-page outcomes of one micro-batch, in push order.
+type IngestBatchResult = Vec<IngestResult>;
+
+/// Capacity of the per-batch ingest [`MatchCache`] (distinct normalized
+/// strings). Sized to hold every distinct field string a micro-batch of
+/// template pages realistically produces; eviction beyond it is
+/// deterministic FIFO and can only cost repeat lookups, never change one.
+pub(crate) const INGEST_MATCH_CACHE_CAP: usize = 1 << 12;
 
 /// The ingest/train phase of the streaming pipeline: pages are pushed in
 /// as they arrive (parsing overlaps the caller's fetch loop), then
@@ -874,7 +912,15 @@ pub struct SiteSession<'kb> {
     cfg: CeresConfig,
     mode: AnnotationMode,
     rt: Runtime,
-    stream: StreamMap<'kb, IngestItem, IngestResult>,
+    stream: StreamMap<'kb, IngestBatch, IngestBatchResult>,
+    /// Pages accepted but not yet submitted — the micro-batch being
+    /// filled. Flushed every `batch_size` pages and at drain.
+    pending: Vec<IngestItem>,
+    /// Pages per parse micro-batch (see `SiteSessionBuilder::build`).
+    batch_size: usize,
+    /// Pages inside submitted, not-yet-absorbed batches (the stream
+    /// counts items = batches; ingest accounting needs pages).
+    in_flight_pages: usize,
     views: Vec<PageView>,
     /// Quarantine ledger of the fault-isolated ingest path (`pages_ok` is
     /// finalized by `finish_training`).
@@ -955,10 +1001,33 @@ impl<'kb> SiteSession<'kb> {
     fn push_item(&mut self, item: IngestItem) {
         // lint: allow(CL002) reason="profiling channel only: parse_ms feeds the RunStats display and never touches the byte-identical pipeline output"
         let t0 = std::time::Instant::now();
-        if let Some(result) = self.stream.push(item) {
-            self.absorb(result);
+        self.pending.push(item);
+        if self.pending.len() >= self.batch_size {
+            self.flush_pending();
         }
         self.parse_ms += t0.elapsed().as_secs_f64() * 1e3;
+    }
+
+    /// Submit the micro-batch being filled (no-op when empty). Batches
+    /// enter the stream in push order and the stream preserves item
+    /// order, so absorption order equals page push order — the byte-
+    /// identity contract is untouched by batching.
+    fn flush_pending(&mut self) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending);
+        self.in_flight_pages += batch.len();
+        if let Some(results) = self.stream.push(batch) {
+            self.absorb_batch(results);
+        }
+    }
+
+    fn absorb_batch(&mut self, results: IngestBatchResult) {
+        self.in_flight_pages -= results.len();
+        for result in results {
+            self.absorb(result);
+        }
     }
 
     fn absorb(&mut self, result: IngestResult) {
@@ -994,9 +1063,10 @@ impl<'kb> SiteSession<'kb> {
         &self.health
     }
 
-    /// Pages ingested so far (parsed or still in flight).
+    /// Pages ingested so far (parsed, in a submitted batch, or waiting in
+    /// the batch being filled).
     pub fn pages_ingested(&self) -> usize {
-        self.views.len() + self.stream.in_flight()
+        self.views.len() + self.in_flight_pages + self.pending.len()
     }
 
     /// The session's resolved runtime (thread count etc.).
@@ -1011,9 +1081,10 @@ impl<'kb> SiteSession<'kb> {
     pub fn finish_training(mut self) -> TrainedSite<'kb> {
         // lint: allow(CL002) reason="profiling channel only: parse_ms feeds the RunStats display and never touches the byte-identical pipeline output"
         let t0 = std::time::Instant::now();
+        self.flush_pending();
         let drained = self.stream.drain();
-        for result in drained {
-            self.absorb(result);
+        for results in drained {
+            self.absorb_batch(results);
         }
         self.parse_ms += t0.elapsed().as_secs_f64() * 1e3;
         let parse = StageTime {

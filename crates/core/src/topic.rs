@@ -8,6 +8,12 @@
 //! spurious string match and is discarded; (2) consistency: the XPaths of
 //! candidate mentions are ranked site-wide, and each page's topic is
 //! re-anchored to the highest-ranked path that exists on that page.
+//!
+//! Like annotation, this stage consumes only the per-field KB matches
+//! precomputed by the batched match path in
+//! [`PageView::build`](crate::page::PageView::build)
+//! (`FieldInfo::matches` / `PageView::page_value_set`); it never calls
+//! the matcher directly.
 
 use crate::config::TopicConfig;
 use crate::page::PageView;

@@ -16,15 +16,25 @@
 //!   value if their [`ceres_text::normalize()`] forms are equal, or — the
 //!   fuzzy fallback — if their token-sorted forms are equal ("Lee, Spike" ≡
 //!   "Spike Lee"). Aliases index like canonical names.
+//! * **Batched, memoized lookups.** [`Kb::match_batch`] resolves all of a
+//!   page's normalized field texts in one call, grouping keys by
+//!   [`MatchShards`] hash prefix so each shard is swept once — the request
+//!   shape a future remote-shard protocol needs — and [`MatchCache`] is a
+//!   bounded, FIFO-evicting read-through memo in front of either entry
+//!   point. Both are result-identical to per-field [`Kb::match_norm`].
 //! * **Topic-candidate filters.** Following §3.1.1 we precompute *stop
 //!   values* (strings appearing in a large fraction of triples) and flag
 //!   *low-information* strings (single digits, years, country names, very
 //!   short strings); neither may become a page topic.
 
+pub mod cache;
 pub mod matcher;
 pub mod ontology;
 pub mod store;
 
+pub use cache::MatchCache;
+#[cfg(feature = "runtime-stats")]
+pub use cache::MatchCacheStats;
 pub use matcher::{is_low_information, MatcherConfig};
 pub use ontology::{EntityTypeId, Ontology, PredDef, PredId};
 pub use store::{Kb, KbBuilder, KbStats, MatchShards, Triple, TypeStats, ValueId, ValueKind};

@@ -375,6 +375,54 @@ impl Kb {
         self.shards.lookup_fuzzy(&key).unwrap_or(&[])
     }
 
+    /// Batched [`Kb::match_norm`]: resolve every pre-normalized string of a
+    /// page (or page chunk) in one call, returning the matches **in input
+    /// order** — `match_batch(norms)[i]` is exactly `match_norm(norms[i])`
+    /// for every `i` (property-tested across shard counts).
+    ///
+    /// Instead of a shard dispatch per field, keys are grouped by their
+    /// [`MatchShards`] hash prefix and each shard's keys are resolved in
+    /// one consecutive sweep (exact pass first; the misses' token-sorted
+    /// fuzzy keys are then grouped and swept the same way). Per-shard
+    /// grouping keeps each shard's tables hot in cache for its whole run
+    /// of keys, and the grouped key list is the exact request shape a
+    /// remote KB shard would receive (ROADMAP "multi-machine KB").
+    pub fn match_batch<'kb, S: AsRef<str>>(&'kb self, norms: &[S]) -> Vec<&'kb [ValueId]> {
+        const EMPTY: &[ValueId] = &[];
+        let mut out: Vec<&[ValueId]> = vec![EMPTY; norms.len()];
+        // Group by exact-index shard. Sorting (shard, input index) pairs
+        // visits shards in ascending order and keeps input order within a
+        // shard — deterministic, and one flat buffer instead of per-shard
+        // bucket allocations.
+        let mut order: Vec<(u32, u32)> = Vec::with_capacity(norms.len());
+        for (i, norm) in norms.iter().enumerate() {
+            if !norm.as_ref().is_empty() {
+                order.push((self.shards.shard_of(norm.as_ref()) as u32, i as u32));
+            }
+        }
+        order.sort_unstable();
+        // Exact sweep; misses fall through to the fuzzy index, grouped the
+        // same way (fuzzy keys hash to their own shard).
+        let mut misses: Vec<(u32, u32, String)> = Vec::new();
+        for &(s, i) in &order {
+            let norm = norms[i as usize].as_ref();
+            match self.shards.shards[s as usize].exact.get(norm) {
+                Some(hits) => out[i as usize] = hits.as_slice(),
+                None => {
+                    let key = token_sort_key_normalized(norm);
+                    misses.push((self.shards.shard_of(&key) as u32, i, key));
+                }
+            }
+        }
+        misses.sort_unstable_by_key(|&(s, i, _)| (s, i));
+        for (s, i, key) in &misses {
+            if let Some(hits) = self.shards.shards[*s as usize].fuzzy.get(key.as_str()) {
+                out[*i as usize] = hits.as_slice();
+            }
+        }
+        out
+    }
+
     /// The sharded string-matching indexes (read-only view).
     pub fn match_shards(&self) -> &MatchShards {
         &self.shards
@@ -588,6 +636,51 @@ mod tests {
         let names: Vec<&str> = stats.types.iter().map(|t| t.type_name.as_str()).collect();
         assert_eq!(names, ["Apple", "Kiwi", "Mango", "Zebra"]);
         assert!(stats.types.iter().all(|t| t.instances == 2));
+    }
+
+    #[test]
+    fn match_batch_equals_per_field_match_norm() {
+        let kb = small_kb();
+        // Exact hits, a fuzzy hit, an empty string, a miss, ambiguity-free
+        // and duplicate entries — every per-field answer must reappear at
+        // the same position in the batch answer.
+        let norms = [
+            "spike lee",
+            "",
+            "lee spike",
+            "no such value",
+            "comedy",
+            "spike lee",
+            "do the right thing",
+        ];
+        let batch = kb.match_batch(&norms);
+        assert_eq!(batch.len(), norms.len());
+        for (i, n) in norms.iter().enumerate() {
+            assert_eq!(batch[i], kb.match_norm(n), "field {i} ({n:?}) diverged");
+        }
+    }
+
+    #[test]
+    fn match_batch_agrees_across_shard_counts() {
+        let norms = ["spike lee", "lee spike", "comedy", "absent", ""];
+        for n_shards in [1, 16, 64] {
+            let mut o = Ontology::new();
+            let film = o.register_type("Film");
+            let person = o.register_type("Person");
+            let genre = o.register_pred("film.genre", film, true);
+            let mut b = KbBuilder::new(o)
+                .with_config(MatcherConfig { n_shards, ..MatcherConfig::default() });
+            let drt = b.entity(film, "Do the Right Thing");
+            let lee = b.entity(person, "Spike Lee");
+            b.alias(lee, "Lee, Spike");
+            let comedy = b.literal("Comedy");
+            b.triple(drt, genre, comedy);
+            let kb = b.build();
+            let batch = kb.match_batch(&norms);
+            for (i, n) in norms.iter().enumerate() {
+                assert_eq!(batch[i], kb.match_norm(n), "n_shards={n_shards} field {i}");
+            }
+        }
     }
 
     #[test]

@@ -52,6 +52,11 @@ pub struct Dataset {
     pub n_classes: usize,
     /// Feature-space dimensionality (fixed at construction).
     pub n_features: usize,
+    /// Whether every stored value is exactly 1.0 (pure indicator rows —
+    /// the common case: CERES features are binary). Tracked on push so the
+    /// objective can take a multiply-free kernel: `1.0 × w == w` is an
+    /// IEEE identity, so the specialization is bit-identical.
+    all_unit: bool,
 }
 
 impl Default for Dataset {
@@ -70,6 +75,7 @@ impl Dataset {
             labels: Vec::new(),
             n_classes,
             n_features,
+            all_unit: true,
         }
     }
 
@@ -83,6 +89,7 @@ impl Dataset {
         for (i, v) in x.iter() {
             self.indices.push(i);
             self.values.push(v);
+            self.all_unit &= v == 1.0;
         }
         self.row_offsets.push(self.indices.len());
         self.labels.push(y);
@@ -102,6 +109,7 @@ impl Dataset {
         );
         self.indices.extend_from_slice(idx);
         self.values.extend_from_slice(vals);
+        self.all_unit &= vals.iter().all(|&v| v == 1.0);
         self.row_offsets.push(self.indices.len());
         self.labels.push(y);
     }
@@ -136,6 +144,7 @@ impl Dataset {
         self.indices.extend_from_slice(&other.indices);
         self.values.extend_from_slice(&other.values);
         self.labels.extend_from_slice(&other.labels);
+        self.all_unit &= other.all_unit;
         self.row_offsets.extend(other.row_offsets[1..].iter().map(|o| base + o));
     }
 
@@ -349,12 +358,47 @@ fn top_class(probs: &[f64]) -> (u32, f64) {
 /// A trained softmax classifier.
 ///
 /// Weights are stored class-major: `w[k * (d + 1) .. (k + 1) * (d + 1)]` is
-/// class `k`'s weight row, whose *last* element is the intercept β_k0.
+/// class `k`'s weight row, whose *last* element is the intercept β_k0. A
+/// feature-major mirror (`wt`, intercepts split out) is rebuilt on
+/// construction so scoring walks one contiguous `n_classes`-wide block per
+/// stored feature instead of `n_classes` strided gathers — same additions
+/// in the same order per class accumulator, so scores are bit-identical to
+/// the class-major layout (see `transpose_weights_into`).
 #[derive(Debug, Clone)]
 pub struct LogReg {
     w: Vec<f64>,
+    /// Feature-major mirror of the feature block of `w`: `wt[i * k + ki]`
+    /// is class `ki`'s weight on feature `i`. Derived, never serialized.
+    wt: Vec<f64>,
+    /// The intercepts β_k0, split out of the transposed matrix.
+    intercepts: Vec<f64>,
     n_classes: usize,
     n_features: usize,
+}
+
+/// Transpose a class-major weight matrix (row stride `d + 1`, intercept
+/// last) into the feature-major layout the hot kernels walk: `wt[i*k + ki]`
+/// holds class `ki`'s weight on feature `i`, intercepts split out. Pure
+/// permutation of assignments — no arithmetic, so no rounding anywhere.
+fn transpose_weights_into(
+    w: &[f64],
+    k: usize,
+    d: usize,
+    wt: &mut Vec<f64>,
+    intercepts: &mut Vec<f64>,
+) {
+    let stride = d + 1;
+    wt.clear();
+    wt.resize(d * k, 0.0);
+    intercepts.clear();
+    intercepts.resize(k, 0.0);
+    for ki in 0..k {
+        let row = &w[ki * stride..(ki + 1) * stride];
+        for (j, &v) in row[..d].iter().enumerate() {
+            wt[j * k + ki] = v;
+        }
+        intercepts[ki] = row[d];
+    }
 }
 
 impl LogReg {
@@ -382,7 +426,7 @@ impl LogReg {
         if config.optimizer == Optimizer::Lbfgs && config.warm_start_epochs > 0 {
             warm_start(rt, fdata, counts, config, &mut x0);
         }
-        let mut scratch = ScoreScratch::new();
+        let mut scratch = SpanScratch::default();
         let objective = |w: &[f64], grad: &mut [f64]| {
             loss_grad_folded_on(rt, fdata, counts, config.c, w, grad, &mut scratch)
         };
@@ -415,7 +459,16 @@ impl LogReg {
             n_examples: data.len(),
             n_unique_rows: fdata.len(),
         };
-        (LogReg { w, n_classes: data.n_classes, n_features: data.n_features }, stats)
+        (LogReg::from_weights(w, data.n_classes, data.n_features), stats)
+    }
+
+    /// Assemble a model from a validated weight vector, building the
+    /// feature-major mirror the scoring paths read.
+    fn from_weights(w: Vec<f64>, n_classes: usize, n_features: usize) -> LogReg {
+        let mut wt = Vec::new();
+        let mut intercepts = Vec::new();
+        transpose_weights_into(&w, n_classes, n_features, &mut wt, &mut intercepts);
+        LogReg { w, wt, intercepts, n_classes, n_features }
     }
 
     pub fn n_classes(&self) -> usize {
@@ -455,7 +508,7 @@ impl LogReg {
                 ),
             });
         }
-        Ok(LogReg { w, n_classes, n_features })
+        Ok(LogReg::from_weights(w, n_classes, n_features))
     }
 
     #[inline]
@@ -466,14 +519,42 @@ impl LogReg {
 
     /// Write class log-odds for one example into `out` (length
     /// `n_classes`) — the shared allocation-free kernel behind every
-    /// scoring path.
+    /// scoring path. Walks the feature-major mirror: one contiguous
+    /// `n_classes`-wide block per stored feature, then the intercepts.
+    /// Every class accumulator starts at 0.0, adds the same `x·w` terms in
+    /// the same (increasing-index) order as [`SparseVec::dot`] over the
+    /// class-major row, and adds its intercept last — bit-identical to the
+    /// old `x.dot(&row[..d]) + row[d]` per class.
     fn scores_write(&self, x: &SparseVec, out: &mut [f64]) {
-        for (ki, s) in out.iter_mut().enumerate() {
-            let row = self.row(ki);
-            // The dot sees only the feature slots: the intercept lives one
-            // past them, and a late-interned feature whose index is exactly
-            // `n_features` must be skipped, not alias the intercept.
-            *s = x.dot(&row[..self.n_features]) + row[self.n_features];
+        // One cheap pass picks the multiply-free monomorphization for
+        // indicator features (the common case — see `Dataset::all_unit`).
+        if x.iter().all(|(_, v)| v == 1.0) {
+            self.scores_accum::<true>(x, out);
+        } else {
+            self.scores_accum::<false>(x, out);
+        }
+    }
+
+    fn scores_accum<const UNIT: bool>(&self, x: &SparseVec, out: &mut [f64]) {
+        out.fill(0.0);
+        let d = self.n_features;
+        let k = self.n_classes;
+        for (i, v) in x.iter() {
+            let i = i as usize;
+            // Skip rule of `SparseVec::dot`: features interned after the
+            // weights were sized (index ≥ d — including exactly d, which
+            // must not alias the intercept) contribute nothing.
+            if i >= d {
+                continue;
+            }
+            let ws = &self.wt[i * k..(i + 1) * k];
+            let xv = f64::from(v);
+            for (s, &wv) in out.iter_mut().zip(ws) {
+                *s += if UNIT { wv } else { xv * wv };
+            }
+        }
+        for (s, &b) in out.iter_mut().zip(&self.intercepts) {
+            *s += b;
         }
     }
 
@@ -576,59 +657,134 @@ pub fn softmax_in_place(scores: &mut [f64]) {
 }
 
 /// Multiplicity-weighted unregularized negative log-likelihood over rows
-/// `lo..hi`, with the gradient **accumulated** into `grad` (not zeroed) —
-/// the shared kernel of the serial path, the blocked parallel path, and the
-/// warm start. Row `r` contributes `counts[r]` times its loss and gradient;
-/// with all counts 1 every operation is bit-identical to the unfolded
-/// per-example objective (`1.0 × x` and `x` are the same IEEE value).
+/// `lo..hi`, in the **feature-major (transposed) layout**: weights come in
+/// as `wt[i*k + ki]` + split-out intercepts, and the gradient is
+/// accumulated into `acc` — `d*k` transposed feature slots followed by `k`
+/// intercept slots. One pass per row touches a contiguous `k`-wide block
+/// per stored feature, replacing the old `k` strided gather-dots plus `k`
+/// scatter passes.
+///
+/// Bit-identical to the class-major kernel by construction: every
+/// accumulator (per-class score, each gradient slot) starts at 0.0 and
+/// receives exactly the same contributions in the same order — increasing
+/// index within a row, row order across rows, intercept added after the
+/// feature sum, softmax coefficients computed from the same score values.
+/// Row `r` contributes `counts[r]` times its loss and gradient; with all
+/// counts 1 every operation is bit-identical to the unfolded per-example
+/// objective (`1.0 × x` and `x` are the same IEEE value). Pinned against
+/// the per-example `SparseVec` reference, to the bit, by
+/// `prop_csr_loss_grad_matches_sparse_vec_reference`.
+#[allow(clippy::too_many_arguments)]
 fn loss_grad_span(
     data: &Dataset,
     counts: &[u32],
     lo: usize,
     hi: usize,
-    w: &[f64],
-    grad: &mut [f64],
-    scratch: &mut ScoreScratch,
+    wt: &[f64],
+    intercepts: &[f64],
+    acc: &mut [f64],
+    scores: &mut Vec<f64>,
+    coeffs: &mut Vec<f64>,
+) -> f64 {
+    // Pure indicator datasets take the multiply-free monomorphization:
+    // `1.0 × w == w` and `coeff × 1.0 == coeff` are IEEE identities, so
+    // skipping the multiplies cannot change a bit.
+    if data.all_unit {
+        span_kernel::<true>(data, counts, lo, hi, wt, intercepts, acc, scores, coeffs)
+    } else {
+        span_kernel::<false>(data, counts, lo, hi, wt, intercepts, acc, scores, coeffs)
+    }
+}
+
+// `r` indexes three parallel arrays (rows, labels, counts), so a range
+// loop reads better than enumerating any single one of them.
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+fn span_kernel<const UNIT: bool>(
+    data: &Dataset,
+    counts: &[u32],
+    lo: usize,
+    hi: usize,
+    wt: &[f64],
+    intercepts: &[f64],
+    acc: &mut [f64],
+    scores: &mut Vec<f64>,
+    coeffs: &mut Vec<f64>,
 ) -> f64 {
     let k = data.n_classes;
     let d = data.n_features;
-    let stride = d + 1;
-    debug_assert_eq!(w.len(), k * stride);
+    debug_assert_eq!(wt.len(), d * k);
+    debug_assert_eq!(intercepts.len(), k);
+    debug_assert_eq!(acc.len(), d * k + k);
     debug_assert_eq!(counts.len(), data.len());
+    let (gt, gi) = acc.split_at_mut(d * k);
+    scores.clear();
+    scores.resize(k, 0.0);
+    coeffs.clear();
+    coeffs.resize(k, 0.0);
 
     let mut loss = 0.0;
-    let scores = scratch.resized(k);
-    // `r` indexes three parallel structures (rows, labels, counts), so a
-    // range loop is clearer than zipping iterators here.
-    #[allow(clippy::needless_range_loop)]
     for r in lo..hi {
         let (idx, vals) = data.row(r);
         let y = data.labels[r] as usize;
         let c = f64::from(counts[r]);
-        for (ki, s) in scores.iter_mut().enumerate() {
-            let row = &w[ki * stride..(ki + 1) * stride];
-            *s = dot_row(idx, vals, &row[..d]) + row[d];
+        scores.fill(0.0);
+        for (&i, &v) in idx.iter().zip(vals) {
+            let i = i as usize;
+            // Skip rule of `SparseVec::dot`: indices ≥ d (features interned
+            // after the weights were sized) contribute nothing.
+            if i >= d {
+                continue;
+            }
+            let ws = &wt[i * k..(i + 1) * k];
+            let xv = f64::from(v);
+            for (s, &wv) in scores.iter_mut().zip(ws) {
+                *s += if UNIT { wv } else { xv * wv };
+            }
+        }
+        for (s, &b) in scores.iter_mut().zip(intercepts) {
+            *s += b; // intercept after the feature sum, as in `dot + row[d]`
         }
         // log-sum-exp for the normalizer.
         let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let lse = max + scores.iter().map(|s| (s - max).exp()).sum::<f64>().ln();
         loss += c * (lse - scores[y]);
 
-        for (ki, s) in scores.iter().enumerate() {
+        for (ki, (co, s)) in coeffs.iter_mut().zip(scores.iter()).enumerate() {
             let p = (s - lse).exp();
             let indicator = f64::from(ki == y);
-            let coeff = c * (p - indicator);
-            let grow = &mut grad[ki * stride..(ki + 1) * stride];
-            let features = &mut grow[..d];
-            for (&i, &v) in idx.iter().zip(vals) {
-                if let Some(g) = features.get_mut(i as usize) {
-                    *g += coeff * f64::from(v);
-                }
+            *co = c * (p - indicator);
+        }
+        for (&i, &v) in idx.iter().zip(vals) {
+            let i = i as usize;
+            if i >= d {
+                continue;
             }
-            grow[d] += coeff; // intercept "feature" is the constant 1
+            let gs = &mut gt[i * k..(i + 1) * k];
+            let xv = f64::from(v);
+            for (g, &co) in gs.iter_mut().zip(coeffs.iter()) {
+                *g += if UNIT { co } else { co * xv };
+            }
+        }
+        for (g, &co) in gi.iter_mut().zip(coeffs.iter()) {
+            *g += co; // intercept "feature" is the constant 1
         }
     }
     loss
+}
+
+/// Reusable buffers for one objective evaluation: the transposed weights,
+/// the packed transposed-gradient accumulator (`d*k` feature slots then `k`
+/// intercept slots), and the per-row score/coefficient scratch. One of
+/// these lives for a whole optimizer run, so the per-evaluation transpose
+/// is the only O(dim) work added — the same order as the `grad.fill(0.0)`
+/// each evaluation already pays.
+#[derive(Debug, Default)]
+struct SpanScratch {
+    wt: Vec<f64>,
+    intercepts: Vec<f64>,
+    acc: Vec<f64>,
+    scores: Vec<f64>,
+    coeffs: Vec<f64>,
 }
 
 /// Deterministic block structure for parallel gradient accumulation over
@@ -636,8 +792,11 @@ fn loss_grad_span(
 /// thread count — so the per-block partial sums, reduced in block-index
 /// order, give bit-identical loss and gradient at any thread count. The
 /// minimum block size keeps tiny datasets on the single-block (serial)
-/// path where per-block buffers would cost more than they save.
-const GRAD_TARGET_BLOCKS: usize = 32;
+/// path where per-block buffers would cost more than they save. Each
+/// block pays a zero + reduce of a full `d*k`-sized partial per objective
+/// eval, so the target count is kept small: at d≈4k, k≈10 the partial is
+/// ~345 KB and 32 blocks made the bookkeeping rival the row sweeps.
+const GRAD_TARGET_BLOCKS: usize = 4;
 const GRAD_MIN_BLOCK: usize = 64;
 
 fn grad_blocks(lo: usize, hi: usize) -> Vec<(usize, usize)> {
@@ -649,12 +808,15 @@ fn grad_blocks(lo: usize, hi: usize) -> Vec<(usize, usize)> {
     (0..n).step_by(block).map(|b| (lo + b, lo + (b + block).min(n))).collect()
 }
 
-/// Accumulate the span loss/gradient of rows `lo..hi` into `grad` on `rt`'s
-/// workers: each fixed block produces a partial (loss, gradient) reduced
-/// into `grad` sequentially in block order. One block short-circuits to the
-/// plain serial kernel — bit-identical, since folding a single
-/// zero-initialized partial into `grad` is the same additions in the same
-/// order.
+/// Accumulate the span loss/gradient of rows `lo..hi` into the class-major
+/// `grad` on `rt`'s workers. The weights are transposed once into
+/// `scratch`, each fixed block produces a partial (loss, transposed
+/// gradient) reduced sequentially in block order, and the transposed total
+/// is scattered back into `grad` — a pure permutation of additions, so the
+/// result is bit-identical to accumulating class-major directly: every
+/// slot starts at 0.0 in both layouts and receives the same contributions
+/// in the same order. One block short-circuits the fan-out, running the
+/// kernel straight into the scratch accumulator.
 #[allow(clippy::too_many_arguments)]
 fn accumulate_span_on(
     rt: &Runtime,
@@ -664,25 +826,71 @@ fn accumulate_span_on(
     hi: usize,
     w: &[f64],
     grad: &mut [f64],
-    scratch: &mut ScoreScratch,
+    scratch: &mut SpanScratch,
 ) -> f64 {
+    let k = data.n_classes;
+    let d = data.n_features;
+    let stride = d + 1;
+    debug_assert_eq!(w.len(), k * stride);
+    transpose_weights_into(w, k, d, &mut scratch.wt, &mut scratch.intercepts);
+    scratch.acc.clear();
+    scratch.acc.resize(d * k + k, 0.0);
     let blocks = grad_blocks(lo, hi);
-    if blocks.len() <= 1 {
-        return loss_grad_span(data, counts, lo, hi, w, grad, scratch);
-    }
-    let parts =
-        rt.par_map_chunked(&blocks, auto_chunk_coarse(blocks.len(), rt.threads()), |&(a, b)| {
-            let mut part = vec![0.0; w.len()];
-            let mut scratch = ScoreScratch::new();
-            let l = loss_grad_span(data, counts, a, b, w, &mut part, &mut scratch);
-            (l, part)
-        });
-    let mut loss = 0.0;
-    for (l, part) in &parts {
-        loss += l;
-        for (g, p) in grad.iter_mut().zip(part) {
-            *g += p;
+    let loss = if blocks.len() <= 1 {
+        loss_grad_span(
+            data,
+            counts,
+            lo,
+            hi,
+            &scratch.wt,
+            &scratch.intercepts,
+            &mut scratch.acc,
+            &mut scratch.scores,
+            &mut scratch.coeffs,
+        )
+    } else {
+        let wt = &scratch.wt;
+        let intercepts = &scratch.intercepts;
+        let parts = rt.par_map_chunked(
+            &blocks,
+            auto_chunk_coarse(blocks.len(), rt.threads()),
+            |&(a, b)| {
+                let mut part = vec![0.0; d * k + k];
+                let mut scores = Vec::new();
+                let mut coeffs = Vec::new();
+                let l = loss_grad_span(
+                    data,
+                    counts,
+                    a,
+                    b,
+                    wt,
+                    intercepts,
+                    &mut part,
+                    &mut scores,
+                    &mut coeffs,
+                );
+                (l, part)
+            },
+        );
+        let mut loss = 0.0;
+        for (l, part) in &parts {
+            loss += l;
+            for (g, p) in scratch.acc.iter_mut().zip(part) {
+                *g += p;
+            }
         }
+        loss
+    };
+    // Scatter the transposed totals into the class-major gradient. The
+    // scratch accumulator folded from 0.0, so it can never hold -0.0 and
+    // `grad_slot += total` is the bitwise value the class-major layout
+    // would have accumulated in place.
+    for ki in 0..k {
+        let grow = &mut grad[ki * stride..(ki + 1) * stride];
+        for (j, g) in grow[..d].iter_mut().enumerate() {
+            *g += scratch.acc[j * k + ki];
+        }
+        grow[d] += scratch.acc[d * k + ki];
     }
     loss
 }
@@ -714,7 +922,7 @@ fn loss_grad_folded_on(
     c: f64,
     w: &[f64],
     grad: &mut [f64],
-    scratch: &mut ScoreScratch,
+    scratch: &mut SpanScratch,
 ) -> f64 {
     grad.fill(0.0);
     let loss = accumulate_span_on(rt, data, counts, 0, data.len(), w, grad, scratch);
@@ -722,15 +930,11 @@ fn loss_grad_folded_on(
 }
 
 /// Regularized per-example (all multiplicities 1) negative log-likelihood
-/// and gradient, serial — the reference the gradient-check and CSR
-/// bit-identity tests pin against.
+/// and gradient on a sequential runtime — what the gradient-check and CSR
+/// bit-identity tests evaluate against the references.
 #[cfg(test)]
 pub(crate) fn loss_grad(data: &Dataset, c: f64, w: &[f64], grad: &mut [f64]) -> f64 {
-    grad.fill(0.0);
-    let ones = vec![1u32; data.len()];
-    let mut scratch = ScoreScratch::new();
-    let loss = loss_grad_span(data, &ones, 0, data.len(), w, grad, &mut scratch);
-    loss + add_l2_penalty(data, c, w, grad)
+    loss_grad_on(&Runtime::sequential(), data, c, w, grad)
 }
 
 /// [`loss_grad`] with gradient accumulation parallelized over `rt` (all
@@ -744,7 +948,7 @@ pub(crate) fn loss_grad_on(
     grad: &mut [f64],
 ) -> f64 {
     let ones = vec![1u32; data.len()];
-    let mut scratch = ScoreScratch::new();
+    let mut scratch = SpanScratch::default();
     loss_grad_folded_on(rt, data, &ones, c, w, grad, &mut scratch)
 }
 
@@ -774,7 +978,7 @@ fn warm_start(rt: &Runtime, data: &Dataset, counts: &[u32], config: &TrainConfig
         .collect();
     let total: f64 = counts.iter().map(|&c| f64::from(c)).sum();
     let mut grad = vec![0.0; w.len()];
-    let mut scratch = ScoreScratch::new();
+    let mut scratch = SpanScratch::default();
     let mut prev = w.to_vec();
     for _ in 0..config.warm_start_epochs {
         prev.copy_from_slice(w);
@@ -864,6 +1068,33 @@ mod tests {
         }
     }
 
+    /// The feature-major scoring mirror must reproduce the class-major
+    /// formula (`x.dot(&row[..d]) + row[d]` per class) to the bit,
+    /// including the skip rule for late-interned feature indices ≥ d.
+    #[test]
+    fn transposed_scores_match_class_major_reference_bit_for_bit() {
+        let data = xor_free_dataset();
+        let (model, _) = LogReg::train(&data, &TrainConfig::default());
+        let probes = [
+            SparseVec::from_pairs(vec![(0, 1.0)]),
+            SparseVec::from_pairs(vec![(0, -0.5), (1, 2.0)]),
+            // Indices ≥ n_features (= 2): skipped, never aliasing the
+            // intercept slot.
+            SparseVec::from_pairs(vec![(1, 1.0), (2, 7.0), (9, -3.0)]),
+            SparseVec::new(),
+        ];
+        for x in &probes {
+            let got = model.scores(x);
+            let reference: Vec<f64> = (0..model.n_classes())
+                .map(|ki| {
+                    let row = model.row(ki);
+                    x.dot(&row[..model.n_features()]) + row[model.n_features()]
+                })
+                .collect();
+            assert_eq!(got, reference, "scores diverged for {x:?}");
+        }
+    }
+
     #[test]
     fn sgd_also_learns() {
         let data = xor_free_dataset();
@@ -932,8 +1163,8 @@ mod tests {
         let dim = 3 * 5;
         let w: Vec<f64> = (0..dim).map(|i| ((i * 7 % 11) as f64 - 5.0) * 0.1).collect();
         let rt = Runtime::sequential();
-        let mut scratch = ScoreScratch::new();
-        let eval = |w: &[f64], grad: &mut [f64], scratch: &mut ScoreScratch| {
+        let mut scratch = SpanScratch::default();
+        let eval = |w: &[f64], grad: &mut [f64], scratch: &mut SpanScratch| {
             loss_grad_folded_on(&rt, &folded.data, &folded.counts, 1.0, w, grad, scratch)
         };
         let mut grad = vec![0.0; dim];
@@ -1100,7 +1331,7 @@ mod tests {
         let mut g_ref = vec![0.0; dim];
         let l_ref = loss_grad(&data, 1.0, &w, &mut g_ref);
         let mut g_fold = vec![0.0; dim];
-        let mut scratch = ScoreScratch::new();
+        let mut scratch = SpanScratch::default();
         let l_fold = loss_grad_folded_on(
             &Runtime::sequential(),
             &folded.data,

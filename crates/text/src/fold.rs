@@ -1,0 +1,89 @@
+//! Unique-string folding: dedupe a sequence of strings into its distinct
+//! values plus a per-input slot.
+//!
+//! Semi-structured template sites repeat the same field strings across
+//! pages ("Director", "Genre", boilerplate navigation, shared values), so
+//! any per-string work — KB matching above all — can be paid once per
+//! *distinct* string and fanned back out. This is the string analogue of
+//! the duplicate-row folding the trainer applies to feature vectors.
+
+use crate::FxHashMap;
+
+/// The result of [`fold_unique`]: `uniq` holds each distinct string once,
+/// in **first-occurrence order** (deterministic — the fold map is probed,
+/// never iterated), and `slots[i]` is the index into `uniq` for input `i`.
+#[derive(Debug)]
+pub struct UniqueFold<'a> {
+    /// Distinct input strings, first occurrence first.
+    pub uniq: Vec<&'a str>,
+    /// `slots[i]` indexes `uniq` for input `i`; `slots.len()` equals the
+    /// input length.
+    pub slots: Vec<u32>,
+}
+
+impl UniqueFold<'_> {
+    /// Inputs per distinct string (≥ 1.0; 1.0 means no duplicates).
+    pub fn fold_ratio(&self) -> f64 {
+        if self.uniq.is_empty() {
+            return 1.0;
+        }
+        self.slots.len() as f64 / self.uniq.len() as f64
+    }
+}
+
+/// Fold `items` down to its distinct strings. O(total input length);
+/// the returned borrows tie to `items`, so callers fold, look up once per
+/// unique string, then scatter through `slots`.
+pub fn fold_unique<S: AsRef<str>>(items: &[S]) -> UniqueFold<'_> {
+    let mut uniq: Vec<&str> = Vec::new();
+    let mut slots: Vec<u32> = Vec::with_capacity(items.len());
+    let mut slot_of: FxHashMap<&str, u32> = FxHashMap::default();
+    for item in items {
+        let s = item.as_ref();
+        let slot = *slot_of.entry(s).or_insert_with(|| {
+            uniq.push(s);
+            (uniq.len() - 1) as u32
+        });
+        slots.push(slot);
+    }
+    UniqueFold { uniq, slots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn folds_in_first_occurrence_order() {
+        let items = ["b", "a", "b", "c", "a"];
+        let fold = fold_unique(&items);
+        assert_eq!(fold.uniq, vec!["b", "a", "c"]);
+        assert_eq!(fold.slots, vec![0, 1, 0, 2, 1]);
+        assert!((fold.fold_ratio() - 5.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_folds_empty() {
+        let fold = fold_unique::<&str>(&[]);
+        assert!(fold.uniq.is_empty());
+        assert!(fold.slots.is_empty());
+        assert_eq!(fold.fold_ratio(), 1.0);
+    }
+
+    proptest! {
+        /// Scattering `uniq` through `slots` reconstructs the input.
+        #[test]
+        fn scatter_reconstructs_input(items in proptest::collection::vec("[a-c]{0,3}", 0..40)) {
+            let fold = fold_unique(&items);
+            let rebuilt: Vec<&str> = fold.slots.iter().map(|&s| fold.uniq[s as usize]).collect();
+            let expect: Vec<&str> = items.iter().map(|s| s.as_str()).collect();
+            prop_assert_eq!(rebuilt, expect);
+            // uniq really is a set.
+            let mut sorted = fold.uniq.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), fold.uniq.len());
+        }
+    }
+}

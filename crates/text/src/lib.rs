@@ -8,6 +8,10 @@
 //! * [`levenshtein`] / [`levenshtein_slices`] — edit distance between XPath
 //!   strings (paper §3.2.2) and between XPath step sequences (ablation).
 //! * [`jaccard`] — the set-similarity used by topic identification (Eq. 1).
+//! * [`fold_unique`] — unique-string folding (dedupe a sequence into its
+//!   distinct strings plus per-input slots); template sites repeat field
+//!   strings across pages, so per-string work like KB matching is paid once
+//!   per distinct string and fanned back out.
 //! * [`FxHashMap`] / [`FxHashSet`] — hash containers with a fast,
 //!   deterministic, non-cryptographic hash. CERES hashes millions of short
 //!   strings (text fields, XPaths, feature names); SipHash is measurably
@@ -21,11 +25,13 @@
 
 pub mod distance;
 pub mod float;
+pub mod fold;
 pub mod hash;
 pub mod normalize;
 
 pub use distance::{jaccard, jaccard_counts, levenshtein, levenshtein_slices};
 pub use float::{nan_greatest, nan_lowest};
+pub use fold::{fold_unique, UniqueFold};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use normalize::{
     normalize, normalize_into, token_sort_key, token_sort_key_normalized, tokenize,
